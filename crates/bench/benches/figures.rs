@@ -1,0 +1,50 @@
+//! One criterion benchmark per reproduced table/figure: each runs the
+//! same experiment code as the `repro_*` binaries at a reduced scale,
+//! so `cargo bench` exercises the full harness and tracks regressions
+//! in experiment runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    // (id, scale): heavier experiments run at smaller scales.
+    let configs: &[(&str, f64)] = &[
+        ("cap02", 1.0),
+        ("fig01", 1.0),
+        ("fig03", 0.3),
+        ("fig04", 0.1),
+        ("fig05", 0.1),
+        ("tab02", 0.25),
+        ("tab03", 0.15),
+        ("fig06", 0.1),
+        ("fig07", 0.07),
+        ("fig08", 0.07),
+        ("fig09", 0.2),
+        ("fig10", 0.1),
+        ("fig11a", 0.1),
+        ("fig11b", 0.1),
+        ("fig11c", 0.1),
+        ("tab04", 0.3),
+        ("est06", 0.1),
+        ("abl01", 0.1),
+        ("abl02", 0.1),
+        ("abl03", 0.1),
+        ("abl04", 0.3),
+        ("abl05", 0.1),
+    ];
+    for &(id, scale) in configs {
+        group.bench_function(id, |b| {
+            // Timing only: shape checks are asserted by the unit tests
+            // and the full-scale repro binaries; at bench scales some
+            // stochastic checks are too noisy to gate on.
+            b.iter(|| std::hint::black_box(threegol_bench::run_experiment(id, scale)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(figures, bench_figures);
+criterion_main!(figures);

@@ -1,0 +1,128 @@
+//! Micro-benchmarks of the hot kernels under the reproduction:
+//! max-min fair allocation, the fluid event loop, scheduler decision
+//! making, and trace generation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use threegol_sched::toy::ToyExecutor;
+use threegol_sched::{build, Policy, TransactionSpec};
+use threegol_simnet::fairshare::{max_min_fair, FlowDemand};
+use threegol_simnet::{CapacityProcess, SimTime, Simulation};
+use threegol_traces::dslam::{DslamTrace, DslamTraceConfig};
+use threegol_traces::mno::{MnoConfig, MnoTrace};
+
+fn bench_fairshare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fairshare");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (nl, nf) in [(4usize, 8usize), (16, 64), (64, 256)] {
+        let caps: Vec<f64> = (0..nl).map(|i| 1e6 + (i as f64) * 1e5).collect();
+        let flows: Vec<FlowDemand> = (0..nf)
+            .map(|f| FlowDemand {
+                links: vec![f % nl, (f * 7 + 1) % nl],
+                cap: if f % 3 == 0 { Some(5e5) } else { None },
+            })
+            .collect();
+        group.bench_function(format!("links{nl}_flows{nf}"), |b| {
+            b.iter(|| max_min_fair(std::hint::black_box(&caps), std::hint::black_box(&flows)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fluid_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fluid_engine");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("1000_flows_sequential", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulation::new();
+                let l = sim.add_link("l", CapacityProcess::constant(1e8));
+                for _ in 0..1000 {
+                    sim.start_flow(vec![l], 10_000.0);
+                }
+                sim
+            },
+            |mut sim| while sim.next_event().is_some() {},
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("stochastic_day", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulation::new();
+                let l = sim.add_link(
+                    "s",
+                    CapacityProcess::stochastic(
+                        2e6,
+                        0.3,
+                        1.0,
+                        threegol_simnet::capacity::DiurnalProfile::flat(),
+                        7,
+                    ),
+                );
+                sim.start_flow(vec![l], 1e9); // long flow across many change points
+                sim
+            },
+            |mut sim| sim.run_until(SimTime::from_secs(600.0)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedulers");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for policy in [Policy::Greedy, Policy::RoundRobin, Policy::min_time_paper()] {
+        group.bench_function(format!("{}_100items_4paths", policy.label()), |b| {
+            b.iter_batched(
+                || {
+                    let sizes = vec![250_000.0; 100];
+                    let sched = build(policy, TransactionSpec::new(sizes.clone(), 4));
+                    let exec = ToyExecutor::new(vec![
+                        vec![8e6, 2e6, 4e6],
+                        vec![1e6, 3e6],
+                        vec![2e6],
+                        vec![5e6, 0.5e6],
+                    ]);
+                    (sched, exec, sizes)
+                },
+                |(mut sched, mut exec, sizes)| exec.run(sched.as_mut(), &sizes),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_traces(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("dslam_2000_users", |b| {
+        b.iter(|| {
+            DslamTrace::generate(DslamTraceConfig {
+                n_users: 2000,
+                ..DslamTraceConfig::default()
+            })
+        })
+    });
+    group.bench_function("mno_5000_users", |b| {
+        b.iter(|| MnoTrace::generate(MnoConfig { n_users: 5000, ..MnoConfig::default() }))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_fairshare,
+    bench_fluid_engine,
+    bench_schedulers,
+    bench_traces
+);
+criterion_main!(kernels);

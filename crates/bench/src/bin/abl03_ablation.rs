@@ -1,0 +1,8 @@
+//! Ablation binary `abl03` (see DESIGN.md §6).
+fn main() {
+    let report = threegol_bench::run_experiment("abl03", 1.0);
+    print!("{}", report.render());
+    if !report.all_ok() {
+        std::process::exit(1);
+    }
+}

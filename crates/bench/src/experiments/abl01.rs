@@ -1,0 +1,73 @@
+//! Ablation: the home Wi-Fi standard (802.11g vs 802.11n).
+//!
+//! §4.1 bounds 3GOL's backhaul aggregation by the LAN goodput
+//! (~24 Mbit/s for 802.11g, ~110 Mbit/s for 802.11n). On the paper's
+//! HSPA setups the LAN never binds; with a fast line plus LTE phones
+//! (the §2.3 outlook) an 802.11g LAN becomes the bottleneck. This
+//! ablation quantifies both regimes.
+
+use threegol_core::home::WifiStandard;
+use threegol_core::vod::VodExperiment;
+use threegol_hls::VideoQuality;
+use threegol_radio::{LocationProfile, RadioGeneration};
+
+use crate::util::{reps, secs, table, Check, Report};
+
+/// Run the Wi-Fi ablation.
+pub fn run(scale: f64) -> Report {
+    let n_reps = reps(10, scale);
+    let q4 = VideoQuality::paper_ladder().swap_remove(3);
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for (setup, location, generation) in [
+        ("HSPA on 2 Mbit/s ADSL", LocationProfile::reference_2mbps(), RadioGeneration::Hspa),
+        ("LTE on 21.6 Mbit/s line", LocationProfile::paper_table4().swap_remove(1), RadioGeneration::Lte),
+    ] {
+        let mut per_wifi = Vec::new();
+        for wifi in [WifiStandard::G, WifiStandard::N] {
+            let mut e = VodExperiment::paper_default(location.clone(), q4.clone(), 2);
+            e.wifi = wifi;
+            e.generation = generation;
+            let s = e.run_mean(n_reps);
+            per_wifi.push(s.download.mean);
+            rows.push(vec![
+                setup.to_string(),
+                format!("{wifi:?}"),
+                secs(s.download.mean),
+                secs(s.prebuffer.mean),
+            ]);
+        }
+        results.push((setup, per_wifi[0], per_wifi[1])); // (g, n)
+    }
+    let (_, hspa_g, hspa_n) = results[0];
+    let (_, lte_g, lte_n) = results[1];
+    let checks = vec![
+        Check::new(
+            "HSPA era: LAN never binds",
+            "802.11g ≈ 802.11n for HSPA-rate onloading",
+            format!("g {} s vs n {} s", secs(hspa_g), secs(hspa_n)),
+            (hspa_g / hspa_n - 1.0).abs() < 0.10,
+        ),
+        Check::new(
+            "LTE outlook: 802.11n pays off",
+            "an 802.11g LAN caps high-rate aggregation",
+            format!("g {} s vs n {} s", secs(lte_g), secs(lte_n)),
+            lte_n <= lte_g * 1.02,
+        ),
+    ];
+    Report {
+        id: "abl01",
+        title: "Ablation: Wi-Fi LAN standard (802.11g vs 802.11n)",
+        body: table(&["setup", "wifi", "download s", "prebuffer s"], &rows),
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wifi_ablation_holds() {
+        let r = super::run(0.3);
+        assert!(r.all_ok(), "{}", r.render());
+    }
+}

@@ -1,0 +1,80 @@
+//! Ablation: the §2.3 LTE outlook.
+//!
+//! > "If 4G is available, the concept of 3GOL is even more compelling.
+//! > With the reduced latency, and the large increase of bandwidth,
+//! > the period of powerboosting time might be extremely short."
+//!
+//! Same video, same locations, phones swapped from HSPA to LTE.
+
+use threegol_core::vod::VodExperiment;
+use threegol_hls::VideoQuality;
+use threegol_radio::{LocationProfile, RadioGeneration};
+
+use crate::util::{reps, secs, table, Check, Report};
+
+/// Run the LTE ablation.
+pub fn run(scale: f64) -> Report {
+    let n_reps = reps(10, scale);
+    let q4 = VideoQuality::paper_ladder().swap_remove(3);
+    let location = LocationProfile::reference_2mbps();
+    let mut rows = Vec::new();
+    let mut means = std::collections::HashMap::new();
+    let adsl = VodExperiment::paper_default(location.clone(), q4.clone(), 0).run_mean(n_reps);
+    rows.push(vec![
+        "ADSL alone".into(),
+        "-".into(),
+        secs(adsl.download.mean),
+        secs(adsl.prebuffer.mean),
+    ]);
+    for generation in [RadioGeneration::Hspa, RadioGeneration::Lte] {
+        for n_phones in [1usize, 2] {
+            let mut e = VodExperiment::paper_default(location.clone(), q4.clone(), n_phones);
+            e.generation = generation;
+            let s = e.run_mean(n_reps);
+            means.insert((generation, n_phones), s.download.mean);
+            rows.push(vec![
+                format!("{generation:?} ×{n_phones}"),
+                format!("{n_phones}"),
+                secs(s.download.mean),
+                secs(s.prebuffer.mean),
+            ]);
+        }
+    }
+    let hspa2 = means[&(RadioGeneration::Hspa, 2)];
+    let lte1 = means[&(RadioGeneration::Lte, 1)];
+    let lte2 = means[&(RadioGeneration::Lte, 2)];
+    let checks = vec![
+        Check::new(
+            "one LTE phone beats two HSPA phones",
+            "4G makes 3GOL even more compelling",
+            format!("LTE×1 {} s vs HSPA×2 {} s", secs(lte1), secs(hspa2)),
+            lte1 < hspa2,
+        ),
+        Check::new(
+            "powerboosting period collapses",
+            "the boosting period might be extremely short",
+            format!(
+                "ADSL {} s → LTE×2 {} s (×{:.1})",
+                secs(adsl.download.mean),
+                secs(lte2),
+                adsl.download.mean / lte2
+            ),
+            lte2 < adsl.download.mean / 3.0,
+        ),
+    ];
+    Report {
+        id: "abl03",
+        title: "Ablation: HSPA vs LTE phones (§2.3 outlook)",
+        body: table(&["setup", "phones", "download s", "prebuffer s"], &rows),
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn lte_ablation_holds() {
+        let r = super::run(0.3);
+        assert!(r.all_ok(), "{}", r.render());
+    }
+}

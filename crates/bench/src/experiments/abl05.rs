@@ -1,0 +1,74 @@
+//! Ablation: application-layer 3GOL vs coupled-congestion-control
+//! MPTCP (§5.2's negative result: "We experimented with MP-TCP and it
+//! provided no benefit").
+
+use threegol_core::mptcp::mptcp_vod_download_secs;
+use threegol_core::vod::VodExperiment;
+use threegol_hls::VideoQuality;
+use threegol_radio::LocationProfile;
+
+use crate::util::{reps, secs, table, Check, Report};
+
+/// Run the MPTCP comparison.
+pub fn run(scale: f64) -> Report {
+    let n_reps = reps(10, scale);
+    let mut rows = Vec::new();
+    let mut ratio_sum = 0.0;
+    let mut mptcp_vs_adsl_sum = 0.0;
+    let mut count = 0.0;
+    for quality in VideoQuality::paper_ladder() {
+        let e = VodExperiment::paper_default(
+            LocationProfile::reference_2mbps(),
+            quality.clone(),
+            2,
+        );
+        let adsl = e.adsl_only().run_mean(n_reps).download.mean;
+        let gol = e.run_mean(n_reps).download.mean;
+        let mptcp: f64 =
+            (0..n_reps).map(|r| mptcp_vod_download_secs(&e, r)).sum::<f64>() / n_reps as f64;
+        ratio_sum += mptcp / gol;
+        mptcp_vs_adsl_sum += mptcp / adsl;
+        count += 1.0;
+        rows.push(vec![
+            quality.label.clone(),
+            secs(adsl),
+            secs(mptcp),
+            secs(gol),
+            format!("×{:.2}", mptcp / gol),
+        ]);
+    }
+    let mean_ratio = ratio_sum / count;
+    let mptcp_vs_adsl = mptcp_vs_adsl_sum / count;
+    let checks = vec![
+        Check::new(
+            "coupled MPTCP provides no aggregation benefit",
+            "MP-TCP provided no benefit (coupled CC not wireless-ready)",
+            format!("MPTCP/ADSL time ratio {mptcp_vs_adsl:.2} (≈1 = no benefit)"),
+            mptcp_vs_adsl > 0.6 && mptcp_vs_adsl < 1.2,
+        ),
+        Check::new(
+            "3GOL clearly beats coupled MPTCP",
+            "application-layer onloading aggregates where MPTCP cannot",
+            format!("MPTCP is ×{mean_ratio:.2} slower than 3GOL"),
+            mean_ratio > 1.3,
+        ),
+    ];
+    Report {
+        id: "abl05",
+        title: "Ablation: 3GOL vs coupled-CC MPTCP (download s, 2 phones)",
+        body: table(
+            &["quality", "ADSL", "MPTCP (coupled)", "3GOL GRD", "MPTCP/3GOL"],
+            &rows,
+        ),
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn mptcp_ablation_holds() {
+        let r = super::run(0.3);
+        assert!(r.all_ok(), "{}", r.render());
+    }
+}

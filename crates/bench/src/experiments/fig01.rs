@@ -1,0 +1,48 @@
+//! Fig 1: normalized diurnal traffic on the cellular and wired
+//! networks, with offset peaks.
+
+use threegol_traces::diurnal::{fig1_series, mobile_diurnal_load, wired_diurnal_load};
+
+use crate::util::{table, Check, Report};
+
+/// Regenerate the Fig 1 series.
+pub fn run() -> Report {
+    let series = fig1_series();
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|&(h, m, w)| vec![format!("{h:02}:00"), format!("{m:.2}"), format!("{w:.2}")])
+        .collect();
+    let mobile_peak = mobile_diurnal_load().peak_hour();
+    let wired_peak = wired_diurnal_load().peak_hour();
+    let night = mobile_diurnal_load().normalized_peak().at_hour(4.0);
+    let checks = vec![
+        Check::new(
+            "peak offset",
+            "mobile and wired peaks not aligned",
+            format!("mobile {mobile_peak}:00, wired {wired_peak}:00"),
+            mobile_peak != wired_peak,
+        ),
+        Check::new(
+            "cellular diurnal valley",
+            "cellular not constantly loaded",
+            format!("mobile load at 04:00 = {night:.2} of peak"),
+            night < 0.4,
+        ),
+    ];
+    Report {
+        id: "fig01",
+        title: "Fig 1: diurnal traffic pattern, cellular vs wired (normalized)",
+        body: table(&["hour", "mobile", "wired"], &rows),
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig1_checks_pass() {
+        let r = super::run();
+        assert!(r.all_ok(), "{}", r.render());
+        assert_eq!(r.body.lines().count(), 26); // header + rule + 24 hours
+    }
+}

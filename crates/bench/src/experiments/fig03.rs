@@ -1,0 +1,87 @@
+//! Fig 3: aggregate 3G throughput (downlink and uplink) as a function
+//! of the number of simultaneously active devices (1–10), at the first
+//! four Table 2 locations and their measurement hours.
+
+use threegol_measure::{Campaign, Direction};
+use threegol_radio::consts::HSUPA_MAX_BPS;
+use threegol_radio::LocationProfile;
+
+use crate::util::{mbps, reps, table, Check, Report};
+
+/// Regenerate the Fig 3 series.
+pub fn run(scale: f64) -> Report {
+    let n_reps = reps(4, scale);
+    let locations: Vec<LocationProfile> =
+        LocationProfile::paper_table2().into_iter().take(4).collect();
+    let mut rows = Vec::new();
+    let mut loc1_dl_10 = 0.0;
+    let mut loc1_ul_5 = 0.0;
+    let mut loc1_ul_10 = 0.0;
+    let mut loc1_dl_2 = 0.0;
+    for (li, loc) in locations.iter().enumerate() {
+        let hour = loc.measured_hour.unwrap_or(12.0);
+        let campaign = Campaign::new(loc.clone(), 0xF16_3 + li as u64);
+        for n in 1..=10usize {
+            let dl = campaign.aggregate_throughput(n, hour, Direction::Down, n_reps).mean;
+            let ul = campaign.aggregate_throughput(n, hour, Direction::Up, n_reps).mean;
+            if li == 0 {
+                if n == 2 {
+                    loc1_dl_2 = dl;
+                }
+                if n == 10 {
+                    loc1_dl_10 = dl;
+                    loc1_ul_10 = ul;
+                }
+                if n == 5 {
+                    loc1_ul_5 = ul;
+                }
+            }
+            rows.push(vec![
+                format!("loc{}", li + 1),
+                n.to_string(),
+                mbps(dl),
+                mbps(ul),
+            ]);
+        }
+    }
+    let checks = vec![
+        Check::new(
+            "downlink augmentation reach",
+            "up to ~14 Mbit/s downlink at 10 devices",
+            format!("loc1: {} Mbit/s", mbps(loc1_dl_10)),
+            loc1_dl_10 > 8e6 && loc1_dl_10 < 16e6,
+        ),
+        Check::new(
+            "2-device downlink augmentation",
+            "~4.8 Mbit/s median with 2 devices",
+            format!("loc1: {} Mbit/s", mbps(loc1_dl_2)),
+            loc1_dl_2 > 2.5e6 && loc1_dl_2 < 7e6,
+        ),
+        Check::new(
+            "uplink plateau",
+            "uplink plateaus ≈5 Mbit/s by 5 devices (HSUPA max 5.76)",
+            format!(
+                "loc1: {} @5 dev, {} @10 dev Mbit/s",
+                mbps(loc1_ul_5),
+                mbps(loc1_ul_10)
+            ),
+            loc1_ul_10 <= HSUPA_MAX_BPS * 1.05 && loc1_ul_10 < loc1_ul_5 * 1.4,
+        ),
+    ];
+    Report {
+        id: "fig03",
+        title: "Fig 3: aggregate 3G throughput vs number of devices (4 locations)",
+        body: table(&["location", "devices", "downlink Mbit/s", "uplink Mbit/s"], &rows),
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig3_shape_holds() {
+        let r = super::run(0.5);
+        assert!(r.all_ok(), "{}", r.render());
+        assert_eq!(r.body.lines().count(), 2 + 40);
+    }
+}

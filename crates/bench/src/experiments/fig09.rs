@@ -1,0 +1,81 @@
+//! Fig 9: total upload time for the 30-photo set (ADSL alone vs 3GOL
+//! with one and two devices starting from idle) at the five evaluation
+//! locations.
+
+use threegol_core::upload::UploadExperiment;
+use threegol_radio::LocationProfile;
+
+use crate::util::{reps, secs, table, Check, Report};
+
+/// Regenerate Fig 9.
+pub fn run(scale: f64) -> Report {
+    let n_reps = reps(10, scale);
+    let locations = LocationProfile::paper_table4();
+    let mut rows = Vec::new();
+    let mut red1: Vec<f64> = Vec::new();
+    let mut red2: Vec<f64> = Vec::new();
+    for loc in &locations {
+        let e0 = UploadExperiment::paper_default(loc.clone(), 0);
+        let adsl = e0.run_mean(n_reps).total.mean;
+        let one = UploadExperiment::paper_default(loc.clone(), 1).run_mean(n_reps).total.mean;
+        let two = UploadExperiment::paper_default(loc.clone(), 2).run_mean(n_reps).total.mean;
+        red1.push((adsl - one) / adsl);
+        red2.push((adsl - two) / adsl);
+        rows.push(vec![
+            loc.name.clone(),
+            secs(adsl),
+            secs(one),
+            secs(two),
+            format!("×{:.1}/×{:.1}", adsl / one, adsl / two),
+        ]);
+    }
+    let r1_min = red1.iter().cloned().fold(f64::INFINITY, f64::min);
+    let r1_max = red1.iter().cloned().fold(0.0, f64::max);
+    let r2_min = red2.iter().cloned().fold(f64::INFINITY, f64::min);
+    let r2_max = red2.iter().cloned().fold(0.0, f64::max);
+    let checks = vec![
+        Check::new(
+            "one-device reduction",
+            "31 % – 75 % (speedup ×1.5–×4.0)",
+            format!("{:.0}% – {:.0}%", r1_min * 100.0, r1_max * 100.0),
+            r1_min > 0.2 && r1_max < 0.85,
+        ),
+        Check::new(
+            "two-device reduction",
+            "54 % – 84 % (speedup ×2.2–×6.2)",
+            format!("{:.0}% – {:.0}%", r2_min * 100.0, r2_max * 100.0),
+            r2_min > 0.35 && r2_max < 0.92,
+        ),
+        Check::new(
+            "two devices beat one everywhere",
+            "second device always reduces upload time",
+            format!(
+                "min gap {:.0} pp",
+                red2.iter()
+                    .zip(&red1)
+                    .map(|(b, a)| (b - a) * 100.0)
+                    .fold(f64::INFINITY, f64::min)
+            ),
+            red2.iter().zip(&red1).all(|(b, a)| b >= a),
+        ),
+    ];
+    Report {
+        id: "fig09",
+        title: "Fig 9: 30-photo upload time (s): ADSL vs 1 and 2 devices",
+        body: table(
+            &["location", "ADSL s", "1 phone s", "2 phones s", "speedup (1ph/2ph)"],
+            &rows,
+        ),
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig9_reductions_hold() {
+        let r = super::run(0.2);
+        assert!(r.all_ok(), "{}", r.render());
+        assert_eq!(r.body.lines().count(), 2 + 5);
+    }
+}

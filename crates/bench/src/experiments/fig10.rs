@@ -1,0 +1,57 @@
+//! Fig 10: CDF of the fraction of the contracted monthly cap that
+//! subscribers actually use (the MNO dataset).
+
+use threegol_traces::mno::{MnoConfig, MnoTrace};
+
+use crate::util::{table, Check, Report};
+
+/// Regenerate Fig 10.
+pub fn run(scale: f64) -> Report {
+    let n_users = ((20_000.0 * scale) as usize).max(2_000);
+    let trace = MnoTrace::generate(MnoConfig { n_users, ..MnoConfig::default() });
+    let ecdf = trace.used_fraction_ecdf();
+    let rows: Vec<Vec<String>> = (0..=20)
+        .map(|i| {
+            let x = i as f64 * 0.05;
+            vec![format!("{x:.2}"), format!("{:.3}", ecdf.eval(x))]
+        })
+        .collect();
+    let p10 = ecdf.eval(0.10);
+    let p50 = ecdf.eval(0.50);
+    let mean_free_mb = trace.mean_free_bytes() / 1e6;
+    let checks = vec![
+        Check::new(
+            "light users",
+            "40 % of customers use less than 10 % of their cap",
+            format!("P(frac ≤ 0.1) = {p10:.2}"),
+            (p10 - 0.40).abs() < 0.05,
+        ),
+        Check::new(
+            "moderate users",
+            "75 % of customers use less than 50 % of the cap",
+            format!("P(frac ≤ 0.5) = {p50:.2}"),
+            (p50 - 0.75).abs() < 0.05,
+        ),
+        Check::new(
+            "spare volume",
+            "~20 MB/device/day (≈600 MB/month) of free volume on average",
+            format!("mean free volume {mean_free_mb:.0} MB/month"),
+            mean_free_mb > 300.0 && mean_free_mb < 2500.0,
+        ),
+    ];
+    Report {
+        id: "fig10",
+        title: "Fig 10: CDF of the fraction of used cap (MNO dataset)",
+        body: table(&["used fraction", "CDF"], &rows),
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig10_cdf_matches() {
+        let r = super::run(0.5);
+        assert!(r.all_ok(), "{}", r.render());
+    }
+}

@@ -1,0 +1,70 @@
+//! Fig 11c: relative increase of 3G traffic (total and during the
+//! mobile peak hour) as a function of the fraction of subscribers
+//! adopting 3GOL at 20 MB/day.
+
+use threegol_traces::analysis::adoption_increase;
+use threegol_traces::mno::{MnoConfig, MnoTrace};
+
+use crate::util::{table, Check, Report};
+
+/// Regenerate Fig 11c.
+pub fn run(scale: f64) -> Report {
+    let n_users = ((20_000.0 * scale) as usize).max(2_000);
+    let trace = MnoTrace::generate(MnoConfig { n_users, ..MnoConfig::default() });
+    let mean_daily_used = trace.mean_used_bytes() / 30.0;
+    let budget = 20e6;
+    let fractions: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    let points = adoption_increase(mean_daily_used, budget, &fractions);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.1}", p.adoption),
+                format!("{:.0}%", p.total_increase * 100.0),
+                format!("{:.0}%", p.peak_increase * 100.0),
+            ]
+        })
+        .collect();
+    let full = points.last().expect("points");
+    let checks = vec![
+        Check::new(
+            "full adoption doubles traffic",
+            "at 100 % adoption the increase in traffic is around 100 %",
+            format!("{:.0}%", full.total_increase * 100.0),
+            full.total_increase > 0.5 && full.total_increase < 2.0,
+        ),
+        Check::new(
+            "peak increase below total",
+            "peak-hour increase smaller than total, difference rather small",
+            format!(
+                "peak {:.0}% vs total {:.0}%",
+                full.peak_increase * 100.0,
+                full.total_increase * 100.0
+            ),
+            full.peak_increase < full.total_increase
+                && full.peak_increase > 0.6 * full.total_increase,
+        ),
+        Check::new(
+            "linearity in adoption",
+            "modest increase at low adoption",
+            format!("10 % adoption → {:.0}%", points[1].total_increase * 100.0),
+            points[1].total_increase < 0.25,
+        ),
+    ];
+    Report {
+        id: "fig11c",
+        title: "Fig 11c: relative 3G traffic increase vs 3GOL adoption",
+        body: table(&["adoption", "total increase", "peak-hour increase"], &rows),
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig11c_scaling_matches() {
+        let r = super::run(0.2);
+        assert!(r.all_ok(), "{}", r.render());
+        assert_eq!(r.body.lines().count(), 2 + 11);
+    }
+}

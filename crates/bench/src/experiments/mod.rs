@@ -1,0 +1,24 @@
+//! One module per reproduced table/figure.
+
+pub mod abl01;
+pub mod abl02;
+pub mod abl03;
+pub mod abl04;
+pub mod abl05;
+pub mod cap02;
+pub mod est06;
+pub mod fig01;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11a;
+pub mod fig11b;
+pub mod fig11c;
+pub mod tab02;
+pub mod tab03;
+pub mod tab04;

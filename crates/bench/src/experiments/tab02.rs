@@ -1,0 +1,82 @@
+//! Table 2: DSL vs 3GOL (DSL + 3 devices of 3G) throughput at the six
+//! measurement locations.
+
+use threegol_measure::table2_row;
+use threegol_radio::LocationProfile;
+
+use crate::util::{close, mbps, reps, table, Check, Report};
+
+/// Regenerate Table 2.
+pub fn run(scale: f64) -> Report {
+    let n_reps = reps(8, scale);
+    let locations = LocationProfile::paper_table2();
+    let mut rows = Vec::new();
+    let mut checks = Vec::new();
+    for (li, loc) in locations.iter().enumerate() {
+        let row = table2_row(loc, 0x7AB2 + li as u64, n_reps);
+        let (paper_dl, paper_ul) = row.paper_g3_bps.expect("table2 targets");
+        rows.push(vec![
+            loc.name.clone(),
+            format!("{}/{}", mbps(row.dsl_bps.0), mbps(row.dsl_bps.1)),
+            format!("{}/{}", mbps(row.g3_bps.0), mbps(row.g3_bps.1)),
+            format!("{:.2}/{:.2}", row.speedup.0, row.speedup.1),
+            format!("{}/{}", mbps(paper_dl), mbps(paper_ul)),
+        ]);
+        if li == 0 {
+            // Headline: "increase downlink throughput of ADSL
+            // connections by ×2.6 and uplink capacity by ×12.9, while
+            // using 3 devices".
+            checks.push(Check::new(
+                "loc1 downlink speedup",
+                "×2.67",
+                format!("×{:.2}", row.speedup.0),
+                close(row.speedup.0, 2.67, 0.30),
+            ));
+            checks.push(Check::new(
+                "loc1 uplink speedup",
+                "×12.93",
+                format!("×{:.2}", row.speedup.1),
+                close(row.speedup.1, 12.93, 0.30),
+            ));
+        }
+        checks.push(Check::new(
+            format!("{} 3G dl", loc.name),
+            format!("{} Mbit/s", mbps(paper_dl)),
+            format!("{} Mbit/s", mbps(row.g3_bps.0)),
+            close(row.g3_bps.0, paper_dl, 0.35),
+        ));
+    }
+    // VDSL observation: loc6's fast line leaves ~no downlink headroom.
+    let row6 = table2_row(&locations[5], 0x7AB2 + 5, n_reps);
+    checks.push(Check::new(
+        "loc6 (55 Mbit/s VDSL) headroom",
+        "×1.04 downlink (3G adds little to a fat pipe)",
+        format!("×{:.2}", row6.speedup.0),
+        row6.speedup.0 < 1.15,
+    ));
+    Report {
+        id: "tab02",
+        title: "Table 2: DSL vs 3GOL (3 devices) at the measurement locations",
+        body: table(
+            &[
+                "location",
+                "DSL Mbit/s (d/u)",
+                "3G Mbit/s (d/u)",
+                "3GOL/DSL (d/u)",
+                "paper 3G (d/u)",
+            ],
+            &rows,
+        ),
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table2_reproduced() {
+        let r = super::run(0.5);
+        assert!(r.all_ok(), "{}", r.render());
+        assert_eq!(r.body.lines().count(), 2 + 6);
+    }
+}

@@ -1,0 +1,87 @@
+//! # threegol-bench
+//!
+//! The reproduction harness: one module per table/figure of the
+//! paper's evaluation, each regenerating the corresponding rows or
+//! series from the models in this workspace and checking the headline
+//! numbers against the paper.
+//!
+//! Run a single experiment:
+//!
+//! ```text
+//! cargo run -p threegol-bench --release --bin fig06_schedulers
+//! ```
+//!
+//! Run everything and emit an EXPERIMENTS.md-ready report:
+//!
+//! ```text
+//! cargo run -p threegol-bench --release --bin repro_all
+//! ```
+
+pub mod experiments;
+pub mod util;
+
+pub use util::{Check, Report};
+
+/// All experiment ids in paper order.
+pub const ALL_IDS: &[&str] = &[
+    "cap02", "fig01", "fig03", "fig04", "fig05", "tab02", "tab03", "fig06", "fig07", "fig08",
+    "fig09", "fig10", "fig11a", "fig11b", "fig11c", "tab04", "est06",
+];
+
+/// Ablations beyond the paper's evaluation (design-choice and outlook
+/// experiments DESIGN.md calls out).
+pub const ABLATION_IDS: &[&str] = &["abl01", "abl02", "abl03", "abl04", "abl05"];
+
+/// Run one experiment by id.
+///
+/// `scale` in `(0, 1]` shrinks repetition counts / population sizes so
+/// criterion benches can run the same code quickly; the repro binaries
+/// use 1.0.
+pub fn run_experiment(id: &str, scale: f64) -> Report {
+    match id {
+        "cap02" => experiments::cap02::run(),
+        "fig01" => experiments::fig01::run(),
+        "fig03" => experiments::fig03::run(scale),
+        "fig04" => experiments::fig04::run(scale),
+        "fig05" => experiments::fig05::run(scale),
+        "tab02" => experiments::tab02::run(scale),
+        "tab03" => experiments::tab03::run(scale),
+        "fig06" => experiments::fig06::run(scale),
+        "fig07" => experiments::fig07::run(scale),
+        "fig08" => experiments::fig08::run(scale),
+        "fig09" => experiments::fig09::run(scale),
+        "fig10" => experiments::fig10::run(scale),
+        "fig11a" => experiments::fig11a::run(scale),
+        "fig11b" => experiments::fig11b::run(scale),
+        "fig11c" => experiments::fig11c::run(scale),
+        "tab04" => experiments::tab04::run(scale),
+        "est06" => experiments::est06::run(scale),
+        "abl01" => experiments::abl01::run(scale),
+        "abl02" => experiments::abl02::run(scale),
+        "abl03" => experiments::abl03::run(scale),
+        "abl04" => experiments::abl04::run(scale),
+        "abl05" => experiments::abl05::run(scale),
+        other => panic!("unknown experiment id {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_id_dispatches() {
+        // Smoke-run the cheap experiments end to end.
+        for id in ["cap02", "fig01", "fig10", "fig11c", "est06"] {
+            let r = run_experiment(id, 0.2);
+            assert_eq!(r.id, id);
+            assert!(!r.body.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_id_panics() {
+        run_experiment("nope", 1.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Report structure and text-table formatting shared by all
+//! reproduction experiments.
+
+/// One paper-versus-measured comparison.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// What is being compared.
+    pub name: String,
+    /// The paper's claim.
+    pub paper: String,
+    /// What this reproduction measured.
+    pub measured: String,
+    /// Whether the measurement is within the tolerance the experiment
+    /// chose (shape-level agreement, not absolute-number matching).
+    pub ok: bool,
+}
+
+impl Check {
+    /// Build a check.
+    pub fn new(
+        name: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+        ok: bool,
+    ) -> Check {
+        Check { name: name.into(), paper: paper.into(), measured: measured.into(), ok }
+    }
+}
+
+/// One experiment's regenerated output.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id (e.g. `"fig06"`).
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// The regenerated rows/series, preformatted.
+    pub body: String,
+    /// Headline paper-vs-measured checks.
+    pub checks: Vec<Check>,
+}
+
+impl Report {
+    /// Render for the terminal.
+    pub fn render(&self) -> String {
+        let mut out = format!("== {} — {}\n\n{}\n", self.id, self.title, self.body);
+        if !self.checks.is_empty() {
+            out.push_str("\npaper vs measured:\n");
+            for c in &self.checks {
+                out.push_str(&format!(
+                    "  [{}] {}: paper {} | measured {}\n",
+                    if c.ok { "ok" } else { "!!" },
+                    c.name,
+                    c.paper,
+                    c.measured
+                ));
+            }
+        }
+        out
+    }
+
+    /// Render as a Markdown section for EXPERIMENTS.md.
+    pub fn render_markdown(&self) -> String {
+        let mut out = format!("## {} — {}\n\n```text\n{}```\n", self.id, self.title, self.body);
+        if !self.checks.is_empty() {
+            out.push_str("\n| check | paper | measured | |\n|---|---|---|---|\n");
+            for c in &self.checks {
+                out.push_str(&format!(
+                    "| {} | {} | {} | {} |\n",
+                    c.name,
+                    c.paper,
+                    c.measured,
+                    if c.ok { "✅" } else { "⚠️" }
+                ));
+            }
+        }
+        out.push('\n');
+        out
+    }
+
+    /// True if every check passed.
+    pub fn all_ok(&self) -> bool {
+        self.checks.iter().all(|c| c.ok)
+    }
+}
+
+/// Format an aligned text table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(cell);
+            for _ in cell.chars().count()..*w {
+                line.push(' ');
+            }
+        }
+        line.trim_end().to_string() + "\n"
+    };
+    out.push_str(&fmt_row(headers.iter().map(|s| s.to_string()).collect(), &widths));
+    out.push_str(&fmt_row(widths.iter().map(|w| "-".repeat(*w)).collect(), &widths));
+    for row in rows {
+        out.push_str(&fmt_row(row.clone(), &widths));
+    }
+    out
+}
+
+/// Format bits/s as Mbit/s with 2 decimals.
+pub fn mbps(bps: f64) -> String {
+    format!("{:.2}", bps / 1e6)
+}
+
+/// Format seconds with 1 decimal.
+pub fn secs(s: f64) -> String {
+    format!("{s:.1}")
+}
+
+/// Scaled repetition count: at least 2, `full` at scale 1.
+pub fn reps(full: u64, scale: f64) -> u64 {
+    ((full as f64 * scale).round() as u64).max(2)
+}
+
+/// Relative closeness check: |a/b − 1| ≤ tol.
+pub fn close(a: f64, b: f64, tol: f64) -> bool {
+    if b == 0.0 {
+        return a == 0.0;
+    }
+    (a / b - 1.0).abs() <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = table(
+            &["name", "v"],
+            &[
+                vec!["a".into(), "1.0".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a "));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn report_rendering() {
+        let r = Report {
+            id: "figX",
+            title: "test",
+            body: "row\n".into(),
+            checks: vec![Check::new("c", "1", "1.05", true)],
+        };
+        let text = r.render();
+        assert!(text.contains("figX"));
+        assert!(text.contains("[ok]"));
+        let md = r.render_markdown();
+        assert!(md.contains("## figX"));
+        assert!(md.contains("✅"));
+        assert!(r.all_ok());
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(mbps(2_500_000.0), "2.50");
+        assert_eq!(secs(1.26), "1.3");
+        assert_eq!(reps(30, 1.0), 30);
+        assert_eq!(reps(30, 0.1), 3);
+        assert_eq!(reps(30, 0.0), 2);
+        assert!(close(1.05, 1.0, 0.1));
+        assert!(!close(1.5, 1.0, 0.1));
+        assert!(close(0.0, 0.0, 0.1));
+    }
+}

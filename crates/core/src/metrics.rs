@@ -1,0 +1,37 @@
+//! Gain metrics the paper reports.
+
+/// Multiplicative speedup of `new` over `base` (e.g. "×2.6 downlink").
+pub fn speedup(base_secs: f64, new_secs: f64) -> f64 {
+    assert!(base_secs >= 0.0 && new_secs > 0.0);
+    base_secs / new_secs
+}
+
+/// Percentage reduction of `new` relative to `base` (e.g. "download
+/// time reduced by 47 %").
+pub fn reduction_percent(base_secs: f64, new_secs: f64) -> f64 {
+    assert!(base_secs > 0.0);
+    (base_secs - new_secs) / base_secs * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_and_reduction_agree() {
+        assert_eq!(speedup(40.0, 10.0), 4.0);
+        assert_eq!(reduction_percent(40.0, 10.0), 75.0);
+        assert_eq!(reduction_percent(40.0, 40.0), 0.0);
+        // A ×2 speedup is a 50 % reduction.
+        let s = speedup(30.0, 15.0);
+        let r = reduction_percent(30.0, 15.0);
+        assert_eq!(s, 2.0);
+        assert_eq!(r, 50.0);
+    }
+
+    #[test]
+    fn regression_shows_as_negative_reduction() {
+        assert!(reduction_percent(10.0, 12.0) < 0.0);
+        assert!(speedup(10.0, 12.0) < 1.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Network-integrated admission control (paper §2.4).
+//!
+//! > "Each device receives the permission to transmit from the 3GOL
+//! > backend server […] The backend server interfaces with the 3G
+//! > network monitoring system and checks whether utilization in the
+//! > affected area is below an acceptance threshold. If it is, the
+//! > transmission is authorized and a permit is cached for a certain
+//! > duration (few minutes). Else, the transmission is denied, and the
+//! > cellular device does not advertise its availability on the Wi-Fi
+//! > network."
+
+use threegol_radio::location::mobile_diurnal_load;
+use threegol_radio::Provisioning;
+use threegol_simnet::SimTime;
+
+/// A cached transmission permit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Permit {
+    /// When the permit was granted.
+    pub granted_at: SimTime,
+    /// When it expires (the device must re-request afterwards).
+    pub valid_until: SimTime,
+}
+
+impl Permit {
+    /// Whether the permit is still valid at `now`.
+    pub fn is_valid(&self, now: SimTime) -> bool {
+        now >= self.granted_at && now < self.valid_until
+    }
+}
+
+/// The operator-side permit backend for one cell area.
+#[derive(Debug, Clone)]
+pub struct PermitBackend {
+    /// Peak background utilization of the covering cells.
+    provisioning: Provisioning,
+    /// Utilization above which permits are denied.
+    pub acceptance_threshold: f64,
+    /// Permit cache duration, seconds ("few minutes").
+    pub cache_secs: f64,
+}
+
+impl PermitBackend {
+    /// Create a backend; the paper suggests caching permits for a few
+    /// minutes, so the default is 300 s.
+    pub fn new(provisioning: Provisioning, acceptance_threshold: f64) -> PermitBackend {
+        assert!((0.0..=1.0).contains(&acceptance_threshold));
+        PermitBackend { provisioning, acceptance_threshold, cache_secs: 300.0 }
+    }
+
+    /// Current background utilization of the cell area in `[0, 1]`
+    /// (diurnal load scaled by the area's peak utilization).
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        let load = mobile_diurnal_load().normalized_peak().at(now);
+        self.provisioning.peak_utilization() * load
+    }
+
+    /// Request a transmission permit at `now`.
+    pub fn request_permit(&self, now: SimTime) -> Option<Permit> {
+        if self.utilization(now) < self.acceptance_threshold {
+            Some(Permit { granted_at: now, valid_until: now + self.cache_secs })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permit_validity_window() {
+        let backend = PermitBackend::new(Provisioning::Well, 0.5);
+        let now = SimTime::from_hours(3.0);
+        let p = backend.request_permit(now).expect("off-peak permit");
+        assert!(p.is_valid(now));
+        assert!(p.is_valid(now + 299.0));
+        assert!(!p.is_valid(now + 300.0));
+        assert!(!p.is_valid(SimTime::from_hours(2.9)));
+    }
+
+    #[test]
+    fn congested_peak_denies() {
+        // A congested area at peak hour exceeds a 40 % threshold.
+        let backend = PermitBackend::new(Provisioning::Congested, 0.4);
+        let peak = SimTime::from_hours(19.0);
+        assert!(backend.request_permit(peak).is_none());
+        // The same area grants permits at night.
+        let night = SimTime::from_hours(4.0);
+        assert!(backend.request_permit(night).is_some());
+    }
+
+    #[test]
+    fn well_provisioned_grants_even_at_peak() {
+        // The paper's observation: some cells have leftover capacity
+        // even during peak hours.
+        let backend = PermitBackend::new(Provisioning::Well, 0.4);
+        assert!(backend.request_permit(SimTime::from_hours(19.0)).is_some());
+    }
+
+    #[test]
+    fn utilization_tracks_diurnal_load() {
+        let backend = PermitBackend::new(Provisioning::Moderate, 0.5);
+        let night = backend.utilization(SimTime::from_hours(4.0));
+        let peak = backend.utilization(SimTime::from_hours(19.0));
+        assert!(night < peak);
+        assert!((peak - 0.30).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,392 @@
+//! Driving a multipath scheduler over the fluid simulation.
+//!
+//! [`TransactionRunner`] is the simulation-side twin of the live
+//! prototype's transport layer: it executes the scheduler's
+//! [`Command`]s as fluid flows, injects per-request overheads and RRC
+//! startup delays, measures per-item completion times, and accounts
+//! wasted (aborted-duplicate) bytes.
+
+use std::collections::HashMap;
+
+use threegol_sched::{Command, MultipathScheduler};
+use threegol_simnet::{FlowId, LinkId, SimEvent, SimTime, Simulation, WakeToken};
+
+/// One path available to a transaction.
+#[derive(Debug, Clone)]
+pub struct PathSpec {
+    /// Links a transfer on this path traverses.
+    pub links: Vec<LinkId>,
+    /// Fixed overhead before each item's bytes start flowing (HTTP
+    /// request RTT + server latency), seconds.
+    pub per_item_overhead_secs: f64,
+    /// One-time delay before this path's *first* transfer (RRC channel
+    /// acquisition for cellular paths; 0 when warm), seconds.
+    pub startup_delay_secs: f64,
+}
+
+impl PathSpec {
+    /// A path with the given links and overheads.
+    pub fn new(links: Vec<LinkId>, per_item_overhead_secs: f64, startup_delay_secs: f64) -> Self {
+        PathSpec { links, per_item_overhead_secs, startup_delay_secs }
+    }
+}
+
+/// Result of a completed transaction.
+#[derive(Debug, Clone)]
+pub struct TransactionResult {
+    /// Total transaction time (from start to last item completion),
+    /// seconds.
+    pub total_secs: f64,
+    /// Completion time of each item relative to transaction start
+    /// (first copy to finish), seconds.
+    pub item_completion_secs: Vec<f64>,
+    /// Bytes transferred by aborted duplicate copies.
+    pub wasted_bytes: f64,
+    /// Payload bytes moved per path (completed + partial aborted).
+    pub bytes_per_path: Vec<f64>,
+    /// Start commands executed.
+    pub starts: usize,
+    /// Abort commands executed.
+    pub aborts: usize,
+}
+
+/// Errors the runner can surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunnerError {
+    /// The simulation can make no further progress but the transaction
+    /// is incomplete (e.g., a zero-capacity path with no alternatives).
+    Stalled,
+}
+
+impl std::fmt::Display for RunnerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunnerError::Stalled => write!(f, "transaction stalled: no progress possible"),
+        }
+    }
+}
+
+impl std::error::Error for RunnerError {}
+
+struct InFlight {
+    path: usize,
+    item: usize,
+    issued_at: SimTime,
+}
+
+/// Executes one transaction on a [`Simulation`].
+pub struct TransactionRunner {
+    paths: Vec<PathSpec>,
+    item_sizes: Vec<f64>,
+}
+
+impl TransactionRunner {
+    /// Create a runner for `item_sizes` over `paths` (path order must
+    /// match the scheduler's [`threegol_sched::TransactionSpec`]).
+    pub fn new(paths: Vec<PathSpec>, item_sizes: Vec<f64>) -> TransactionRunner {
+        assert!(!paths.is_empty());
+        TransactionRunner { paths, item_sizes }
+    }
+
+    /// Run `sched` to completion on `sim`, starting at the simulation's
+    /// current time.
+    pub fn run(
+        &self,
+        sim: &mut Simulation,
+        sched: &mut dyn MultipathScheduler,
+    ) -> Result<TransactionResult, RunnerError> {
+        let t0 = sim.now();
+        let mut flows: HashMap<FlowId, InFlight> = HashMap::new();
+        let mut pending: HashMap<u64, InFlight> = HashMap::new();
+        let mut path_flow: Vec<Option<FlowId>> = vec![None; self.paths.len()];
+        let mut path_started: Vec<bool> = vec![false; self.paths.len()];
+        let mut next_token = 0u64;
+        let mut completion = vec![f64::NAN; self.item_sizes.len()];
+        let mut wasted = 0.0;
+        let mut bytes_per_path = vec![0.0; self.paths.len()];
+        let mut starts = 0usize;
+        let mut aborts = 0usize;
+        // Earliest scheduler tick already queued (absolute sim time).
+        let mut tick_scheduled: Option<SimTime> = None;
+        /// High bit distinguishes scheduler-tick wakeups from
+        /// transfer-start wakeups.
+        const TICK_BIT: u64 = 1 << 63;
+
+        // Execute a batch of scheduler commands.
+        macro_rules! exec {
+            ($cmds:expr) => {
+                for cmd in $cmds {
+                    match cmd {
+                        Command::Start { path, item } => {
+                            starts += 1;
+                            let spec = &self.paths[path];
+                            let mut delay = spec.per_item_overhead_secs;
+                            if !path_started[path] {
+                                delay += spec.startup_delay_secs;
+                                path_started[path] = true;
+                            }
+                            let token = next_token;
+                            next_token += 1;
+                            pending.insert(token, InFlight {
+                                path,
+                                item,
+                                issued_at: sim.now(),
+                            });
+                            sim.schedule_wakeup_in(delay, WakeToken(token));
+                        }
+                        Command::Abort { path, item } => {
+                            aborts += 1;
+                            if let Some(fid) = path_flow[path].take() {
+                                let rec = sim.cancel_flow(fid).expect("flow active");
+                                let inflight = flows.remove(&fid).expect("tracked");
+                                debug_assert_eq!(inflight.item, item);
+                                wasted += rec.transferred_bytes();
+                                bytes_per_path[path] += rec.transferred_bytes();
+                            } else {
+                                // The transfer had not yet started (still in
+                                // its overhead window): drop the pending start.
+                                pending.retain(|_, p| !(p.path == path && p.item == item));
+                            }
+                        }
+                    }
+                }
+            };
+        }
+
+        // Arm a scheduler tick if the policy is time-driven (e.g. the
+        // playout-aware scheduler's deadline gates).
+        macro_rules! arm_tick {
+            () => {
+                if let Some(at_rel) = sched.next_wakeup() {
+                    let at = t0 + at_rel.max(0.0);
+                    // Strictly-future fire time so tick storms cannot
+                    // freeze virtual time at one instant.
+                    let due = at.max(sim.now() + 1e-6);
+                    if tick_scheduled.map_or(true, |t| due < t) {
+                        sim.schedule_wakeup(due, WakeToken(TICK_BIT | next_token));
+                        tick_scheduled = Some(due);
+                        next_token += 1;
+                    }
+                }
+            };
+        }
+
+        exec!(sched.start());
+        arm_tick!();
+
+        let mut loop_guard: u64 = 0;
+        while !sched.is_done() {
+            loop_guard += 1;
+            if loop_guard > 5_000_000 {
+                panic!(
+                    "runner stuck at t={}: pending={}, ticks={:?}, flows={}, starts={starts}, aborts={aborts}",
+                    sim.now(),
+                    pending.len(),
+                    tick_scheduled,
+                    flows.len(),
+                );
+            }
+            let ev = sim.next_event().ok_or(RunnerError::Stalled)?;
+            match ev {
+                SimEvent::Wakeup { token, time } if token.0 & TICK_BIT != 0 => {
+                    if tick_scheduled == Some(time) {
+                        tick_scheduled = None;
+                    }
+                    exec!(sched.on_tick(time - t0));
+                    arm_tick!();
+                }
+                SimEvent::Wakeup { token, .. } => {
+                    let Some(inflight) = pending.remove(&token.0) else {
+                        continue; // start was aborted before it began
+                    };
+                    if sched.is_done() {
+                        continue;
+                    }
+                    let fid = sim.start_flow(
+                        self.paths[inflight.path].links.clone(),
+                        self.item_sizes[inflight.item],
+                    );
+                    path_flow[inflight.path] = Some(fid);
+                    flows.insert(fid, inflight);
+                }
+                SimEvent::FlowCompleted { flow, record, time } => {
+                    let Some(inflight) = flows.remove(&flow) else {
+                        continue; // not ours (caller may run other flows)
+                    };
+                    path_flow[inflight.path] = None;
+                    bytes_per_path[inflight.path] += record.size_bytes;
+                    if completion[inflight.item].is_nan() {
+                        completion[inflight.item] = time - t0;
+                    }
+                    let elapsed = time - inflight.issued_at;
+                    exec!(sched.on_complete(
+                        inflight.path,
+                        inflight.item,
+                        time - t0,
+                        record.size_bytes,
+                        elapsed,
+                    ));
+                    arm_tick!();
+                }
+            }
+        }
+
+        // Defensive cleanup: cancel any stragglers (e.g. duplicates the
+        // scheduler forgot to abort) and charge them as waste.
+        for (path, slot) in path_flow.iter_mut().enumerate() {
+            if let Some(fid) = slot.take() {
+                if let Ok(rec) = sim.cancel_flow(fid) {
+                    wasted += rec.transferred_bytes();
+                    bytes_per_path[path] += rec.transferred_bytes();
+                }
+            }
+        }
+
+        let total = completion.iter().cloned().fold(0.0, f64::max);
+        Ok(TransactionResult {
+            total_secs: total,
+            item_completion_secs: completion,
+            wasted_bytes: wasted,
+            bytes_per_path,
+            starts,
+            aborts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threegol_sched::{build, Policy, TransactionSpec};
+    use threegol_simnet::CapacityProcess;
+
+    fn mbps(x: f64) -> f64 {
+        x * 1e6
+    }
+
+    fn run(
+        policy: Policy,
+        sizes: Vec<f64>,
+        rates_mbps: Vec<f64>,
+        overhead: f64,
+        startup: Vec<f64>,
+    ) -> TransactionResult {
+        let mut sim = Simulation::new();
+        let paths: Vec<PathSpec> = rates_mbps
+            .iter()
+            .zip(&startup)
+            .map(|(&r, &s)| {
+                let l = sim.add_link(format!("p{r}"), CapacityProcess::constant(mbps(r)));
+                PathSpec::new(vec![l], overhead, s)
+            })
+            .collect();
+        let mut sched = build(policy, TransactionSpec::new(sizes.clone(), paths.len()));
+        TransactionRunner::new(paths, sizes)
+            .run(&mut sim, sched.as_mut())
+            .unwrap()
+    }
+
+    #[test]
+    fn single_path_sequential_with_overhead() {
+        // 3 items of 1 Mbit at 1 Mbps with 0.5 s per-request overhead:
+        // 3 × (0.5 + 1.0) = 4.5 s.
+        let r = run(Policy::Greedy, vec![125_000.0; 3], vec![1.0], 0.5, vec![0.0]);
+        assert!((r.total_secs - 4.5).abs() < 1e-6, "{r:?}");
+        assert_eq!(r.starts, 3);
+        assert_eq!(r.aborts, 0);
+        assert_eq!(r.wasted_bytes, 0.0);
+    }
+
+    #[test]
+    fn startup_delay_applies_once() {
+        // One path with 2 s RRC startup: 2 items take 2 + 2×1 = 4 s.
+        let r = run(Policy::Greedy, vec![125_000.0; 2], vec![1.0], 0.0, vec![2.0]);
+        assert!((r.total_secs - 4.0).abs() < 1e-6, "{r:?}");
+    }
+
+    #[test]
+    fn two_paths_parallelize() {
+        let r = run(
+            Policy::Greedy,
+            vec![125_000.0; 4],
+            vec![1.0, 1.0],
+            0.0,
+            vec![0.0, 0.0],
+        );
+        assert!((r.total_secs - 2.0).abs() < 1e-6, "{r:?}");
+        // Work split evenly.
+        assert!((r.bytes_per_path[0] - 250_000.0).abs() < 1.0);
+        assert!((r.bytes_per_path[1] - 250_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn greedy_tail_duplication_counts_waste() {
+        // Two items, second path 10× slower: greedy duplicates the tail
+        // item on the fast path and aborts the slow copy.
+        let r = run(
+            Policy::Greedy,
+            vec![125_000.0; 2],
+            vec![1.0, 0.1],
+            0.0,
+            vec![0.0, 0.0],
+        );
+        assert!(r.aborts >= 1, "{r:?}");
+        assert!(r.wasted_bytes > 0.0);
+        assert!((r.total_secs - 2.0).abs() < 1e-6, "{r:?}");
+    }
+
+    #[test]
+    fn completion_times_recorded_per_item() {
+        let r = run(Policy::RoundRobin, vec![125_000.0; 4], vec![1.0, 0.5], 0.0, vec![0.0, 0.0]);
+        assert!(r.item_completion_secs.iter().all(|t| t.is_finite()));
+        // Items 0,2 on the 1 Mbps path complete at 1 s and 2 s; items
+        // 1,3 on the 0.5 Mbps path at 2 s and 4 s.
+        assert!((r.item_completion_secs[0] - 1.0).abs() < 1e-6);
+        assert!((r.item_completion_secs[1] - 2.0).abs() < 1e-6);
+        assert!((r.item_completion_secs[2] - 2.0).abs() < 1e-6);
+        assert!((r.item_completion_secs[3] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stalled_transaction_is_an_error() {
+        let mut sim = Simulation::new();
+        let dead = sim.add_link("dead", CapacityProcess::constant(0.0));
+        let paths = vec![PathSpec::new(vec![dead], 0.0, 0.0)];
+        let sizes = vec![100.0];
+        let mut sched = build(Policy::Greedy, TransactionSpec::new(sizes.clone(), 1));
+        let err = TransactionRunner::new(paths, sizes)
+            .run(&mut sim, sched.as_mut())
+            .unwrap_err();
+        assert_eq!(err, RunnerError::Stalled);
+    }
+
+    #[test]
+    fn min_scheduler_runs_end_to_end() {
+        let r = run(
+            Policy::min_time_paper(),
+            vec![125_000.0; 6],
+            vec![1.0, 0.5],
+            0.1,
+            vec![0.0, 0.0],
+        );
+        assert!(r.item_completion_secs.iter().all(|t| t.is_finite()));
+        assert!(r.total_secs > 0.0);
+    }
+
+    #[test]
+    fn abort_before_start_cancels_pending() {
+        // A fast path finishes both items while the slow path's
+        // duplicate is still inside its overhead window; the pending
+        // start must be dropped, not executed.
+        let r = run(
+            Policy::Greedy,
+            vec![125_000.0; 2],
+            vec![10.0, 0.01],
+            0.0,
+            vec![0.0, 5.0], // slow path also has a long startup
+        );
+        assert!((r.total_secs - 0.2).abs() < 1e-6, "{r:?}");
+        // The slow path never moved a byte.
+        assert_eq!(r.bytes_per_path[1], 0.0);
+    }
+}

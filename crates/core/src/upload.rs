@@ -1,0 +1,229 @@
+//! The §5.2 multimedia-upload experiment harness.
+//!
+//! "We repeatedly upload a set of 30 pictures with average size of
+//! 2.5 MB and standard deviation of 0.74 MB" (sizes matching photos
+//! from the iPhone 4S/5, the devices most used on Flickr). Uploads are
+//! multipart HTTP POSTs; without 3GOL they go sequentially over the
+//! thin ADSL uplink, with 3GOL the multipath scheduler spreads them
+//! over the uplink plus 1–2 phones.
+
+use threegol_radio::{LocationProfile, RadioGeneration};
+use threegol_sched::{build, Policy, TransactionSpec};
+use threegol_simnet::dist::mix_seed;
+use threegol_simnet::stats::Summary;
+use threegol_simnet::{SimRng, SimTime, Simulation};
+
+use crate::home::{request_overhead_secs, HomeNetwork, WifiStandard, ADSL_EFFICIENCY};
+use crate::runner::{PathSpec, TransactionRunner};
+use crate::vod::RadioStart;
+
+/// One upload experiment configuration.
+#[derive(Debug, Clone)]
+pub struct UploadExperiment {
+    /// Where the household is.
+    pub location: LocationProfile,
+    /// Number of assisting phones (0 = ADSL alone).
+    pub n_phones: usize,
+    /// Multipath scheduling policy.
+    pub policy: Policy,
+    /// Number of photos per transaction (paper: 30).
+    pub n_photos: usize,
+    /// Mean photo size, bytes (paper: 2.5 MB).
+    pub photo_mean_bytes: f64,
+    /// Std of photo size, bytes (paper: 0.74 MB).
+    pub photo_sd_bytes: f64,
+    /// Cold (`3G`) or warm (`H`) radio start.
+    pub radio_start: RadioStart,
+    /// Hour of day.
+    pub hour: f64,
+    /// Home Wi-Fi standard.
+    pub wifi: WifiStandard,
+    /// Base seed.
+    pub seed: u64,
+    /// Radio generation of the assisting phones.
+    pub generation: RadioGeneration,
+}
+
+impl UploadExperiment {
+    /// The paper's §5.2 upload configuration at a location.
+    pub fn paper_default(location: LocationProfile, n_phones: usize) -> UploadExperiment {
+        UploadExperiment {
+            location,
+            n_phones,
+            policy: Policy::Greedy,
+            n_photos: 30,
+            photo_mean_bytes: 2.5e6,
+            photo_sd_bytes: 0.74e6,
+            radio_start: RadioStart::Cold,
+            hour: 9.0,
+            wifi: WifiStandard::N,
+            seed: 0x0b1,
+            generation: RadioGeneration::Hspa,
+        }
+    }
+
+    /// The photo set for repetition `rep` (lognormal sizes matching the
+    /// paper's mean/σ; deterministic given the seed).
+    pub fn photo_sizes(&self, rep: u64) -> Vec<f64> {
+        let mut rng = SimRng::seed_from_u64(mix_seed(self.seed, rep ^ 0xF070));
+        (0..self.n_photos)
+            .map(|_| {
+                rng.lognormal_mean_sd(self.photo_mean_bytes, self.photo_sd_bytes)
+                    .max(100e3)
+            })
+            .collect()
+    }
+
+    /// Run one repetition.
+    pub fn run_once(&self, rep: u64) -> UploadOutcome {
+        let seed = mix_seed(self.seed, rep);
+        let mut sim = Simulation::new();
+        sim.run_until(SimTime::from_hours(self.hour));
+        let mut home = HomeNetwork::build_with_generation(
+            &mut sim,
+            self.location.clone(),
+            self.n_phones,
+            self.wifi,
+            self.generation,
+            seed,
+        );
+
+        let sizes = self.photo_sizes(rep);
+        let adsl_overhead =
+            request_overhead_secs(self.location.adsl_up_bps * ADSL_EFFICIENCY);
+        let phone_overhead = request_overhead_secs(
+            self.generation.uplink_curve().per_device(1) * self.location.cell_factor_ul,
+        );
+        let mut paths = vec![PathSpec::new(home.adsl_upload_path(), adsl_overhead, 0.0)];
+        for i in 0..self.n_phones {
+            let startup = match self.radio_start {
+                RadioStart::Warm => {
+                    home.warm_phone(i, sim.now());
+                    0.0
+                }
+                RadioStart::Cold => home.acquire_phone(i, sim.now()),
+            };
+            paths.push(PathSpec::new(home.phone_upload_path(i), phone_overhead, startup));
+        }
+
+        let mut sched = build(self.policy, TransactionSpec::new(sizes.clone(), paths.len()));
+        let result = TransactionRunner::new(paths, sizes.clone())
+            .run(&mut sim, sched.as_mut())
+            .expect("upload transaction must complete");
+        UploadOutcome {
+            total_secs: result.total_secs,
+            total_bytes: sizes.iter().sum(),
+            wasted_bytes: result.wasted_bytes,
+            bytes_per_path: result.bytes_per_path,
+        }
+    }
+
+    /// Run `reps` repetitions and summarize.
+    pub fn run_mean(&self, reps: u64) -> UploadSummary {
+        let outs: Vec<UploadOutcome> = (0..reps).map(|r| self.run_once(r)).collect();
+        let times: Vec<f64> = outs.iter().map(|o| o.total_secs).collect();
+        let onloaded = outs
+            .iter()
+            .map(|o| o.bytes_per_path.iter().skip(1).sum::<f64>())
+            .sum::<f64>()
+            / outs.len().max(1) as f64;
+        UploadSummary { total: Summary::of(&times), mean_onloaded_bytes: onloaded }
+    }
+
+    /// The same experiment without 3GOL.
+    pub fn adsl_only(&self) -> UploadExperiment {
+        let mut e = self.clone();
+        e.n_phones = 0;
+        e
+    }
+}
+
+/// Result of one upload repetition.
+#[derive(Debug, Clone)]
+pub struct UploadOutcome {
+    /// Total upload time, seconds.
+    pub total_secs: f64,
+    /// Total payload uploaded, bytes.
+    pub total_bytes: f64,
+    /// Duplicate bytes discarded.
+    pub wasted_bytes: f64,
+    /// Payload bytes per path (path 0 = ADSL uplink).
+    pub bytes_per_path: Vec<f64>,
+}
+
+/// Mean/σ summary across repetitions.
+#[derive(Debug, Clone)]
+pub struct UploadSummary {
+    /// Summary of total upload times.
+    pub total: Summary,
+    /// Mean bytes onloaded to phones per repetition.
+    pub mean_onloaded_bytes: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threegol_simnet::stats::Summary;
+
+    fn reference(n_phones: usize) -> UploadExperiment {
+        UploadExperiment::paper_default(LocationProfile::paper_table4().remove(0), n_phones)
+    }
+
+    #[test]
+    fn photo_sizes_match_paper_moments() {
+        let e = reference(0);
+        let sizes: Vec<f64> = (0..30).flat_map(|r| e.photo_sizes(r)).collect();
+        let s = Summary::of(&sizes);
+        assert!((s.mean / 2.5e6 - 1.0).abs() < 0.05, "mean {}", s.mean);
+        assert!((s.sd / 0.74e6 - 1.0).abs() < 0.25, "sd {}", s.sd);
+    }
+
+    #[test]
+    fn adsl_uplink_is_the_bottleneck() {
+        // loc1: 0.83 Mbit/s uplink; 30 × 2.5 MB = 75 MB = 600 Mbit →
+        // ~19 min sequential (paper Fig 9 reports 664 s at loc1; our
+        // derated line is in the same range).
+        let out = reference(0).run_once(0);
+        assert!(
+            out.total_secs > 500.0 && out.total_secs < 1700.0,
+            "ADSL upload {}",
+            out.total_secs
+        );
+    }
+
+    #[test]
+    fn one_phone_reduces_upload_30_to_75_percent() {
+        let adsl = reference(0).run_mean(3);
+        let gol = reference(1).run_mean(3);
+        let reduction = (adsl.total.mean - gol.total.mean) / adsl.total.mean;
+        // Paper: "using one device the total upload time is reduced
+        // from 31% up to 75%".
+        assert!(reduction > 0.25 && reduction < 0.85, "reduction {reduction}");
+    }
+
+    #[test]
+    fn two_phones_reduce_further() {
+        let one = reference(1).run_mean(3);
+        let two = reference(2).run_mean(3);
+        assert!(two.total.mean < one.total.mean);
+        let adsl = reference(0).run_mean(3);
+        let reduction = (adsl.total.mean - two.total.mean) / adsl.total.mean;
+        // Paper: two devices cut 54–84 %.
+        assert!(reduction > 0.4 && reduction < 0.9, "reduction {reduction}");
+    }
+
+    #[test]
+    fn onloaded_bytes_dominate_with_thin_uplink() {
+        // With a ~0.5 Mbit/s effective uplink and ~2 Mbit/s of 3G, most
+        // bytes should ride the phones.
+        let gol = reference(2).run_mean(3);
+        let total = 30.0 * 2.5e6;
+        assert!(gol.mean_onloaded_bytes > total * 0.5, "{}", gol.mean_onloaded_bytes);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let e = reference(1);
+        assert_eq!(e.run_once(3).total_secs, e.run_once(3).total_secs);
+    }
+}

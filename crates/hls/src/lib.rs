@@ -1,0 +1,32 @@
+//! # threegol-hls
+//!
+//! HTTP Live Streaming substrate for the 3GOL reproduction.
+//!
+//! The paper's downlink application is VoD over Apple HLS (§4.1): the
+//! player fetches an extended M3U (m3u8) playlist, then requests the
+//! listed segments sequentially; playback starts once an
+//! application-dependent pre-buffer is filled. 3GOL's client component
+//! intercepts the playlist and prefetches segments in parallel over the
+//! available paths.
+//!
+//! This crate provides:
+//!
+//! * [`VideoQuality`] — the paper's quality ladder (Q1–Q4, i.e.
+//!   200/311/484/738 kbit/s, from the bipbop sample and the YouTube
+//!   study the paper cites);
+//! * [`segmenter`] — cut a video into fixed-duration segments with
+//!   bitrate-determined sizes;
+//! * [`playlist`] — generate and parse media and master m3u8 playlists
+//!   (the subset of the HLS draft the prototype needs);
+//! * [`player`] — the VoD player model: pre-buffering time and playout
+//!   stall analysis given per-segment download-completion times.
+
+pub mod player;
+pub mod playlist;
+pub mod quality;
+pub mod segmenter;
+
+pub use player::{PlayerModel, PlayoutReport};
+pub use playlist::{MasterPlaylist, MediaPlaylist, PlaylistError};
+pub use quality::VideoQuality;
+pub use segmenter::{segment_video, Segment, VideoSpec};

@@ -1,0 +1,621 @@
+//! HTTP/1.1 message framing: incremental parsing and serialization.
+//!
+//! [`HttpStream`] wraps any `AsyncRead + AsyncWrite` transport and
+//! carries the read buffer across messages, so a connection can serve
+//! sequential request/response exchanges (the prototype's proxies keep
+//! connections alive per transfer). The free functions are one-shot
+//! conveniences over a fresh buffer.
+
+use bytes::{Bytes, BytesMut};
+use tokio::io::{AsyncRead, AsyncReadExt, AsyncWrite, AsyncWriteExt};
+
+use crate::error::HttpError;
+use crate::headers::Headers;
+use crate::{MAX_BODY_BYTES, MAX_HEADER_BYTES};
+
+/// An HTTP request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Method, e.g. `GET`.
+    pub method: String,
+    /// Request target, e.g. `/q1/seg00001.ts`.
+    pub target: String,
+    /// Protocol version (always `HTTP/1.1` from this crate).
+    pub version: String,
+    /// Header lines.
+    pub headers: Headers,
+    /// Body bytes (empty for bodyless methods).
+    pub body: Bytes,
+}
+
+impl Request {
+    /// A GET request for `target`.
+    pub fn get(target: impl Into<String>) -> Request {
+        Request {
+            method: "GET".into(),
+            target: target.into(),
+            version: "HTTP/1.1".into(),
+            headers: Headers::new(),
+            body: Bytes::new(),
+        }
+    }
+
+    /// A POST request with a body.
+    pub fn post(target: impl Into<String>, content_type: &str, body: Bytes) -> Request {
+        let mut headers = Headers::new();
+        headers.set("Content-Type", content_type);
+        Request {
+            method: "POST".into(),
+            target: target.into(),
+            version: "HTTP/1.1".into(),
+            headers,
+            body,
+        }
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: String,
+    /// Protocol version.
+    pub version: String,
+    /// Header lines.
+    pub headers: Headers,
+    /// Body bytes.
+    pub body: Bytes,
+}
+
+impl Response {
+    /// A 200 response with a body.
+    pub fn ok(content_type: &str, body: Bytes) -> Response {
+        let mut headers = Headers::new();
+        headers.set("Content-Type", content_type);
+        Response {
+            status: 200,
+            reason: "OK".into(),
+            version: "HTTP/1.1".into(),
+            headers,
+            body,
+        }
+    }
+
+    /// An empty response with the given status.
+    pub fn status(status: u16, reason: &str) -> Response {
+        Response {
+            status,
+            reason: reason.into(),
+            version: "HTTP/1.1".into(),
+            headers: Headers::new(),
+            body: Bytes::new(),
+        }
+    }
+
+    /// A 404 response.
+    pub fn not_found() -> Response {
+        Response::status(404, "Not Found")
+    }
+}
+
+/// A buffered HTTP connection over any async transport.
+#[derive(Debug)]
+pub struct HttpStream<T> {
+    io: T,
+    buf: BytesMut,
+}
+
+impl<T: AsyncRead + AsyncWrite + Unpin> HttpStream<T> {
+    /// Wrap a transport.
+    pub fn new(io: T) -> HttpStream<T> {
+        HttpStream { io, buf: BytesMut::with_capacity(8 * 1024) }
+    }
+
+    /// Consume the wrapper, returning the transport (leftover buffered
+    /// bytes are discarded).
+    pub fn into_inner(self) -> T {
+        self.io
+    }
+
+    /// Read one request. `Ok(None)` on clean end-of-stream before any
+    /// byte of a new message.
+    pub async fn read_request(&mut self) -> Result<Option<Request>, HttpError> {
+        let Some(head_end) = self.fill_until_headers().await? else {
+            return Ok(None);
+        };
+        let head = self.buf.split_to(head_end);
+        let text = std::str::from_utf8(&head[..head.len() - 4])
+            .map_err(|_| HttpError::Malformed("non-UTF-8 header block".into()))?;
+        let mut lines = text.split("\r\n");
+        let start = lines.next().ok_or_else(|| HttpError::Malformed("empty head".into()))?;
+        let mut parts = start.split_whitespace();
+        let method = parts
+            .next()
+            .ok_or_else(|| HttpError::Malformed("missing method".into()))?
+            .to_string();
+        let target = parts
+            .next()
+            .ok_or_else(|| HttpError::Malformed("missing target".into()))?
+            .to_string();
+        let version = parts
+            .next()
+            .ok_or_else(|| HttpError::Malformed("missing version".into()))?
+            .to_string();
+        let headers = parse_headers(lines)?;
+        let body = self.read_body(&headers, false).await?;
+        Ok(Some(Request { method, target, version, headers, body }))
+    }
+
+    /// Read one response.
+    pub async fn read_response(&mut self) -> Result<Response, HttpError> {
+        let head_end = self
+            .fill_until_headers()
+            .await?
+            .ok_or(HttpError::UnexpectedEof)?;
+        let head = self.buf.split_to(head_end);
+        let text = std::str::from_utf8(&head[..head.len() - 4])
+            .map_err(|_| HttpError::Malformed("non-UTF-8 header block".into()))?;
+        let mut lines = text.split("\r\n");
+        let start = lines.next().ok_or_else(|| HttpError::Malformed("empty head".into()))?;
+        let mut parts = start.splitn(3, ' ');
+        let version = parts
+            .next()
+            .ok_or_else(|| HttpError::Malformed("missing version".into()))?
+            .to_string();
+        let status: u16 = parts
+            .next()
+            .ok_or_else(|| HttpError::Malformed("missing status".into()))?
+            .parse()
+            .map_err(|_| HttpError::Malformed("bad status code".into()))?;
+        let reason = parts.next().unwrap_or("").to_string();
+        let headers = parse_headers(lines)?;
+        let body = self.read_body(&headers, true).await?;
+        Ok(Response { status, reason, version, headers, body })
+    }
+
+    /// Serialize and send a request (Content-Length is set from the
+    /// body).
+    pub async fn write_request(&mut self, req: &Request) -> Result<(), HttpError> {
+        let mut head = format!("{} {} {}\r\n", req.method, req.target, req.version);
+        append_headers(&mut head, &req.headers, req.body.len());
+        self.io.write_all(head.as_bytes()).await?;
+        self.io.write_all(&req.body).await?;
+        self.io.flush().await?;
+        Ok(())
+    }
+
+    /// Serialize and send a response.
+    pub async fn write_response(&mut self, resp: &Response) -> Result<(), HttpError> {
+        let mut head = format!("{} {} {}\r\n", resp.version, resp.status, resp.reason);
+        append_headers(&mut head, &resp.headers, resp.body.len());
+        self.io.write_all(head.as_bytes()).await?;
+        self.io.write_all(&resp.body).await?;
+        self.io.flush().await?;
+        Ok(())
+    }
+
+    /// Fill the buffer until a complete header block is present.
+    /// Returns the offset just past `\r\n\r\n`, or `None` on clean EOF
+    /// with an empty buffer.
+    async fn fill_until_headers(&mut self) -> Result<Option<usize>, HttpError> {
+        loop {
+            if let Some(pos) = find_subsequence(&self.buf, b"\r\n\r\n") {
+                return Ok(Some(pos + 4));
+            }
+            if self.buf.len() > MAX_HEADER_BYTES {
+                return Err(HttpError::HeadersTooLarge);
+            }
+            let n = self.io.read_buf(&mut self.buf).await?;
+            if n == 0 {
+                if self.buf.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::UnexpectedEof);
+            }
+        }
+    }
+
+    /// Read exactly `n` more bytes into the buffer (beyond current len).
+    async fn fill_to(&mut self, n: usize) -> Result<(), HttpError> {
+        while self.buf.len() < n {
+            let read = self.io.read_buf(&mut self.buf).await?;
+            if read == 0 {
+                return Err(HttpError::UnexpectedEof);
+            }
+        }
+        Ok(())
+    }
+
+    async fn read_body(
+        &mut self,
+        headers: &Headers,
+        read_to_eof_allowed: bool,
+    ) -> Result<Bytes, HttpError> {
+        if headers.is_chunked() {
+            return self.read_chunked_body().await;
+        }
+        if let Some(len) = headers.content_length() {
+            if len > MAX_BODY_BYTES {
+                return Err(HttpError::BodyTooLarge);
+            }
+            self.fill_to(len).await?;
+            return Ok(self.buf.split_to(len).freeze());
+        }
+        if headers.get("content-length").is_some() {
+            return Err(HttpError::BodyTooLarge); // present but unparseable
+        }
+        if read_to_eof_allowed && headers.get("connection").is_some_and(|c| c.eq_ignore_ascii_case("close")) {
+            // Old-style close-delimited body.
+            loop {
+                if self.buf.len() > MAX_BODY_BYTES {
+                    return Err(HttpError::BodyTooLarge);
+                }
+                let n = self.io.read_buf(&mut self.buf).await?;
+                if n == 0 {
+                    break;
+                }
+            }
+            return Ok(self.buf.split().freeze());
+        }
+        Ok(Bytes::new())
+    }
+
+    async fn read_chunked_body(&mut self) -> Result<Bytes, HttpError> {
+        let mut body = BytesMut::new();
+        loop {
+            // Read the size line.
+            let line_end = loop {
+                if let Some(pos) = find_subsequence(&self.buf, b"\r\n") {
+                    break pos;
+                }
+                let n = self.io.read_buf(&mut self.buf).await?;
+                if n == 0 {
+                    return Err(HttpError::UnexpectedEof);
+                }
+            };
+            let line = self.buf.split_to(line_end + 2);
+            let size_text = std::str::from_utf8(&line[..line_end])
+                .map_err(|_| HttpError::Malformed("bad chunk size".into()))?;
+            let size_text = size_text.split(';').next().unwrap_or("").trim();
+            let size = usize::from_str_radix(size_text, 16)
+                .map_err(|_| HttpError::Malformed(format!("bad chunk size {size_text:?}")))?;
+            if body.len() + size > MAX_BODY_BYTES {
+                return Err(HttpError::BodyTooLarge);
+            }
+            if size == 0 {
+                // Trailers: consume until the final CRLF.
+                loop {
+                    if let Some(pos) = find_subsequence(&self.buf, b"\r\n") {
+                        let line = self.buf.split_to(pos + 2);
+                        if pos == 0 {
+                            return Ok(body.freeze());
+                        }
+                        let _ = line; // ignore trailer
+                        continue;
+                    }
+                    let n = self.io.read_buf(&mut self.buf).await?;
+                    if n == 0 {
+                        return Err(HttpError::UnexpectedEof);
+                    }
+                }
+            }
+            self.fill_to(size + 2).await?;
+            body.extend_from_slice(&self.buf.split_to(size));
+            let crlf = self.buf.split_to(2);
+            if &crlf[..] != b"\r\n" {
+                return Err(HttpError::Malformed("missing chunk CRLF".into()));
+            }
+        }
+    }
+}
+
+fn parse_headers<'a>(lines: impl Iterator<Item = &'a str>) -> Result<Headers, HttpError> {
+    let mut headers = Headers::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("bad header line {line:?}")))?;
+        headers.add(name.trim(), value.trim());
+    }
+    Ok(headers)
+}
+
+fn append_headers(head: &mut String, headers: &Headers, body_len: usize) {
+    let mut wrote_len = false;
+    for (name, value) in headers.iter() {
+        if name.eq_ignore_ascii_case("content-length") {
+            wrote_len = true;
+            head.push_str(&format!("Content-Length: {body_len}\r\n"));
+        } else {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+    }
+    if !wrote_len && body_len > 0 {
+        head.push_str(&format!("Content-Length: {body_len}\r\n"));
+    }
+    head.push_str("\r\n");
+}
+
+fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
+/// One-shot: read a request from `reader` (fresh buffer).
+pub async fn read_request<R: AsyncRead + Unpin>(
+    reader: R,
+) -> Result<Option<Request>, HttpError> {
+    HttpStream::new(ReadOnly(reader)).read_request().await
+}
+
+/// One-shot: read a response from `reader`.
+pub async fn read_response<R: AsyncRead + Unpin>(reader: R) -> Result<Response, HttpError> {
+    HttpStream::new(ReadOnly(reader)).read_response().await
+}
+
+/// One-shot: write a request to `writer`.
+pub async fn write_request<W: AsyncWrite + Unpin>(
+    writer: W,
+    req: &Request,
+) -> Result<(), HttpError> {
+    HttpStream::new(WriteOnly(writer)).write_request(req).await
+}
+
+/// One-shot: write a response to `writer`.
+pub async fn write_response<W: AsyncWrite + Unpin>(
+    writer: W,
+    resp: &Response,
+) -> Result<(), HttpError> {
+    HttpStream::new(WriteOnly(writer)).write_response(resp).await
+}
+
+/// Adapter giving a read-only transport a no-op write half.
+struct ReadOnly<R>(R);
+
+impl<R: AsyncRead + Unpin> AsyncRead for ReadOnly<R> {
+    fn poll_read(
+        mut self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+        buf: &mut tokio::io::ReadBuf<'_>,
+    ) -> std::task::Poll<std::io::Result<()>> {
+        std::pin::Pin::new(&mut self.0).poll_read(cx, buf)
+    }
+}
+
+impl<R: Unpin> AsyncWrite for ReadOnly<R> {
+    fn poll_write(
+        self: std::pin::Pin<&mut Self>,
+        _cx: &mut std::task::Context<'_>,
+        _buf: &[u8],
+    ) -> std::task::Poll<std::io::Result<usize>> {
+        std::task::Poll::Ready(Err(std::io::Error::other("read-only transport")))
+    }
+    fn poll_flush(
+        self: std::pin::Pin<&mut Self>,
+        _cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<std::io::Result<()>> {
+        std::task::Poll::Ready(Ok(()))
+    }
+    fn poll_shutdown(
+        self: std::pin::Pin<&mut Self>,
+        _cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<std::io::Result<()>> {
+        std::task::Poll::Ready(Ok(()))
+    }
+}
+
+/// Adapter giving a write-only transport an EOF read half.
+struct WriteOnly<W>(W);
+
+impl<W: Unpin> AsyncRead for WriteOnly<W> {
+    fn poll_read(
+        self: std::pin::Pin<&mut Self>,
+        _cx: &mut std::task::Context<'_>,
+        _buf: &mut tokio::io::ReadBuf<'_>,
+    ) -> std::task::Poll<std::io::Result<()>> {
+        std::task::Poll::Ready(Ok(())) // immediate EOF
+    }
+}
+
+impl<W: AsyncWrite + Unpin> AsyncWrite for WriteOnly<W> {
+    fn poll_write(
+        mut self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+        buf: &[u8],
+    ) -> std::task::Poll<std::io::Result<usize>> {
+        std::pin::Pin::new(&mut self.0).poll_write(cx, buf)
+    }
+    fn poll_flush(
+        mut self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<std::io::Result<()>> {
+        std::pin::Pin::new(&mut self.0).poll_flush(cx)
+    }
+    fn poll_shutdown(
+        mut self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<std::io::Result<()>> {
+        std::pin::Pin::new(&mut self.0).poll_shutdown(cx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test]
+    async fn request_round_trip() {
+        let (client, server) = tokio::io::duplex(64 * 1024);
+        let mut c = HttpStream::new(client);
+        let mut s = HttpStream::new(server);
+        let mut req = Request::get("/q1/index.m3u8");
+        req.headers.set("Host", "origin");
+        c.write_request(&req).await.unwrap();
+        let got = s.read_request().await.unwrap().unwrap();
+        assert_eq!(got.method, "GET");
+        assert_eq!(got.target, "/q1/index.m3u8");
+        assert_eq!(got.headers.get("host"), Some("origin"));
+        assert!(got.body.is_empty());
+    }
+
+    #[tokio::test]
+    async fn response_round_trip_with_body() {
+        let (client, server) = tokio::io::duplex(64 * 1024);
+        let mut c = HttpStream::new(client);
+        let mut s = HttpStream::new(server);
+        let body = Bytes::from(vec![7u8; 100_000]);
+        let resp = Response::ok("video/mp2t", body.clone());
+        tokio::spawn(async move {
+            s.write_response(&resp).await.unwrap();
+        });
+        let got = c.read_response().await.unwrap();
+        assert_eq!(got.status, 200);
+        assert_eq!(got.headers.content_length(), Some(100_000));
+        assert_eq!(got.body, body);
+    }
+
+    #[tokio::test]
+    async fn post_round_trip() {
+        let (client, server) = tokio::io::duplex(64 * 1024);
+        let mut c = HttpStream::new(client);
+        let mut s = HttpStream::new(server);
+        let req = Request::post("/upload", "application/octet-stream", Bytes::from_static(b"pixels"));
+        c.write_request(&req).await.unwrap();
+        let got = s.read_request().await.unwrap().unwrap();
+        assert_eq!(got.method, "POST");
+        assert_eq!(&got.body[..], b"pixels");
+    }
+
+    #[tokio::test]
+    async fn sequential_messages_share_buffer() {
+        let (client, server) = tokio::io::duplex(64 * 1024);
+        let mut c = HttpStream::new(client);
+        let mut s = HttpStream::new(server);
+        for i in 0..3 {
+            c.write_request(&Request::get(format!("/seg{i}.ts"))).await.unwrap();
+        }
+        for i in 0..3 {
+            let got = s.read_request().await.unwrap().unwrap();
+            assert_eq!(got.target, format!("/seg{i}.ts"));
+        }
+    }
+
+    #[tokio::test]
+    async fn clean_eof_returns_none() {
+        let (client, server) = tokio::io::duplex(1024);
+        drop(client);
+        let mut s = HttpStream::new(server);
+        assert!(s.read_request().await.unwrap().is_none());
+    }
+
+    #[tokio::test]
+    async fn truncated_message_is_an_error() {
+        let (mut client, server) = tokio::io::duplex(1024);
+        client.write_all(b"GET /x HTTP/1.1\r\nContent-").await.unwrap();
+        drop(client);
+        let mut s = HttpStream::new(server);
+        assert!(matches!(
+            s.read_request().await,
+            Err(HttpError::UnexpectedEof)
+        ));
+    }
+
+    #[tokio::test]
+    async fn truncated_body_is_an_error() {
+        let (mut client, server) = tokio::io::duplex(1024);
+        client
+            .write_all(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+            .await
+            .unwrap();
+        drop(client);
+        let mut s = HttpStream::new(server);
+        assert!(matches!(s.read_request().await, Err(HttpError::UnexpectedEof)));
+    }
+
+    #[tokio::test]
+    async fn malformed_start_line_rejected() {
+        let (mut client, server) = tokio::io::duplex(1024);
+        client.write_all(b"GET\r\n\r\n").await.unwrap();
+        drop(client);
+        let mut s = HttpStream::new(server);
+        assert!(matches!(s.read_request().await, Err(HttpError::Malformed(_))));
+    }
+
+    #[tokio::test]
+    async fn chunked_response_decoded() {
+        let (mut client, server) = tokio::io::duplex(1024);
+        client
+            .write_all(
+                b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nWiki\r\n5\r\npedia\r\n0\r\n\r\n",
+            )
+            .await
+            .unwrap();
+        drop(client);
+        let mut s = HttpStream::new(server);
+        let resp = s.read_response().await.unwrap();
+        assert_eq!(&resp.body[..], b"Wikipedia");
+    }
+
+    #[tokio::test]
+    async fn chunked_with_extension_and_trailer() {
+        let (mut client, server) = tokio::io::duplex(1024);
+        client
+            .write_all(
+                b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n3;ext=1\r\nabc\r\n0\r\nX-T: v\r\n\r\n",
+            )
+            .await
+            .unwrap();
+        drop(client);
+        let mut s = HttpStream::new(server);
+        let resp = s.read_response().await.unwrap();
+        assert_eq!(&resp.body[..], b"abc");
+    }
+
+    #[tokio::test]
+    async fn close_delimited_body() {
+        let (mut client, server) = tokio::io::duplex(1024);
+        client
+            .write_all(b"HTTP/1.1 200 OK\r\nConnection: close\r\n\r\nstream-until-eof")
+            .await
+            .unwrap();
+        drop(client);
+        let mut s = HttpStream::new(server);
+        let resp = s.read_response().await.unwrap();
+        assert_eq!(&resp.body[..], b"stream-until-eof");
+    }
+
+    #[tokio::test]
+    async fn oversized_headers_rejected() {
+        let (mut client, server) = tokio::io::duplex(256 * 1024);
+        let mut msg = b"GET / HTTP/1.1\r\n".to_vec();
+        msg.extend(std::iter::repeat(b'a').take(MAX_HEADER_BYTES + 10));
+        tokio::spawn(async move {
+            let _ = client.write_all(&msg).await;
+        });
+        let mut s = HttpStream::new(server);
+        assert!(matches!(
+            s.read_request().await,
+            Err(HttpError::HeadersTooLarge)
+        ));
+    }
+
+    #[tokio::test]
+    async fn one_shot_helpers() {
+        let mut buf = Vec::new();
+        let req = Request::post("/p", "text/plain", Bytes::from_static(b"hi"));
+        write_request(&mut buf, &req).await.unwrap();
+        let got = read_request(&buf[..]).await.unwrap().unwrap();
+        assert_eq!(got.body, req.body);
+
+        let mut buf = Vec::new();
+        write_response(&mut buf, &Response::not_found()).await.unwrap();
+        let got = read_response(&buf[..]).await.unwrap();
+        assert_eq!(got.status, 404);
+    }
+}

@@ -1,0 +1,243 @@
+//! `multipart/form-data` encoding and decoding (RFC 7578 subset).
+//!
+//! The paper's uplink application mirrors the native Facebook / Flickr
+//! / Picasa clients: "all native clients of the aforementioned
+//! applications use multipart HTTP POST requests to upload the
+//! pictures" (§4.1). The 3GOL uploader builds one multipart POST per
+//! photo and the scheduler spreads the POSTs over the paths.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::error::HttpError;
+
+/// One part of a multipart body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Part {
+    /// Form field name.
+    pub name: String,
+    /// Attached filename, if any.
+    pub filename: Option<String>,
+    /// Content type of the part.
+    pub content_type: String,
+    /// Payload.
+    pub data: Bytes,
+}
+
+impl Part {
+    /// A JPEG photo part, as the paper's photo uploader produces.
+    pub fn photo(name: impl Into<String>, filename: impl Into<String>, data: Bytes) -> Part {
+        Part {
+            name: name.into(),
+            filename: Some(filename.into()),
+            content_type: "image/jpeg".into(),
+            data,
+        }
+    }
+}
+
+/// Encode parts into a multipart/form-data body with `boundary`.
+pub fn encode_multipart(parts: &[Part], boundary: &str) -> Bytes {
+    let mut out = BytesMut::new();
+    for part in parts {
+        out.put_slice(format!("--{boundary}\r\n").as_bytes());
+        match &part.filename {
+            Some(f) => out.put_slice(
+                format!(
+                    "Content-Disposition: form-data; name=\"{}\"; filename=\"{}\"\r\n",
+                    part.name, f
+                )
+                .as_bytes(),
+            ),
+            None => out.put_slice(
+                format!("Content-Disposition: form-data; name=\"{}\"\r\n", part.name).as_bytes(),
+            ),
+        }
+        out.put_slice(format!("Content-Type: {}\r\n\r\n", part.content_type).as_bytes());
+        out.put_slice(&part.data);
+        out.put_slice(b"\r\n");
+    }
+    out.put_slice(format!("--{boundary}--\r\n").as_bytes());
+    out.freeze()
+}
+
+/// The `Content-Type` header value for a multipart body.
+pub fn multipart_content_type(boundary: &str) -> String {
+    format!("multipart/form-data; boundary={boundary}")
+}
+
+/// Extract the boundary from a `Content-Type` header value.
+pub fn boundary_from_content_type(value: &str) -> Option<&str> {
+    value
+        .split(';')
+        .map(str::trim)
+        .find_map(|attr| attr.strip_prefix("boundary="))
+        .map(|b| b.trim_matches('"'))
+}
+
+/// Decode a multipart/form-data body.
+pub fn parse_multipart(body: &[u8], boundary: &str) -> Result<Vec<Part>, HttpError> {
+    let delim = format!("--{boundary}");
+    let mut parts = Vec::new();
+    let mut rest = body;
+
+    // Skip any preamble up to the first delimiter.
+    let first = find(rest, delim.as_bytes())
+        .ok_or_else(|| HttpError::BadMultipart("missing first boundary".into()))?;
+    rest = &rest[first + delim.len()..];
+
+    loop {
+        if rest.starts_with(b"--") {
+            return Ok(parts); // closing delimiter
+        }
+        rest = strip_crlf(rest)?;
+        // Part headers.
+        let head_end = find(rest, b"\r\n\r\n")
+            .ok_or_else(|| HttpError::BadMultipart("missing part header end".into()))?;
+        let head = std::str::from_utf8(&rest[..head_end])
+            .map_err(|_| HttpError::BadMultipart("non-UTF-8 part headers".into()))?;
+        let mut name = String::new();
+        let mut filename = None;
+        let mut content_type = "application/octet-stream".to_string();
+        for line in head.split("\r\n") {
+            let lower = line.to_ascii_lowercase();
+            if lower.starts_with("content-disposition:") {
+                for attr in line.split(';').map(str::trim) {
+                    if let Some(v) = attr.strip_prefix("name=") {
+                        name = v.trim_matches('"').to_string();
+                    } else if let Some(v) = attr.strip_prefix("filename=") {
+                        filename = Some(v.trim_matches('"').to_string());
+                    }
+                }
+            } else if let Some(v) = lower.strip_prefix("content-type:") {
+                content_type = v.trim().to_string();
+                // Preserve original casing of the value.
+                if let Some(orig) = line.split_once(':').map(|(_, v)| v.trim()) {
+                    content_type = orig.to_string();
+                }
+            }
+        }
+        rest = &rest[head_end + 4..];
+        // Part data runs to the next delimiter preceded by CRLF.
+        let marker = format!("\r\n{delim}");
+        let data_end = find(rest, marker.as_bytes())
+            .ok_or_else(|| HttpError::BadMultipart("unterminated part".into()))?;
+        parts.push(Part {
+            name,
+            filename,
+            content_type,
+            data: Bytes::copy_from_slice(&rest[..data_end]),
+        });
+        rest = &rest[data_end + marker.len()..];
+    }
+}
+
+fn strip_crlf(buf: &[u8]) -> Result<&[u8], HttpError> {
+    buf.strip_prefix(b"\r\n")
+        .ok_or_else(|| HttpError::BadMultipart("missing CRLF after boundary".into()))
+}
+
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_single_photo() {
+        let part = Part::photo("file", "IMG_0001.jpg", Bytes::from(vec![0xFFu8; 5000]));
+        let body = encode_multipart(std::slice::from_ref(&part), "XyZ123");
+        let parsed = parse_multipart(&body, "XyZ123").unwrap();
+        assert_eq!(parsed, vec![part]);
+    }
+
+    #[test]
+    fn round_trip_multiple_parts() {
+        let parts = vec![
+            Part::photo("file1", "a.jpg", Bytes::from_static(b"aaa")),
+            Part {
+                name: "caption".into(),
+                filename: None,
+                content_type: "text/plain".into(),
+                data: Bytes::from_static(b"holiday"),
+            },
+            Part::photo("file2", "b.jpg", Bytes::from_static(b"bbbb")),
+        ];
+        let body = encode_multipart(&parts, "bnd");
+        let parsed = parse_multipart(&body, "bnd").unwrap();
+        assert_eq!(parsed, parts);
+    }
+
+    #[test]
+    fn binary_data_with_crlf_survives() {
+        // Data containing CRLF and dashes must not confuse the parser
+        // (only CRLF + boundary terminates a part).
+        let data = Bytes::from_static(b"line1\r\nline2--almost\r\n--but-not");
+        let part = Part::photo("f", "x.bin", data);
+        let body = encode_multipart(std::slice::from_ref(&part), "q9q9q9");
+        let parsed = parse_multipart(&body, "q9q9q9").unwrap();
+        assert_eq!(parsed[0].data, part.data);
+    }
+
+    #[test]
+    fn content_type_helpers() {
+        let ct = multipart_content_type("abc");
+        assert_eq!(ct, "multipart/form-data; boundary=abc");
+        assert_eq!(boundary_from_content_type(&ct), Some("abc"));
+        assert_eq!(
+            boundary_from_content_type("multipart/form-data; boundary=\"q\""),
+            Some("q")
+        );
+        assert_eq!(boundary_from_content_type("text/plain"), None);
+    }
+
+    #[test]
+    fn malformed_bodies_rejected() {
+        assert!(matches!(
+            parse_multipart(b"no boundary here", "b"),
+            Err(HttpError::BadMultipart(_))
+        ));
+        assert!(matches!(
+            parse_multipart(b"--b\r\nContent-Disposition: form-data; name=\"x\"\r\n\r\ndata-without-end", "b"),
+            Err(HttpError::BadMultipart(_))
+        ));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Arbitrary binary payloads survive the multipart round
+            /// trip (the photo uploader carries raw JPEG bytes).
+            #[test]
+            fn arbitrary_payloads_round_trip(
+                payloads in proptest::collection::vec(
+                    proptest::collection::vec(any::<u8>(), 0..2000),
+                    1..5,
+                ),
+            ) {
+                let parts: Vec<Part> = payloads
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, data)| Part::photo(
+                        format!("file{i}"),
+                        format!("IMG_{i:04}.jpg"),
+                        Bytes::from(data),
+                    ))
+                    .collect();
+                let body = encode_multipart(&parts, "prop-boundary-91x");
+                let parsed = parse_multipart(&body, "prop-boundary-91x").unwrap();
+                prop_assert_eq!(parsed, parts);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_part_list() {
+        let body = encode_multipart(&[], "b");
+        let parsed = parse_multipart(&body, "b").unwrap();
+        assert!(parsed.is_empty());
+    }
+}

@@ -1,0 +1,221 @@
+//! The device component: the phone-side HTTP proxy (paper §4.1).
+//!
+//! "We implement the mobile component as an Android application that
+//! includes a basic HTTP proxy to serve the requests coming from the
+//! Wi-Fi using the 3G interface." Here the Wi-Fi side is a loopback
+//! TCP listener and the 3G interface is a throttled upstream
+//! connection. The §6 quota tracker gates discovery announcements:
+//! the device only advertises while `A(t) > 0`.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use tokio::net::{TcpListener, TcpStream};
+
+use threegol_caps::QuotaTracker;
+use threegol_http::codec::HttpStream;
+
+use crate::discovery::{announce, Advertisement};
+use crate::throttle::{RateLimit, ThrottledStream};
+
+/// The phone-side proxy.
+pub struct DeviceProxy {
+    /// Device name (used in discovery).
+    pub name: String,
+    upstream: SocketAddr,
+    g3_down: RateLimit,
+    g3_up: RateLimit,
+    quota: Mutex<QuotaTracker>,
+}
+
+impl DeviceProxy {
+    /// Create a device proxying to `upstream` through a 3G bearer with
+    /// the given downlink/uplink rates and a 3GOL allowance.
+    pub fn new(
+        name: impl Into<String>,
+        upstream: SocketAddr,
+        g3_down: RateLimit,
+        g3_up: RateLimit,
+        allowance_bytes: f64,
+    ) -> DeviceProxy {
+        DeviceProxy {
+            name: name.into(),
+            upstream,
+            g3_down,
+            g3_up,
+            quota: Mutex::new(QuotaTracker::new(allowance_bytes)),
+        }
+    }
+
+    /// Remaining quota, bytes.
+    pub fn available_bytes(&self) -> f64 {
+        self.quota.lock().available_bytes()
+    }
+
+    /// Whether the device should currently advertise itself.
+    pub fn should_advertise(&self) -> bool {
+        self.quota.lock().should_advertise()
+    }
+
+    /// Listen on `lan_addr` (port 0 for ephemeral) and serve LAN
+    /// connections. Returns the bound address and the accept-loop task.
+    pub async fn spawn(
+        self: Arc<Self>,
+        lan_addr: &str,
+    ) -> std::io::Result<(SocketAddr, tokio::task::JoinHandle<()>)> {
+        let listener = TcpListener::bind(lan_addr).await?;
+        let local = listener.local_addr()?;
+        let handle = tokio::spawn(async move {
+            loop {
+                let Ok((stream, _)) = listener.accept().await else { break };
+                let device = Arc::clone(&self);
+                tokio::spawn(async move {
+                    let _ = device.serve_lan_connection(stream).await;
+                });
+            }
+        });
+        Ok((local, handle))
+    }
+
+    /// Pipe one LAN connection through the 3G bearer: each request is
+    /// forwarded upstream and the response relayed back; transferred
+    /// body bytes are charged to the quota.
+    pub async fn serve_lan_connection(
+        &self,
+        lan: TcpStream,
+    ) -> Result<(), threegol_http::HttpError> {
+        lan.set_nodelay(true).ok();
+        let upstream_tcp = TcpStream::connect(self.upstream).await?;
+        upstream_tcp.set_nodelay(true).ok();
+        let mut upstream = HttpStream::new(ThrottledStream::new(
+            upstream_tcp,
+            self.g3_down,
+            self.g3_up,
+        ));
+        let mut lan = HttpStream::new(lan);
+        while let Some(req) = lan.read_request().await? {
+            let up_bytes = req.body.len() as f64;
+            upstream.write_request(&req).await?;
+            let resp = upstream.read_response().await?;
+            let down_bytes = resp.body.len() as f64;
+            self.quota.lock().consume(up_bytes + down_bytes);
+            lan.write_response(&resp).await?;
+        }
+        Ok(())
+    }
+
+    /// Announce to the client's discovery listener every `interval`,
+    /// while quota remains (paper: the device withdraws itself when
+    /// `A(t)` hits zero). The task ends when the discovery socket is
+    /// unreachable or the proxy is dropped elsewhere.
+    pub fn spawn_announcer(
+        self: Arc<Self>,
+        discovery_addr: SocketAddr,
+        lan_addr: SocketAddr,
+        interval: Duration,
+    ) -> tokio::task::JoinHandle<()> {
+        tokio::spawn(async move {
+            loop {
+                if self.should_advertise() {
+                    let ad = Advertisement {
+                        name: self.name.clone(),
+                        proxy_addr: lan_addr,
+                        available_bytes: self.available_bytes(),
+                    };
+                    if announce(discovery_addr, &ad).await.is_err() {
+                        break;
+                    }
+                }
+                tokio::time::sleep(interval).await;
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::origin::OriginServer;
+    use threegol_http::Request;
+
+    async fn setup(allowance: f64) -> (Arc<DeviceProxy>, SocketAddr, Arc<OriginServer>) {
+        let origin = Arc::new(OriginServer::small_for_tests());
+        let (origin_addr, _h) = origin.clone().spawn("127.0.0.1:0").await.unwrap();
+        let device = Arc::new(DeviceProxy::new(
+            "phone-1",
+            origin_addr,
+            RateLimit::unlimited(),
+            RateLimit::unlimited(),
+            allowance,
+        ));
+        let (lan_addr, _h2) = device.clone().spawn("127.0.0.1:0").await.unwrap();
+        (device, lan_addr, origin)
+    }
+
+    #[tokio::test]
+    async fn proxies_get_requests() {
+        let (device, lan_addr, _origin) = setup(10e6).await;
+        let stream = TcpStream::connect(lan_addr).await.unwrap();
+        let mut http = HttpStream::new(stream);
+        http.write_request(&Request::get("/probe.bin")).await.unwrap();
+        let resp = http.read_response().await.unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body.len(), 64_000);
+        // Quota charged for the relayed body.
+        assert!((device.available_bytes() - (10e6 - 64_000.0)).abs() < 1.0);
+    }
+
+    #[tokio::test]
+    async fn sequential_requests_on_one_connection() {
+        let (_device, lan_addr, _origin) = setup(10e6).await;
+        let stream = TcpStream::connect(lan_addr).await.unwrap();
+        let mut http = HttpStream::new(stream);
+        for _ in 0..3 {
+            http.write_request(&Request::get("/master.m3u8")).await.unwrap();
+            let resp = http.read_response().await.unwrap();
+            assert_eq!(resp.status, 200);
+        }
+    }
+
+    #[tokio::test]
+    async fn quota_exhaustion_stops_advertising() {
+        let (device, lan_addr, _origin) = setup(100_000.0).await;
+        assert!(device.should_advertise());
+        let stream = TcpStream::connect(lan_addr).await.unwrap();
+        let mut http = HttpStream::new(stream);
+        // Two 64 kB probes blow through the 100 kB allowance.
+        for _ in 0..2 {
+            http.write_request(&Request::get("/probe.bin")).await.unwrap();
+            let resp = http.read_response().await.unwrap();
+            assert_eq!(resp.status, 200);
+        }
+        assert!(!device.should_advertise());
+        assert_eq!(device.available_bytes(), 0.0);
+    }
+
+    #[tokio::test]
+    async fn throttled_device_is_slower() {
+        let origin = Arc::new(OriginServer::small_for_tests());
+        let (origin_addr, _h) = origin.clone().spawn("127.0.0.1:0").await.unwrap();
+        // 512 kbit/s downlink: the 64 kB probe takes ≈ 0.75 s beyond
+        // the burst.
+        let device = Arc::new(DeviceProxy::new(
+            "slow",
+            origin_addr,
+            RateLimit { rate_bps: 512_000.0, burst_bytes: 16_384.0 },
+            RateLimit::unlimited(),
+            10e6,
+        ));
+        let (lan_addr, _h2) = device.clone().spawn("127.0.0.1:0").await.unwrap();
+        let stream = TcpStream::connect(lan_addr).await.unwrap();
+        let mut http = HttpStream::new(stream);
+        let start = std::time::Instant::now();
+        http.write_request(&Request::get("/probe.bin")).await.unwrap();
+        let resp = http.read_response().await.unwrap();
+        assert_eq!(resp.body.len(), 64_000);
+        let secs = start.elapsed().as_secs_f64();
+        assert!(secs > 0.4, "took {secs}");
+    }
+}

@@ -1,0 +1,137 @@
+//! UDP announce/browse discovery on the home LAN (loopback here).
+//!
+//! The paper's device component "advertises the device availability
+//! through a discovery protocol like Bonjour only if the device has an
+//! active permission by the cellular network" (§2.4) — and, in the
+//! multi-provider mode, only while its quota `A(t) > 0` (§6). The
+//! client builds the admissible set Φ from the advertisements it
+//! hears; stale entries (no announcement within the TTL) drop out.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+use tokio::time::Instant;
+
+use parking_lot::Mutex;
+use tokio::net::UdpSocket;
+
+/// One device advertisement.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Advertisement {
+    /// Device name, e.g. `"phone-1"`.
+    pub name: String,
+    /// TCP address of the device's proxy on the LAN side.
+    pub proxy_addr: SocketAddr,
+    /// Advertised available quota, bytes (`A(t)`).
+    pub available_bytes: f64,
+}
+
+/// Advertisement freshness window.
+pub const TTL: Duration = Duration::from_secs(3);
+
+/// The client-side discovery listener.
+pub struct Discovery {
+    socket: Arc<UdpSocket>,
+    seen: Arc<Mutex<HashMap<String, (Advertisement, Instant)>>>,
+}
+
+impl Discovery {
+    /// Bind a listener on `addr` (port 0 for ephemeral) and start
+    /// collecting announcements.
+    pub async fn bind(addr: &str) -> std::io::Result<Discovery> {
+        let socket = Arc::new(UdpSocket::bind(addr).await?);
+        let seen: Arc<Mutex<HashMap<String, (Advertisement, Instant)>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let rx_socket = Arc::clone(&socket);
+        let rx_seen = Arc::clone(&seen);
+        tokio::spawn(async move {
+            let mut buf = vec![0u8; 4096];
+            loop {
+                let Ok((n, _peer)) = rx_socket.recv_from(&mut buf).await else { break };
+                if let Ok(ad) = serde_json::from_slice::<Advertisement>(&buf[..n]) {
+                    rx_seen.lock().insert(ad.name.clone(), (ad, Instant::now()));
+                }
+            }
+        });
+        Ok(Discovery { socket, seen })
+    }
+
+    /// The address announcers should send to.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// The current admissible set Φ: fresh advertisements, sorted by
+    /// device name for deterministic path numbering.
+    pub fn admissible(&self) -> Vec<Advertisement> {
+        let now = Instant::now();
+        let mut seen = self.seen.lock();
+        seen.retain(|_, (_, at)| now.duration_since(*at) < TTL);
+        let mut ads: Vec<Advertisement> = seen.values().map(|(ad, _)| ad.clone()).collect();
+        ads.sort_by(|a, b| a.name.cmp(&b.name));
+        ads
+    }
+}
+
+/// Send one announcement datagram to the discovery listener.
+pub async fn announce(to: SocketAddr, ad: &Advertisement) -> std::io::Result<()> {
+    let socket = UdpSocket::bind("127.0.0.1:0").await?;
+    let payload = serde_json::to_vec(ad).expect("advertisement serializes");
+    socket.send_to(&payload, to).await?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ad(name: &str, avail: f64) -> Advertisement {
+        Advertisement {
+            name: name.to_string(),
+            proxy_addr: "127.0.0.1:9999".parse().unwrap(),
+            available_bytes: avail,
+        }
+    }
+
+    #[tokio::test]
+    async fn announce_and_browse() {
+        let disc = Discovery::bind("127.0.0.1:0").await.unwrap();
+        let addr = disc.local_addr().unwrap();
+        announce(addr, &ad("phone-2", 10e6)).await.unwrap();
+        announce(addr, &ad("phone-1", 20e6)).await.unwrap();
+        // Give the listener a moment to process the datagrams.
+        tokio::time::sleep(Duration::from_millis(100)).await;
+        let ads = disc.admissible();
+        assert_eq!(ads.len(), 2);
+        // Deterministic ordering by name.
+        assert_eq!(ads[0].name, "phone-1");
+        assert_eq!(ads[1].name, "phone-2");
+        assert_eq!(ads[0].available_bytes, 20e6);
+    }
+
+    #[tokio::test]
+    async fn reannouncement_updates_quota() {
+        let disc = Discovery::bind("127.0.0.1:0").await.unwrap();
+        let addr = disc.local_addr().unwrap();
+        announce(addr, &ad("phone-1", 20e6)).await.unwrap();
+        tokio::time::sleep(Duration::from_millis(50)).await;
+        announce(addr, &ad("phone-1", 5e6)).await.unwrap();
+        tokio::time::sleep(Duration::from_millis(100)).await;
+        let ads = disc.admissible();
+        assert_eq!(ads.len(), 1);
+        assert_eq!(ads[0].available_bytes, 5e6);
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn stale_entries_expire() {
+        let disc = Discovery::bind("127.0.0.1:0").await.unwrap();
+        // Insert directly (paused time makes real UDP awkward).
+        disc.seen
+            .lock()
+            .insert("phone-1".into(), (ad("phone-1", 1e6), Instant::now()));
+        assert_eq!(disc.admissible().len(), 1);
+        tokio::time::advance(Duration::from_secs(4)).await;
+        assert!(disc.admissible().is_empty());
+    }
+}

@@ -1,0 +1,42 @@
+//! # threegol-proxy
+//!
+//! The live 3GOL prototype (paper §4.1), on tokio over loopback TCP.
+//!
+//! The paper's deployment has three processes: an **origin** web
+//! server; a **device component** on each phone (an HTTP proxy piping
+//! Wi-Fi-side requests through the 3G interface, advertising itself
+//! only while it has quota/permits); and a **client component** (an
+//! HLS-aware proxy plus an HTTP uploader, both feeding a multipath
+//! scheduler). This crate reproduces all three:
+//!
+//! * [`throttle::ThrottledStream`] — token-bucket rate limiting that
+//!   stands in for the ADSL line and each phone's 3G bearer (the
+//!   substitution for real access links; rates are taken from the same
+//!   location profiles the simulator uses);
+//! * [`origin::OriginServer`] — serves generated HLS playlists and
+//!   segments, accepts multipart photo uploads, and serves the 2 MB
+//!   probe files of §3;
+//! * [`device::DeviceProxy`] — the phone-side component with quota
+//!   tracking and discovery announcements;
+//! * [`discovery::Discovery`] — UDP announce/browse on loopback (the
+//!   prototype's stand-in for Bonjour);
+//! * [`client::ThreegolClient`] — playlist interception, parallel
+//!   segment prefetch and parallel multipart uploads, driven by the
+//!   *same* `threegol-sched` schedulers the simulator uses;
+//! * [`hlsproxy::HlsProxy`] — the local HTTP proxy a stock video
+//!   player points at: playlists are intercepted, segments prefetched
+//!   multipath and served from cache, transparently.
+
+pub mod client;
+pub mod device;
+pub mod discovery;
+pub mod hlsproxy;
+pub mod origin;
+pub mod throttle;
+
+pub use client::{PathTarget, ThreegolClient, TransferReport};
+pub use device::DeviceProxy;
+pub use discovery::{Advertisement, Discovery};
+pub use hlsproxy::HlsProxy;
+pub use origin::OriginServer;
+pub use throttle::{RateLimit, ThrottledStream};

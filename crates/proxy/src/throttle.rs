@@ -1,0 +1,284 @@
+//! Token-bucket throttling for async streams.
+//!
+//! [`ThrottledStream`] caps the read and write rates of any
+//! `AsyncRead + AsyncWrite` transport. It is the prototype's stand-in
+//! for the real access links: the client wraps its origin connections
+//! with the ADSL profile, each device proxy wraps its upstream
+//! connection with its 3G profile.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+use std::time::Duration;
+
+use tokio::io::{AsyncRead, AsyncWrite, ReadBuf};
+use tokio::time::{sleep_until, Instant, Sleep};
+
+/// A direction's rate limit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimit {
+    /// Sustained rate, bits per second.
+    pub rate_bps: f64,
+    /// Bucket depth (burst), bytes.
+    pub burst_bytes: f64,
+}
+
+impl RateLimit {
+    /// A limit with a default burst of 64 KiB or 50 ms of data,
+    /// whichever is larger.
+    pub fn new(rate_bps: f64) -> RateLimit {
+        assert!(rate_bps > 0.0);
+        let burst = (rate_bps / 8.0 * 0.05).max(16.0 * 1024.0);
+        RateLimit { rate_bps, burst_bytes: burst }
+    }
+
+    /// Effectively unlimited.
+    pub fn unlimited() -> RateLimit {
+        RateLimit { rate_bps: f64::MAX / 8.0, burst_bytes: f64::MAX / 8.0 }
+    }
+}
+
+#[derive(Debug)]
+struct Bucket {
+    limit: RateLimit,
+    tokens: f64,
+    last_refill: Instant,
+}
+
+impl Bucket {
+    fn new(limit: RateLimit) -> Bucket {
+        Bucket { limit, tokens: limit.burst_bytes, last_refill: Instant::now() }
+    }
+
+    fn refill(&mut self, now: Instant) {
+        let dt = now.saturating_duration_since(self.last_refill).as_secs_f64();
+        self.tokens =
+            (self.tokens + dt * self.limit.rate_bps / 8.0).min(self.limit.burst_bytes);
+        self.last_refill = now;
+    }
+
+    /// Bytes that may pass now (0 if the bucket is dry).
+    fn available(&mut self) -> usize {
+        self.refill(Instant::now());
+        self.tokens.max(0.0) as usize
+    }
+
+    fn consume(&mut self, bytes: usize) {
+        self.tokens -= bytes as f64;
+    }
+
+    /// Instant at which at least `bytes` tokens will be available.
+    fn ready_at(&self, bytes: usize) -> Instant {
+        let deficit = (bytes as f64 - self.tokens).max(0.0);
+        let secs = deficit / (self.limit.rate_bps / 8.0);
+        self.last_refill + Duration::from_secs_f64(secs.min(3600.0))
+    }
+}
+
+/// Minimum scheduling quantum, bytes: waking for single bytes would
+/// thrash the timer wheel.
+const QUANTUM: usize = 1024;
+
+/// A rate-limited wrapper around an async transport.
+#[derive(Debug)]
+pub struct ThrottledStream<T> {
+    inner: T,
+    read_bucket: Bucket,
+    write_bucket: Bucket,
+    read_sleep: Option<Pin<Box<Sleep>>>,
+    write_sleep: Option<Pin<Box<Sleep>>>,
+}
+
+impl<T> ThrottledStream<T> {
+    /// Wrap `inner` with independent read/write limits.
+    pub fn new(inner: T, read: RateLimit, write: RateLimit) -> ThrottledStream<T> {
+        ThrottledStream {
+            inner,
+            read_bucket: Bucket::new(read),
+            write_bucket: Bucket::new(write),
+            read_sleep: None,
+            write_sleep: None,
+        }
+    }
+
+    /// Wrap with a symmetric limit.
+    pub fn symmetric(inner: T, limit: RateLimit) -> ThrottledStream<T> {
+        ThrottledStream::new(inner, limit, limit)
+    }
+
+    /// The wrapped transport.
+    pub fn get_ref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: AsyncRead + Unpin> AsyncRead for ThrottledStream<T> {
+    fn poll_read(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<std::io::Result<()>> {
+        let this = self.get_mut();
+        loop {
+            // Wait out any pending throttle sleep.
+            if let Some(sleep) = this.read_sleep.as_mut() {
+                match sleep.as_mut().poll(cx) {
+                    Poll::Ready(()) => this.read_sleep = None,
+                    Poll::Pending => return Poll::Pending,
+                }
+            }
+            let available = this.read_bucket.available();
+            if available < QUANTUM.min(buf.remaining()) {
+                let want = QUANTUM.min(buf.remaining()).max(1);
+                let at = this.read_bucket.ready_at(want);
+                this.read_sleep = Some(Box::pin(sleep_until(at)));
+                continue;
+            }
+            let allowed = available.min(buf.remaining());
+            let mut limited = buf.take(allowed);
+            return match Pin::new(&mut this.inner).poll_read(cx, &mut limited) {
+                Poll::Ready(Ok(())) => {
+                    let n = limited.filled().len();
+                    let filled_total = buf.filled().len() + n;
+                    // Safety-free accounting: `take` borrows the same
+                    // backing buffer, so we only need to advance the
+                    // original's cursor.
+                    unsafe { buf.assume_init(n) };
+                    buf.set_filled(filled_total);
+                    this.read_bucket.consume(n);
+                    Poll::Ready(Ok(()))
+                }
+                other => other,
+            };
+        }
+    }
+}
+
+impl<T: AsyncWrite + Unpin> AsyncWrite for ThrottledStream<T> {
+    fn poll_write(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        data: &[u8],
+    ) -> Poll<std::io::Result<usize>> {
+        let this = self.get_mut();
+        loop {
+            if let Some(sleep) = this.write_sleep.as_mut() {
+                match sleep.as_mut().poll(cx) {
+                    Poll::Ready(()) => this.write_sleep = None,
+                    Poll::Pending => return Poll::Pending,
+                }
+            }
+            let available = this.write_bucket.available();
+            if available < QUANTUM.min(data.len()).max(1) {
+                let want = QUANTUM.min(data.len()).max(1);
+                let at = this.write_bucket.ready_at(want);
+                this.write_sleep = Some(Box::pin(sleep_until(at)));
+                continue;
+            }
+            let allowed = available.min(data.len());
+            return match Pin::new(&mut this.inner).poll_write(cx, &data[..allowed]) {
+                Poll::Ready(Ok(n)) => {
+                    this.write_bucket.consume(n);
+                    Poll::Ready(Ok(n))
+                }
+                other => other,
+            };
+        }
+    }
+
+    fn poll_flush(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<std::io::Result<()>> {
+        Pin::new(&mut self.get_mut().inner).poll_flush(cx)
+    }
+
+    fn poll_shutdown(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<std::io::Result<()>> {
+        Pin::new(&mut self.get_mut().inner).poll_shutdown(cx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tokio::io::{AsyncReadExt, AsyncWriteExt};
+
+    #[tokio::test]
+    async fn read_rate_is_enforced() {
+        let (mut tx, rx) = tokio::io::duplex(1024 * 1024);
+        // 800 kbit/s = 100 kB/s.
+        let mut throttled = ThrottledStream::new(
+            rx,
+            RateLimit { rate_bps: 800_000.0, burst_bytes: 16.0 * 1024.0 },
+            RateLimit::unlimited(),
+        );
+        let payload = vec![1u8; 100_000];
+        tokio::spawn(async move {
+            tx.write_all(&payload).await.unwrap();
+        });
+        let start = std::time::Instant::now();
+        let mut buf = vec![0u8; 100_000];
+        throttled.read_exact(&mut buf).await.unwrap();
+        let secs = start.elapsed().as_secs_f64();
+        // 100 kB minus 16 kB burst at 100 kB/s ≈ 0.84 s.
+        assert!(secs > 0.6 && secs < 1.6, "took {secs}");
+    }
+
+    #[tokio::test]
+    async fn write_rate_is_enforced() {
+        let (tx, mut rx) = tokio::io::duplex(1024 * 1024);
+        let mut throttled = ThrottledStream::new(
+            tx,
+            RateLimit::unlimited(),
+            RateLimit { rate_bps: 1_600_000.0, burst_bytes: 16.0 * 1024.0 },
+        );
+        let reader = tokio::spawn(async move {
+            let mut buf = vec![0u8; 100_000];
+            rx.read_exact(&mut buf).await.unwrap();
+        });
+        let start = std::time::Instant::now();
+        throttled.write_all(&vec![2u8; 100_000]).await.unwrap();
+        throttled.flush().await.unwrap();
+        reader.await.unwrap();
+        let secs = start.elapsed().as_secs_f64();
+        // 100 kB minus burst at 200 kB/s ≈ 0.42 s.
+        assert!(secs > 0.3 && secs < 1.0, "took {secs}");
+    }
+
+    #[tokio::test]
+    async fn unlimited_is_fast() {
+        let (mut tx, rx) = tokio::io::duplex(1024 * 1024);
+        let mut throttled = ThrottledStream::symmetric(rx, RateLimit::unlimited());
+        tokio::spawn(async move {
+            tx.write_all(&vec![3u8; 500_000]).await.unwrap();
+        });
+        let start = std::time::Instant::now();
+        let mut buf = vec![0u8; 500_000];
+        throttled.read_exact(&mut buf).await.unwrap();
+        assert!(start.elapsed().as_secs_f64() < 0.5);
+    }
+
+    #[tokio::test]
+    async fn burst_passes_immediately() {
+        let (mut tx, rx) = tokio::io::duplex(1024 * 1024);
+        let mut throttled = ThrottledStream::new(
+            rx,
+            RateLimit { rate_bps: 80_000.0, burst_bytes: 64.0 * 1024.0 },
+            RateLimit::unlimited(),
+        );
+        tokio::spawn(async move {
+            tx.write_all(&vec![4u8; 32 * 1024]).await.unwrap();
+        });
+        let start = std::time::Instant::now();
+        let mut buf = vec![0u8; 32 * 1024];
+        throttled.read_exact(&mut buf).await.unwrap();
+        // Fits within the burst: no throttling delay.
+        assert!(start.elapsed().as_secs_f64() < 0.2);
+    }
+
+    #[test]
+    fn rate_limit_constructor() {
+        let r = RateLimit::new(8e6); // 1 MB/s -> 50 ms burst = 50 kB
+        assert_eq!(r.rate_bps, 8e6);
+        assert!((r.burst_bytes - 50_000.0).abs() < 1.0);
+        let slow = RateLimit::new(8_000.0);
+        assert_eq!(slow.burst_bytes, 16.0 * 1024.0); // floor
+    }
+}

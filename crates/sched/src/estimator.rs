@@ -1,0 +1,95 @@
+//! Exponentially smoothed path-bandwidth estimation (the MIN
+//! scheduler's input, paper §5.1: "estimate the bandwidth using
+//! exponential smoothing filtering. We set the filter parameter to 0.75
+//! to maintain a high level of agility").
+
+/// An exponential-smoothing bandwidth estimator for one path.
+///
+/// `alpha` is the weight of the newest sample: `est ← α·sample +
+/// (1−α)·est`. The first sample initializes the estimate directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthEstimator {
+    alpha: f64,
+    estimate_bps: Option<f64>,
+}
+
+impl BandwidthEstimator {
+    /// Create an estimator with the given smoothing weight in `(0, 1]`.
+    pub fn new(alpha: f64) -> BandwidthEstimator {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        BandwidthEstimator { alpha, estimate_bps: None }
+    }
+
+    /// The paper's configuration (α = 0.75).
+    pub fn paper() -> BandwidthEstimator {
+        BandwidthEstimator::new(0.75)
+    }
+
+    /// Feed a completed transfer of `bytes` over `secs` seconds.
+    /// Degenerate samples (non-positive duration or size) are ignored.
+    pub fn observe(&mut self, bytes: f64, secs: f64) {
+        if secs <= 0.0 || bytes <= 0.0 || !secs.is_finite() || !bytes.is_finite() {
+            return;
+        }
+        let sample = bytes * 8.0 / secs;
+        self.estimate_bps = Some(match self.estimate_bps {
+            None => sample,
+            Some(est) => self.alpha * sample + (1.0 - self.alpha) * est,
+        });
+    }
+
+    /// Current estimate in bits/second, if any sample has been seen.
+    pub fn estimate_bps(&self) -> Option<f64> {
+        self.estimate_bps
+    }
+
+    /// Estimated seconds to transfer `bytes` at the current estimate.
+    pub fn eta_secs(&self, bytes: f64) -> Option<f64> {
+        self.estimate_bps.map(|bps| bytes * 8.0 / bps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = BandwidthEstimator::paper();
+        assert_eq!(e.estimate_bps(), None);
+        e.observe(1000.0, 1.0); // 8 kbps
+        assert_eq!(e.estimate_bps(), Some(8000.0));
+    }
+
+    #[test]
+    fn smoothing_weights_new_sample() {
+        let mut e = BandwidthEstimator::new(0.75);
+        e.observe(1000.0, 1.0); // 8000 bps
+        e.observe(2000.0, 1.0); // sample 16000
+        // 0.75·16000 + 0.25·8000 = 14000
+        assert_eq!(e.estimate_bps(), Some(14000.0));
+    }
+
+    #[test]
+    fn degenerate_samples_ignored() {
+        let mut e = BandwidthEstimator::paper();
+        e.observe(0.0, 1.0);
+        e.observe(100.0, 0.0);
+        e.observe(f64::NAN, 1.0);
+        assert_eq!(e.estimate_bps(), None);
+    }
+
+    #[test]
+    fn eta_uses_estimate() {
+        let mut e = BandwidthEstimator::paper();
+        assert_eq!(e.eta_secs(100.0), None);
+        e.observe(1000.0, 1.0); // 8000 bps
+        assert_eq!(e.eta_secs(1000.0), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_alpha_panics() {
+        BandwidthEstimator::new(0.0);
+    }
+}

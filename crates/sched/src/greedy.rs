@@ -1,0 +1,281 @@
+//! The paper's greedy scheduler (GRD), §4.1.1.
+//!
+//! > "First, an item is assigned to each path. Then, if there are any
+//! > remaining items (M ≥ N), they are scheduled by order, on the first
+//! > available path. […] When all items have been already scheduled and
+//! > a path becomes idle before the transaction is completed, we
+//! > reassign the oldest scheduled item among the ones being transferred
+//! > by the other N−1 paths. […] when a rescheduled item completes, all
+//! > other ongoing transfers of that item are aborted."
+
+use crate::transaction::{Command, MultipathScheduler, SharedState, TransactionSpec};
+
+/// The greedy multipath scheduler.
+#[derive(Debug, Clone)]
+pub struct Greedy {
+    state: SharedState,
+    /// Items not yet scheduled anywhere, in order.
+    pending: std::collections::VecDeque<usize>,
+    /// Monotone assignment counter used as the "age" of an item's
+    /// *original* schedule (for oldest-first duplication).
+    next_age: u64,
+    /// first_scheduled_age[i]: when item i was first scheduled.
+    first_scheduled_age: Vec<Option<u64>>,
+}
+
+impl Greedy {
+    /// Create a greedy scheduler for `spec`.
+    pub fn new(spec: TransactionSpec) -> Greedy {
+        let m = spec.n_items();
+        Greedy {
+            state: SharedState::new(spec),
+            pending: std::collections::VecDeque::new(),
+            next_age: 0,
+            first_scheduled_age: vec![None; m],
+        }
+    }
+
+    /// Total bytes of duplicated work possible at this instant — the
+    /// paper's bound is `(N−1) · S_max`.
+    pub fn waste_bound_bytes(&self) -> f64 {
+        (self.state.spec.n_paths.saturating_sub(1)) as f64 * self.state.spec.max_item_bytes()
+    }
+
+    /// Pick work for an idle `path`: the next pending item, or — when
+    /// everything is scheduled — a duplicate of the oldest in-flight
+    /// item not already running on this path.
+    fn assignment_for(&mut self, path: usize) -> Option<usize> {
+        debug_assert!(self.state.inflight[path].is_none());
+        if let Some(item) = self.pending.pop_front() {
+            if self.first_scheduled_age[item].is_none() {
+                self.first_scheduled_age[item] = Some(self.next_age);
+                self.next_age += 1;
+            }
+            return Some(item);
+        }
+        // Duplicate the oldest-scheduled item still in flight elsewhere.
+        let mut best: Option<(u64, usize)> = None;
+        for (p, slot) in self.state.inflight.iter().enumerate() {
+            if p == path {
+                continue;
+            }
+            if let Some(item) = *slot {
+                if self.state.completed[item] {
+                    continue;
+                }
+                // Never run two copies of the same item on one path set
+                // slot; a path can't duplicate what it already runs — it
+                // is idle — but several idle paths could both pick the
+                // same oldest item; that is allowed (each is a copy on a
+                // distinct path).
+                let age = self.first_scheduled_age[item].unwrap_or(u64::MAX);
+                if best.map_or(true, |(ba, _)| age < ba) {
+                    best = Some((age, item));
+                }
+            }
+        }
+        best.map(|(_, item)| item)
+    }
+
+    fn fill_path(&mut self, path: usize, out: &mut Vec<Command>) {
+        if let Some(item) = self.assignment_for(path) {
+            self.state.inflight[path] = Some(item);
+            out.push(Command::Start { path, item });
+        }
+    }
+}
+
+impl MultipathScheduler for Greedy {
+    fn start(&mut self) -> Vec<Command> {
+        self.pending = (0..self.state.spec.n_items()).collect();
+        let mut out = Vec::new();
+        for path in 0..self.state.spec.n_paths {
+            self.fill_path(path, &mut out);
+        }
+        out
+    }
+
+    fn on_complete(
+        &mut self,
+        path: usize,
+        item: usize,
+        _now: f64,
+        _bytes: f64,
+        _elapsed_secs: f64,
+    ) -> Vec<Command> {
+        let mut out = Vec::new();
+        self.state.inflight[path] = None;
+        let fresh = self.state.complete(item);
+        if fresh {
+            // Abort every other ongoing copy of this item; those paths
+            // become idle and are refilled below.
+            let dup_paths: Vec<usize> = self
+                .state
+                .inflight
+                .iter()
+                .enumerate()
+                .filter(|&(p, slot)| p != path && *slot == Some(item))
+                .map(|(p, _)| p)
+                .collect();
+            for p in dup_paths {
+                out.push(Command::Abort { path: p, item });
+                self.state.inflight[p] = None;
+                if !self.state.is_done() {
+                    self.fill_path(p, &mut out);
+                }
+            }
+        }
+        if !self.state.is_done() {
+            self.fill_path(path, &mut out);
+        }
+        out
+    }
+
+    fn on_failed(&mut self, path: usize, item: usize, _now: f64) -> Vec<Command> {
+        self.state.inflight[path] = None;
+        if !self.state.completed[item]
+            && !self.pending.contains(&item)
+            && !self.state.inflight.iter().any(|s| *s == Some(item))
+        {
+            // Put the item back at the front so it is retried first.
+            self.pending.push_front(item);
+        }
+        let mut out = Vec::new();
+        if !self.state.is_done() {
+            self.fill_path(path, &mut out);
+        }
+        out
+    }
+
+    fn is_done(&self) -> bool {
+        self.state.is_done()
+    }
+
+    fn name(&self) -> &'static str {
+        "GRD"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn starts(cmds: &[Command]) -> Vec<(usize, usize)> {
+        cmds.iter()
+            .filter_map(|c| match c {
+                Command::Start { path, item } => Some((*path, *item)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn initial_assignment_in_order() {
+        let mut g = Greedy::new(TransactionSpec::uniform(5, 2, 10.0));
+        let cmds = g.start();
+        assert_eq!(starts(&cmds), vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn fewer_items_than_paths_duplicates_immediately() {
+        let mut g = Greedy::new(TransactionSpec::uniform(1, 3, 10.0));
+        let cmds = g.start();
+        let s = starts(&cmds);
+        // All three paths transfer copies of item 0.
+        assert_eq!(s, vec![(0, 0), (1, 0), (2, 0)]);
+    }
+
+    #[test]
+    fn completion_pulls_next_item() {
+        let mut g = Greedy::new(TransactionSpec::uniform(4, 2, 10.0));
+        g.start();
+        let cmds = g.on_complete(0, 0, 1.0, 10.0, 1.0);
+        assert_eq!(starts(&cmds), vec![(0, 2)]);
+        let cmds = g.on_complete(1, 1, 1.5, 10.0, 1.5);
+        assert_eq!(starts(&cmds), vec![(1, 3)]);
+        assert!(!g.is_done());
+    }
+
+    #[test]
+    fn tail_duplication_picks_oldest() {
+        let mut g = Greedy::new(TransactionSpec::uniform(3, 2, 10.0));
+        g.start(); // p0<-0, p1<-1
+        // p0 finishes item 0, takes item 2 (last pending).
+        g.on_complete(0, 0, 1.0, 10.0, 1.0);
+        // p1 finishes item 1; nothing pending; oldest in flight is item 2
+        // on p0 — p1 duplicates it.
+        let cmds = g.on_complete(1, 1, 2.0, 10.0, 2.0);
+        assert_eq!(starts(&cmds), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn duplicate_completion_aborts_other_copies() {
+        let mut g = Greedy::new(TransactionSpec::uniform(3, 2, 10.0));
+        g.start();
+        g.on_complete(0, 0, 1.0, 10.0, 1.0); // p0 <- 2
+        g.on_complete(1, 1, 2.0, 10.0, 2.0); // p1 duplicates 2
+        // The copy on p1 completes first: p0's copy must be aborted and
+        // the transaction is done.
+        let cmds = g.on_complete(1, 2, 3.0, 10.0, 1.0);
+        assert!(cmds.contains(&Command::Abort { path: 0, item: 2 }));
+        assert!(g.is_done());
+        // No further starts after done.
+        assert_eq!(starts(&cmds), vec![]);
+    }
+
+    #[test]
+    fn late_duplicate_completion_is_harmless() {
+        let mut g = Greedy::new(TransactionSpec::uniform(2, 2, 10.0));
+        g.start();
+        g.on_complete(0, 0, 1.0, 10.0, 1.0); // p0 duplicates item 1
+        let cmds = g.on_complete(1, 1, 2.0, 10.0, 2.0);
+        // item 1 completed on p1; abort p0's copy; done.
+        assert!(cmds.contains(&Command::Abort { path: 0, item: 1 }));
+        assert!(g.is_done());
+        // If the driver's abort raced an actual completion on p0, the
+        // duplicate completion must be ignored gracefully.
+        let cmds = g.on_complete(0, 1, 2.1, 10.0, 1.1);
+        assert!(cmds.is_empty());
+        assert!(g.is_done());
+    }
+
+    #[test]
+    fn failure_requeues_item_first() {
+        let mut g = Greedy::new(TransactionSpec::uniform(3, 2, 10.0));
+        g.start(); // p0<-0, p1<-1
+        let cmds = g.on_failed(0, 0, 0.5);
+        // Item 0 retried immediately on the failed path (it is re-queued
+        // at the front).
+        assert_eq!(starts(&cmds), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn waste_bound_formula() {
+        let g = Greedy::new(TransactionSpec::new(vec![5.0, 9.0, 2.0], 3));
+        assert_eq!(g.waste_bound_bytes(), 18.0);
+        let g1 = Greedy::new(TransactionSpec::new(vec![5.0], 1));
+        assert_eq!(g1.waste_bound_bytes(), 0.0);
+    }
+
+    #[test]
+    fn all_paths_busy_until_done() {
+        // Invariant claimed by the paper: greedy keeps every path busy
+        // until the transaction completes.
+        let mut g = Greedy::new(TransactionSpec::uniform(6, 3, 10.0));
+        g.start();
+        for p in 0..3 {
+            assert!(g.state.inflight[p].is_some());
+        }
+        let mut t = 1.0;
+        let completions = [(0, 0), (1, 1), (2, 2), (0, 3), (1, 4)];
+        for &(p, i) in &completions {
+            g.on_complete(p, i, t, 10.0, 1.0);
+            t += 1.0;
+            if !g.is_done() {
+                for q in 0..3 {
+                    assert!(g.state.inflight[q].is_some(), "path {q} idle after ({p},{i})");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! The minimum-estimated-time baseline scheduler (MIN).
+//!
+//! "The minimum time scheduler assigns the items to the path that
+//! minimizes the estimated transfer time, computed by using the
+//! estimated available bandwidth of each path. For the MIN scheduler we
+//! assign the first N items in a round-robin fashion to initialize and
+//! then estimate the bandwidth using exponential smoothing filtering"
+//! (paper §5.1).
+//!
+//! The pathology the paper observes — MIN performing worst of the three
+//! under highly variable cellular bandwidth — arises because assignment
+//! decisions *commit* items to a path based on an estimate that may be
+//! stale by the time the path gets to them, and an idle path receives
+//! no work unless an assignment decision lands on it.
+
+use std::collections::VecDeque;
+
+use crate::estimator::BandwidthEstimator;
+use crate::transaction::{Command, MultipathScheduler, SharedState, TransactionSpec};
+
+/// The min-estimated-time multipath scheduler.
+#[derive(Debug, Clone)]
+pub struct MinTime {
+    state: SharedState,
+    estimators: Vec<BandwidthEstimator>,
+    /// Per-path committed queues.
+    queues: Vec<VecDeque<usize>>,
+    /// Items not yet committed to any path, in order.
+    unassigned: VecDeque<usize>,
+    /// Bytes committed to each path (queued + in flight), for the
+    /// estimated-finish-time computation.
+    backlog_bytes: Vec<f64>,
+}
+
+impl MinTime {
+    /// Create a MIN scheduler with smoothing weight `alpha` (the paper
+    /// uses 0.75).
+    pub fn new(spec: TransactionSpec, alpha: f64) -> MinTime {
+        let n = spec.n_paths;
+        MinTime {
+            state: SharedState::new(spec),
+            estimators: vec![BandwidthEstimator::new(alpha); n],
+            queues: vec![VecDeque::new(); n],
+            unassigned: VecDeque::new(),
+            backlog_bytes: vec![0.0; n],
+        }
+    }
+
+    /// The path with the minimal estimated completion time for an item
+    /// of `size` bytes, among paths with a bandwidth estimate. Ties go
+    /// to the lower path index.
+    fn argmin_path(&self, size: f64) -> Option<usize> {
+        let mut best: Option<(f64, usize)> = None;
+        for p in 0..self.state.spec.n_paths {
+            if let Some(bps) = self.estimators[p].estimate_bps() {
+                let eta = (self.backlog_bytes[p] + size) * 8.0 / bps;
+                if best.map_or(true, |(b, _)| eta < b) {
+                    best = Some((eta, p));
+                }
+            }
+        }
+        best.map(|(_, p)| p)
+    }
+
+    /// Commit one unassigned item (if any) to its argmin path; start it
+    /// immediately if that path is idle.
+    fn dispatch_one(&mut self, out: &mut Vec<Command>) {
+        let Some(&item) = self.unassigned.front() else { return };
+        let size = self.state.spec.item_sizes[item];
+        let Some(path) = self.argmin_path(size) else { return };
+        self.unassigned.pop_front();
+        self.backlog_bytes[path] += size;
+        if self.state.inflight[path].is_none() {
+            self.state.inflight[path] = Some(item);
+            out.push(Command::Start { path, item });
+        } else {
+            self.queues[path].push_back(item);
+        }
+    }
+
+    fn start_queued(&mut self, path: usize, out: &mut Vec<Command>) {
+        if self.state.inflight[path].is_none() {
+            if let Some(item) = self.queues[path].pop_front() {
+                self.state.inflight[path] = Some(item);
+                out.push(Command::Start { path, item });
+            }
+        }
+    }
+}
+
+impl MultipathScheduler for MinTime {
+    fn start(&mut self) -> Vec<Command> {
+        let n = self.state.spec.n_paths;
+        let m = self.state.spec.n_items();
+        let mut out = Vec::new();
+        // First N items round-robin to bootstrap the estimators.
+        for item in 0..m.min(n) {
+            self.state.inflight[item] = Some(item);
+            self.backlog_bytes[item] += self.state.spec.item_sizes[item];
+            out.push(Command::Start { path: item, item });
+        }
+        self.unassigned = (m.min(n)..m).collect();
+        out
+    }
+
+    fn on_complete(
+        &mut self,
+        path: usize,
+        item: usize,
+        _now: f64,
+        bytes: f64,
+        elapsed_secs: f64,
+    ) -> Vec<Command> {
+        self.state.inflight[path] = None;
+        self.backlog_bytes[path] =
+            (self.backlog_bytes[path] - self.state.spec.item_sizes[item]).max(0.0);
+        let _ = self.state.complete(item);
+        self.estimators[path].observe(bytes, elapsed_secs);
+        let mut out = Vec::new();
+        // One assignment decision per completion.
+        self.dispatch_one(&mut out);
+        // Work the completing path's queue.
+        self.start_queued(path, &mut out);
+        out
+    }
+
+    fn on_failed(&mut self, path: usize, item: usize, _now: f64) -> Vec<Command> {
+        self.state.inflight[path] = None;
+        self.backlog_bytes[path] =
+            (self.backlog_bytes[path] - self.state.spec.item_sizes[item]).max(0.0);
+        let mut out = Vec::new();
+        if !self.state.completed[item] {
+            // Re-enter the assignment pool at the front.
+            self.unassigned.push_front(item);
+            self.dispatch_one(&mut out);
+        }
+        self.start_queued(path, &mut out);
+        out
+    }
+
+    fn is_done(&self) -> bool {
+        self.state.is_done()
+    }
+
+    fn name(&self) -> &'static str {
+        "MIN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn starts(cmds: &[Command]) -> Vec<(usize, usize)> {
+        cmds.iter()
+            .filter_map(|c| match c {
+                Command::Start { path, item } => Some((*path, *item)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bootstrap_is_round_robin() {
+        let mut m = MinTime::new(TransactionSpec::uniform(5, 2, 100.0), 0.75);
+        let cmds = m.start();
+        assert_eq!(starts(&cmds), vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn assignment_follows_estimates() {
+        let mut m = MinTime::new(TransactionSpec::uniform(4, 2, 100.0), 0.75);
+        m.start();
+        // Path 0 completes fast (high bandwidth estimate): next item
+        // should be committed to path 0 and start immediately.
+        let cmds = m.on_complete(0, 0, 1.0, 100.0, 1.0);
+        assert_eq!(starts(&cmds), vec![(0, 2)]);
+        // Path 1 completes slowly; path 0's estimate (800 bps over
+        // backlog 100 B → 1 s) still beats path 1 (80 bps → 10 s), so
+        // item 3 queues on busy path 0 and path 1 idles: the pathology.
+        let cmds = m.on_complete(1, 1, 10.0, 100.0, 10.0);
+        assert!(starts(&cmds).is_empty(), "{cmds:?}");
+        // When path 0 finishes item 2, its queued item 3 starts there.
+        let cmds = m.on_complete(0, 2, 11.0, 100.0, 1.0);
+        assert_eq!(starts(&cmds), vec![(0, 3)]);
+        m.on_complete(0, 3, 12.0, 100.0, 1.0);
+        assert!(m.is_done());
+    }
+
+    #[test]
+    fn backlog_discourages_overload() {
+        let mut m = MinTime::new(TransactionSpec::uniform(6, 2, 100.0), 0.75);
+        m.start();
+        // Both paths get equal estimates.
+        m.on_complete(0, 0, 1.0, 100.0, 1.0); // commits item 2 to path 0
+        let cmds = m.on_complete(1, 1, 1.0, 100.0, 1.0);
+        // Path 0 now has backlog 100 (item 2 in flight); path 1 has 0:
+        // item 3 goes to path 1.
+        assert_eq!(starts(&cmds), vec![(1, 3)]);
+    }
+
+    #[test]
+    fn failed_item_is_reassigned() {
+        let mut m = MinTime::new(TransactionSpec::uniform(3, 2, 100.0), 0.75);
+        m.start();
+        m.on_complete(0, 0, 1.0, 100.0, 1.0); // estimate for path 0; item 2 -> path 0
+        let cmds = m.on_failed(1, 1, 2.0);
+        // Item 1 re-enters the pool and is committed to path 0 (the only
+        // estimated path), queued behind item 2.
+        assert!(starts(&cmds).is_empty());
+        let cmds = m.on_complete(0, 2, 3.0, 100.0, 1.0);
+        assert_eq!(starts(&cmds), vec![(0, 1)]);
+        m.on_complete(0, 1, 4.0, 100.0, 1.0);
+        assert!(m.is_done());
+    }
+
+    #[test]
+    fn more_paths_than_items() {
+        let mut m = MinTime::new(TransactionSpec::uniform(2, 4, 100.0), 0.75);
+        let cmds = m.start();
+        assert_eq!(starts(&cmds), vec![(0, 0), (1, 1)]);
+        m.on_complete(0, 0, 1.0, 100.0, 1.0);
+        m.on_complete(1, 1, 1.0, 100.0, 1.0);
+        assert!(m.is_done());
+    }
+}

@@ -1,0 +1,340 @@
+//! Playout-aware scheduling — the extension the paper defers:
+//!
+//! > "We could modify the scheduler to cover also the playout phase,
+//! > but given the wide amount of proposals in this area, we leave
+//! > this extension as future work." (§4.1.1)
+//!
+//! [`PlayoutAware`] behaves like the greedy scheduler during the
+//! pre-buffer phase, but once the pre-buffer is scheduled it gates
+//! each remaining segment on its *playout deadline*: a segment only
+//! becomes eligible when it is due within the fetch-ahead `horizon`.
+//! The effect is just-in-time streaming: the transaction holds the
+//! paths (and, on the 3G side, the user's quota) only for the bytes
+//! that are actually urgent, instead of racing the whole file down.
+//!
+//! Tail duplication and duplicate aborting work as in greedy, but only
+//! among eligible items, and duplication picks the item with the
+//! *earliest deadline* still in flight (a deadline is a stronger
+//! urgency signal than scheduling age).
+
+use std::collections::VecDeque;
+
+use crate::transaction::{Command, MultipathScheduler, SharedState, TransactionSpec};
+
+/// The playout-aware (deadline-gated greedy) scheduler.
+#[derive(Debug, Clone)]
+pub struct PlayoutAware {
+    state: SharedState,
+    /// Playout deadline of each item, seconds from transaction start.
+    deadlines: Vec<f64>,
+    /// Fetch-ahead window, seconds.
+    horizon_secs: f64,
+    /// Items not yet scheduled, in playout order.
+    pending: VecDeque<usize>,
+    /// Latest time the scheduler has observed.
+    now: f64,
+}
+
+impl PlayoutAware {
+    /// Create a playout-aware scheduler.
+    ///
+    /// `deadlines[i]` is when segment `i` must be buffered (relative to
+    /// transaction start); items whose deadline is `<= horizon_secs`
+    /// away are eligible for dispatch. Deadlines must be non-decreasing.
+    ///
+    /// # Panics
+    /// Panics if lengths mismatch or deadlines decrease.
+    pub fn new(spec: TransactionSpec, deadlines: Vec<f64>, horizon_secs: f64) -> PlayoutAware {
+        assert_eq!(spec.n_items(), deadlines.len(), "one deadline per item");
+        assert!(
+            deadlines.windows(2).all(|w| w[0] <= w[1]),
+            "deadlines must be in playout order"
+        );
+        assert!(horizon_secs >= 0.0);
+        PlayoutAware {
+            state: SharedState::new(spec),
+            deadlines,
+            horizon_secs,
+            pending: VecDeque::new(),
+            now: 0.0,
+        }
+    }
+
+    /// Deadlines for a VoD session: the first `prebuffer` segments are
+    /// due immediately (deadline 0), the rest at their playout times
+    /// assuming playback starts after `startup_estimate_secs`.
+    pub fn vod_deadlines(
+        n_segments: usize,
+        segment_secs: f64,
+        prebuffer_segments: usize,
+        startup_estimate_secs: f64,
+    ) -> Vec<f64> {
+        (0..n_segments)
+            .map(|i| {
+                if i < prebuffer_segments {
+                    0.0
+                } else {
+                    startup_estimate_secs + (i - prebuffer_segments) as f64 * segment_secs
+                }
+            })
+            .collect()
+    }
+
+    fn eligible(&self, item: usize) -> bool {
+        // Epsilon absorbs float error in drivers' time bookkeeping
+        // (t0-relative subtraction can land a hair before the
+        // eligibility boundary the wakeup was scheduled for).
+        self.deadlines[item] - self.now <= self.horizon_secs + 1e-6
+    }
+
+    /// Next pending eligible item (playout order).
+    fn next_pending_eligible(&mut self) -> Option<usize> {
+        if let Some(&item) = self.pending.front() {
+            if self.eligible(item) {
+                return self.pending.pop_front();
+            }
+        }
+        None
+    }
+
+    /// Earliest-deadline in-flight item for tail duplication.
+    fn duplication_candidate(&self, path: usize) -> Option<usize> {
+        self.state
+            .inflight
+            .iter()
+            .enumerate()
+            .filter(|&(p, slot)| p != path && slot.is_some())
+            .filter_map(|(_, slot)| *slot)
+            .filter(|&item| !self.state.completed[item])
+            .min_by(|&a, &b| self.deadlines[a].total_cmp(&self.deadlines[b]))
+    }
+
+    fn fill_path(&mut self, path: usize, out: &mut Vec<Command>) {
+        if self.state.inflight[path].is_some() {
+            return;
+        }
+        let assignment = self.next_pending_eligible().or_else(|| {
+            // Only duplicate when nothing pending is eligible AND no
+            // pending work will become eligible before the in-flight
+            // items' deadlines (tail of the transaction).
+            if self.pending.is_empty() {
+                self.duplication_candidate(path)
+            } else {
+                None
+            }
+        });
+        if let Some(item) = assignment {
+            self.state.inflight[path] = Some(item);
+            out.push(Command::Start { path, item });
+        }
+    }
+
+    fn fill_all_idle(&mut self, out: &mut Vec<Command>) {
+        for path in 0..self.state.spec.n_paths {
+            self.fill_path(path, out);
+        }
+    }
+}
+
+impl MultipathScheduler for PlayoutAware {
+    fn start(&mut self) -> Vec<Command> {
+        self.pending = (0..self.state.spec.n_items()).collect();
+        self.now = 0.0;
+        let mut out = Vec::new();
+        self.fill_all_idle(&mut out);
+        out
+    }
+
+    fn on_complete(
+        &mut self,
+        path: usize,
+        item: usize,
+        now: f64,
+        _bytes: f64,
+        _elapsed_secs: f64,
+    ) -> Vec<Command> {
+        self.now = self.now.max(now);
+        self.state.inflight[path] = None;
+        let fresh = self.state.complete(item);
+        let mut out = Vec::new();
+        if fresh {
+            let dups: Vec<usize> = self
+                .state
+                .inflight
+                .iter()
+                .enumerate()
+                .filter(|&(p, slot)| p != path && *slot == Some(item))
+                .map(|(p, _)| p)
+                .collect();
+            for p in dups {
+                out.push(Command::Abort { path: p, item });
+                self.state.inflight[p] = None;
+            }
+        }
+        if !self.state.is_done() {
+            self.fill_all_idle(&mut out);
+        }
+        out
+    }
+
+    fn on_failed(&mut self, path: usize, item: usize, now: f64) -> Vec<Command> {
+        self.now = self.now.max(now);
+        self.state.inflight[path] = None;
+        if !self.state.completed[item]
+            && !self.pending.contains(&item)
+            && !self.state.inflight.iter().any(|s| *s == Some(item))
+        {
+            self.pending.push_front(item);
+        }
+        let mut out = Vec::new();
+        if !self.state.is_done() {
+            self.fill_all_idle(&mut out);
+        }
+        out
+    }
+
+    fn is_done(&self) -> bool {
+        self.state.is_done()
+    }
+
+    fn name(&self) -> &'static str {
+        "PLAYOUT"
+    }
+
+    fn next_wakeup(&self) -> Option<f64> {
+        // Wake when the head-of-line pending item becomes eligible and
+        // some path is idle to take it.
+        let any_idle = self.state.inflight.iter().any(|s| s.is_none());
+        if !any_idle {
+            return None;
+        }
+        self.pending.front().map(|&item| {
+            // Strictly in the future, so a tick that fires marginally
+            // before the boundary cannot re-arm at the same instant.
+            (self.deadlines[item] - self.horizon_secs).max(self.now + 1e-6)
+        })
+    }
+
+    fn on_tick(&mut self, now: f64) -> Vec<Command> {
+        self.now = self.now.max(now);
+        let mut out = Vec::new();
+        if !self.state.is_done() {
+            self.fill_all_idle(&mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn starts(cmds: &[Command]) -> Vec<(usize, usize)> {
+        cmds.iter()
+            .filter_map(|c| match c {
+                Command::Start { path, item } => Some((*path, *item)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn sched(n_items: usize, prebuffer: usize, horizon: f64) -> PlayoutAware {
+        let spec = TransactionSpec::uniform(n_items, 2, 1000.0);
+        let deadlines = PlayoutAware::vod_deadlines(n_items, 10.0, prebuffer, 5.0);
+        PlayoutAware::new(spec, deadlines, horizon)
+    }
+
+    #[test]
+    fn vod_deadline_shape() {
+        let d = PlayoutAware::vod_deadlines(5, 10.0, 2, 4.0);
+        assert_eq!(d, vec![0.0, 0.0, 4.0, 14.0, 24.0]);
+    }
+
+    #[test]
+    fn prebuffer_dispatches_immediately() {
+        let mut s = sched(6, 2, 0.0);
+        let cmds = s.start();
+        // Only the two pre-buffer segments are eligible at t = 0.
+        assert_eq!(starts(&cmds), vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn later_segments_gated_until_deadline_window() {
+        let mut s = sched(6, 2, 0.0);
+        s.start();
+        // Both prebuffer segments done quickly; item 2 (deadline 5) is
+        // not yet eligible at t = 1 — paths idle.
+        let cmds = s.on_complete(0, 0, 1.0, 1000.0, 1.0);
+        assert!(starts(&cmds).is_empty(), "{cmds:?}");
+        let cmds = s.on_complete(1, 1, 1.2, 1000.0, 1.2);
+        assert!(starts(&cmds).is_empty());
+        // The scheduler asks to be woken at the eligibility time.
+        assert_eq!(s.next_wakeup(), Some(5.0));
+        // Tick at t = 5: item 2 dispatches (on one path; item 3 due at
+        // 15 stays gated).
+        let cmds = s.on_tick(5.0);
+        assert_eq!(starts(&cmds), vec![(0, 2)]);
+        assert_eq!(s.next_wakeup(), Some(15.0));
+    }
+
+    #[test]
+    fn horizon_prefetches_ahead() {
+        let mut s = sched(6, 2, 100.0); // huge horizon = plain greedy
+        let cmds = s.start();
+        assert_eq!(starts(&cmds), vec![(0, 0), (1, 1)]);
+        let cmds = s.on_complete(0, 0, 1.0, 1000.0, 1.0);
+        assert_eq!(starts(&cmds), vec![(0, 2)]);
+    }
+
+    #[test]
+    fn tail_duplication_among_eligible_only() {
+        let mut s = sched(3, 3, 0.0); // everything is pre-buffer
+        s.start(); // p0<-0, p1<-1
+        s.on_complete(0, 0, 1.0, 1000.0, 1.0); // p0 <- 2
+        // p1 finishes; nothing pending; p1 duplicates item 2 (earliest
+        // deadline in flight).
+        let cmds = s.on_complete(1, 1, 2.0, 1000.0, 2.0);
+        assert_eq!(starts(&cmds), vec![(1, 2)]);
+        // First copy to finish aborts the other.
+        let cmds = s.on_complete(0, 2, 3.0, 1000.0, 2.0);
+        assert!(cmds.contains(&Command::Abort { path: 1, item: 2 }));
+        assert!(s.is_done());
+    }
+
+    #[test]
+    fn no_duplication_while_gated_work_remains() {
+        let mut s = sched(6, 2, 0.0);
+        s.start();
+        s.on_complete(0, 0, 1.0, 1000.0, 1.0);
+        let cmds = s.on_complete(1, 1, 1.5, 1000.0, 1.5);
+        // Items 2..6 are pending but gated: paths must idle (not
+        // duplicate), waiting for deadlines.
+        assert!(starts(&cmds).is_empty());
+        assert!(!s.is_done());
+    }
+
+    #[test]
+    fn failure_requeues_respecting_order() {
+        let mut s = sched(4, 4, 0.0);
+        s.start();
+        let cmds = s.on_failed(0, 0, 0.5);
+        assert_eq!(starts(&cmds), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn no_wakeup_needed_when_all_paths_busy() {
+        let mut s = sched(6, 2, 0.0);
+        s.start();
+        assert_eq!(s.next_wakeup(), None); // both paths busy
+    }
+
+    #[test]
+    #[should_panic]
+    fn decreasing_deadlines_rejected() {
+        PlayoutAware::new(
+            TransactionSpec::uniform(2, 1, 1.0),
+            vec![5.0, 1.0],
+            0.0,
+        );
+    }
+}

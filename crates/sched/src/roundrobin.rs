@@ -1,0 +1,135 @@
+//! The round-robin baseline scheduler (RR): item `k` is statically
+//! assigned to path `k mod N`; each path drains its queue in order and
+//! idles when the queue empties — even if other paths are still busy.
+
+use std::collections::VecDeque;
+
+use crate::transaction::{Command, MultipathScheduler, SharedState, TransactionSpec};
+
+/// The round-robin multipath scheduler.
+#[derive(Debug, Clone)]
+pub struct RoundRobin {
+    state: SharedState,
+    queues: Vec<VecDeque<usize>>,
+}
+
+impl RoundRobin {
+    /// Create a round-robin scheduler for `spec`.
+    pub fn new(spec: TransactionSpec) -> RoundRobin {
+        let n = spec.n_paths;
+        RoundRobin { state: SharedState::new(spec), queues: vec![VecDeque::new(); n] }
+    }
+
+    fn start_next(&mut self, path: usize, out: &mut Vec<Command>) {
+        if let Some(item) = self.queues[path].pop_front() {
+            self.state.inflight[path] = Some(item);
+            out.push(Command::Start { path, item });
+        }
+    }
+}
+
+impl MultipathScheduler for RoundRobin {
+    fn start(&mut self) -> Vec<Command> {
+        let n = self.state.spec.n_paths;
+        for item in 0..self.state.spec.n_items() {
+            self.queues[item % n].push_back(item);
+        }
+        let mut out = Vec::new();
+        for path in 0..n {
+            self.start_next(path, &mut out);
+        }
+        out
+    }
+
+    fn on_complete(
+        &mut self,
+        path: usize,
+        item: usize,
+        _now: f64,
+        _bytes: f64,
+        _elapsed_secs: f64,
+    ) -> Vec<Command> {
+        self.state.inflight[path] = None;
+        let _ = self.state.complete(item);
+        let mut out = Vec::new();
+        self.start_next(path, &mut out);
+        out
+    }
+
+    fn on_failed(&mut self, path: usize, item: usize, _now: f64) -> Vec<Command> {
+        self.state.inflight[path] = None;
+        if !self.state.completed[item] {
+            self.queues[path].push_front(item); // retry on the same path
+        }
+        let mut out = Vec::new();
+        self.start_next(path, &mut out);
+        out
+    }
+
+    fn is_done(&self) -> bool {
+        self.state.is_done()
+    }
+
+    fn name(&self) -> &'static str {
+        "RR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn starts(cmds: &[Command]) -> Vec<(usize, usize)> {
+        cmds.iter()
+            .filter_map(|c| match c {
+                Command::Start { path, item } => Some((*path, *item)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cyclic_assignment() {
+        let mut rr = RoundRobin::new(TransactionSpec::uniform(5, 2, 1.0));
+        let cmds = rr.start();
+        assert_eq!(starts(&cmds), vec![(0, 0), (1, 1)]);
+        // Path 0's queue: 0, 2, 4. Path 1's queue: 1, 3.
+        let cmds = rr.on_complete(0, 0, 1.0, 1.0, 1.0);
+        assert_eq!(starts(&cmds), vec![(0, 2)]);
+        let cmds = rr.on_complete(1, 1, 1.0, 1.0, 1.0);
+        assert_eq!(starts(&cmds), vec![(1, 3)]);
+    }
+
+    #[test]
+    fn path_idles_when_queue_empty() {
+        let mut rr = RoundRobin::new(TransactionSpec::uniform(3, 2, 1.0));
+        rr.start(); // q0: 0,2  q1: 1
+        let cmds = rr.on_complete(1, 1, 1.0, 1.0, 1.0);
+        // Path 1's queue is empty — it idles; no stealing.
+        assert!(cmds.is_empty());
+        assert!(!rr.is_done());
+        rr.on_complete(0, 0, 2.0, 1.0, 1.0);
+        let cmds = rr.on_complete(0, 2, 3.0, 1.0, 1.0);
+        assert!(cmds.is_empty());
+        assert!(rr.is_done());
+    }
+
+    #[test]
+    fn failure_retries_on_same_path() {
+        let mut rr = RoundRobin::new(TransactionSpec::uniform(4, 2, 1.0));
+        rr.start();
+        let cmds = rr.on_failed(0, 0, 0.5);
+        assert_eq!(starts(&cmds), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn single_path_degenerates_to_sequential() {
+        let mut rr = RoundRobin::new(TransactionSpec::uniform(3, 1, 1.0));
+        let cmds = rr.start();
+        assert_eq!(starts(&cmds), vec![(0, 0)]);
+        assert_eq!(starts(&rr.on_complete(0, 0, 1.0, 1.0, 1.0)), vec![(0, 1)]);
+        assert_eq!(starts(&rr.on_complete(0, 1, 2.0, 1.0, 1.0)), vec![(0, 2)]);
+        rr.on_complete(0, 2, 3.0, 1.0, 1.0);
+        assert!(rr.is_done());
+    }
+}

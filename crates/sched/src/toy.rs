@@ -1,0 +1,310 @@
+//! A tiny deterministic executor for exercising schedulers end-to-end
+//! without a network: each path transfers at a scripted rate. Used by
+//! unit/property tests and for documenting scheduler behaviour; the
+//! real drivers live in `threegol-core` (fluid simulation) and
+//! `threegol-proxy` (live tokio transport).
+
+use crate::transaction::{Command, MultipathScheduler};
+
+/// Outcome of running a transaction on the toy executor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToyResult {
+    /// Total transaction time, seconds.
+    pub total_secs: f64,
+    /// Completion time of each item (first copy to finish).
+    pub item_completion_secs: Vec<f64>,
+    /// Bytes transferred by aborted duplicate copies.
+    pub wasted_bytes: f64,
+    /// Number of Start commands executed.
+    pub starts: usize,
+    /// Number of Abort commands executed.
+    pub aborts: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Active {
+    item: usize,
+    remaining: f64,
+    rate_bps: f64,
+    /// Start order, used to break simultaneous-completion ties the
+    /// same way the fluid runner does (flow creation order).
+    seq: u64,
+}
+
+/// Deterministic scripted-rate executor.
+///
+/// `rate_script[p]` is the sequence of rates (bits/second) path `p`
+/// uses for its successive transfers, cycled if it runs out. This lets
+/// tests model "highly variable" paths deterministically.
+#[derive(Debug, Clone)]
+pub struct ToyExecutor {
+    rate_script: Vec<Vec<f64>>,
+    transfers_started: Vec<usize>,
+}
+
+impl ToyExecutor {
+    /// Create an executor with one rate script per path.
+    pub fn new(rate_script: Vec<Vec<f64>>) -> ToyExecutor {
+        assert!(!rate_script.is_empty());
+        assert!(rate_script.iter().all(|s| !s.is_empty() && s.iter().all(|r| *r > 0.0)));
+        let n = rate_script.len();
+        ToyExecutor { rate_script, transfers_started: vec![0; n] }
+    }
+
+    /// Constant-rate paths.
+    pub fn constant(rates_bps: Vec<f64>) -> ToyExecutor {
+        ToyExecutor::new(rates_bps.into_iter().map(|r| vec![r]).collect())
+    }
+
+    fn next_rate(&mut self, path: usize) -> f64 {
+        let script = &self.rate_script[path];
+        let r = script[self.transfers_started[path] % script.len()];
+        self.transfers_started[path] += 1;
+        r
+    }
+
+    /// Run `sched` (for `item_sizes`) to completion and report timing.
+    ///
+    /// # Panics
+    /// Panics if the scheduler deadlocks (not done but no transfer
+    /// active) or issues an invalid command — both are scheduler bugs
+    /// the tests are meant to catch.
+    pub fn run(
+        &mut self,
+        sched: &mut dyn MultipathScheduler,
+        item_sizes: &[f64],
+    ) -> ToyResult {
+        let n = self.rate_script.len();
+        let mut active: Vec<Option<Active>> = vec![None; n];
+        let mut now = 0.0_f64;
+        let mut next_seq = 0u64;
+        let mut item_completion = vec![f64::NAN; item_sizes.len()];
+        let mut wasted = 0.0;
+        let mut starts = 0usize;
+        let mut aborts = 0usize;
+
+        let exec = |cmds: Vec<Command>,
+                        active: &mut Vec<Option<Active>>,
+                        this: &mut ToyExecutor,
+                        next_seq: &mut u64,
+                        wasted: &mut f64,
+                        starts: &mut usize,
+                        aborts: &mut usize| {
+            for cmd in cmds {
+                match cmd {
+                    Command::Start { path, item } => {
+                        assert!(active[path].is_none(), "Start on busy path {path}");
+                        let rate = this.next_rate(path);
+                        let seq = *next_seq;
+                        *next_seq += 1;
+                        active[path] = Some(Active {
+                            item,
+                            remaining: item_sizes[item],
+                            rate_bps: rate,
+                            seq,
+                        });
+                        *starts += 1;
+                    }
+                    Command::Abort { path, item } => {
+                        let a = active[path].take().unwrap_or_else(|| {
+                            panic!("Abort on idle path {path}")
+                        });
+                        assert_eq!(a.item, item, "Abort of wrong item on path {path}");
+                        *wasted += item_sizes[item] - a.remaining;
+                        *aborts += 1;
+                    }
+                }
+            }
+        };
+
+        exec(
+            sched.start(),
+            &mut active,
+            self,
+            &mut next_seq,
+            &mut wasted,
+            &mut starts,
+            &mut aborts,
+        );
+
+        while !sched.is_done() {
+            // Earliest completion among active transfers.
+            let (path, dt, _) = active
+                .iter()
+                .enumerate()
+                .filter_map(|(p, a)| {
+                    a.as_ref().map(|a| (p, a.remaining * 8.0 / a.rate_bps, a.seq))
+                })
+                .min_by(|a, b| a.1.total_cmp(&b.1).then(a.2.cmp(&b.2)))
+                .expect("scheduler deadlock: not done but no active transfer");
+            now += dt;
+            for a in active.iter_mut().flatten() {
+                a.remaining -= a.rate_bps * dt / 8.0;
+            }
+            let finished = active[path].take().expect("path had a transfer");
+            let item = finished.item;
+            if item_completion[item].is_nan() {
+                item_completion[item] = now;
+            }
+            let elapsed = item_sizes[item] * 8.0 / finished.rate_bps;
+            let cmds = sched.on_complete(path, item, now, item_sizes[item], elapsed);
+            exec(
+                cmds,
+                &mut active,
+                self,
+                &mut next_seq,
+                &mut wasted,
+                &mut starts,
+                &mut aborts,
+            );
+        }
+
+        ToyResult {
+            total_secs: now,
+            item_completion_secs: item_completion,
+            wasted_bytes: wasted,
+            starts,
+            aborts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::{Policy, TransactionSpec};
+    use crate::{build, Greedy};
+
+    fn run_policy(policy: Policy, sizes: &[f64], rates: Vec<Vec<f64>>) -> ToyResult {
+        let spec = TransactionSpec::new(sizes.to_vec(), rates.len());
+        let mut sched = build(policy, spec);
+        ToyExecutor::new(rates).run(sched.as_mut(), sizes)
+    }
+
+    #[test]
+    fn single_path_sequential_time() {
+        // 3 items of 1000 B at 8000 bps = 1 s each.
+        for policy in [Policy::Greedy, Policy::RoundRobin, Policy::min_time_paper()] {
+            let r = run_policy(policy, &[1000.0, 1000.0, 1000.0], vec![vec![8000.0]]);
+            assert!((r.total_secs - 3.0).abs() < 1e-9, "{policy:?}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn greedy_uses_both_paths_fully() {
+        // 4 × 1000 B items; path rates 8000 and 4000 bps (1 s and 2 s per item).
+        // Greedy: p0 gets items at t=1,2,3; p1 finishes one at t=2, then
+        // duplicates. Total well under the single-path 4 s.
+        let r = run_policy(Policy::Greedy, &[1000.0; 4], vec![vec![8000.0], vec![4000.0]]);
+        assert!(r.total_secs <= 3.0 + 1e-9, "{r:?}");
+        // All completions recorded.
+        assert!(r.item_completion_secs.iter().all(|t| t.is_finite()));
+    }
+
+    #[test]
+    fn greedy_waste_bounded() {
+        let sizes = vec![1000.0; 10];
+        let spec = TransactionSpec::new(sizes.clone(), 3);
+        let bound = Greedy::new(spec.clone()).waste_bound_bytes();
+        let mut sched = Greedy::new(spec);
+        let r = ToyExecutor::constant(vec![8000.0, 5000.0, 3000.0]).run(&mut sched, &sizes);
+        assert!(r.wasted_bytes <= bound + 1e-9, "waste {} > bound {}", r.wasted_bytes, bound);
+    }
+
+    #[test]
+    fn round_robin_bounded_by_slowest_queue() {
+        // 4 items over paths of 8000/2000 bps: RR puts items 1,3 on the
+        // slow path (4 s each) → total 8 s. Greedy finishes far sooner.
+        let rr = run_policy(Policy::RoundRobin, &[1000.0; 4], vec![vec![8000.0], vec![2000.0]]);
+        assert!((rr.total_secs - 8.0).abs() < 1e-9, "{rr:?}");
+        let grd = run_policy(Policy::Greedy, &[1000.0; 4], vec![vec![8000.0], vec![2000.0]]);
+        assert!(grd.total_secs < rr.total_secs, "GRD {} vs RR {}", grd.total_secs, rr.total_secs);
+    }
+
+    #[test]
+    fn min_commits_to_stale_estimates() {
+        // Path 1's first transfer is fast (burst) then collapses; MIN
+        // keeps feeding it based on the stale estimate while path 0
+        // idles. Greedy adapts by pulling.
+        let sizes = vec![1000.0; 6];
+        let script = || vec![vec![4000.0], vec![32000.0, 1000.0, 1000.0, 1000.0, 1000.0]];
+        let min = run_policy(Policy::min_time_paper(), &sizes, script());
+        let grd = run_policy(Policy::Greedy, &sizes, script());
+        let rr = run_policy(Policy::RoundRobin, &sizes, script());
+        assert!(
+            grd.total_secs <= rr.total_secs && rr.total_secs <= min.total_secs,
+            "expected GRD <= RR <= MIN, got GRD {} RR {} MIN {}",
+            grd.total_secs,
+            rr.total_secs,
+            min.total_secs
+        );
+    }
+
+    #[test]
+    fn aborts_clean_up_duplicates() {
+        // 2 items, 2 paths; the second path is much slower so greedy
+        // duplicates the tail item; one abort must be issued.
+        let r = run_policy(Policy::Greedy, &[1000.0, 1000.0], vec![vec![8000.0], vec![800.0]]);
+        assert!(r.aborts >= 1, "{r:?}");
+        assert!(r.wasted_bytes > 0.0);
+        assert!(r.total_secs < 2.5);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Every policy finishes every transaction, records every
+            /// item completion, and the total time is at least the
+            /// lower bound total_bytes / sum(rates).
+            #[test]
+            fn all_policies_complete(
+                m in 1usize..12,
+                n in 1usize..4,
+                size in 500.0f64..5000.0,
+                seed in 0u64..1000,
+            ) {
+                let sizes = vec![size; m];
+                // Deterministic pseudo-random rate scripts from the seed.
+                let rates: Vec<Vec<f64>> = (0..n).map(|p| {
+                    (0..4).map(|k| {
+                        let x = (seed.wrapping_mul(6364136223846793005)
+                            .wrapping_add(((p * 7 + k) as u64).wrapping_mul(1442695040888963407))) >> 33;
+                        1000.0 + (x % 16000) as f64
+                    }).collect()
+                }).collect();
+                for policy in [Policy::Greedy, Policy::RoundRobin, Policy::min_time_paper()] {
+                    let spec = TransactionSpec::new(sizes.clone(), n);
+                    let mut sched = build(policy, spec);
+                    let r = ToyExecutor::new(rates.clone()).run(sched.as_mut(), &sizes);
+                    prop_assert!(r.total_secs.is_finite() && r.total_secs > 0.0);
+                    prop_assert!(r.item_completion_secs.iter().all(|t| t.is_finite()));
+                    // Can't beat the aggregate-capacity lower bound
+                    // (best-case per-transfer rates).
+                    let max_rate: f64 = rates.iter().flatten().cloned().fold(0.0, f64::max);
+                    let lb = sizes.iter().sum::<f64>() * 8.0 / (n as f64 * max_rate);
+                    prop_assert!(r.total_secs >= lb - 1e-6);
+                }
+            }
+
+            /// Greedy's wasted bytes never exceed the paper's bound.
+            #[test]
+            fn greedy_waste_bound_holds(
+                m in 1usize..10,
+                n in 2usize..5,
+                seed in 0u64..500,
+            ) {
+                let sizes: Vec<f64> = (0..m).map(|i| 500.0 + (i as f64 * 321.0) % 2000.0).collect();
+                let rates: Vec<Vec<f64>> = (0..n).map(|p| {
+                    vec![800.0 + ((seed + p as u64 * 13) % 9000) as f64]
+                }).collect();
+                let spec = TransactionSpec::new(sizes.clone(), n);
+                let bound = Greedy::new(spec.clone()).waste_bound_bytes();
+                let mut sched = Greedy::new(spec);
+                let r = ToyExecutor::new(rates).run(&mut sched, &sizes);
+                prop_assert!(r.wasted_bytes <= bound + 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,797 @@
+//! The discrete-event fluid engine.
+//!
+//! [`Simulation`] owns links and flows, advances virtual time from event
+//! to event, and recomputes max-min fair rates whenever the flow set or
+//! a relevant link capacity changes. Capacity change points of links that
+//! currently carry no flow are ignored (they cannot affect any rate),
+//! which keeps long idle periods free.
+//!
+//! The caller drives the simulation with [`Simulation::next_event`] and
+//! reacts to completions/wakeups — this is how the multipath schedulers
+//! in `threegol-sched` are plugged in.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use crate::capacity::CapacityProcess;
+use crate::error::SimError;
+use crate::fairshare::{max_min_fair, FlowDemand};
+use crate::flow::{Flow, FlowId};
+use crate::link::{Link, LinkId};
+use crate::time::SimTime;
+
+/// Opaque user token attached to a scheduled wakeup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WakeToken(pub u64);
+
+/// An externally visible simulation event.
+#[derive(Debug, Clone)]
+pub enum SimEvent {
+    /// A flow finished transferring all its bytes.
+    FlowCompleted {
+        /// The completed flow's id.
+        flow: FlowId,
+        /// Full record of the flow at completion time.
+        record: Flow,
+        /// Completion time.
+        time: SimTime,
+    },
+    /// A wakeup scheduled via [`Simulation::schedule_wakeup`] fired.
+    Wakeup {
+        /// The token supplied at scheduling time.
+        token: WakeToken,
+        /// Fire time.
+        time: SimTime,
+    },
+}
+
+impl SimEvent {
+    /// The event's timestamp.
+    pub fn time(&self) -> SimTime {
+        match self {
+            SimEvent::FlowCompleted { time, .. } | SimEvent::Wakeup { time, .. } => *time,
+        }
+    }
+}
+
+/// Bytes below which a flow counts as complete (numerical slop: far
+/// below one byte, yet large enough that the residual's transfer time
+/// can never underflow the clock's f64 resolution at realistic rates
+/// and horizons).
+const COMPLETE_EPS_BYTES: f64 = 1e-3;
+
+/// A deterministic fluid-flow network simulation.
+#[derive(Debug, Default)]
+pub struct Simulation {
+    now: SimTime,
+    links: Vec<Link>,
+    flows: BTreeMap<FlowId, Flow>,
+    next_flow_id: u64,
+    wakeups: BinaryHeap<Reverse<(SimTime, u64, u64)>>, // (time, seq, token)
+    wake_seq: u64,
+    rates_dirty: bool,
+}
+
+impl Simulation {
+    /// Create an empty simulation at time zero.
+    pub fn new() -> Simulation {
+        Simulation {
+            now: SimTime::ZERO,
+            links: Vec::new(),
+            flows: BTreeMap::new(),
+            next_flow_id: 0,
+            wakeups: BinaryHeap::new(),
+            wake_seq: 0,
+            rates_dirty: false,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Register a link and return its id.
+    pub fn add_link(&mut self, name: impl Into<String>, process: CapacityProcess) -> LinkId {
+        self.links.push(Link::new(name, process));
+        self.rates_dirty = true;
+        LinkId(self.links.len() - 1)
+    }
+
+    /// Replace a link's capacity process (e.g., RRC state promotion).
+    pub fn set_capacity_process(&mut self, link: LinkId, process: CapacityProcess) {
+        self.links[link.0].process = process;
+        self.rates_dirty = true;
+    }
+
+    /// Read a link.
+    pub fn link(&self, link: LinkId) -> &Link {
+        &self.links[link.0]
+    }
+
+    /// Number of registered links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Iterate over all links with their ids.
+    pub fn links(&self) -> impl Iterator<Item = (LinkId, &Link)> {
+        self.links.iter().enumerate().map(|(i, l)| (LinkId(i), l))
+    }
+
+    /// Start a flow of `size_bytes` across `path`. Returns its id.
+    ///
+    /// # Panics
+    /// Panics on an empty path, unknown links, or a non-finite/negative
+    /// size; use [`Simulation::try_start_flow`] for fallible creation.
+    pub fn start_flow(&mut self, path: Vec<LinkId>, size_bytes: f64) -> FlowId {
+        self.try_start_flow(path, size_bytes, None).expect("invalid flow")
+    }
+
+    /// Start a flow with an optional per-flow rate cap (bits/second).
+    pub fn start_capped_flow(
+        &mut self,
+        path: Vec<LinkId>,
+        size_bytes: f64,
+        rate_cap: f64,
+    ) -> FlowId {
+        self.try_start_flow(path, size_bytes, Some(rate_cap)).expect("invalid flow")
+    }
+
+    /// Fallible flow creation.
+    pub fn try_start_flow(
+        &mut self,
+        path: Vec<LinkId>,
+        size_bytes: f64,
+        rate_cap: Option<f64>,
+    ) -> Result<FlowId, SimError> {
+        if path.is_empty() {
+            return Err(SimError::EmptyPath);
+        }
+        for l in &path {
+            if l.0 >= self.links.len() {
+                return Err(SimError::UnknownLink(l.0));
+            }
+        }
+        if !size_bytes.is_finite() || size_bytes < 0.0 {
+            return Err(SimError::InvalidSize(format!("{size_bytes}")));
+        }
+        let id = FlowId(self.next_flow_id);
+        self.next_flow_id += 1;
+        self.flows.insert(
+            id,
+            Flow {
+                path,
+                size_bytes,
+                remaining_bytes: size_bytes,
+                rate_bps: 0.0,
+                rate_cap,
+                started_at: self.now,
+            },
+        );
+        self.rates_dirty = true;
+        Ok(id)
+    }
+
+    /// Cancel an active flow, returning its record (with the bytes it
+    /// transferred before cancellation — the "wasted bytes" accounting of
+    /// the greedy scheduler uses this).
+    pub fn cancel_flow(&mut self, id: FlowId) -> Result<Flow, SimError> {
+        let f = self.flows.remove(&id).ok_or(SimError::UnknownFlow(id.0))?;
+        self.rates_dirty = true;
+        Ok(f)
+    }
+
+    /// Access an active flow.
+    pub fn flow(&self, id: FlowId) -> Option<&Flow> {
+        self.flows.get(&id)
+    }
+
+    /// Ids of all active flows (ascending).
+    pub fn active_flows(&self) -> Vec<FlowId> {
+        self.flows.keys().copied().collect()
+    }
+
+    /// Number of active flows.
+    pub fn active_flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Schedule a wakeup at absolute time `at` (clamped to now if in the
+    /// past) carrying `token`.
+    pub fn schedule_wakeup(&mut self, at: SimTime, token: WakeToken) {
+        let at = at.max(self.now);
+        self.wakeups.push(Reverse((at, self.wake_seq, token.0)));
+        self.wake_seq += 1;
+    }
+
+    /// Schedule a wakeup `delay_secs` from now.
+    pub fn schedule_wakeup_in(&mut self, delay_secs: f64, token: WakeToken) {
+        let at = self.now + delay_secs.max(0.0);
+        self.schedule_wakeup(at, token);
+    }
+
+    /// Recompute max-min fair rates for all active flows.
+    fn recompute_rates(&mut self) {
+        let caps: Vec<f64> = self.links.iter().map(|l| l.capacity_at(self.now)).collect();
+        let order: Vec<FlowId> = self.flows.keys().copied().collect();
+        let demands: Vec<FlowDemand> = order
+            .iter()
+            .map(|id| {
+                let f = &self.flows[id];
+                FlowDemand {
+                    links: f.path.iter().map(|l| l.0).collect(),
+                    cap: f.rate_cap,
+                }
+            })
+            .collect();
+        let rates = max_min_fair(&caps, &demands);
+        for (id, rate) in order.into_iter().zip(rates) {
+            self.flows.get_mut(&id).expect("flow exists").rate_bps = rate;
+        }
+        self.rates_dirty = false;
+    }
+
+    /// Earliest upcoming capacity change among links that carry flows.
+    fn next_capacity_change(&self) -> SimTime {
+        let mut active_links = vec![false; self.links.len()];
+        for f in self.flows.values() {
+            for l in &f.path {
+                active_links[l.0] = true;
+            }
+        }
+        let mut earliest = SimTime::FAR_FUTURE;
+        for (i, link) in self.links.iter().enumerate() {
+            if !active_links[i] {
+                continue;
+            }
+            if let Some(t) = link.process.next_change(self.now) {
+                earliest = earliest.min(t);
+            }
+        }
+        earliest
+    }
+
+    /// Advance all flows by `dt` seconds at their current rates and
+    /// charge the carried bytes to the links on each path.
+    fn advance_flows(&mut self, dt: f64) {
+        if dt <= 0.0 {
+            return;
+        }
+        let mut carried = vec![0.0_f64; self.links.len()];
+        for f in self.flows.values_mut() {
+            let bytes = if f.rate_bps.is_infinite() {
+                f.remaining_bytes
+            } else {
+                (f.rate_bps * dt / 8.0).min(f.remaining_bytes)
+            };
+            f.remaining_bytes -= bytes;
+            for l in &f.path {
+                carried[l.0] += bytes;
+            }
+        }
+        for (link, b) in self.links.iter_mut().zip(carried) {
+            link.bytes_carried += b;
+        }
+    }
+
+    /// Pop any flow already complete at the current instant.
+    fn pop_completed(&mut self) -> Option<SimEvent> {
+        let id = self
+            .flows
+            .iter()
+            .find(|(_, f)| f.remaining_bytes <= COMPLETE_EPS_BYTES)
+            .map(|(id, _)| *id)?;
+        let record = self.flows.remove(&id).expect("flow exists");
+        self.rates_dirty = true;
+        Some(SimEvent::FlowCompleted { flow: id, record, time: self.now })
+    }
+
+    /// Advance to, and return, the next externally visible event.
+    ///
+    /// Returns `None` when nothing can ever happen again: no wakeups are
+    /// pending and either no flows are active or every active flow is
+    /// permanently stalled (rate 0 with no future capacity change).
+    pub fn next_event(&mut self) -> Option<SimEvent> {
+        self.step(None)
+    }
+
+    /// Like [`Simulation::next_event`] but never advances past `limit`:
+    /// if the next event would occur after it, the simulation state is
+    /// advanced exactly to `limit` and `None` is returned.
+    pub fn next_event_until(&mut self, limit: SimTime) -> Option<SimEvent> {
+        self.step(Some(limit))
+    }
+
+    fn step(&mut self, limit: Option<SimTime>) -> Option<SimEvent> {
+        let mut iters: u64 = 0;
+        loop {
+            iters += 1;
+            if iters > 10_000_000 {
+                panic!(
+                    "engine stuck: now={}, flows={:?}",
+                    self.now,
+                    self.flows
+                        .iter()
+                        .map(|(id, f)| (id.0, f.rate_bps, f.remaining_bytes))
+                        .collect::<Vec<_>>()
+                );
+            }
+            // Zero-time completions first (e.g., several flows finishing
+            // at the same instant, or zero-sized flows).
+            if let Some(ev) = self.pop_completed() {
+                return Some(ev);
+            }
+            if self.rates_dirty {
+                self.recompute_rates();
+                continue; // a rate change may complete an infinite-rate flow
+            }
+
+            // Candidate event times.
+            let mut t_complete = SimTime::FAR_FUTURE;
+            for f in self.flows.values() {
+                if let Some(eta) = f.eta_secs() {
+                    t_complete = t_complete.min(self.now + eta);
+                }
+            }
+            let t_capacity = self.next_capacity_change();
+            let t_wake = self
+                .wakeups
+                .peek()
+                .map(|Reverse((t, _, _))| *t)
+                .unwrap_or(SimTime::FAR_FUTURE);
+
+            let t_next = t_complete.min(t_capacity).min(t_wake);
+            if t_next >= SimTime::FAR_FUTURE {
+                return None; // permanently idle or stalled
+            }
+            if let Some(lim) = limit {
+                if t_next > lim {
+                    // Advance exactly to the limit and stop.
+                    let dt = lim - self.now;
+                    self.advance_flows(dt);
+                    self.now = lim;
+                    self.rates_dirty = true;
+                    return None;
+                }
+            }
+
+            let dt = t_next - self.now;
+            if dt <= 0.0 && t_next == t_complete && t_wake > self.now {
+                // The nearest completion is closer than one ULP of the
+                // clock: time cannot advance, so snap the due flows to
+                // completion instead of spinning.
+                let now = self.now;
+                for f in self.flows.values_mut() {
+                    if let Some(eta) = f.eta_secs() {
+                        if now + eta <= now {
+                            f.remaining_bytes = 0.0;
+                        }
+                    }
+                }
+                continue;
+            }
+            self.advance_flows(dt);
+            self.now = t_next;
+
+            if t_next == t_wake {
+                let Reverse((time, _, token)) = self.wakeups.pop().expect("peeked");
+                return Some(SimEvent::Wakeup { token: WakeToken(token), time });
+            }
+            if t_next == t_capacity {
+                self.rates_dirty = true;
+            }
+            // Completions (if any) surface at the top of the loop.
+        }
+    }
+
+    /// Process and discard events until virtual time reaches `until`.
+    ///
+    /// Events strictly before `until` are dropped; the simulation clock
+    /// is left exactly at `until`. Useful for warm-up phases.
+    pub fn run_until(&mut self, until: SimTime) {
+        while self.next_event_until(until).is_some() {}
+        if self.now < until {
+            if self.rates_dirty {
+                self.recompute_rates();
+            }
+            let dt = until - self.now;
+            self.advance_flows(dt);
+            self.now = until;
+            self.rates_dirty = true;
+        }
+    }
+
+    /// Current aggregate rate crossing `link` (bits/second), summing
+    /// the fair-share rates of all flows that traverse it. Recomputes
+    /// rates if the flow set changed since the last event.
+    pub fn link_rate(&mut self, link: LinkId) -> f64 {
+        if self.rates_dirty {
+            self.recompute_rates();
+        }
+        self.flows
+            .values()
+            .filter(|f| f.path.contains(&link))
+            .map(|f| f.rate_bps)
+            .sum()
+    }
+
+    /// The time of the next event without consuming it (recomputes rates
+    /// if needed).
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        if self.flows.values().any(|f| f.remaining_bytes <= COMPLETE_EPS_BYTES) {
+            return Some(self.now);
+        }
+        if self.rates_dirty {
+            self.recompute_rates();
+            if self.flows.values().any(|f| f.rate_bps.is_infinite()) {
+                return Some(self.now);
+            }
+        }
+        let mut t = SimTime::FAR_FUTURE;
+        for f in self.flows.values() {
+            if let Some(eta) = f.eta_secs() {
+                t = t.min(self.now + eta);
+            }
+        }
+        t = t.min(self.next_capacity_change());
+        if let Some(Reverse((tw, _, _))) = self.wakeups.peek() {
+            t = t.min(*tw);
+        }
+        if t >= SimTime::FAR_FUTURE {
+            None
+        } else {
+            Some(t)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capacity::DiurnalProfile;
+
+    fn mbps(x: f64) -> f64 {
+        x * 1e6
+    }
+
+    #[test]
+    fn single_flow_transfer_time() {
+        let mut sim = Simulation::new();
+        let l = sim.add_link("l", CapacityProcess::constant(mbps(8.0)));
+        sim.start_flow(vec![l], 1_000_000.0); // 8 Mbit over 8 Mbps = 1 s
+        let ev = sim.next_event().unwrap();
+        assert!((ev.time().secs() - 1.0).abs() < 1e-9);
+        assert!(sim.next_event().is_none());
+    }
+
+    #[test]
+    fn two_flows_share_then_speed_up() {
+        let mut sim = Simulation::new();
+        let l = sim.add_link("l", CapacityProcess::constant(mbps(8.0)));
+        // Two 1 MB flows: share 4 Mbps each. First completes at 2 s
+        // (if equal) — equal sizes tie; both complete at 2 s.
+        let a = sim.start_flow(vec![l], 1_000_000.0);
+        let b = sim.start_flow(vec![l], 500_000.0);
+        // b needs 4 Mbit at 4 Mbps -> 1 s. Then a has 0.5 MB left at 8 Mbps -> +0.5 s.
+        let e1 = sim.next_event().unwrap();
+        match &e1 {
+            SimEvent::FlowCompleted { flow, .. } => assert_eq!(*flow, b),
+            _ => panic!(),
+        }
+        assert!((e1.time().secs() - 1.0).abs() < 1e-9);
+        let e2 = sim.next_event().unwrap();
+        match &e2 {
+            SimEvent::FlowCompleted { flow, .. } => assert_eq!(*flow, a),
+            _ => panic!(),
+        }
+        assert!((e2.time().secs() - 1.5).abs() < 1e-9, "{}", e2.time());
+    }
+
+    #[test]
+    fn parallel_paths_aggregate() {
+        // The 3GOL core effect: an item on ADSL and an item on a phone
+        // proceed independently at full speed.
+        let mut sim = Simulation::new();
+        let adsl = sim.add_link("adsl", CapacityProcess::constant(mbps(2.0)));
+        let phone = sim.add_link("phone", CapacityProcess::constant(mbps(1.0)));
+        sim.start_flow(vec![adsl], 250_000.0); // 2 Mbit / 2 Mbps = 1 s
+        sim.start_flow(vec![phone], 250_000.0); // 2 Mbit / 1 Mbps = 2 s
+        let e1 = sim.next_event().unwrap();
+        let e2 = sim.next_event().unwrap();
+        assert!((e1.time().secs() - 1.0).abs() < 1e-9);
+        assert!((e2.time().secs() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_change_mid_flow() {
+        let mut sim = Simulation::new();
+        let l = sim.add_link(
+            "l",
+            CapacityProcess::piecewise(vec![
+                (SimTime::ZERO, mbps(8.0)),
+                (SimTime::from_secs(1.0), mbps(4.0)),
+            ]),
+        );
+        // 2 MB = 16 Mbit. 1 s at 8 Mbps -> 8 Mbit done; 8 Mbit left at 4 Mbps -> 2 s more.
+        sim.start_flow(vec![l], 2_000_000.0);
+        let ev = sim.next_event().unwrap();
+        assert!((ev.time().secs() - 3.0).abs() < 1e-9, "{}", ev.time());
+    }
+
+    #[test]
+    fn wakeups_fire_in_order() {
+        let mut sim = Simulation::new();
+        sim.schedule_wakeup(SimTime::from_secs(2.0), WakeToken(2));
+        sim.schedule_wakeup(SimTime::from_secs(1.0), WakeToken(1));
+        sim.schedule_wakeup(SimTime::from_secs(1.0), WakeToken(10)); // FIFO tie
+        let e1 = sim.next_event().unwrap();
+        let e2 = sim.next_event().unwrap();
+        let e3 = sim.next_event().unwrap();
+        match (e1, e2, e3) {
+            (
+                SimEvent::Wakeup { token: t1, .. },
+                SimEvent::Wakeup { token: t2, .. },
+                SimEvent::Wakeup { token: t3, .. },
+            ) => {
+                assert_eq!(t1, WakeToken(1));
+                assert_eq!(t2, WakeToken(10));
+                assert_eq!(t3, WakeToken(2));
+            }
+            _ => panic!("expected wakeups"),
+        }
+        assert!(sim.next_event().is_none());
+    }
+
+    #[test]
+    fn cancel_returns_partial_progress() {
+        let mut sim = Simulation::new();
+        let l = sim.add_link("l", CapacityProcess::constant(mbps(8.0)));
+        let f = sim.start_flow(vec![l], 1_000_000.0);
+        sim.schedule_wakeup(SimTime::from_secs(0.5), WakeToken(0));
+        let _ = sim.next_event().unwrap(); // wakeup at 0.5 s
+        let record = sim.cancel_flow(f).unwrap();
+        assert!((record.transferred_bytes() - 500_000.0).abs() < 1.0);
+        assert!(sim.next_event().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_flow_errors() {
+        let mut sim = Simulation::new();
+        assert!(matches!(
+            sim.cancel_flow(FlowId(99)),
+            Err(SimError::UnknownFlow(99))
+        ));
+    }
+
+    #[test]
+    fn zero_sized_flow_completes_immediately() {
+        let mut sim = Simulation::new();
+        let l = sim.add_link("l", CapacityProcess::constant(mbps(1.0)));
+        let f = sim.start_flow(vec![l], 0.0);
+        let ev = sim.next_event().unwrap();
+        match ev {
+            SimEvent::FlowCompleted { flow, time, .. } => {
+                assert_eq!(flow, f);
+                assert_eq!(time, SimTime::ZERO);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn invalid_flows_rejected() {
+        let mut sim = Simulation::new();
+        assert!(matches!(
+            sim.try_start_flow(vec![], 1.0, None),
+            Err(SimError::EmptyPath)
+        ));
+        assert!(matches!(
+            sim.try_start_flow(vec![LinkId(7)], 1.0, None),
+            Err(SimError::UnknownLink(7))
+        ));
+        let l = sim.add_link("l", CapacityProcess::constant(1.0));
+        assert!(matches!(
+            sim.try_start_flow(vec![l], f64::NAN, None),
+            Err(SimError::InvalidSize(_))
+        ));
+        assert!(matches!(
+            sim.try_start_flow(vec![l], -3.0, None),
+            Err(SimError::InvalidSize(_))
+        ));
+    }
+
+    #[test]
+    fn stalled_flow_yields_none() {
+        let mut sim = Simulation::new();
+        let l = sim.add_link("dead", CapacityProcess::constant(0.0));
+        sim.start_flow(vec![l], 100.0);
+        assert!(sim.next_event().is_none());
+        assert_eq!(sim.active_flow_count(), 1);
+    }
+
+    #[test]
+    fn rate_cap_respected() {
+        let mut sim = Simulation::new();
+        let l = sim.add_link("l", CapacityProcess::constant(mbps(8.0)));
+        sim.start_capped_flow(vec![l], 1_000_000.0, mbps(2.0)); // 8 Mbit at 2 Mbps = 4 s
+        let ev = sim.next_event().unwrap();
+        assert!((ev.time().secs() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_accounting_tracks_bytes() {
+        let mut sim = Simulation::new();
+        let l = sim.add_link("l", CapacityProcess::constant(mbps(8.0)));
+        sim.start_flow(vec![l], 1_000_000.0);
+        let _ = sim.next_event();
+        assert!((sim.link(l).bytes_carried - 1_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn run_until_advances_clock_exactly() {
+        let mut sim = Simulation::new();
+        let l = sim.add_link("l", CapacityProcess::constant(mbps(8.0)));
+        let f = sim.start_flow(vec![l], 10_000_000.0);
+        sim.run_until(SimTime::from_secs(3.0));
+        assert_eq!(sim.now(), SimTime::from_secs(3.0));
+        let flow = sim.flow(f).unwrap();
+        assert!((flow.transferred_bytes() - 3_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn run_until_stops_at_boundary_with_stochastic_links() {
+        // Regression: capacity-change events are internal, so a naive
+        // run_until could let one next_event call run far past the
+        // boundary. The clock must stop exactly at the limit and the
+        // carried bytes must match rate × time.
+        let mut sim = Simulation::new();
+        let l = sim.add_link(
+            "s",
+            CapacityProcess::stochastic(mbps(0.8), 0.2, 1.0, DiurnalProfile::flat(), 5),
+        );
+        sim.start_flow(vec![l], 50_000_000.0);
+        sim.run_until(SimTime::from_secs(30.0));
+        assert_eq!(sim.now(), SimTime::from_secs(30.0));
+        let carried = sim.link(l).bytes_carried;
+        // ~0.8 Mbps × 30 s ≈ 3 MB, well below the 50 MB flow size.
+        assert!(carried > 1_500_000.0 && carried < 6_000_000.0, "carried {carried}");
+    }
+
+    #[test]
+    fn next_event_until_respects_limit() {
+        let mut sim = Simulation::new();
+        let l = sim.add_link("l", CapacityProcess::constant(mbps(8.0)));
+        sim.start_flow(vec![l], 1_000_000.0); // completes at 1 s
+        assert!(sim.next_event_until(SimTime::from_secs(0.5)).is_none());
+        assert_eq!(sim.now(), SimTime::from_secs(0.5));
+        let ev = sim.next_event_until(SimTime::from_secs(2.0)).unwrap();
+        assert!((ev.time().secs() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stochastic_capacity_transfer_is_deterministic() {
+        let run = || {
+            let mut sim = Simulation::new();
+            let l = sim.add_link(
+                "hspa",
+                CapacityProcess::stochastic(mbps(2.0), 0.3, 5.0, DiurnalProfile::flat(), 99),
+            );
+            sim.start_flow(vec![l], 2_000_000.0);
+            sim.next_event().unwrap().time().secs()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        // Roughly 2 MB at ~2 Mbps ≈ 8 s.
+        assert!(a > 4.0 && a < 16.0, "t = {a}");
+    }
+
+    #[test]
+    fn link_rate_reports_aggregate() {
+        let mut sim = Simulation::new();
+        let l = sim.add_link("l", CapacityProcess::constant(mbps(6.0)));
+        sim.start_flow(vec![l], 1e9);
+        sim.start_flow(vec![l], 1e9);
+        assert!((sim.link_rate(l) - mbps(6.0)).abs() < 1.0);
+        let empty = sim.add_link("e", CapacityProcess::constant(mbps(1.0)));
+        assert_eq!(sim.link_rate(empty), 0.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+            /// Byte conservation: when every flow completes, each link
+            /// carried exactly the sum of the sizes of the flows that
+            /// traversed it.
+            #[test]
+            fn bytes_are_conserved(
+                n_links in 1usize..5,
+                flows in proptest::collection::vec(
+                    (proptest::collection::btree_set(0usize..5, 1..3), 1_000.0f64..1e6),
+                    1..10,
+                ),
+            ) {
+                let mut sim = Simulation::new();
+                let links: Vec<LinkId> = (0..n_links)
+                    .map(|i| sim.add_link(format!("l{i}"), CapacityProcess::constant(1e6 + i as f64 * 3e5)))
+                    .collect();
+                let mut expected = vec![0.0f64; n_links];
+                let mut total = 0usize;
+                for (link_set, size) in &flows {
+                    let path: Vec<LinkId> = link_set
+                        .iter()
+                        .filter(|&&l| l < n_links)
+                        .map(|&l| links[l])
+                        .collect();
+                    if path.is_empty() {
+                        continue;
+                    }
+                    for l in &path {
+                        expected[l.index()] += *size;
+                    }
+                    sim.start_flow(path, *size);
+                    total += 1;
+                }
+                let mut completions = 0;
+                while let Some(ev) = sim.next_event() {
+                    if matches!(ev, SimEvent::FlowCompleted { .. }) {
+                        completions += 1;
+                    }
+                }
+                prop_assert_eq!(completions, total);
+                for (i, l) in links.iter().enumerate() {
+                    prop_assert!(
+                        (sim.link(*l).bytes_carried - expected[i]).abs() < 1.0,
+                        "link {} carried {} expected {}",
+                        i, sim.link(*l).bytes_carried, expected[i]
+                    );
+                }
+            }
+
+            /// Event-by-event determinism for identical scenarios.
+            #[test]
+            fn identical_runs_produce_identical_events(seed in 0u64..200) {
+                let run = |seed: u64| -> Vec<(u64, f64)> {
+                    let mut sim = Simulation::new();
+                    let l = sim.add_link(
+                        "s",
+                        CapacityProcess::stochastic(
+                            2e6, 0.4, 1.0, DiurnalProfile::flat(), seed,
+                        ),
+                    );
+                    for k in 0..4 {
+                        sim.start_flow(vec![l], 100_000.0 * (k + 1) as f64);
+                    }
+                    let mut out = Vec::new();
+                    while let Some(ev) = sim.next_event() {
+                        if let SimEvent::FlowCompleted { flow, time, .. } = ev {
+                            out.push((flow.raw(), time.secs()));
+                        }
+                    }
+                    out
+                };
+                prop_assert_eq!(run(seed), run(seed));
+            }
+        }
+    }
+
+    #[test]
+    fn shared_bottleneck_with_side_link() {
+        // Phone flow traverses both its radio share and the cell channel.
+        let mut sim = Simulation::new();
+        let cell = sim.add_link("cell", CapacityProcess::constant(mbps(3.0)));
+        let radio_a = sim.add_link("ra", CapacityProcess::constant(mbps(2.0)));
+        let radio_b = sim.add_link("rb", CapacityProcess::constant(mbps(2.0)));
+        // Both flows limited by the 3 Mbps cell: 1.5 Mbps each.
+        sim.start_flow(vec![radio_a, cell], 750_000.0);
+        sim.start_flow(vec![radio_b, cell], 750_000.0);
+        let e1 = sim.next_event().unwrap();
+        // 6 Mbit at 1.5 Mbps = 4 s.
+        assert!((e1.time().secs() - 4.0).abs() < 1e-9, "{}", e1.time());
+    }
+}

@@ -1,0 +1,45 @@
+//! Error type for the simulator.
+
+use std::fmt;
+
+/// Errors produced by [`crate::Simulation`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A flow id that is not (or no longer) active.
+    UnknownFlow(u64),
+    /// A link id that was never registered.
+    UnknownLink(usize),
+    /// A flow was started with an empty path.
+    EmptyPath,
+    /// A flow was started with a non-finite or negative size.
+    InvalidSize(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownFlow(id) => write!(f, "unknown or completed flow #{id}"),
+            SimError::UnknownLink(id) => write!(f, "unknown link #{id}"),
+            SimError::EmptyPath => write!(f, "flow path must contain at least one link"),
+            SimError::InvalidSize(s) => write!(f, "invalid flow size: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            SimError::UnknownFlow(3).to_string(),
+            "unknown or completed flow #3"
+        );
+        assert_eq!(SimError::UnknownLink(1).to_string(), "unknown link #1");
+        assert!(SimError::EmptyPath.to_string().contains("path"));
+        assert!(SimError::InvalidSize("NaN".into()).to_string().contains("NaN"));
+    }
+}

@@ -1,0 +1,319 @@
+//! Max-min fair rate allocation (progressive filling / water-filling).
+//!
+//! Given link capacities and a set of flows (each traversing a set of
+//! links, optionally with a per-flow rate cap), assign every flow the
+//! max-min fair rate: all unconstrained flows' rates rise together until
+//! each flow is stopped either by a saturated link or by its own cap.
+//!
+//! This is the classical fluid approximation of TCP bandwidth sharing
+//! and is what gives the simulator its "parallel TCP over ADSL + N
+//! phones" behaviour.
+
+/// One flow's demand: the links it traverses and an optional rate cap.
+#[derive(Debug, Clone)]
+pub struct FlowDemand {
+    /// Indices into the capacity slice passed to [`max_min_fair`].
+    pub links: Vec<usize>,
+    /// Optional per-flow cap in the same units as the link capacities.
+    pub cap: Option<f64>,
+}
+
+/// Compute max-min fair rates.
+///
+/// `link_capacity[l]` is the capacity of link `l`; `flows[f].links` are
+/// the links flow `f` traverses. Returns one rate per flow, in the same
+/// units as the capacities.
+///
+/// Flows whose every link has infinite capacity and which have no cap
+/// receive `f64::INFINITY`.
+///
+/// # Panics
+/// Panics if a flow references a link index out of bounds.
+pub fn max_min_fair(link_capacity: &[f64], flows: &[FlowDemand]) -> Vec<f64> {
+    let nf = flows.len();
+    let nl = link_capacity.len();
+    let mut rate = vec![0.0_f64; nf];
+    if nf == 0 {
+        return rate;
+    }
+    for d in flows {
+        for &l in &d.links {
+            assert!(l < nl, "flow references unknown link {l}");
+        }
+    }
+
+    let mut frozen = vec![false; nf];
+    // Flows with a non-positive cap, or traversing a zero-capacity link,
+    // are frozen at zero immediately.
+    for (f, d) in flows.iter().enumerate() {
+        let capped_zero = d.cap.is_some_and(|c| c <= 0.0);
+        let dead_link = d.links.iter().any(|&l| link_capacity[l] <= 0.0);
+        if capped_zero || dead_link {
+            frozen[f] = true;
+        }
+    }
+
+    // Progressive filling: raise all unfrozen rates together by the
+    // largest increment that violates no constraint, then freeze the
+    // flows whose constraint became tight.
+    const REL_EPS: f64 = 1e-9;
+    loop {
+        let unfrozen: Vec<usize> = (0..nf).filter(|&f| !frozen[f]).collect();
+        if unfrozen.is_empty() {
+            break;
+        }
+
+        // Per-link: used capacity and number of unfrozen flows.
+        let mut used = vec![0.0_f64; nl];
+        let mut count = vec![0usize; nl];
+        for (f, d) in flows.iter().enumerate() {
+            for &l in &d.links {
+                used[l] += rate[f];
+                if !frozen[f] {
+                    count[l] += 1;
+                }
+            }
+        }
+
+        // Largest uniform increment.
+        let mut inc = f64::INFINITY;
+        for l in 0..nl {
+            if count[l] > 0 && link_capacity[l].is_finite() {
+                let slack = (link_capacity[l] - used[l]).max(0.0);
+                inc = inc.min(slack / count[l] as f64);
+            }
+        }
+        for &f in &unfrozen {
+            if let Some(c) = flows[f].cap {
+                inc = inc.min((c - rate[f]).max(0.0));
+            }
+        }
+
+        if inc.is_infinite() {
+            // No finite constraint: these flows are unbounded.
+            for &f in &unfrozen {
+                rate[f] = f64::INFINITY;
+            }
+            break;
+        }
+
+        for &f in &unfrozen {
+            rate[f] += inc;
+        }
+
+        // Freeze flows whose constraint is now tight.
+        let mut used_after = vec![0.0_f64; nl];
+        for (f, d) in flows.iter().enumerate() {
+            for &l in &d.links {
+                used_after[l] += rate[f];
+            }
+        }
+        let mut any_frozen = false;
+        for &f in &unfrozen {
+            let at_cap = flows[f]
+                .cap
+                .is_some_and(|c| rate[f] >= c - REL_EPS * c.max(1.0));
+            let on_saturated = flows[f].links.iter().any(|&l| {
+                link_capacity[l].is_finite()
+                    && used_after[l] >= link_capacity[l] - REL_EPS * link_capacity[l].max(1.0)
+            });
+            if at_cap || on_saturated {
+                frozen[f] = true;
+                any_frozen = true;
+            }
+        }
+        if !any_frozen {
+            // Numerical safety net: freeze the flow with the smallest
+            // slack so the loop always terminates.
+            if inc <= 0.0 {
+                for &f in &unfrozen {
+                    frozen[f] = true;
+                }
+            }
+        }
+    }
+
+    rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(links: &[usize]) -> FlowDemand {
+        FlowDemand { links: links.to_vec(), cap: None }
+    }
+
+    fn capped(links: &[usize], cap: f64) -> FlowDemand {
+        FlowDemand { links: links.to_vec(), cap: Some(cap) }
+    }
+
+    #[test]
+    fn single_link_equal_split() {
+        let rates = max_min_fair(&[9.0], &[demand(&[0]), demand(&[0]), demand(&[0])]);
+        for r in rates {
+            assert!((r - 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(max_min_fair(&[1.0], &[]).is_empty());
+    }
+
+    #[test]
+    fn classic_two_bottlenecks() {
+        // Link 0: cap 1, flows A,B. Link 1: cap 2, flows B,C.
+        // Max-min: A = B = 0.5 (link 0 saturates), C = 1.5.
+        let flows = [demand(&[0]), demand(&[0, 1]), demand(&[1])];
+        let r = max_min_fair(&[1.0, 2.0], &flows);
+        assert!((r[0] - 0.5).abs() < 1e-6, "{r:?}");
+        assert!((r[1] - 0.5).abs() < 1e-6, "{r:?}");
+        assert!((r[2] - 1.5).abs() < 1e-6, "{r:?}");
+    }
+
+    #[test]
+    fn per_flow_cap_redistributes() {
+        // One 10-unit link, two flows, one capped at 2: other gets 8.
+        let flows = [capped(&[0], 2.0), demand(&[0])];
+        let r = max_min_fair(&[10.0], &flows);
+        assert!((r[0] - 2.0).abs() < 1e-6, "{r:?}");
+        assert!((r[1] - 8.0).abs() < 1e-6, "{r:?}");
+    }
+
+    #[test]
+    fn zero_capacity_link_kills_flow() {
+        let flows = [demand(&[0, 1]), demand(&[1])];
+        let r = max_min_fair(&[0.0, 4.0], &flows);
+        assert_eq!(r[0], 0.0);
+        assert!((r[1] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_cap_flow_gets_nothing() {
+        let flows = [capped(&[0], 0.0), demand(&[0])];
+        let r = max_min_fair(&[5.0], &flows);
+        assert_eq!(r[0], 0.0);
+        assert!((r[1] - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unconstrained_flow_is_infinite() {
+        let flows = [demand(&[0])];
+        let r = max_min_fair(&[f64::INFINITY], &flows);
+        assert!(r[0].is_infinite());
+    }
+
+    #[test]
+    fn disjoint_links_each_full() {
+        let flows = [demand(&[0]), demand(&[1])];
+        let r = max_min_fair(&[3.0, 7.0], &flows);
+        assert!((r[0] - 3.0).abs() < 1e-6);
+        assert!((r[1] - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multipath_parallel_paths_modeled_as_separate_flows() {
+        // The 3GOL pattern: ADSL link and a phone link, one item flow on
+        // each. No sharing, both run at link speed.
+        let r = max_min_fair(&[2.0, 1.5], &[demand(&[0]), demand(&[1])]);
+        assert!((r[0] - 2.0).abs() < 1e-6);
+        assert!((r[1] - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shared_cell_channel() {
+        // Two phones (flows) share one base-station channel of 5.76,
+        // each device capped at 2.0 by its category: both get 2.0.
+        let flows = [capped(&[0], 2.0), capped(&[0], 2.0)];
+        let r = max_min_fair(&[5.76], &flows);
+        assert!((r[0] - 2.0).abs() < 1e-6);
+        assert!((r[1] - 2.0).abs() < 1e-6);
+        // Three phones: channel binds, 1.92 each.
+        let flows3 = [capped(&[0], 2.0), capped(&[0], 2.0), capped(&[0], 2.0)];
+        let r3 = max_min_fair(&[5.76], &flows3);
+        for r in r3 {
+            assert!((r - 1.92).abs() < 1e-6);
+        }
+    }
+
+    /// Verify the defining max-min property on a fixed scenario: every
+    /// flow is blocked by a saturated link or its cap.
+    fn assert_max_min(caps: &[f64], flows: &[FlowDemand], rates: &[f64]) {
+        let mut used = vec![0.0; caps.len()];
+        for (f, d) in flows.iter().enumerate() {
+            for &l in &d.links {
+                used[l] += rates[f];
+            }
+        }
+        for l in 0..caps.len() {
+            assert!(used[l] <= caps[l] * (1.0 + 1e-6) + 1e-9, "link {l} over capacity");
+        }
+        for (f, d) in flows.iter().enumerate() {
+            let at_cap = d.cap.is_some_and(|c| rates[f] >= c - 1e-6);
+            let blocked = d.links.iter().any(|&l| used[l] >= caps[l] - 1e-6 * caps[l].max(1.0));
+            assert!(at_cap || blocked, "flow {f} is not bottlenecked: {rates:?}");
+        }
+    }
+
+    #[test]
+    fn max_min_property_on_mesh() {
+        let caps = [4.0, 6.0, 2.0, 10.0];
+        let flows = [
+            demand(&[0, 1]),
+            demand(&[1, 2]),
+            demand(&[2, 3]),
+            demand(&[0, 3]),
+            capped(&[3], 1.0),
+        ];
+        let r = max_min_fair(&caps, &flows);
+        assert_max_min(&caps, &flows, &r);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_scenario() -> impl Strategy<Value = (Vec<f64>, Vec<FlowDemand>)> {
+            (2usize..6).prop_flat_map(|nl| {
+                let caps = proptest::collection::vec(0.5f64..20.0, nl);
+                let flows = proptest::collection::vec(
+                    (
+                        proptest::collection::btree_set(0..nl, 1..=nl.min(3)),
+                        proptest::option::of(0.1f64..10.0),
+                    ),
+                    1..8,
+                )
+                .prop_map(|fs| {
+                    fs.into_iter()
+                        .map(|(links, cap)| FlowDemand {
+                            links: links.into_iter().collect(),
+                            cap,
+                        })
+                        .collect::<Vec<_>>()
+                });
+                (caps, flows)
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn rates_feasible_and_bottlenecked((caps, flows) in arb_scenario()) {
+                let rates = max_min_fair(&caps, &flows);
+                prop_assert_eq!(rates.len(), flows.len());
+                for &r in &rates {
+                    prop_assert!(r >= 0.0);
+                    prop_assert!(r.is_finite());
+                }
+                assert_max_min(&caps, &flows, &rates);
+            }
+
+            #[test]
+            fn allocation_is_deterministic((caps, flows) in arb_scenario()) {
+                let a = max_min_fair(&caps, &flows);
+                let b = max_min_fair(&caps, &flows);
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Flows: fluid transfers traversing a path of links.
+
+use crate::link::LinkId;
+use crate::time::SimTime;
+
+/// Identifier of a flow within a [`crate::Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub(crate) u64);
+
+impl FlowId {
+    /// The raw id (unique for the lifetime of the simulation).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// A fluid transfer of `size_bytes` across `path`.
+///
+/// The engine assigns each active flow a rate via max-min fair sharing;
+/// an optional `rate_cap` models per-flow limits such as a device's HSPA
+/// category or an application pacing itself.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    /// Links the flow traverses (order does not matter to the fluid model).
+    pub path: Vec<LinkId>,
+    /// Total size in bytes.
+    pub size_bytes: f64,
+    /// Bytes still to transfer.
+    pub remaining_bytes: f64,
+    /// Current assigned rate, bits/second.
+    pub rate_bps: f64,
+    /// Optional per-flow cap, bits/second.
+    pub rate_cap: Option<f64>,
+    /// When the flow was started.
+    pub started_at: SimTime,
+}
+
+impl Flow {
+    /// Bytes already transferred.
+    pub fn transferred_bytes(&self) -> f64 {
+        self.size_bytes - self.remaining_bytes
+    }
+
+    /// Fraction complete in `[0, 1]`.
+    pub fn progress(&self) -> f64 {
+        if self.size_bytes <= 0.0 {
+            1.0
+        } else {
+            (self.transferred_bytes() / self.size_bytes).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Time to completion at the current rate (None if the rate is zero).
+    pub fn eta_secs(&self) -> Option<f64> {
+        if self.rate_bps > 0.0 {
+            Some(self.remaining_bytes * 8.0 / self.rate_bps)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(size: f64, remaining: f64, rate: f64) -> Flow {
+        Flow {
+            path: vec![LinkId(0)],
+            size_bytes: size,
+            remaining_bytes: remaining,
+            rate_bps: rate,
+            rate_cap: None,
+            started_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn progress_accounting() {
+        let f = flow(1000.0, 250.0, 8000.0);
+        assert_eq!(f.transferred_bytes(), 750.0);
+        assert!((f.progress() - 0.75).abs() < 1e-12);
+        assert!((f.eta_secs().unwrap() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_rate_has_no_eta() {
+        assert_eq!(flow(10.0, 10.0, 0.0).eta_secs(), None);
+    }
+
+    #[test]
+    fn zero_size_is_complete() {
+        assert_eq!(flow(0.0, 0.0, 1.0).progress(), 1.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! # threegol-simnet
+//!
+//! A deterministic, discrete-event, fluid-flow network simulator.
+//!
+//! This crate is the substrate on which the 3GOL reproduction runs its
+//! trace-driven and controlled experiments. It models a network as a set
+//! of [`Link`]s with (possibly time-varying) capacities and a set of
+//! [`Flow`]s, each traversing a path of links. Flow rates are assigned by
+//! **max-min fair sharing** (progressive filling), which approximates the
+//! bandwidth sharing of long-lived TCP flows at the second-level
+//! timescales the 3GOL paper measures.
+//!
+//! Everything is seeded and uses virtual time, so every experiment in the
+//! repository is reproducible bit-for-bit.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use threegol_simnet::{Simulation, CapacityProcess, SimEvent};
+//!
+//! let mut sim = Simulation::new();
+//! // A 2 Mbit/s ADSL downlink.
+//! let adsl = sim.add_link("adsl-down", CapacityProcess::constant(2_000_000.0));
+//! // Start a 1 MiB transfer across it.
+//! let flow = sim.start_flow(vec![adsl], 1024.0 * 1024.0);
+//! let ev = sim.next_event().expect("one completion");
+//! match ev {
+//!     SimEvent::FlowCompleted { flow: f, .. } => assert_eq!(f, flow),
+//!     _ => panic!("unexpected event"),
+//! }
+//! // 8 Mbit over a 2 Mbit/s pipe is ~4.2 s.
+//! assert!((sim.now().secs() - 4.194).abs() < 0.01);
+//! ```
+
+pub mod capacity;
+pub mod dist;
+pub mod engine;
+pub mod error;
+pub mod fairshare;
+pub mod flow;
+pub mod link;
+pub mod stats;
+pub mod time;
+
+pub use capacity::{CapacityProcess, DiurnalProfile};
+pub use dist::{Distribution, SimRng};
+pub use engine::{SimEvent, Simulation, WakeToken};
+pub use error::SimError;
+pub use flow::{Flow, FlowId};
+pub use link::{Link, LinkId};
+pub use time::SimTime;

@@ -1,0 +1,57 @@
+//! Links: capacity-constrained resources that flows traverse.
+
+use crate::capacity::CapacityProcess;
+use crate::time::SimTime;
+
+/// Identifier of a link within a [`crate::Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub(crate) usize);
+
+impl LinkId {
+    /// The raw index (stable for the lifetime of the simulation).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A unidirectional capacity-constrained resource.
+///
+/// A link does not know its endpoints — topology lives entirely in the
+/// flows' paths. This keeps the model close to the paper's setting, where
+/// the relevant constraints are the ADSL line, each phone's radio share,
+/// the base-station shared channel, the Wi-Fi LAN and the cell backhaul.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Human-readable name (for logs and experiment output).
+    pub name: String,
+    /// How this link's capacity evolves over time.
+    pub process: CapacityProcess,
+    /// Total bytes carried by this link so far (accounting, e.g., for
+    /// Fig 11b's "load onloaded onto the cellular network").
+    pub bytes_carried: f64,
+}
+
+impl Link {
+    /// Create a link with the given capacity process.
+    pub fn new(name: impl Into<String>, process: CapacityProcess) -> Link {
+        Link { name: name.into(), process, bytes_carried: 0.0 }
+    }
+
+    /// Capacity in bits/second at `t`.
+    pub fn capacity_at(&self, t: SimTime) -> f64 {
+        self.process.capacity_at(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_reports_capacity() {
+        let l = Link::new("adsl", CapacityProcess::constant(3e6));
+        assert_eq!(l.capacity_at(SimTime::ZERO), 3e6);
+        assert_eq!(l.name, "adsl");
+        assert_eq!(l.bytes_carried, 0.0);
+    }
+}

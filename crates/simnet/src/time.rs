@@ -1,0 +1,179 @@
+//! Virtual simulation time.
+//!
+//! Time is a non-negative `f64` number of seconds since the start of the
+//! simulation. We wrap it in a newtype so that call sites never confuse
+//! seconds with bytes-per-second, and so that ordering (needed by the
+//! event queue) is total: the constructors reject NaN.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, in seconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero: the start of the simulation.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// A time far beyond any experiment horizon, used as an "infinity"
+    /// sentinel when searching for the earliest next event.
+    pub const FAR_FUTURE: SimTime = SimTime(f64::MAX / 4.0);
+
+    /// Create a time from seconds.
+    ///
+    /// # Panics
+    /// Panics if `secs` is NaN or negative — both indicate a bug in the
+    /// caller (completion times and durations are always non-negative).
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(secs.is_finite() || secs == f64::INFINITY, "SimTime from NaN");
+        assert!(secs >= 0.0, "SimTime must be non-negative, got {secs}");
+        if secs.is_infinite() {
+            Self::FAR_FUTURE
+        } else {
+            SimTime(secs)
+        }
+    }
+
+    /// Create a time from milliseconds.
+    pub fn from_millis(ms: f64) -> Self {
+        Self::from_secs(ms / 1000.0)
+    }
+
+    /// Create a time from hours (used by diurnal profiles and traces).
+    pub fn from_hours(h: f64) -> Self {
+        Self::from_secs(h * 3600.0)
+    }
+
+    /// Seconds since simulation start.
+    pub fn secs(self) -> f64 {
+        self.0
+    }
+
+    /// Milliseconds since simulation start.
+    pub fn millis(self) -> f64 {
+        self.0 * 1000.0
+    }
+
+    /// Hours since simulation start.
+    pub fn hours(self) -> f64 {
+        self.0 / 3600.0
+    }
+
+    /// Hour-of-day in `[0, 24)`, wrapping multi-day times.
+    pub fn hour_of_day(self) -> f64 {
+        self.hours() % 24.0
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two times.
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Duration from `earlier` to `self`, saturating at zero.
+    pub fn since(self, earlier: SimTime) -> f64 {
+        (self.0 - earlier.0).max(0.0)
+    }
+}
+
+impl Eq for SimTime {}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    fn add(self, secs: f64) -> SimTime {
+        SimTime::from_secs(self.0 + secs)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, secs: f64) {
+        *self = *self + secs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = f64;
+    fn sub(self, other: SimTime) -> f64 {
+        self.0 - other.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = SimTime::from_secs(7200.0);
+        assert_eq!(t.hours(), 2.0);
+        assert_eq!(t.millis(), 7_200_000.0);
+        assert_eq!(SimTime::from_hours(2.0), t);
+        assert_eq!(SimTime::from_millis(500.0).secs(), 0.5);
+    }
+
+    #[test]
+    fn hour_of_day_wraps() {
+        let t = SimTime::from_hours(49.5);
+        assert!((t.hour_of_day() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(1.0) + 2.5;
+        assert_eq!(t.secs(), 3.5);
+        assert_eq!(t - SimTime::from_secs(1.0), 2.5);
+        assert_eq!(t.since(SimTime::from_secs(10.0)), 0.0);
+    }
+
+    #[test]
+    fn infinity_becomes_far_future() {
+        assert_eq!(SimTime::from_secs(f64::INFINITY), SimTime::FAR_FUTURE);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_time_panics() {
+        let _ = SimTime::from_secs(-1.0);
+    }
+}

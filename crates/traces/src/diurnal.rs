@@ -1,0 +1,72 @@
+//! The canonical diurnal load profiles of the paper's Fig 1.
+//!
+//! Both curves are normalized traffic volume per hour. The load-bearing
+//! facts the paper uses are (a) the cellular network has deep off-peak
+//! valleys ("the cellular network is not constantly loaded") and (b)
+//! the mobile and wired peaks are *not aligned*, so 3GOL demand (wired-
+//! shaped) superimposes favourably on existing cellular load.
+
+use threegol_simnet::capacity::DiurnalProfile;
+
+/// Normalized mobile-network data-traffic profile (Fig 1, "mobile"):
+/// quiet 03:00–06:00, climbing through the working day, peak
+/// around 19:00.
+pub fn mobile_diurnal_load() -> DiurnalProfile {
+    DiurnalProfile::new([
+        0.52, 0.40, 0.30, 0.22, 0.20, 0.22, // 00–05
+        0.28, 0.38, 0.50, 0.60, 0.66, 0.72, // 06–11
+        0.78, 0.80, 0.78, 0.76, 0.80, 0.88, // 12–17
+        0.96, 1.00, 0.98, 0.92, 0.80, 0.66, // 18–23
+    ])
+}
+
+/// Normalized wired (DSLAM) traffic profile (Fig 1, "wired"):
+/// evening-heavy with a later peak (21:00–22:00) than mobile.
+pub fn wired_diurnal_load() -> DiurnalProfile {
+    DiurnalProfile::new([
+        0.55, 0.38, 0.25, 0.18, 0.15, 0.16, // 00–05
+        0.20, 0.26, 0.32, 0.36, 0.40, 0.44, // 06–11
+        0.48, 0.50, 0.50, 0.52, 0.56, 0.60, // 12–17
+        0.66, 0.74, 0.86, 1.00, 0.98, 0.80, // 18–23
+    ])
+}
+
+/// The Fig 1 series: `(hour, mobile, wired)` normalized to peak 1.
+pub fn fig1_series() -> Vec<(usize, f64, f64)> {
+    let m = mobile_diurnal_load().normalized_peak();
+    let w = wired_diurnal_load().normalized_peak();
+    (0..24)
+        .map(|h| (h, m.at_hour(h as f64), w.at_hour(h as f64)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peaks_are_offset() {
+        let mobile = mobile_diurnal_load().peak_hour();
+        let wired = wired_diurnal_load().peak_hour();
+        assert_ne!(mobile, wired, "Fig 1's key observation");
+        assert!((18..=21).contains(&mobile));
+        assert!((20..=23).contains(&wired));
+    }
+
+    #[test]
+    fn mobile_has_deep_night_valley() {
+        let m = mobile_diurnal_load().normalized_peak();
+        assert!(m.at_hour(4.0) < 0.25);
+        assert!(m.at_hour(19.0) >= 0.99);
+    }
+
+    #[test]
+    fn fig1_series_is_normalized() {
+        let s = fig1_series();
+        assert_eq!(s.len(), 24);
+        let max_m = s.iter().map(|&(_, m, _)| m).fold(0.0, f64::max);
+        let max_w = s.iter().map(|&(_, _, w)| w).fold(0.0, f64::max);
+        assert!((max_m - 1.0).abs() < 1e-12);
+        assert!((max_w - 1.0).abs() < 1e-12);
+    }
+}

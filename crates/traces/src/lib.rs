@@ -1,0 +1,25 @@
+//! # threegol-traces
+//!
+//! Synthetic equivalents of the datasets the 3GOL paper analyzes
+//! (Table 1), plus the trace-driven analyses of §6.
+//!
+//! | paper dataset | module | what is matched |
+//! |---|---|---|
+//! | "3G web traffic" (diurnal mobile load) | [`diurnal`] | normalized 24 h shapes of Fig 1, offset mobile/wired peaks |
+//! | "MNO" (per-user monthly demand, ~1 M users) | [`mno`] | cap tiers; the Fig 10 usage-fraction CDF (40 % of users < 10 % of cap, 75 % < 50 %); month-to-month stability for the allowance estimator |
+//! | "DSLAM" (flow records, 18 000 DSL lines, 24 h) | [`dslam`] | per-user daily video counts (mean 14.12 / median 6 / std 30.13 — an exact lognormal fit), 68 % of users with ≥ 1 video, ~50 MB mean video size, diurnal request times |
+//! | "Handset experiments" | `threegol-measure` | the §3 active-measurement campaigns |
+//!
+//! [`analysis`] implements the §6 computations over these traces:
+//! budgeted video acceleration (Fig 11a), onloaded cellular load in
+//! 5-minute bins against backhaul capacity (Fig 11b), and the relative
+//! traffic increase as a function of 3GOL adoption (Fig 11c).
+
+pub mod analysis;
+pub mod diurnal;
+pub mod dslam;
+pub mod mno;
+
+pub use diurnal::{mobile_diurnal_load, wired_diurnal_load};
+pub use dslam::{DslamTrace, DslamTraceConfig, VideoRequest};
+pub use mno::{MnoConfig, MnoTrace, UserBilling};

@@ -1,0 +1,38 @@
+//! The §3 active-measurement methodology, end to end: the staggered
+//! activation ramp ("every 20 minutes we introduce a new device") at a
+//! Table 2 location, for both directions.
+//!
+//! ```text
+//! cargo run --release --example measurement_campaign
+//! ```
+
+use threegol::measure::{Campaign, Direction};
+use threegol::radio::LocationProfile;
+
+fn main() {
+    let location = LocationProfile::paper_table2().remove(0);
+    println!(
+        "campaign at {} (measured by the paper at {:02.0}:00)\n",
+        location.name,
+        location.measured_hour.unwrap_or(12.0)
+    );
+    let hour = location.measured_hour.unwrap_or(12.0);
+    let campaign = Campaign::new(location, 0xC4);
+
+    for (dir, label) in [(Direction::Down, "downlink"), (Direction::Up, "uplink")] {
+        println!("{label} ramp (2 MB probes, +1 device / 20 min):");
+        println!("{:>8} {:>12} {:>16}", "devices", "aggregate", "per-device mean");
+        for step in campaign.activation_ramp(10, hour, dir) {
+            let mean = step.aggregate_bps / step.n_devices as f64;
+            println!(
+                "{:>8} {:>9.2} Mb/s {:>13.2} Mb/s",
+                step.n_devices,
+                step.aggregate_bps / 1e6,
+                mean / 1e6
+            );
+        }
+        println!();
+    }
+    println!("Downlink keeps scaling with devices (multi-cell load balancing);");
+    println!("uplink plateaus near the 5.76 Mbit/s HSUPA ceiling — the paper's Fig 3.");
+}

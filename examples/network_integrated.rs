@@ -1,0 +1,46 @@
+//! A subscriber's day under both 3GOL deployment modes (§2.4 vs §6):
+//! network-integrated (permit-gated by cell load, unmetered) versus
+//! multi-provider (gated by each phone's cap quota).
+//!
+//! ```text
+//! cargo run --release --example network_integrated
+//! ```
+
+use threegol::core::service::{DayOfVideos, ServicePolicy};
+use threegol::hls::VideoQuality;
+use threegol::radio::{LocationProfile, Provisioning};
+
+fn main() {
+    let hours = [4.0, 9.0, 12.0, 15.0, 19.0, 21.0];
+    let quality = VideoQuality::paper_ladder().remove(3); // Q4
+    let mut location = LocationProfile::reference_2mbps();
+    location.provisioning = Provisioning::Congested;
+
+    for (label, policy) in [
+        ("network-integrated (permits, congested cell)", ServicePolicy::network_integrated()),
+        ("multi-provider (20 MB/phone/day caps)", ServicePolicy::multi_provider()),
+    ] {
+        println!("{label}:");
+        println!("{:>7} {:>8} {:>10} {:>12}", "hour", "phones", "speedup", "onloaded MB");
+        let day = DayOfVideos {
+            location: location.clone(),
+            quality: quality.clone(),
+            n_phones: 2,
+            policy,
+            seed: 0xDA7,
+        };
+        for v in day.run(&hours) {
+            let onloaded: f64 = v.outcome.bytes_per_path.iter().skip(1).sum();
+            println!(
+                "{:>5.0}h {:>8} {:>9.2}× {:>12.1}",
+                v.hour,
+                v.phones_used,
+                v.speedup(),
+                onloaded / 1e6
+            );
+        }
+        println!();
+    }
+    println!("Permits track the diurnal cell load (denied at the evening peak);");
+    println!("caps deplete with use (boost fades once the day's quota is spent).");
+}

@@ -1,0 +1,48 @@
+//! Quickstart: power-boost one video download with 3GOL.
+//!
+//! Builds a simulated household on a 2 Mbit/s ADSL line, attaches two
+//! phones, downloads the paper's 200 s HLS test video at Q3 with and
+//! without 3GOL, and prints the speedup.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use threegol::core::metrics::{reduction_percent, speedup};
+use threegol::core::vod::VodExperiment;
+use threegol::hls::VideoQuality;
+use threegol::radio::LocationProfile;
+
+fn main() {
+    let quality = VideoQuality::paper_ladder().remove(2); // Q3, 484 kbit/s
+    let location = LocationProfile::reference_2mbps();
+    println!("location: {} ({} Mbit/s down)", location.name, location.adsl_down_bps / 1e6);
+    println!("video: 200 s HLS at {} ({} kbit/s)\n", quality.label, quality.bitrate_bps / 1e3);
+
+    let experiment = VodExperiment::paper_default(location, quality, 2);
+    let reps = 10;
+
+    let adsl = experiment.adsl_only().run_mean(reps);
+    println!(
+        "ADSL alone : pre-buffer {:6.1} s   full download {:6.1} s",
+        adsl.prebuffer.mean, adsl.download.mean
+    );
+
+    let gol = experiment.run_mean(reps);
+    println!(
+        "3GOL (2ph) : pre-buffer {:6.1} s   full download {:6.1} s",
+        gol.prebuffer.mean, gol.download.mean
+    );
+
+    println!(
+        "\nspeedup: ×{:.2} pre-buffer, ×{:.2} download ({:.0}% reduction)",
+        speedup(adsl.prebuffer.mean, gol.prebuffer.mean),
+        speedup(adsl.download.mean, gol.download.mean),
+        reduction_percent(adsl.download.mean, gol.download.mean),
+    );
+    println!(
+        "onloaded to phones: {:.1} MB; duplicate waste: {:.2} MB",
+        gol.mean_onloaded_bytes / 1e6,
+        gol.wasted.mean / 1e6,
+    );
+}

@@ -1,0 +1,51 @@
+//! Video-on-demand power-boosting across the paper's quality ladder
+//! and pre-buffer amounts (the §5.2 downlink evaluation, condensed).
+//!
+//! For each quality Q1–Q4 and pre-buffer amount (20 %…100 %), prints
+//! the pre-buffering time with ADSL alone and with 3GOL (1 and 2
+//! phones), at the slowest evaluation location (loc4).
+//!
+//! ```text
+//! cargo run --release --example vod_powerboost
+//! ```
+
+use threegol::core::vod::VodExperiment;
+use threegol::hls::VideoQuality;
+use threegol::radio::LocationProfile;
+
+fn main() {
+    let location = LocationProfile::paper_table4().remove(3); // loc4, slowest ADSL
+    println!(
+        "location {} — ADSL {:.2}/{:.2} Mbit/s, signal {} dBm\n",
+        location.name,
+        location.adsl_down_bps / 1e6,
+        location.adsl_up_bps / 1e6,
+        location.signal_dbm
+    );
+    println!(
+        "{:<8} {:>10} {:>12} {:>12} {:>12} {:>8}",
+        "quality", "prebuffer", "ADSL s", "3GOL 1ph s", "3GOL 2ph s", "gain s"
+    );
+    let reps = 8;
+    for quality in VideoQuality::paper_ladder() {
+        for pb in [0.2, 0.6, 1.0] {
+            let mut e = VodExperiment::paper_default(location.clone(), quality.clone(), 0);
+            e.prebuffer_fraction = pb;
+            let adsl = e.run_mean(reps).prebuffer.mean;
+            e.n_phones = 1;
+            let one = e.run_mean(reps).prebuffer.mean;
+            e.n_phones = 2;
+            let two = e.run_mean(reps).prebuffer.mean;
+            println!(
+                "{:<8} {:>9.0}% {:>12.1} {:>12.1} {:>12.1} {:>8.1}",
+                quality.label,
+                pb * 100.0,
+                adsl,
+                one,
+                two,
+                adsl - two
+            );
+        }
+    }
+    println!("\n(gain = seconds of startup delay removed by 3GOL with two phones)");
+}

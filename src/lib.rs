@@ -1,0 +1,29 @@
+//! # threegol
+//!
+//! Facade crate for the 3GOL reproduction ("3GOL: Power-boosting ADSL
+//! using 3G OnLoading", CoNEXT 2013): re-exports every workspace crate
+//! under one roof and hosts the runnable examples and cross-crate
+//! integration tests.
+//!
+//! Start with [`core`] for the simulated 3GOL service, [`proxy`] for
+//! the live tokio prototype, and the `examples/` directory for end-to-
+//! end scenarios:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! cargo run --release --example vod_powerboost
+//! cargo run --release --example photo_upload
+//! cargo run --release --example capped_onloading
+//! cargo run --release --example live_proxy
+//! ```
+
+pub use threegol_caps as caps;
+pub use threegol_core as core;
+pub use threegol_hls as hls;
+pub use threegol_http as http;
+pub use threegol_measure as measure;
+pub use threegol_proxy as proxy;
+pub use threegol_radio as radio;
+pub use threegol_sched as sched;
+pub use threegol_simnet as simnet;
+pub use threegol_traces as traces;

@@ -1,0 +1,109 @@
+//! Cross-crate integration: the full simulated VoD pipeline
+//! (radio model → home topology → multipath scheduler → HLS player).
+
+use threegol::core::vod::{RadioStart, VodExperiment};
+use threegol::hls::VideoQuality;
+use threegol::radio::LocationProfile;
+use threegol::sched::Policy;
+
+fn q(i: usize) -> VideoQuality {
+    VideoQuality::paper_ladder().swap_remove(i)
+}
+
+#[test]
+fn threegol_beats_adsl_across_the_ladder() {
+    for (qi, quality) in VideoQuality::paper_ladder().into_iter().enumerate() {
+        let e = VodExperiment::paper_default(LocationProfile::reference_2mbps(), quality, 2);
+        let adsl = e.adsl_only().run_mean(3);
+        let gol = e.run_mean(3);
+        assert!(
+            gol.download.mean < adsl.download.mean,
+            "Q{}: 3GOL {} vs ADSL {}",
+            qi + 1,
+            gol.download.mean,
+            adsl.download.mean
+        );
+        assert!(
+            gol.prebuffer.mean <= adsl.prebuffer.mean,
+            "Q{}: pre-buffer regressed",
+            qi + 1
+        );
+    }
+}
+
+#[test]
+fn playout_with_full_prebuffer_never_stalls() {
+    let mut e = VodExperiment::paper_default(LocationProfile::reference_2mbps(), q(3), 1);
+    e.prebuffer_fraction = 1.0;
+    let out = e.run_once(0);
+    assert!(out.playout.smooth(), "stalls: {:?}", out.playout.stalls);
+    assert_eq!(out.playout.startup_secs, out.prebuffer_secs);
+}
+
+#[test]
+fn greedy_waste_is_small() {
+    // The paper bounds waste by (N−1)·S_max per duplication round and
+    // observes it is "generally much smaller". With 2 phones and Q4
+    // segments (0.9225 MB) assert the practical envelope N(N−1)·S and
+    // that the average stays under the paper's single-round bound.
+    let e = VodExperiment::paper_default(LocationProfile::reference_2mbps(), q(3), 2);
+    let single_round = 2.0 * 922_500.0;
+    let envelope = 6.0 * 922_500.0;
+    let mut total = 0.0;
+    for rep in 0..5 {
+        let out = e.run_once(rep);
+        total += out.wasted_bytes;
+        assert!(
+            out.wasted_bytes <= envelope + 1.0,
+            "rep {rep}: waste {} over envelope {envelope}",
+            out.wasted_bytes
+        );
+    }
+    assert!(total / 5.0 <= single_round, "mean waste {} over paper bound", total / 5.0);
+}
+
+#[test]
+fn every_policy_completes_the_same_video() {
+    for policy in [Policy::Greedy, Policy::RoundRobin, Policy::min_time_paper()] {
+        let mut e = VodExperiment::paper_default(LocationProfile::reference_2mbps(), q(1), 2);
+        e.policy = policy;
+        let out = e.run_once(0);
+        assert!(out.download_secs.is_finite() && out.download_secs > 0.0);
+        // All 20 segments accounted for across paths (plus waste).
+        let moved: f64 = out.bytes_per_path.iter().sum();
+        let payload = 20.0 * 311e3 / 8.0 * 10.0;
+        assert!(moved >= payload - 1.0, "{policy:?}: moved {moved} < payload {payload}");
+    }
+}
+
+#[test]
+fn warm_radio_never_hurts_prebuffer_much() {
+    let mut cold = VodExperiment::paper_default(LocationProfile::paper_table4().remove(0), q(0), 2);
+    cold.prebuffer_fraction = 0.2;
+    let mut warm = cold.clone();
+    warm.radio_start = RadioStart::Warm;
+    let c = cold.run_mean(5);
+    let w = warm.run_mean(5);
+    // The acquisition delay is ~2 s; warm starts should not be slower
+    // by more than noise.
+    assert!(w.prebuffer.mean <= c.prebuffer.mean + 1.0);
+}
+
+#[test]
+fn faster_adsl_reduces_relative_benefit() {
+    // Paper Table 2's VDSL observation: a fat pipe leaves little room.
+    let quality = q(3);
+    let slow_loc = LocationProfile::reference_2mbps();
+    let mut fast_loc = LocationProfile::reference_2mbps();
+    fast_loc.adsl_down_bps = 20e6;
+    let slow = VodExperiment::paper_default(slow_loc, quality.clone(), 2);
+    let fast = VodExperiment::paper_default(fast_loc, quality, 2);
+    let slow_speedup =
+        slow.adsl_only().run_mean(3).download.mean / slow.run_mean(3).download.mean;
+    let fast_speedup =
+        fast.adsl_only().run_mean(3).download.mean / fast.run_mean(3).download.mean;
+    assert!(
+        slow_speedup > fast_speedup,
+        "slow line ×{slow_speedup:.2} vs fast line ×{fast_speedup:.2}"
+    );
+}

@@ -1,0 +1,86 @@
+//! Cross-validation of the two scheduler drivers: the pure toy
+//! executor (`threegol-sched::toy`) and the fluid-simulation runner
+//! (`threegol-core::TransactionRunner`) must agree exactly on
+//! constant-rate, overhead-free paths — any divergence means one of
+//! the drivers misinterprets the scheduler contract.
+
+use proptest::prelude::*;
+
+use threegol::core::{PathSpec, TransactionRunner};
+use threegol::sched::toy::ToyExecutor;
+use threegol::sched::{build, Policy, TransactionSpec};
+use threegol::simnet::{CapacityProcess, Simulation};
+
+fn run_both(policy: Policy, sizes: &[f64], rates_bps: &[f64]) -> (f64, f64, Vec<f64>, Vec<f64>) {
+    // Toy executor.
+    let mut sched = build(policy, TransactionSpec::new(sizes.to_vec(), rates_bps.len()));
+    let toy = ToyExecutor::constant(rates_bps.to_vec()).run(sched.as_mut(), sizes);
+
+    // Fluid simulation.
+    let mut sim = Simulation::new();
+    let paths: Vec<PathSpec> = rates_bps
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| {
+            let l = sim.add_link(format!("p{i}"), CapacityProcess::constant(r));
+            PathSpec::new(vec![l], 0.0, 0.0)
+        })
+        .collect();
+    let mut sched = build(policy, TransactionSpec::new(sizes.to_vec(), rates_bps.len()));
+    let fluid = TransactionRunner::new(paths, sizes.to_vec())
+        .run(&mut sim, sched.as_mut())
+        .expect("completes");
+
+    (
+        toy.total_secs,
+        fluid.total_secs,
+        toy.item_completion_secs,
+        fluid.item_completion_secs,
+    )
+}
+
+#[test]
+fn drivers_agree_on_fixed_scenarios() {
+    let scenarios: Vec<(Policy, Vec<f64>, Vec<f64>)> = vec![
+        (Policy::Greedy, vec![1000.0; 5], vec![8000.0, 4000.0]),
+        (Policy::RoundRobin, vec![1000.0; 5], vec![8000.0, 4000.0]),
+        (Policy::min_time_paper(), vec![1000.0; 5], vec![8000.0, 4000.0]),
+        (Policy::Greedy, vec![500.0, 2500.0, 1500.0], vec![6000.0, 6000.0, 2000.0]),
+        (Policy::RoundRobin, vec![750.0; 7], vec![1000.0]),
+    ];
+    for (policy, sizes, rates) in scenarios {
+        let (t_toy, t_fluid, c_toy, c_fluid) = run_both(policy, &sizes, &rates);
+        assert!(
+            (t_toy - t_fluid).abs() < 1e-6,
+            "{policy:?}: toy {t_toy} vs fluid {t_fluid}"
+        );
+        for (i, (a, b)) in c_toy.iter().zip(&c_fluid).enumerate() {
+            assert!((a - b).abs() < 1e-6, "{policy:?} item {i}: {a} vs {b}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn drivers_agree_on_random_transactions(
+        m in 1usize..10,
+        policy_idx in 0usize..3,
+        sizes_seed in 1u64..1000,
+        n_paths in 1usize..4,
+    ) {
+        let policy = [Policy::Greedy, Policy::RoundRobin, Policy::min_time_paper()][policy_idx];
+        let sizes: Vec<f64> = (0..m)
+            .map(|i| 200.0 + ((sizes_seed.wrapping_mul(31).wrapping_add(i as u64 * 97)) % 5000) as f64)
+            .collect();
+        let rates: Vec<f64> = (0..n_paths)
+            .map(|p| 1000.0 + ((sizes_seed.wrapping_mul(17).wrapping_add(p as u64 * 131)) % 9000) as f64)
+            .collect();
+        let (t_toy, t_fluid, c_toy, c_fluid) = run_both(policy, &sizes, &rates);
+        prop_assert!((t_toy - t_fluid).abs() < 1e-6, "toy {t_toy} vs fluid {t_fluid}");
+        for (a, b) in c_toy.iter().zip(&c_fluid) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+}

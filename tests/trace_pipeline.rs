@@ -1,0 +1,91 @@
+//! Cross-crate integration: traces → caps → §6 analyses.
+
+use threegol::caps::{evaluate_estimator, AllowanceEstimator, QuotaTracker};
+use threegol::simnet::stats::Ecdf;
+use threegol::traces::analysis::{
+    adoption_increase, budgeted_speedup_per_user, cell_load, BudgetModel,
+};
+use threegol::traces::dslam::{DslamTrace, DslamTraceConfig};
+use threegol::traces::mno::{MnoConfig, MnoTrace};
+
+fn mno() -> MnoTrace {
+    MnoTrace::generate(MnoConfig { n_users: 5_000, n_months: 12, ..MnoConfig::default() })
+}
+
+fn dslam() -> DslamTrace {
+    DslamTrace::generate(DslamTraceConfig { n_users: 3_000, ..DslamTraceConfig::default() })
+}
+
+#[test]
+fn estimator_allowances_feed_quota_trackers() {
+    let trace = mno();
+    let est = AllowanceEstimator::paper();
+    let mut advertising = 0usize;
+    let mut total = 0usize;
+    for user in trace.users.iter().take(500) {
+        let history = user.monthly_free_bytes();
+        let allowance = est.monthly_allowance(&history[..history.len() - 1]);
+        let tracker = QuotaTracker::new(allowance / 30.0);
+        total += 1;
+        if tracker.should_advertise() {
+            advertising += 1;
+        }
+    }
+    // Most users have stable spare volume, so most devices advertise.
+    assert!(
+        advertising as f64 / total as f64 > 0.5,
+        "{advertising}/{total} advertising"
+    );
+}
+
+#[test]
+fn estimator_keeps_overruns_rare_on_the_trace() {
+    let ev = evaluate_estimator(&AllowanceEstimator::paper(), &mno().free_series());
+    assert!(ev.months > 10_000);
+    assert!(ev.mean_overrun_days < 1.0, "overrun {} days", ev.mean_overrun_days);
+    assert!(ev.free_capacity_used > 0.4, "utilization {}", ev.free_capacity_used);
+}
+
+#[test]
+fn budget_pipeline_is_internally_consistent() {
+    let trace = dslam();
+    let model = BudgetModel::paper();
+    let ratios = budgeted_speedup_per_user(&trace, &model);
+    assert_eq!(ratios.len(), trace.video_user_count());
+    let ecdf = Ecdf::new(ratios);
+    // No user is ever slowed down and none exceeds the capacity bound.
+    assert!(ecdf.quantile(0.0) >= 1.0 - 1e-9);
+    assert!(ecdf.quantile(1.0) <= 1.0 + model.g3_bps / model.adsl_bps + 1e-9);
+
+    let load = cell_load(&trace, &model, 80e6);
+    // Per-user onloaded volume can never exceed the daily budget.
+    assert!(load.mean_onloaded_per_user_bytes <= model.daily_budget_bytes);
+    // Total onloaded bytes = sum over bins.
+    let total_bits: f64 = load.capped_bps.iter().map(|bps| bps * 300.0).sum();
+    let per_user = total_bits / 8.0 / trace.video_user_count() as f64;
+    assert!((per_user - load.mean_onloaded_per_user_bytes).abs() < 1.0);
+}
+
+#[test]
+fn adoption_analysis_uses_mno_volumes() {
+    let trace = mno();
+    let mean_daily = trace.mean_used_bytes() / 30.0;
+    assert!(mean_daily > 1e6, "mean daily usage {mean_daily}");
+    let pts = adoption_increase(mean_daily, 20e6, &[0.5, 1.0]);
+    assert!(pts[1].total_increase > pts[0].total_increase);
+    assert!(pts[1].peak_increase < pts[1].total_increase);
+}
+
+#[test]
+fn trace_regeneration_is_stable() {
+    // Same config → identical traces (the reproducibility contract the
+    // whole harness relies on).
+    let a = dslam();
+    let b = dslam();
+    assert_eq!(a.requests.len(), b.requests.len());
+    assert_eq!(a.requests.first(), b.requests.first());
+    assert_eq!(a.requests.last(), b.requests.last());
+    let ma = mno();
+    let mb = mno();
+    assert_eq!(ma.users[99], mb.users[99]);
+}
