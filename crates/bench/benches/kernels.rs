@@ -106,10 +106,7 @@ fn bench_traces(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(3));
     group.bench_function("dslam_2000_users", |b| {
         b.iter(|| {
-            DslamTrace::generate(DslamTraceConfig {
-                n_users: 2000,
-                ..DslamTraceConfig::default()
-            })
+            DslamTrace::generate(DslamTraceConfig { n_users: 2000, ..DslamTraceConfig::default() })
         })
     });
     group.bench_function("mno_5000_users", |b| {
@@ -118,11 +115,5 @@ fn bench_traces(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    kernels,
-    bench_fairshare,
-    bench_fluid_engine,
-    bench_schedulers,
-    bench_traces
-);
+criterion_group!(kernels, bench_fairshare, bench_fluid_engine, bench_schedulers, bench_traces);
 criterion_main!(kernels);

@@ -1,0 +1,114 @@
+//! Benchmarks of the reworked simnet hot path (see `DESIGN.md` §7 and
+//! `BENCH_simnet.json` for the tracked before/after numbers).
+//!
+//! Three angles:
+//! - `solver`: the allocating reference oracle vs the scratch-backed
+//!   `max_min_fair_into` on identical inputs;
+//! - `steady_state`: the full event loop on the fig06 shape (one ADSL
+//!   home with two onloading phones) where every event is a capacity
+//!   resample — the allocation-free path;
+//! - `components`: many independent homes, where dirty-component
+//!   tracking lets each capacity change re-solve one home instead of
+//!   the whole street.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use threegol_simnet::capacity::DiurnalProfile;
+use threegol_simnet::fairshare::{
+    max_min_fair, max_min_fair_into, FairShareScratch, FlowDemand, FlowTable,
+};
+use threegol_simnet::{CapacityProcess, SimTime, Simulation};
+
+fn solver_inputs(nl: usize, nf: usize) -> (Vec<f64>, Vec<FlowDemand>) {
+    let caps: Vec<f64> = (0..nl).map(|i| 1e6 + (i as f64) * 1e5).collect();
+    let flows: Vec<FlowDemand> = (0..nf)
+        .map(|f| FlowDemand {
+            links: vec![f % nl, (f * 7 + 1) % nl],
+            cap: if f % 3 == 0 { Some(5e5) } else { None },
+        })
+        .collect();
+    (caps, flows)
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_solver");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (nl, nf) in [(4usize, 8usize), (64, 256)] {
+        let (caps, flows) = solver_inputs(nl, nf);
+        group.bench_function(format!("reference_l{nl}_f{nf}"), |b| {
+            b.iter(|| max_min_fair(std::hint::black_box(&caps), std::hint::black_box(&flows)))
+        });
+        let table = FlowTable::from_demands(&flows);
+        let mut scratch = FairShareScratch::default();
+        let mut out = Vec::new();
+        group.bench_function(format!("scratch_l{nl}_f{nf}"), |b| {
+            b.iter(|| {
+                max_min_fair_into(
+                    std::hint::black_box(&caps),
+                    std::hint::black_box(&table),
+                    &mut scratch,
+                    &mut out,
+                );
+                std::hint::black_box(out.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn build_street(n_homes: usize) -> Simulation {
+    let mut sim = Simulation::new();
+    for h in 0..n_homes as u64 {
+        let adsl = sim.add_link(
+            format!("adsl{h}"),
+            CapacityProcess::stochastic(2e6, 0.3, 1.0, DiurnalProfile::flat(), 1 + h),
+        );
+        let p1 = sim.add_link(
+            format!("3g{h}a"),
+            CapacityProcess::stochastic(3e6, 0.4, 1.0, DiurnalProfile::flat(), 100 + h),
+        );
+        let p2 = sim.add_link(
+            format!("3g{h}b"),
+            CapacityProcess::stochastic(3e6, 0.4, 1.0, DiurnalProfile::flat(), 200 + h),
+        );
+        for link in [adsl, p1, p2] {
+            sim.start_flow(vec![link], 1e15);
+            sim.start_flow(vec![link], 1e15);
+        }
+    }
+    sim
+}
+
+fn bench_steady_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_steady_state");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("fig06_home_60s", |b| {
+        b.iter_batched(
+            || build_street(1),
+            |mut sim| sim.run_until(SimTime::from_secs(60.0)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_components");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("street_16_homes_30s", |b| {
+        b.iter_batched(
+            || build_street(16),
+            |mut sim| sim.run_until(SimTime::from_secs(30.0)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(simnet_hotpath, bench_solver, bench_steady_state, bench_components);
+criterion_main!(simnet_hotpath);

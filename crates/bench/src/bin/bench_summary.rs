@@ -1,0 +1,211 @@
+//! Tracked performance numbers for the simnet hot path.
+//!
+//! Runs the fig06-shaped workloads (one ADSL home with two onloading
+//! phones; a street of such homes; the full fig06 scheduler sweep with
+//! flow churn; the bare fair-share solver) against the current engine
+//! and writes `BENCH_simnet.json` to the repo root
+//! with the measured numbers next to the recorded pre-optimization
+//! baseline, plus the resulting speedups.
+//!
+//! ```text
+//! cargo run -p threegol-bench --release --bin bench_summary
+//! ```
+//!
+//! The baseline constants below were measured on the same machine from
+//! the tree immediately before the allocation-free/incremental hot
+//! path landed (reference `max_min_fair` in the event loop, per-event
+//! Vec churn). Re-measure them by checking out that commit and running
+//! this binary; the `current` section is always measured live.
+
+use std::time::Instant;
+
+use threegol_simnet::capacity::DiurnalProfile;
+use threegol_simnet::fairshare::{
+    max_min_fair, max_min_fair_into, FairShareScratch, FlowDemand, FlowTable,
+};
+use threegol_simnet::{CapacityProcess, SimTime, Simulation};
+
+/// One measured workload: median wall-clock over `REPS` runs.
+struct Sample {
+    name: &'static str,
+    /// What one run simulates.
+    what: &'static str,
+    median_ms: f64,
+    /// Live-measured "before" (overrides the recorded baseline).
+    live_before_ms: Option<f64>,
+    events: u64,
+}
+
+const REPS: usize = 7;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs[xs.len() / 2]
+}
+
+/// One fig06 home: a 2 Mbit/s ADSL line plus `n_phones` 3G links, all
+/// stochastic with 1 s resampling, carrying HLS-chunk-sized flows.
+fn build_home(sim: &mut Simulation, seed: u64, n_phones: usize, n_flows: usize) {
+    let adsl = sim.add_link(
+        format!("adsl{seed}"),
+        CapacityProcess::stochastic(2e6, 0.3, 1.0, DiurnalProfile::flat(), seed),
+    );
+    let mut links = vec![adsl];
+    for p in 0..n_phones {
+        links.push(sim.add_link(
+            format!("3g{seed}_{p}"),
+            CapacityProcess::stochastic(
+                3e6,
+                0.4,
+                1.0,
+                DiurnalProfile::flat(),
+                seed * 31 + p as u64,
+            ),
+        ));
+    }
+    // Long flows pinned across the home's links so every capacity
+    // change resolves a non-trivial allocation (fig06 steady state:
+    // the scheduler keeps all pipes busy for the whole download).
+    for f in 0..n_flows {
+        let path = vec![links[f % links.len()]];
+        sim.start_flow(path, 1e12); // effectively infinite: pure steady state
+    }
+}
+
+fn run_home_workload(n_homes: usize, horizon_secs: f64) -> (f64, u64) {
+    let mut times = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let mut sim = Simulation::new();
+        for h in 0..n_homes {
+            build_home(&mut sim, 1 + h as u64, 2, 6);
+        }
+        let t = Instant::now();
+        sim.run_until(SimTime::from_secs(horizon_secs));
+        times.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    // Flows never finish, so the event stream is exactly the capacity
+    // resampling: one change per stochastic link per step (1 s).
+    let events = (n_homes as u64 * 3) * horizon_secs as u64;
+    (median(times), events)
+}
+
+/// Bare solver: the allocating reference oracle vs the scratch-backed
+/// `max_min_fair_into`, both live on identical inputs.
+fn run_solver_workload(nl: usize, nf: usize, iters: u64) -> (f64, f64, u64) {
+    let caps: Vec<f64> = (0..nl).map(|i| 1e6 + (i as f64) * 1e5).collect();
+    let flows: Vec<FlowDemand> = (0..nf)
+        .map(|f| FlowDemand {
+            links: vec![f % nl, (f * 7 + 1) % nl],
+            cap: if f % 3 == 0 { Some(5e5) } else { None },
+        })
+        .collect();
+    let mut reference_times = Vec::with_capacity(REPS);
+    let mut scratch_times = Vec::with_capacity(REPS);
+    let table = FlowTable::from_demands(&flows);
+    let mut scratch = FairShareScratch::default();
+    let mut out = Vec::new();
+    for _ in 0..REPS {
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(max_min_fair(
+                std::hint::black_box(&caps),
+                std::hint::black_box(&flows),
+            ));
+        }
+        reference_times.push(t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        for _ in 0..iters {
+            max_min_fair_into(
+                std::hint::black_box(&caps),
+                std::hint::black_box(&table),
+                &mut scratch,
+                &mut out,
+            );
+            std::hint::black_box(&out);
+        }
+        scratch_times.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    (median(reference_times), median(scratch_times), iters)
+}
+
+/// Pre-optimization numbers (see module docs). The solver row instead
+/// measures the still-present reference implementation live.
+const BASELINE: &[(&str, Option<f64>)] =
+    &[("fig06_home", Some(0.71)), ("street_16_homes", Some(10.68)), ("fig06_sweep", Some(89.6))];
+
+fn main() {
+    let mut samples = Vec::new();
+
+    let (ms, events) = run_home_workload(1, 600.0);
+    samples.push(Sample {
+        name: "fig06_home",
+        what: "1 home (ADSL + 2 phones, 6 flows), 600 simulated s",
+        median_ms: ms,
+        live_before_ms: None,
+        events,
+    });
+
+    let (ms, events) = run_home_workload(16, 120.0);
+    samples.push(Sample {
+        name: "street_16_homes",
+        what: "16 independent homes (48 links, 96 flows), 120 simulated s",
+        median_ms: ms,
+        live_before_ms: None,
+        events,
+    });
+
+    // The acceptance workload: the actual fig06 experiment (full
+    // scheduler sweep, 30 reps per point), flow churn included.
+    let mut sweep_times = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let t = Instant::now();
+        std::hint::black_box(threegol_bench::run_experiment("fig06", 1.0));
+        sweep_times.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    samples.push(Sample {
+        name: "fig06_sweep",
+        what: "full fig06 experiment: scheduler sweep, 30 reps per point, with flow churn",
+        median_ms: median(sweep_times),
+        live_before_ms: None,
+        events: 30,
+    });
+
+    let (reference_ms, scratch_ms, iters) = run_solver_workload(64, 256, 200);
+    samples.push(Sample {
+        name: "solver_64x256",
+        what: "max_min_fair oracle vs max_min_fair_into, 64 links x 256 flows, 200 calls",
+        median_ms: scratch_ms,
+        live_before_ms: Some(reference_ms),
+        events: iters,
+    });
+
+    // serde_json is an offline stub in this container, so format the
+    // (flat, fixed-shape) JSON by hand.
+    let mut out = String::from("{\n  \"benchmark\": \"simnet hot path (fig06-shaped)\",\n");
+    out.push_str("  \"unit\": \"milliseconds, median of 7 runs\",\n");
+    out.push_str("  \"workloads\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let baseline = s
+            .live_before_ms
+            .or_else(|| BASELINE.iter().find(|(n, _)| *n == s.name).and_then(|(_, v)| *v));
+        let (base_str, speedup_str) = match baseline {
+            Some(b) => (format!("{b:.2}"), format!("{:.2}", b / s.median_ms)),
+            None => ("null".to_string(), "null".to_string()),
+        };
+        out.push_str(&format!(
+            "    {{\n      \"name\": \"{}\",\n      \"what\": \"{}\",\n      \
+             \"events\": {},\n      \"before_ms\": {},\n      \"after_ms\": {:.2},\n      \
+             \"speedup\": {}\n    }}{}\n",
+            s.name,
+            s.what,
+            s.events,
+            base_str,
+            s.median_ms,
+            speedup_str,
+            if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write("BENCH_simnet.json", &out).expect("write BENCH_simnet.json");
+    print!("{out}");
+}

@@ -21,7 +21,11 @@ pub fn run(scale: f64) -> Report {
     let mut results = Vec::new();
     for (setup, location, generation) in [
         ("HSPA on 2 Mbit/s ADSL", LocationProfile::reference_2mbps(), RadioGeneration::Hspa),
-        ("LTE on 21.6 Mbit/s line", LocationProfile::paper_table4().swap_remove(1), RadioGeneration::Lte),
+        (
+            "LTE on 21.6 Mbit/s line",
+            LocationProfile::paper_table4().swap_remove(1),
+            RadioGeneration::Lte,
+        ),
     ] {
         let mut per_wifi = Vec::new();
         for wifi in [WifiStandard::G, WifiStandard::N] {

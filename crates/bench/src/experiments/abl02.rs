@@ -73,11 +73,7 @@ pub fn run(scale: f64) -> Report {
         Check::new(
             "JIT slashes cellular usage",
             "deadline gating should onload far fewer bytes than greedy",
-            format!(
-                "greedy {:.1} MB vs JIT(15 s) {:.1} MB",
-                greedy_onloaded / 1e6,
-                onl_15 / 1e6
-            ),
+            format!("greedy {:.1} MB vs JIT(15 s) {:.1} MB", greedy_onloaded / 1e6, onl_15 / 1e6),
             onl_15 < greedy_onloaded * 0.6,
         ),
         Check::new(
@@ -102,10 +98,7 @@ pub fn run(scale: f64) -> Report {
     Report {
         id: "abl02",
         title: "Ablation: playout-aware (JIT) scheduling vs greedy",
-        body: table(
-            &["scheduler", "horizon", "onloaded MB", "prebuffer s", "stalls"],
-            &rows,
-        ),
+        body: table(&["scheduler", "horizon", "onloaded MB", "prebuffer s", "stalls"], &rows),
         checks,
     }
 }

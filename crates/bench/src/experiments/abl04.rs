@@ -94,10 +94,7 @@ pub fn run(_scale: f64) -> Report {
     Report {
         id: "abl04",
         title: "Ablation: network-integrated (permits) vs multi-provider (caps) over a day",
-        body: table(
-            &["mode", "provisioning", "hour", "phones", "speedup"],
-            &rows,
-        ),
+        body: table(&["mode", "provisioning", "hour", "phones", "speedup"], &rows),
         checks,
     }
 }

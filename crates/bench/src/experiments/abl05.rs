@@ -17,11 +17,8 @@ pub fn run(scale: f64) -> Report {
     let mut mptcp_vs_adsl_sum = 0.0;
     let mut count = 0.0;
     for quality in VideoQuality::paper_ladder() {
-        let e = VodExperiment::paper_default(
-            LocationProfile::reference_2mbps(),
-            quality.clone(),
-            2,
-        );
+        let e =
+            VodExperiment::paper_default(LocationProfile::reference_2mbps(), quality.clone(), 2);
         let adsl = e.adsl_only().run_mean(n_reps).download.mean;
         let gol = e.run_mean(n_reps).download.mean;
         let mptcp: f64 =
@@ -56,10 +53,7 @@ pub fn run(scale: f64) -> Report {
     Report {
         id: "abl05",
         title: "Ablation: 3GOL vs coupled-CC MPTCP (download s, 2 phones)",
-        body: table(
-            &["quality", "ADSL", "MPTCP (coupled)", "3GOL GRD", "MPTCP/3GOL"],
-            &rows,
-        ),
+        body: table(&["quality", "ADSL", "MPTCP (coupled)", "3GOL GRD", "MPTCP/3GOL"], &rows),
         checks,
     }
 }

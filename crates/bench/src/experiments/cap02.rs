@@ -19,10 +19,7 @@ pub fn run() -> Report {
             "aggregate ADSL uplink".into(),
             format!("{:.3} Gbit/s", m.adsl_aggregate_ul_bps() / 1e9),
         ],
-        vec![
-            "cell backhaul".into(),
-            format!("{:.0} Mbit/s", m.cell_backhaul_bps / 1e6),
-        ],
+        vec!["cell backhaul".into(), format!("{:.0} Mbit/s", m.cell_backhaul_bps / 1e6)],
         vec!["wired/cellular downlink ratio".into(), format!("×{:.0}", m.dl_ratio())],
         vec!["wired/cellular uplink ratio".into(), format!("×{:.1}", m.ul_ratio())],
     ];

@@ -12,11 +12,7 @@ use crate::util::{table, Check, Report};
 /// Regenerate the estimator evaluation.
 pub fn run(scale: f64) -> Report {
     let n_users = ((20_000.0 * scale) as usize).max(2_000);
-    let trace = MnoTrace::generate(MnoConfig {
-        n_users,
-        n_months: 18,
-        ..MnoConfig::default()
-    });
+    let trace = MnoTrace::generate(MnoConfig { n_users, n_months: 18, ..MnoConfig::default() });
     let series = trace.free_series();
     let mut rows = Vec::new();
     let mut paper_point = None;
@@ -63,7 +59,12 @@ pub fn run(scale: f64) -> Report {
         id: "est06",
         title: "§6 allowance estimator: guard sweep (τ = 5)",
         body: table(
-            &["rule (α or quantile)", "free capacity used", "overrun days/month", "months with overrun"],
+            &[
+                "rule (α or quantile)",
+                "free capacity used",
+                "overrun days/month",
+                "months with overrun",
+            ],
             &rows,
         ),
         checks,

@@ -20,7 +20,7 @@ pub fn run(scale: f64) -> Report {
     let mut loc1_dl_2 = 0.0;
     for (li, loc) in locations.iter().enumerate() {
         let hour = loc.measured_hour.unwrap_or(12.0);
-        let campaign = Campaign::new(loc.clone(), 0xF16_3 + li as u64);
+        let campaign = Campaign::new(loc.clone(), 0xF163 + li as u64);
         for n in 1..=10usize {
             let dl = campaign.aggregate_throughput(n, hour, Direction::Down, n_reps).mean;
             let ul = campaign.aggregate_throughput(n, hour, Direction::Up, n_reps).mean;
@@ -36,12 +36,7 @@ pub fn run(scale: f64) -> Report {
                     loc1_ul_5 = ul;
                 }
             }
-            rows.push(vec![
-                format!("loc{}", li + 1),
-                n.to_string(),
-                mbps(dl),
-                mbps(ul),
-            ]);
+            rows.push(vec![format!("loc{}", li + 1), n.to_string(), mbps(dl), mbps(ul)]);
         }
     }
     let checks = vec![
@@ -60,11 +55,7 @@ pub fn run(scale: f64) -> Report {
         Check::new(
             "uplink plateau",
             "uplink plateaus ≈5 Mbit/s by 5 devices (HSUPA max 5.76)",
-            format!(
-                "loc1: {} @5 dev, {} @10 dev Mbit/s",
-                mbps(loc1_ul_5),
-                mbps(loc1_ul_10)
-            ),
+            format!("loc1: {} @5 dev, {} @10 dev Mbit/s", mbps(loc1_ul_5), mbps(loc1_ul_10)),
             loc1_ul_10 <= HSUPA_MAX_BPS * 1.05 && loc1_ul_10 < loc1_ul_5 * 1.4,
         ),
     ];

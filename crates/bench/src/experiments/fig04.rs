@@ -22,14 +22,22 @@ pub fn run(scale: f64) -> Report {
     let mut five_dev_dl_all: Vec<f64> = Vec::new();
     let mut one_dev_dl_max: f64 = 0.0;
     for (li, loc) in locations.iter().enumerate() {
-        let campaign = Campaign::new(loc.clone(), 0xF16_4 + li as u64);
+        let campaign = Campaign::new(loc.clone(), 0xF164 + li as u64);
         for &hour in &hours {
             let mut cells = vec![format!("loc{}", li + 1), format!("{hour:02.0}:00")];
             for &cluster in &[1usize, 3, 5] {
-                let dl =
-                    Summary::of(&campaign.per_device_throughput(cluster, &[hour], days, Direction::Down));
-                let ul =
-                    Summary::of(&campaign.per_device_throughput(cluster, &[hour], days, Direction::Up));
+                let dl = Summary::of(&campaign.per_device_throughput(
+                    cluster,
+                    &[hour],
+                    days,
+                    Direction::Down,
+                ));
+                let ul = Summary::of(&campaign.per_device_throughput(
+                    cluster,
+                    &[hour],
+                    days,
+                    Direction::Up,
+                ));
                 if cluster == 5 {
                     five_dev_dl_all.push(dl.mean);
                 }
@@ -62,16 +70,7 @@ pub fn run(scale: f64) -> Report {
         id: "fig04",
         title: "Fig 4: per-device throughput by hour (clusters 1/3/5, six locations)",
         body: table(
-            &[
-                "location",
-                "hour",
-                "1dev dl",
-                "1dev ul",
-                "3dev dl",
-                "3dev ul",
-                "5dev dl",
-                "5dev ul",
-            ],
+            &["location", "hour", "1dev dl", "1dev ul", "3dev dl", "3dev ul", "5dev dl", "5dev ul"],
             &rows,
         ),
         checks,

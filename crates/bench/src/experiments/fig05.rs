@@ -23,15 +23,12 @@ pub fn run(scale: f64) -> Report {
     let mut all_dl: Vec<f64> = Vec::new();
     let mut all_ul: Vec<f64> = Vec::new();
     for (li, loc) in locations.iter().enumerate() {
-        let campaign = Campaign::new(loc.clone(), 0xF16_5 + li as u64);
+        let campaign = Campaign::new(loc.clone(), 0xF165 + li as u64);
         for (dir, label) in [(Direction::Down, "dl"), (Direction::Up, "ul")] {
             let samples = campaign.per_station_samples(&hours, days, dir);
             for station in 0..loc.n_base_stations {
-                let vals: Vec<f64> = samples
-                    .iter()
-                    .filter(|&&(s, _)| s == station)
-                    .map(|&(_, v)| v)
-                    .collect();
+                let vals: Vec<f64> =
+                    samples.iter().filter(|&&(s, _)| s == station).map(|&(_, v)| v).collect();
                 match dir {
                     Direction::Down => all_dl.extend(&vals),
                     Direction::Up => all_ul.extend(&vals),
@@ -69,10 +66,7 @@ pub fn run(scale: f64) -> Report {
     Report {
         id: "fig05",
         title: "Fig 5: per-base-station single-device throughput quantiles",
-        body: table(
-            &["location", "station", "dir", "p5", "p25", "p50", "p75", "p95"],
-            &rows,
-        ),
+        body: table(&["location", "station", "dir", "p5", "p25", "p50", "p75", "p95"], &rows),
         checks,
     }
 }

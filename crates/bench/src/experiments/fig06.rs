@@ -87,16 +87,7 @@ pub fn run(scale: f64) -> Report {
         id: "fig06",
         title: "Fig 6: scheduler comparison, HLS 200 s video on 2 Mbit/s ADSL (download s)",
         body: table(
-            &[
-                "quality",
-                "ADSL",
-                "MIN 1ph",
-                "RR 1ph",
-                "GRD 1ph",
-                "MIN 2ph",
-                "RR 2ph",
-                "GRD 2ph",
-            ],
+            &["quality", "ADSL", "MIN 1ph", "RR 1ph", "GRD 1ph", "MIN 2ph", "RR 2ph", "GRD 2ph"],
             &rows,
         ),
         checks,

@@ -72,10 +72,7 @@ pub fn run(scale: f64) -> Report {
     Report {
         id: "fig08",
         title: "Fig 8: total video download time reduction (%), avg across qualities",
-        body: table(
-            &["location", "3G 1ph", "H 1ph", "3G 2ph", "H 2ph"],
-            &rows,
-        ),
+        body: table(&["location", "3G 1ph", "H 1ph", "3G 2ph", "H 2ph"], &rows),
         checks,
     }
 }

@@ -51,10 +51,7 @@ pub fn run(scale: f64) -> Report {
             "second device always reduces upload time",
             format!(
                 "min gap {:.0} pp",
-                red2.iter()
-                    .zip(&red1)
-                    .map(|(b, a)| (b - a) * 100.0)
-                    .fold(f64::INFINITY, f64::min)
+                red2.iter().zip(&red1).map(|(b, a)| (b - a) * 100.0).fold(f64::INFINITY, f64::min)
             ),
             red2.iter().zip(&red1).all(|(b, a)| b >= a),
         ),
@@ -62,10 +59,7 @@ pub fn run(scale: f64) -> Report {
     Report {
         id: "fig09",
         title: "Fig 9: 30-photo upload time (s): ADSL vs 1 and 2 devices",
-        body: table(
-            &["location", "ADSL s", "1 phone s", "2 phones s", "speedup (1ph/2ph)"],
-            &rows,
-        ),
+        body: table(&["location", "ADSL s", "1 phone s", "2 phones s", "speedup (1ph/2ph)"], &rows),
         checks,
     }
 }

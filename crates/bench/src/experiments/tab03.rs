@@ -8,11 +8,8 @@ use threegol_simnet::stats::Summary;
 use crate::util::{close, mbps, table, Check, Report};
 
 /// The paper's Table 3 means, bits/s: `(cluster, ul_mean, dl_mean)`.
-const PAPER_MEANS: &[(usize, f64, f64)] = &[
-    (1, 1.09e6, 1.61e6),
-    (3, 0.90e6, 1.33e6),
-    (5, 0.65e6, 1.16e6),
-];
+const PAPER_MEANS: &[(usize, f64, f64)] =
+    &[(1, 1.09e6, 1.61e6), (3, 0.90e6, 1.33e6), (5, 0.65e6, 1.16e6)];
 
 /// Regenerate Table 3.
 pub fn run(scale: f64) -> Report {

@@ -45,11 +45,7 @@ pub fn run(scale: f64) -> Report {
         Check::new(
             "signal affects 3G rate",
             "weak-signal locations (−95/−97 dBm) see lower 3G rates",
-            format!(
-                "strong {} vs weak {} Mbit/s",
-                mbps(best_signal_dl),
-                mbps(worst_signal_dl)
-            ),
+            format!("strong {} vs weak {} Mbit/s", mbps(best_signal_dl), mbps(worst_signal_dl)),
             best_signal_dl > worst_signal_dl,
         ),
     ];

@@ -147,10 +147,7 @@ mod tests {
     fn table_alignment() {
         let t = table(
             &["name", "v"],
-            &[
-                vec!["a".into(), "1.0".into()],
-                vec!["longer".into(), "22".into()],
-            ],
+            &[vec!["a".into(), "1.0".into()], vec!["longer".into(), "22".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

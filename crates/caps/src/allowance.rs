@@ -57,8 +57,7 @@ impl AllowanceEstimator {
         if free_history_bytes.is_empty() {
             return 0.0;
         }
-        let window = &free_history_bytes
-            [free_history_bytes.len().saturating_sub(self.tau)..];
+        let window = &free_history_bytes[free_history_bytes.len().saturating_sub(self.tau)..];
         let n = window.len() as f64;
         let mean = window.iter().sum::<f64>() / n;
         let sd = if window.len() > 1 {
@@ -261,9 +260,7 @@ mod tests {
     #[test]
     fn evaluation_on_stable_population() {
         let e = AllowanceEstimator::paper();
-        let users: Vec<Vec<f64>> = (0..50)
-            .map(|u| vec![(300.0 + u as f64) * MB; 12])
-            .collect();
+        let users: Vec<Vec<f64>> = (0..50).map(|u| vec![(300.0 + u as f64) * MB; 12]).collect();
         let ev = evaluate_estimator(&e, &users);
         assert_eq!(ev.months, 50 * 7);
         // Stable users: allowance = free every month, no overruns.
@@ -275,8 +272,8 @@ mod tests {
     #[test]
     fn evaluation_flags_overruns() {
         let e = AllowanceEstimator::new(3, 0.0); // no guard
-        // Free capacity collapses in the last month: the mean-based
-        // allowance overruns.
+                                                 // Free capacity collapses in the last month: the mean-based
+                                                 // allowance overruns.
         let users = vec![vec![300.0 * MB, 300.0 * MB, 300.0 * MB, 0.0]];
         let ev = evaluate_estimator(&e, &users);
         assert_eq!(ev.months, 1);
@@ -299,9 +296,7 @@ mod tests {
     fn quantile_and_guard_estimators_both_evaluate() {
         let users: Vec<Vec<f64>> = (0..30)
             .map(|u| {
-                (0..12)
-                    .map(|m| (250.0 + ((u * 13 + m * 7) % 10) as f64 * 20.0) * MB)
-                    .collect()
+                (0..12).map(|m| (250.0 + ((u * 13 + m * 7) % 10) as f64 * 20.0) * MB).collect()
             })
             .collect();
         let guard = evaluate_estimator(&AllowanceEstimator::paper(), &users);

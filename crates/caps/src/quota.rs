@@ -100,10 +100,7 @@ impl AdmissibleSet {
 
     /// Rebuild the set from device advertisements: a device appears in
     /// Φ only if its tracker authorizes it.
-    pub fn refresh<'a>(
-        &mut self,
-        devices: impl IntoIterator<Item = (&'a str, &'a QuotaTracker)>,
-    ) {
+    pub fn refresh<'a>(&mut self, devices: impl IntoIterator<Item = (&'a str, &'a QuotaTracker)>) {
         self.devices.clear();
         for (name, tracker) in devices {
             if tracker.should_advertise() {

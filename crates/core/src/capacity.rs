@@ -106,7 +106,7 @@ mod tests {
     fn wired_exceeds_cellular_by_one_to_two_orders() {
         let m = CapacityModel::paper();
         let r = m.dl_ratio();
-        assert!(r >= 10.0 && r <= 1000.0, "ratio {r}");
+        assert!((10.0..=1000.0).contains(&r), "ratio {r}");
         // With the paper's numbers specifically, ~147×.
         assert!((r - 147.0).abs() < 10.0, "ratio {r}");
     }

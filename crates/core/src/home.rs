@@ -118,9 +118,8 @@ impl HomeNetwork {
         // bandwidth of 100 Mbps in download and 40 Mbps in upload" (§5).
         let server_down = sim.add_link("origin down", CapacityProcess::constant(100e6));
         let server_up = sim.add_link("origin up", CapacityProcess::constant(40e6));
-        let mut cell = CellularDeployment::new(profile.clone(), seed)
-            .with_generation(generation)
-            .install(sim);
+        let mut cell =
+            CellularDeployment::new(profile.clone(), seed).with_generation(generation).install(sim);
         let phones = (0..n_phones)
             .map(|i| {
                 let device = cell.default_device(format!("phone-{}", i + 1));
@@ -225,7 +224,7 @@ mod tests {
         }
         // Phone paths don't use the ADSL line and vice versa.
         assert!(!home.phone_download_path(0).contains(&home.adsl_down));
-        assert!(!home.adsl_download_path().contains(&home.wifi) == false);
+        assert!(home.adsl_download_path().contains(&home.wifi));
     }
 
     #[test]

@@ -29,8 +29,8 @@
 pub mod capacity;
 pub mod home;
 pub mod metrics;
-pub mod permits;
 pub mod mptcp;
+pub mod permits;
 pub mod runner;
 pub mod service;
 pub mod upload;
@@ -38,8 +38,8 @@ pub mod vod;
 
 pub use home::{HomeNetwork, WifiStandard};
 pub use metrics::{reduction_percent, speedup};
-pub use permits::{Permit, PermitBackend};
 pub use mptcp::mptcp_vod_download_secs;
+pub use permits::{Permit, PermitBackend};
 pub use runner::{PathSpec, TransactionResult, TransactionRunner};
 pub use service::{BoostedVideo, DayOfVideos, Mode, ServicePolicy};
 pub use upload::{UploadExperiment, UploadOutcome};

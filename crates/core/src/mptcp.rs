@@ -103,12 +103,8 @@ mod tests {
         // The paper's conclusion: app-layer onloading aggregates where
         // coupled MPTCP cannot.
         let e = experiment();
-        let mptcp: f64 =
-            (0..3).map(|r| mptcp_vod_download_secs(&e, r)).sum::<f64>() / 3.0;
+        let mptcp: f64 = (0..3).map(|r| mptcp_vod_download_secs(&e, r)).sum::<f64>() / 3.0;
         let gol = e.run_mean(3).download.mean;
-        assert!(
-            gol < mptcp * 0.8,
-            "3GOL {gol} should clearly beat coupled MPTCP {mptcp}"
-        );
+        assert!(gol < mptcp * 0.8, "3GOL {gol} should clearly beat coupled MPTCP {mptcp}");
     }
 }

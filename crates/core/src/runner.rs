@@ -127,11 +127,7 @@ impl TransactionRunner {
                             }
                             let token = next_token;
                             next_token += 1;
-                            pending.insert(token, InFlight {
-                                path,
-                                item,
-                                issued_at: sim.now(),
-                            });
+                            pending.insert(token, InFlight { path, item, issued_at: sim.now() });
                             sim.schedule_wakeup_in(delay, WakeToken(token));
                         }
                         Command::Abort { path, item } => {
@@ -281,9 +277,7 @@ mod tests {
             })
             .collect();
         let mut sched = build(policy, TransactionSpec::new(sizes.clone(), paths.len()));
-        TransactionRunner::new(paths, sizes)
-            .run(&mut sim, sched.as_mut())
-            .unwrap()
+        TransactionRunner::new(paths, sizes).run(&mut sim, sched.as_mut()).unwrap()
     }
 
     #[test]
@@ -306,13 +300,7 @@ mod tests {
 
     #[test]
     fn two_paths_parallelize() {
-        let r = run(
-            Policy::Greedy,
-            vec![125_000.0; 4],
-            vec![1.0, 1.0],
-            0.0,
-            vec![0.0, 0.0],
-        );
+        let r = run(Policy::Greedy, vec![125_000.0; 4], vec![1.0, 1.0], 0.0, vec![0.0, 0.0]);
         assert!((r.total_secs - 2.0).abs() < 1e-6, "{r:?}");
         // Work split evenly.
         assert!((r.bytes_per_path[0] - 250_000.0).abs() < 1.0);
@@ -323,13 +311,7 @@ mod tests {
     fn greedy_tail_duplication_counts_waste() {
         // Two items, second path 10× slower: greedy duplicates the tail
         // item on the fast path and aborts the slow copy.
-        let r = run(
-            Policy::Greedy,
-            vec![125_000.0; 2],
-            vec![1.0, 0.1],
-            0.0,
-            vec![0.0, 0.0],
-        );
+        let r = run(Policy::Greedy, vec![125_000.0; 2], vec![1.0, 0.1], 0.0, vec![0.0, 0.0]);
         assert!(r.aborts >= 1, "{r:?}");
         assert!(r.wasted_bytes > 0.0);
         assert!((r.total_secs - 2.0).abs() < 1e-6, "{r:?}");
@@ -354,21 +336,14 @@ mod tests {
         let paths = vec![PathSpec::new(vec![dead], 0.0, 0.0)];
         let sizes = vec![100.0];
         let mut sched = build(Policy::Greedy, TransactionSpec::new(sizes.clone(), 1));
-        let err = TransactionRunner::new(paths, sizes)
-            .run(&mut sim, sched.as_mut())
-            .unwrap_err();
+        let err = TransactionRunner::new(paths, sizes).run(&mut sim, sched.as_mut()).unwrap_err();
         assert_eq!(err, RunnerError::Stalled);
     }
 
     #[test]
     fn min_scheduler_runs_end_to_end() {
-        let r = run(
-            Policy::min_time_paper(),
-            vec![125_000.0; 6],
-            vec![1.0, 0.5],
-            0.1,
-            vec![0.0, 0.0],
-        );
+        let r =
+            run(Policy::min_time_paper(), vec![125_000.0; 6], vec![1.0, 0.5], 0.1, vec![0.0, 0.0]);
         assert!(r.item_completion_secs.iter().all(|t| t.is_finite()));
         assert!(r.total_secs > 0.0);
     }

@@ -173,17 +173,11 @@ impl DayOfVideos {
             };
             // Charge onloaded bytes to the phones that actually
             // assisted: transaction path `1 + k` is admissible phone `k`.
-            for (path_bytes, &tracker_idx) in
-                outcome.bytes_per_path.iter().skip(1).zip(&admissible)
+            for (path_bytes, &tracker_idx) in outcome.bytes_per_path.iter().skip(1).zip(&admissible)
             {
                 trackers[tracker_idx].consume(*path_bytes);
             }
-            out.push(BoostedVideo {
-                hour,
-                phones_used: admissible.len(),
-                outcome,
-                adsl_secs,
-            });
+            out.push(BoostedVideo { hour, phones_used: admissible.len(), outcome, adsl_secs });
         }
         out
     }

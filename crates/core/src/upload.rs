@@ -67,10 +67,7 @@ impl UploadExperiment {
     pub fn photo_sizes(&self, rep: u64) -> Vec<f64> {
         let mut rng = SimRng::seed_from_u64(mix_seed(self.seed, rep ^ 0xF070));
         (0..self.n_photos)
-            .map(|_| {
-                rng.lognormal_mean_sd(self.photo_mean_bytes, self.photo_sd_bytes)
-                    .max(100e3)
-            })
+            .map(|_| rng.lognormal_mean_sd(self.photo_mean_bytes, self.photo_sd_bytes).max(100e3))
             .collect()
     }
 
@@ -89,8 +86,7 @@ impl UploadExperiment {
         );
 
         let sizes = self.photo_sizes(rep);
-        let adsl_overhead =
-            request_overhead_secs(self.location.adsl_up_bps * ADSL_EFFICIENCY);
+        let adsl_overhead = request_overhead_secs(self.location.adsl_up_bps * ADSL_EFFICIENCY);
         let phone_overhead = request_overhead_secs(
             self.generation.uplink_curve().per_device(1) * self.location.cell_factor_ul,
         );
@@ -122,11 +118,9 @@ impl UploadExperiment {
     pub fn run_mean(&self, reps: u64) -> UploadSummary {
         let outs: Vec<UploadOutcome> = (0..reps).map(|r| self.run_once(r)).collect();
         let times: Vec<f64> = outs.iter().map(|o| o.total_secs).collect();
-        let onloaded = outs
-            .iter()
-            .map(|o| o.bytes_per_path.iter().skip(1).sum::<f64>())
-            .sum::<f64>()
-            / outs.len().max(1) as f64;
+        let onloaded =
+            outs.iter().map(|o| o.bytes_per_path.iter().skip(1).sum::<f64>()).sum::<f64>()
+                / outs.len().max(1) as f64;
         UploadSummary { total: Summary::of(&times), mean_onloaded_bytes: onloaded }
     }
 

@@ -126,8 +126,7 @@ impl VodExperiment {
         let durations: Vec<f64> = segments.iter().map(|s| s.duration_secs).collect();
 
         // Path 0: ADSL. Paths 1..: phones with their RRC startup delay.
-        let adsl_overhead =
-            request_overhead_secs(self.location.adsl_down_bps * ADSL_EFFICIENCY);
+        let adsl_overhead = request_overhead_secs(self.location.adsl_down_bps * ADSL_EFFICIENCY);
         let phone_overhead = request_overhead_secs(
             self.generation.downlink_curve().per_device(1) * self.location.cell_factor_dl,
         );
@@ -165,11 +164,8 @@ impl VodExperiment {
         // The playlist fetch precedes segment downloads.
         let playlist_secs = adsl_overhead;
         let player = PlayerModel::new(self.prebuffer_fraction);
-        let completion: Vec<f64> = result
-            .item_completion_secs
-            .iter()
-            .map(|t| t + playlist_secs)
-            .collect();
+        let completion: Vec<f64> =
+            result.item_completion_secs.iter().map(|t| t + playlist_secs).collect();
         let playout = player.playout(&completion, &durations);
         VodOutcome {
             prebuffer_secs: player.prebuffer_time_secs(&completion),
@@ -228,11 +224,9 @@ impl VodSummary {
         let pre: Vec<f64> = outcomes.iter().map(|o| o.prebuffer_secs).collect();
         let dl: Vec<f64> = outcomes.iter().map(|o| o.download_secs).collect();
         let waste: Vec<f64> = outcomes.iter().map(|o| o.wasted_bytes).collect();
-        let onloaded: f64 = outcomes
-            .iter()
-            .map(|o| o.bytes_per_path.iter().skip(1).sum::<f64>())
-            .sum::<f64>()
-            / outcomes.len().max(1) as f64;
+        let onloaded: f64 =
+            outcomes.iter().map(|o| o.bytes_per_path.iter().skip(1).sum::<f64>()).sum::<f64>()
+                / outcomes.len().max(1) as f64;
         VodSummary {
             prebuffer: Summary::of(&pre),
             download: Summary::of(&dl),

@@ -47,17 +47,10 @@ pub struct MediaPlaylist {
 impl MediaPlaylist {
     /// Build a VoD playlist from segments.
     pub fn from_segments(segments: &[Segment]) -> MediaPlaylist {
-        let target = segments
-            .iter()
-            .map(|s| s.duration_secs)
-            .fold(0.0, f64::max)
-            .ceil();
+        let target = segments.iter().map(|s| s.duration_secs).fold(0.0, f64::max).ceil();
         MediaPlaylist {
             target_duration_secs: target,
-            entries: segments
-                .iter()
-                .map(|s| (s.duration_secs, s.uri.clone()))
-                .collect(),
+            entries: segments.iter().map(|s| (s.duration_secs, s.uri.clone())).collect(),
             ended: true,
         }
     }
@@ -67,10 +60,7 @@ impl MediaPlaylist {
         let mut out = String::new();
         out.push_str("#EXTM3U\n");
         out.push_str("#EXT-X-VERSION:3\n");
-        out.push_str(&format!(
-            "#EXT-X-TARGETDURATION:{}\n",
-            self.target_duration_secs as u64
-        ));
+        out.push_str(&format!("#EXT-X-TARGETDURATION:{}\n", self.target_duration_secs as u64));
         out.push_str("#EXT-X-MEDIA-SEQUENCE:0\n");
         out.push_str("#EXT-X-PLAYLIST-TYPE:VOD\n");
         for (dur, uri) in &self.entries {

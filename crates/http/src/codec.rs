@@ -74,13 +74,7 @@ impl Response {
     pub fn ok(content_type: &str, body: Bytes) -> Response {
         let mut headers = Headers::new();
         headers.set("Content-Type", content_type);
-        Response {
-            status: 200,
-            reason: "OK".into(),
-            version: "HTTP/1.1".into(),
-            headers,
-            body,
-        }
+        Response { status: 200, reason: "OK".into(), version: "HTTP/1.1".into(), headers, body }
     }
 
     /// An empty response with the given status.
@@ -131,18 +125,12 @@ impl<T: AsyncRead + AsyncWrite + Unpin> HttpStream<T> {
         let mut lines = text.split("\r\n");
         let start = lines.next().ok_or_else(|| HttpError::Malformed("empty head".into()))?;
         let mut parts = start.split_whitespace();
-        let method = parts
-            .next()
-            .ok_or_else(|| HttpError::Malformed("missing method".into()))?
-            .to_string();
-        let target = parts
-            .next()
-            .ok_or_else(|| HttpError::Malformed("missing target".into()))?
-            .to_string();
-        let version = parts
-            .next()
-            .ok_or_else(|| HttpError::Malformed("missing version".into()))?
-            .to_string();
+        let method =
+            parts.next().ok_or_else(|| HttpError::Malformed("missing method".into()))?.to_string();
+        let target =
+            parts.next().ok_or_else(|| HttpError::Malformed("missing target".into()))?.to_string();
+        let version =
+            parts.next().ok_or_else(|| HttpError::Malformed("missing version".into()))?.to_string();
         let headers = parse_headers(lines)?;
         let body = self.read_body(&headers, false).await?;
         Ok(Some(Request { method, target, version, headers, body }))
@@ -150,20 +138,15 @@ impl<T: AsyncRead + AsyncWrite + Unpin> HttpStream<T> {
 
     /// Read one response.
     pub async fn read_response(&mut self) -> Result<Response, HttpError> {
-        let head_end = self
-            .fill_until_headers()
-            .await?
-            .ok_or(HttpError::UnexpectedEof)?;
+        let head_end = self.fill_until_headers().await?.ok_or(HttpError::UnexpectedEof)?;
         let head = self.buf.split_to(head_end);
         let text = std::str::from_utf8(&head[..head.len() - 4])
             .map_err(|_| HttpError::Malformed("non-UTF-8 header block".into()))?;
         let mut lines = text.split("\r\n");
         let start = lines.next().ok_or_else(|| HttpError::Malformed("empty head".into()))?;
         let mut parts = start.splitn(3, ' ');
-        let version = parts
-            .next()
-            .ok_or_else(|| HttpError::Malformed("missing version".into()))?
-            .to_string();
+        let version =
+            parts.next().ok_or_else(|| HttpError::Malformed("missing version".into()))?.to_string();
         let status: u16 = parts
             .next()
             .ok_or_else(|| HttpError::Malformed("missing status".into()))?
@@ -246,7 +229,9 @@ impl<T: AsyncRead + AsyncWrite + Unpin> HttpStream<T> {
         if headers.get("content-length").is_some() {
             return Err(HttpError::BodyTooLarge); // present but unparseable
         }
-        if read_to_eof_allowed && headers.get("connection").is_some_and(|c| c.eq_ignore_ascii_case("close")) {
+        if read_to_eof_allowed
+            && headers.get("connection").is_some_and(|c| c.eq_ignore_ascii_case("close"))
+        {
             // Old-style close-delimited body.
             loop {
                 if self.buf.len() > MAX_BODY_BYTES {
@@ -342,15 +327,11 @@ fn append_headers(head: &mut String, headers: &Headers, body_len: usize) {
 }
 
 fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
-    haystack
-        .windows(needle.len())
-        .position(|window| window == needle)
+    haystack.windows(needle.len()).position(|window| window == needle)
 }
 
 /// One-shot: read a request from `reader` (fresh buffer).
-pub async fn read_request<R: AsyncRead + Unpin>(
-    reader: R,
-) -> Result<Option<Request>, HttpError> {
+pub async fn read_request<R: AsyncRead + Unpin>(reader: R) -> Result<Option<Request>, HttpError> {
     HttpStream::new(ReadOnly(reader)).read_request().await
 }
 
@@ -485,7 +466,8 @@ mod tests {
         let (client, server) = tokio::io::duplex(64 * 1024);
         let mut c = HttpStream::new(client);
         let mut s = HttpStream::new(server);
-        let req = Request::post("/upload", "application/octet-stream", Bytes::from_static(b"pixels"));
+        let req =
+            Request::post("/upload", "application/octet-stream", Bytes::from_static(b"pixels"));
         c.write_request(&req).await.unwrap();
         let got = s.read_request().await.unwrap().unwrap();
         assert_eq!(got.method, "POST");
@@ -520,19 +502,13 @@ mod tests {
         client.write_all(b"GET /x HTTP/1.1\r\nContent-").await.unwrap();
         drop(client);
         let mut s = HttpStream::new(server);
-        assert!(matches!(
-            s.read_request().await,
-            Err(HttpError::UnexpectedEof)
-        ));
+        assert!(matches!(s.read_request().await, Err(HttpError::UnexpectedEof)));
     }
 
     #[tokio::test]
     async fn truncated_body_is_an_error() {
         let (mut client, server) = tokio::io::duplex(1024);
-        client
-            .write_all(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
-            .await
-            .unwrap();
+        client.write_all(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").await.unwrap();
         drop(client);
         let mut s = HttpStream::new(server);
         assert!(matches!(s.read_request().await, Err(HttpError::UnexpectedEof)));
@@ -599,10 +575,7 @@ mod tests {
             let _ = client.write_all(&msg).await;
         });
         let mut s = HttpStream::new(server);
-        assert!(matches!(
-            s.read_request().await,
-            Err(HttpError::HeadersTooLarge)
-        ));
+        assert!(matches!(s.read_request().await, Err(HttpError::HeadersTooLarge)));
     }
 
     #[tokio::test]

@@ -25,10 +25,7 @@ impl Headers {
 
     /// First value of `name`, case-insensitively.
     pub fn get(&self, name: &str) -> Option<&str> {
-        self.entries
-            .iter()
-            .find(|(n, _)| n.eq_ignore_ascii_case(name))
-            .map(|(_, v)| v.as_str())
+        self.entries.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
     }
 
     /// Remove all values of `name`.
@@ -43,8 +40,7 @@ impl Headers {
 
     /// Whether `Transfer-Encoding: chunked` applies.
     pub fn is_chunked(&self) -> bool {
-        self.get("transfer-encoding")
-            .is_some_and(|v| v.to_ascii_lowercase().contains("chunked"))
+        self.get("transfer-encoding").is_some_and(|v| v.to_ascii_lowercase().contains("chunked"))
     }
 
     /// Iterate over `(name, value)` pairs in insertion order.

@@ -23,9 +23,7 @@ pub mod error;
 pub mod headers;
 pub mod multipart;
 
-pub use codec::{
-    read_request, read_response, write_request, write_response, Request, Response,
-};
+pub use codec::{read_request, read_response, write_request, write_response, Request, Response};
 pub use error::HttpError;
 pub use headers::Headers;
 pub use multipart::{encode_multipart, parse_multipart, Part};

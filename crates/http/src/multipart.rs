@@ -185,10 +185,7 @@ mod tests {
         let ct = multipart_content_type("abc");
         assert_eq!(ct, "multipart/form-data; boundary=abc");
         assert_eq!(boundary_from_content_type(&ct), Some("abc"));
-        assert_eq!(
-            boundary_from_content_type("multipart/form-data; boundary=\"q\""),
-            Some("q")
-        );
+        assert_eq!(boundary_from_content_type("multipart/form-data; boundary=\"q\""), Some("q"));
         assert_eq!(boundary_from_content_type("text/plain"), None);
     }
 
@@ -199,7 +196,10 @@ mod tests {
             Err(HttpError::BadMultipart(_))
         ));
         assert!(matches!(
-            parse_multipart(b"--b\r\nContent-Disposition: form-data; name=\"x\"\r\n\r\ndata-without-end", "b"),
+            parse_multipart(
+                b"--b\r\nContent-Disposition: form-data; name=\"x\"\r\n\r\ndata-without-end",
+                "b"
+            ),
             Err(HttpError::BadMultipart(_))
         ));
     }

@@ -58,8 +58,7 @@ impl Campaign {
         assert!(n_devices >= 1);
         let mut sim = Simulation::new();
         sim.run_until(SimTime::from_hours(day as f64 * 24.0 + hour));
-        let deployment =
-            CellularDeployment::new(self.location.clone(), mix_seed(self.seed, day));
+        let deployment = CellularDeployment::new(self.location.clone(), mix_seed(self.seed, day));
         let mut cell = deployment.install(&mut sim);
         let mut flows = Vec::new();
         for i in 0..n_devices {
@@ -402,9 +401,6 @@ mod tests {
     #[test]
     fn probes_are_deterministic() {
         let c = Campaign::new(loc1(), 6);
-        assert_eq!(
-            c.probe(3, 9.0, 1, Direction::Down),
-            c.probe(3, 9.0, 1, Direction::Down)
-        );
+        assert_eq!(c.probe(3, 9.0, 1, Direction::Down), c.probe(3, 9.0, 1, Direction::Down));
     }
 }

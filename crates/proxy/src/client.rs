@@ -94,10 +94,7 @@ enum Job {
     /// `GET {target}` and return the body.
     Fetch(String),
     /// `POST /upload` with a single-photo multipart body.
-    Upload {
-        filename: String,
-        data: Bytes,
-    },
+    Upload { filename: String, data: Bytes },
 }
 
 /// Per-transfer timeout: a wedged path must not hang the transaction.
@@ -151,37 +148,30 @@ impl ThreegolClient {
         playlist_target: &str,
     ) -> Result<(MediaPlaylist, Vec<Bytes>, TransferReport), HttpError> {
         // Playlist interception happens before multipath kicks in.
-        let io = self.paths[0]
-            .connect()
-            .await
-            .map_err(HttpError::Io)?;
+        let io = self.paths[0].connect().await.map_err(HttpError::Io)?;
         let mut http = HttpStream::new(io);
         http.write_request(&Request::get(playlist_target)).await?;
         let resp = http.read_response().await?;
         if resp.status != 200 {
-            return Err(HttpError::Malformed(format!(
-                "playlist fetch failed: {}",
-                resp.status
-            )));
+            return Err(HttpError::Malformed(format!("playlist fetch failed: {}", resp.status)));
         }
         let text = std::str::from_utf8(&resp.body)
             .map_err(|_| HttpError::Malformed("non-UTF-8 playlist".into()))?;
         let playlist = MediaPlaylist::parse(text)
             .map_err(|e| HttpError::Malformed(format!("bad playlist: {e}")))?;
-        let base = playlist_target
-            .rsplit_once('/')
-            .map(|(dir, _)| dir)
-            .unwrap_or("");
+        let base = playlist_target.rsplit_once('/').map(|(dir, _)| dir).unwrap_or("");
         let targets: Vec<String> = playlist
             .entries
             .iter()
-            .map(|(_, uri)| {
-                if uri.starts_with('/') {
-                    uri.clone()
-                } else {
-                    format!("{base}/{uri}")
-                }
-            })
+            .map(
+                |(_, uri)| {
+                    if uri.starts_with('/') {
+                        uri.clone()
+                    } else {
+                        format!("{base}/{uri}")
+                    }
+                },
+            )
             .collect();
         let (bodies, report) = self.fetch(targets, None).await?;
         Ok((playlist, bodies, report))
@@ -194,10 +184,8 @@ impl ThreegolClient {
         photos: Vec<(String, Bytes)>,
     ) -> Result<TransferReport, HttpError> {
         let sizes: Vec<f64> = photos.iter().map(|(_, d)| d.len() as f64).collect();
-        let jobs: Vec<Job> = photos
-            .into_iter()
-            .map(|(filename, data)| Job::Upload { filename, data })
-            .collect();
+        let jobs: Vec<Job> =
+            photos.into_iter().map(|(filename, data)| Job::Upload { filename, data }).collect();
         let (_, report) = self.run(jobs, Some(sizes), None).await?;
         Ok(report)
     }
@@ -215,8 +203,7 @@ impl ThreegolClient {
         let mut sched = build(self.policy, TransactionSpec::new(sizes, n_paths));
 
         let started = Instant::now();
-        let (tx, mut rx) =
-            mpsc::unbounded_channel::<(usize, usize, Result<Bytes, String>, f64)>();
+        let (tx, mut rx) = mpsc::unbounded_channel::<(usize, usize, Result<Bytes, String>, f64)>();
 
         struct Running {
             handle: tokio::task::JoinHandle<()>,
@@ -231,27 +218,26 @@ impl ThreegolClient {
         let mut aborts = 0usize;
         let mut failures: HashMap<usize, usize> = HashMap::new();
 
-        let spawn_transfer = |path: usize,
-                              item: usize,
-                              tx: mpsc::UnboundedSender<(usize, usize, Result<Bytes, String>, f64)>|
-         -> Running {
-            let target = self.paths[path].clone();
-            let job = jobs[item].clone();
-            let moved = Arc::new(AtomicU64::new(0));
-            let counter = Arc::clone(&moved);
-            let handle = tokio::spawn(async move {
-                let t0 = Instant::now();
-                let outcome = tokio::time::timeout(
-                    TRANSFER_TIMEOUT,
-                    perform(target, job, counter),
-                )
-                .await
-                .map_err(|_| "transfer timeout".to_string())
-                .and_then(|r| r.map_err(|e| e.to_string()));
-                let _ = tx.send((path, item, outcome, t0.elapsed().as_secs_f64()));
-            });
-            Running { handle, moved }
-        };
+        let spawn_transfer =
+            |path: usize,
+             item: usize,
+             tx: mpsc::UnboundedSender<(usize, usize, Result<Bytes, String>, f64)>|
+             -> Running {
+                let target = self.paths[path].clone();
+                let job = jobs[item].clone();
+                let moved = Arc::new(AtomicU64::new(0));
+                let counter = Arc::clone(&moved);
+                let handle = tokio::spawn(async move {
+                    let t0 = Instant::now();
+                    let outcome =
+                        tokio::time::timeout(TRANSFER_TIMEOUT, perform(target, job, counter))
+                            .await
+                            .map_err(|_| "transfer timeout".to_string())
+                            .and_then(|r| r.map_err(|e| e.to_string()));
+                    let _ = tx.send((path, item, outcome, t0.elapsed().as_secs_f64()));
+                });
+                Running { handle, moved }
+            };
 
         macro_rules! exec {
             ($cmds:expr) => {
@@ -407,10 +393,7 @@ impl<T: AsyncWrite + Unpin> AsyncWrite for CountingStream<T> {
     fn poll_flush(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<std::io::Result<()>> {
         Pin::new(&mut self.inner).poll_flush(cx)
     }
-    fn poll_shutdown(
-        mut self: Pin<&mut Self>,
-        cx: &mut Context<'_>,
-    ) -> Poll<std::io::Result<()>> {
+    fn poll_shutdown(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<std::io::Result<()>> {
         Pin::new(&mut self.inner).poll_shutdown(cx)
     }
 }
@@ -421,10 +404,7 @@ mod tests {
     use crate::device::DeviceProxy;
     use crate::origin::OriginServer;
 
-    async fn setup(
-        adsl_bps: f64,
-        phone_bps: Vec<f64>,
-    ) -> (ThreegolClient, Arc<OriginServer>) {
+    async fn setup(adsl_bps: f64, phone_bps: Vec<f64>) -> (ThreegolClient, Arc<OriginServer>) {
         let origin = Arc::new(OriginServer::small_for_tests());
         let (origin_addr, _h) = origin.clone().spawn("127.0.0.1:0").await.unwrap();
         let mut paths = vec![PathTarget::Gateway {
@@ -475,10 +455,7 @@ mod tests {
         let (bodies, r2) = multi.fetch(targets, None).await.unwrap();
         let gol = t0.elapsed().as_secs_f64();
         assert!(bodies.iter().all(|b| b.len() == 64_000));
-        assert!(
-            gol < solo * 0.75,
-            "3GOL {gol:.2}s vs ADSL {solo:.2}s (report {r2:?})"
-        );
+        assert!(gol < solo * 0.75, "3GOL {gol:.2}s vs ADSL {solo:.2}s (report {r2:?})");
     }
 
     #[tokio::test]
@@ -500,10 +477,7 @@ mod tests {
     #[tokio::test]
     async fn missing_asset_fails_cleanly() {
         let (client, _origin) = setup(8e6, vec![]).await;
-        let err = client
-            .fetch(vec!["/does-not-exist".into()], None)
-            .await
-            .unwrap_err();
+        let err = client.fetch(vec!["/does-not-exist".into()], None).await.unwrap_err();
         assert!(err.to_string().contains("failed"), "{err}");
     }
 

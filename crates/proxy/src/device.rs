@@ -89,11 +89,8 @@ impl DeviceProxy {
         lan.set_nodelay(true).ok();
         let upstream_tcp = TcpStream::connect(self.upstream).await?;
         upstream_tcp.set_nodelay(true).ok();
-        let mut upstream = HttpStream::new(ThrottledStream::new(
-            upstream_tcp,
-            self.g3_down,
-            self.g3_up,
-        ));
+        let mut upstream =
+            HttpStream::new(ThrottledStream::new(upstream_tcp, self.g3_down, self.g3_up));
         let mut lan = HttpStream::new(lan);
         while let Some(req) = lan.read_request().await? {
             let up_bytes = req.body.len() as f64;

@@ -127,9 +127,7 @@ mod tests {
     async fn stale_entries_expire() {
         let disc = Discovery::bind("127.0.0.1:0").await.unwrap();
         // Insert directly (paused time makes real UDP awkward).
-        disc.seen
-            .lock()
-            .insert("phone-1".into(), (ad("phone-1", 1e6), Instant::now()));
+        disc.seen.lock().insert("phone-1".into(), (ad("phone-1", 1e6), Instant::now()));
         assert_eq!(disc.admissible().len(), 1);
         tokio::time::advance(Duration::from_secs(4)).await;
         assert!(disc.admissible().is_empty());

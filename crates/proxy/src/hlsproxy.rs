@@ -117,20 +117,12 @@ impl HlsProxy {
     /// Begin prefetching every segment of `playlist` not already cached
     /// or in flight.
     fn start_prefetch(&self, playlist_target: &str, playlist: &MediaPlaylist) {
-        let base = playlist_target
-            .rsplit_once('/')
-            .map(|(dir, _)| dir)
-            .unwrap_or("")
-            .to_string();
+        let base = playlist_target.rsplit_once('/').map(|(dir, _)| dir).unwrap_or("").to_string();
         let targets: Vec<String> = {
             let mut cache = self.cache.lock();
             let mut fresh = Vec::new();
             for (_, uri) in &playlist.entries {
-                let t = if uri.starts_with('/') {
-                    uri.clone()
-                } else {
-                    format!("{base}/{uri}")
-                };
+                let t = if uri.starts_with('/') { uri.clone() } else { format!("{base}/{uri}") };
                 if !cache.ready.contains_key(&t) && !cache.pending.contains(&t) {
                     cache.pending.insert(t.clone());
                     fresh.push(t);
@@ -288,9 +280,7 @@ mod tests {
         let (_proxy, addr, _origin) = setup().await;
         let stream = TcpStream::connect(addr).await.unwrap();
         let mut http = HttpStream::new(stream);
-        http.write_request(&Request::post("/x", "t/p", Bytes::new()))
-            .await
-            .unwrap();
+        http.write_request(&Request::post("/x", "t/p", Bytes::new())).await.unwrap();
         let resp = http.read_response().await.unwrap();
         assert_eq!(resp.status, 405);
     }

@@ -44,11 +44,7 @@ impl OriginServer {
         let master = MasterPlaylist::from_ladder(ladder);
         assets.insert("/master.m3u8".to_string(), Bytes::from(master.to_m3u8()));
         for (i, q) in ladder.iter().enumerate() {
-            let spec = VideoSpec {
-                duration_secs,
-                segment_secs,
-                quality: q.clone(),
-            };
+            let spec = VideoSpec { duration_secs, segment_secs, quality: q.clone() };
             let segments = segment_video(&spec);
             let media = MediaPlaylist::from_segments(&segments);
             assets.insert(format!("/q{}/index.m3u8", i + 1), Bytes::from(media.to_m3u8()));
@@ -59,11 +55,7 @@ impl OriginServer {
             }
         }
         assets.insert("/probe.bin".to_string(), Bytes::from(vec![0xAB; 2_000_000]));
-        OriginServer {
-            assets,
-            uploads: Mutex::new(Vec::new()),
-            requests_served: AtomicU64::new(0),
-        }
+        OriginServer { assets, uploads: Mutex::new(Vec::new()), requests_served: AtomicU64::new(0) }
     }
 
     /// A small origin for fast tests: short video, tiny probe.
@@ -95,7 +87,10 @@ impl OriginServer {
     }
 
     /// Serve one connection until the peer closes it.
-    pub async fn serve_connection(&self, stream: TcpStream) -> Result<(), threegol_http::HttpError> {
+    pub async fn serve_connection(
+        &self,
+        stream: TcpStream,
+    ) -> Result<(), threegol_http::HttpError> {
         stream.set_nodelay(true).ok();
         let mut http = HttpStream::new(stream);
         while let Some(req) = http.read_request().await? {
@@ -147,10 +142,7 @@ impl OriginServer {
                 match parse_multipart(&req.body, boundary) {
                     Ok(parts) => {
                         let upload = ReceivedUpload {
-                            filenames: parts
-                                .iter()
-                                .filter_map(|p| p.filename.clone())
-                                .collect(),
+                            filenames: parts.iter().filter_map(|p| p.filename.clone()).collect(),
                             total_bytes: parts.iter().map(|p| p.data.len()).sum(),
                         };
                         self.uploads.lock().push(upload);
@@ -276,11 +268,8 @@ mod tests {
         let o = OriginServer::small_for_tests();
         let req = Request::post("/upload", "text/plain", Bytes::from_static(b"x"));
         assert_eq!(o.handle(&req).status, 400);
-        let req = Request::post(
-            "/upload",
-            &multipart_content_type("b"),
-            Bytes::from_static(b"garbage"),
-        );
+        let req =
+            Request::post("/upload", &multipart_content_type("b"), Bytes::from_static(b"garbage"));
         assert_eq!(o.handle(&req).status, 400);
     }
 

@@ -52,8 +52,7 @@ impl Bucket {
 
     fn refill(&mut self, now: Instant) {
         let dt = now.saturating_duration_since(self.last_refill).as_secs_f64();
-        self.tokens =
-            (self.tokens + dt * self.limit.rate_bps / 8.0).min(self.limit.burst_bytes);
+        self.tokens = (self.tokens + dt * self.limit.rate_bps / 8.0).min(self.limit.burst_bytes);
         self.last_refill = now;
     }
 

@@ -147,9 +147,7 @@ mod tests {
     }
 
     fn mean_capacity(p: &CapacityProcess, samples: usize) -> f64 {
-        (0..samples)
-            .map(|i| p.capacity_at(SimTime::from_secs(i as f64)))
-            .sum::<f64>()
+        (0..samples).map(|i| p.capacity_at(SimTime::from_secs(i as f64))).sum::<f64>()
             / samples as f64
     }
 

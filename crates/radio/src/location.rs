@@ -112,11 +112,7 @@ impl LocationProfile {
         let avail = availability_profile(self.provisioning).at_hour(hour);
         let sig = signal_to_rate_factor(self.signal_dbm);
         let counts = split_devices(n_devices, self.n_base_stations);
-        let raw: f64 = counts
-            .iter()
-            .filter(|&&c| c > 0)
-            .map(|&c| curve.aggregate(c))
-            .sum();
+        let raw: f64 = counts.iter().filter(|&&c| c > 0).map(|&c| curve.aggregate(c)).sum();
         raw * factor * avail * sig
     }
 
@@ -136,16 +132,83 @@ impl LocationProfile {
 
     /// The six measurement locations of the paper's Table 2, calibrated
     /// to the reported DSL and 3-device 3G throughputs.
+    #[allow(clippy::type_complexity)] // literal table, one column per Table 2 field
     pub fn paper_table2() -> Vec<LocationProfile> {
         let mbps = 1e6;
         let rows: [(&str, AreaKind, f64, f64, f64, f64, f64, f64, Provisioning, bool); 6] = [
             // name, area, hour, dsl_d, dsl_u, 3g_d, 3g_u, signal, provisioning, sectorized
-            ("T2-loc1 dense residential (1am)", AreaKind::DenseResidential, 1.0, 3.44, 0.30, 5.73, 3.58, -80.0, Provisioning::Well, false),
-            ("T2-loc2 office at rush hour (4pm)", AreaKind::Office, 16.0, 4.51, 0.47, 2.94, 1.52, -85.0, Provisioning::Moderate, false),
-            ("T2-loc3 tourist hotspot (10pm)", AreaKind::Tourist, 22.0, 6.72, 0.84, 2.08, 1.29, -88.0, Provisioning::Congested, true),
-            ("T2-loc4 suburbs (1am)", AreaKind::Suburban, 1.0, 2.84, 0.45, 4.55, 2.17, -83.0, Provisioning::Well, false),
-            ("T2-loc5 dense residential", AreaKind::DenseResidential, 12.0, 8.57, 0.63, 3.88, 2.63, -82.0, Provisioning::Moderate, false),
-            ("T2-loc6 dense residential (VDSL)", AreaKind::DenseResidential, 12.0, 55.48, 11.35, 2.32, 1.52, -90.0, Provisioning::Moderate, false),
+            (
+                "T2-loc1 dense residential (1am)",
+                AreaKind::DenseResidential,
+                1.0,
+                3.44,
+                0.30,
+                5.73,
+                3.58,
+                -80.0,
+                Provisioning::Well,
+                false,
+            ),
+            (
+                "T2-loc2 office at rush hour (4pm)",
+                AreaKind::Office,
+                16.0,
+                4.51,
+                0.47,
+                2.94,
+                1.52,
+                -85.0,
+                Provisioning::Moderate,
+                false,
+            ),
+            (
+                "T2-loc3 tourist hotspot (10pm)",
+                AreaKind::Tourist,
+                22.0,
+                6.72,
+                0.84,
+                2.08,
+                1.29,
+                -88.0,
+                Provisioning::Congested,
+                true,
+            ),
+            (
+                "T2-loc4 suburbs (1am)",
+                AreaKind::Suburban,
+                1.0,
+                2.84,
+                0.45,
+                4.55,
+                2.17,
+                -83.0,
+                Provisioning::Well,
+                false,
+            ),
+            (
+                "T2-loc5 dense residential",
+                AreaKind::DenseResidential,
+                12.0,
+                8.57,
+                0.63,
+                3.88,
+                2.63,
+                -82.0,
+                Provisioning::Moderate,
+                false,
+            ),
+            (
+                "T2-loc6 dense residential (VDSL)",
+                AreaKind::DenseResidential,
+                12.0,
+                55.48,
+                11.35,
+                2.32,
+                1.52,
+                -90.0,
+                Provisioning::Moderate,
+                false,
+            ),
         ];
         rows.iter()
             .map(|&(name, area, hour, dsl_d, dsl_u, g_d, g_u, dbm, prov, sect)| {
@@ -251,7 +314,12 @@ mod tests {
         let locs = LocationProfile::paper_table2();
         assert_eq!(locs.len(), 6);
         for l in &locs {
-            assert!(l.cell_factor_dl > 0.1 && l.cell_factor_dl < 10.0, "{}: {}", l.name, l.cell_factor_dl);
+            assert!(
+                l.cell_factor_dl > 0.1 && l.cell_factor_dl < 10.0,
+                "{}: {}",
+                l.name,
+                l.cell_factor_dl
+            );
             assert!(l.cell_factor_ul > 0.1 && l.cell_factor_ul < 10.0);
             assert!(l.paper_3g_3dev_bps.is_some());
         }
@@ -262,8 +330,10 @@ mod tests {
         for l in LocationProfile::paper_table2() {
             let (target_dl, target_ul) = l.paper_3g_3dev_bps.unwrap();
             let hour = l.measured_hour.unwrap();
-            let dl = l.expected_aggregate(&EfficiencyCurve::paper_downlink(), l.cell_factor_dl, 3, hour);
-            let ul = l.expected_aggregate(&EfficiencyCurve::paper_uplink(), l.cell_factor_ul, 3, hour);
+            let dl =
+                l.expected_aggregate(&EfficiencyCurve::paper_downlink(), l.cell_factor_dl, 3, hour);
+            let ul =
+                l.expected_aggregate(&EfficiencyCurve::paper_uplink(), l.cell_factor_ul, 3, hour);
             assert!((dl / target_dl - 1.0).abs() < 1e-9, "{}", l.name);
             assert!((ul / target_ul - 1.0).abs() < 1e-9, "{}", l.name);
         }

@@ -83,11 +83,7 @@ impl RadioGeneration {
 }
 
 fn scale_curve(curve: EfficiencyCurve) -> EfficiencyCurve {
-    let anchors = curve
-        .anchors()
-        .iter()
-        .map(|&(n, bps)| (n, bps * LTE_RATE_MULTIPLIER))
-        .collect();
+    let anchors = curve.anchors().iter().map(|&(n, bps)| (n, bps * LTE_RATE_MULTIPLIER)).collect();
     EfficiencyCurve::new(anchors, curve.rel_sd)
 }
 

@@ -108,8 +108,8 @@ impl CellularDeployment {
         // Location-level uplink noise-rise ceiling: one HSUPA carrier's
         // worth of headroom, doubled for sectorized deployments (the
         // paper's Location 3 exceeded the single-cell limit).
-        let ceiling = if self.profile.sectorized { 2.0 } else { 1.0 }
-            * self.generation.cell_ul_max_bps();
+        let ceiling =
+            if self.profile.sectorized { 2.0 } else { 1.0 } * self.generation.cell_ul_max_bps();
         let ul_ceiling = sim.add_link(
             format!("{} ul-ceiling", self.profile.name),
             CapacityProcess::constant(ceiling),

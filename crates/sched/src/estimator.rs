@@ -66,7 +66,7 @@ mod tests {
         let mut e = BandwidthEstimator::new(0.75);
         e.observe(1000.0, 1.0); // 8000 bps
         e.observe(2000.0, 1.0); // sample 16000
-        // 0.75·16000 + 0.25·8000 = 14000
+                                // 0.75·16000 + 0.25·8000 = 14000
         assert_eq!(e.estimate_bps(), Some(14000.0));
     }
 

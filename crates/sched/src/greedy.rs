@@ -69,7 +69,7 @@ impl Greedy {
                 // same oldest item; that is allowed (each is a copy on a
                 // distinct path).
                 let age = self.first_scheduled_age[item].unwrap_or(u64::MAX);
-                if best.map_or(true, |(ba, _)| age < ba) {
+                if best.is_none_or(|(ba, _)| age < ba) {
                     best = Some((age, item));
                 }
             }
@@ -135,7 +135,7 @@ impl MultipathScheduler for Greedy {
         self.state.inflight[path] = None;
         if !self.state.completed[item]
             && !self.pending.contains(&item)
-            && !self.state.inflight.iter().any(|s| *s == Some(item))
+            && !self.state.inflight.contains(&Some(item))
         {
             // Put the item back at the front so it is retried first.
             self.pending.push_front(item);
@@ -200,7 +200,7 @@ mod tests {
     fn tail_duplication_picks_oldest() {
         let mut g = Greedy::new(TransactionSpec::uniform(3, 2, 10.0));
         g.start(); // p0<-0, p1<-1
-        // p0 finishes item 0, takes item 2 (last pending).
+                   // p0 finishes item 0, takes item 2 (last pending).
         g.on_complete(0, 0, 1.0, 10.0, 1.0);
         // p1 finishes item 1; nothing pending; oldest in flight is item 2
         // on p0 — p1 duplicates it.
@@ -214,8 +214,8 @@ mod tests {
         g.start();
         g.on_complete(0, 0, 1.0, 10.0, 1.0); // p0 <- 2
         g.on_complete(1, 1, 2.0, 10.0, 2.0); // p1 duplicates 2
-        // The copy on p1 completes first: p0's copy must be aborted and
-        // the transaction is done.
+                                             // The copy on p1 completes first: p0's copy must be aborted and
+                                             // the transaction is done.
         let cmds = g.on_complete(1, 2, 3.0, 10.0, 1.0);
         assert!(cmds.contains(&Command::Abort { path: 0, item: 2 }));
         assert!(g.is_done());

@@ -54,7 +54,7 @@ impl MinTime {
         for p in 0..self.state.spec.n_paths {
             if let Some(bps) = self.estimators[p].estimate_bps() {
                 let eta = (self.backlog_bytes[p] + size) * 8.0 / bps;
-                if best.map_or(true, |(b, _)| eta < b) {
+                if best.is_none_or(|(b, _)| eta < b) {
                     best = Some((eta, p));
                 }
             }

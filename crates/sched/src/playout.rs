@@ -46,10 +46,7 @@ impl PlayoutAware {
     /// Panics if lengths mismatch or deadlines decrease.
     pub fn new(spec: TransactionSpec, deadlines: Vec<f64>, horizon_secs: f64) -> PlayoutAware {
         assert_eq!(spec.n_items(), deadlines.len(), "one deadline per item");
-        assert!(
-            deadlines.windows(2).all(|w| w[0] <= w[1]),
-            "deadlines must be in playout order"
-        );
+        assert!(deadlines.windows(2).all(|w| w[0] <= w[1]), "deadlines must be in playout order");
         assert!(horizon_secs >= 0.0);
         PlayoutAware {
             state: SharedState::new(spec),
@@ -182,7 +179,7 @@ impl MultipathScheduler for PlayoutAware {
         self.state.inflight[path] = None;
         if !self.state.completed[item]
             && !self.pending.contains(&item)
-            && !self.state.inflight.iter().any(|s| *s == Some(item))
+            && !self.state.inflight.contains(&Some(item))
         {
             self.pending.push_front(item);
         }
@@ -291,8 +288,8 @@ mod tests {
         let mut s = sched(3, 3, 0.0); // everything is pre-buffer
         s.start(); // p0<-0, p1<-1
         s.on_complete(0, 0, 1.0, 1000.0, 1.0); // p0 <- 2
-        // p1 finishes; nothing pending; p1 duplicates item 2 (earliest
-        // deadline in flight).
+                                               // p1 finishes; nothing pending; p1 duplicates item 2 (earliest
+                                               // deadline in flight).
         let cmds = s.on_complete(1, 1, 2.0, 1000.0, 2.0);
         assert_eq!(starts(&cmds), vec![(1, 2)]);
         // First copy to finish aborts the other.
@@ -331,10 +328,6 @@ mod tests {
     #[test]
     #[should_panic]
     fn decreasing_deadlines_rejected() {
-        PlayoutAware::new(
-            TransactionSpec::uniform(2, 1, 1.0),
-            vec![5.0, 1.0],
-            0.0,
-        );
+        PlayoutAware::new(TransactionSpec::uniform(2, 1, 1.0), vec![5.0, 1.0], 0.0);
     }
 }

@@ -69,11 +69,7 @@ impl ToyExecutor {
     /// Panics if the scheduler deadlocks (not done but no transfer
     /// active) or issues an invalid command — both are scheduler bugs
     /// the tests are meant to catch.
-    pub fn run(
-        &mut self,
-        sched: &mut dyn MultipathScheduler,
-        item_sizes: &[f64],
-    ) -> ToyResult {
+    pub fn run(&mut self, sched: &mut dyn MultipathScheduler, item_sizes: &[f64]) -> ToyResult {
         let n = self.rate_script.len();
         let mut active: Vec<Option<Active>> = vec![None; n];
         let mut now = 0.0_f64;
@@ -84,12 +80,12 @@ impl ToyExecutor {
         let mut aborts = 0usize;
 
         let exec = |cmds: Vec<Command>,
-                        active: &mut Vec<Option<Active>>,
-                        this: &mut ToyExecutor,
-                        next_seq: &mut u64,
-                        wasted: &mut f64,
-                        starts: &mut usize,
-                        aborts: &mut usize| {
+                    active: &mut Vec<Option<Active>>,
+                    this: &mut ToyExecutor,
+                    next_seq: &mut u64,
+                    wasted: &mut f64,
+                    starts: &mut usize,
+                    aborts: &mut usize| {
             for cmd in cmds {
                 match cmd {
                     Command::Start { path, item } => {
@@ -97,18 +93,14 @@ impl ToyExecutor {
                         let rate = this.next_rate(path);
                         let seq = *next_seq;
                         *next_seq += 1;
-                        active[path] = Some(Active {
-                            item,
-                            remaining: item_sizes[item],
-                            rate_bps: rate,
-                            seq,
-                        });
+                        active[path] =
+                            Some(Active { item, remaining: item_sizes[item], rate_bps: rate, seq });
                         *starts += 1;
                     }
                     Command::Abort { path, item } => {
-                        let a = active[path].take().unwrap_or_else(|| {
-                            panic!("Abort on idle path {path}")
-                        });
+                        let a = active[path]
+                            .take()
+                            .unwrap_or_else(|| panic!("Abort on idle path {path}"));
                         assert_eq!(a.item, item, "Abort of wrong item on path {path}");
                         *wasted += item_sizes[item] - a.remaining;
                         *aborts += 1;
@@ -132,9 +124,7 @@ impl ToyExecutor {
             let (path, dt, _) = active
                 .iter()
                 .enumerate()
-                .filter_map(|(p, a)| {
-                    a.as_ref().map(|a| (p, a.remaining * 8.0 / a.rate_bps, a.seq))
-                })
+                .filter_map(|(p, a)| a.as_ref().map(|a| (p, a.remaining * 8.0 / a.rate_bps, a.seq)))
                 .min_by(|a, b| a.1.total_cmp(&b.1).then(a.2.cmp(&b.2)))
                 .expect("scheduler deadlock: not done but no active transfer");
             now += dt;
@@ -148,15 +138,7 @@ impl ToyExecutor {
             }
             let elapsed = item_sizes[item] * 8.0 / finished.rate_bps;
             let cmds = sched.on_complete(path, item, now, item_sizes[item], elapsed);
-            exec(
-                cmds,
-                &mut active,
-                self,
-                &mut next_seq,
-                &mut wasted,
-                &mut starts,
-                &mut aborts,
-            );
+            exec(cmds, &mut active, self, &mut next_seq, &mut wasted, &mut starts, &mut aborts);
         }
 
         ToyResult {

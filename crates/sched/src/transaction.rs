@@ -156,12 +156,7 @@ impl SharedState {
     pub fn new(spec: TransactionSpec) -> SharedState {
         let m = spec.n_items();
         let n = spec.n_paths;
-        SharedState {
-            spec,
-            completed: vec![false; m],
-            n_completed: 0,
-            inflight: vec![None; n],
-        }
+        SharedState { spec, completed: vec![false; m], n_completed: 0, inflight: vec![None; n] }
     }
 
     /// Record a completion; returns false if the item was already done

@@ -85,6 +85,10 @@ impl DiurnalProfile {
 }
 
 /// How a link's capacity evolves over time.
+// One process lives inline per link and links number in the dozens;
+// boxing `Stochastic`'s diurnal table would only add an indirection to
+// every `capacity_at` call on the hot path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum CapacityProcess {
     /// Fixed capacity, in bits/second.
@@ -154,22 +158,17 @@ impl CapacityProcess {
     /// Clamp a stochastic process to `[floor, ceil]` (no-op for others).
     pub fn with_bounds(self, new_floor: f64, new_ceil: f64) -> CapacityProcess {
         match self {
-            CapacityProcess::Stochastic {
-                base,
-                rel_sd,
-                step_secs,
-                diurnal,
-                seed,
-                ..
-            } => CapacityProcess::Stochastic {
-                base,
-                rel_sd,
-                step_secs,
-                diurnal,
-                floor: new_floor,
-                ceil: new_ceil,
-                seed,
-            },
+            CapacityProcess::Stochastic { base, rel_sd, step_secs, diurnal, seed, .. } => {
+                CapacityProcess::Stochastic {
+                    base,
+                    rel_sd,
+                    step_secs,
+                    diurnal,
+                    floor: new_floor,
+                    ceil: new_ceil,
+                    seed,
+                }
+            }
             other => other,
         }
     }
@@ -186,15 +185,7 @@ impl CapacityProcess {
                     points[idx - 1].1
                 }
             }
-            CapacityProcess::Stochastic {
-                base,
-                rel_sd,
-                step_secs,
-                diurnal,
-                floor,
-                ceil,
-                seed,
-            } => {
+            CapacityProcess::Stochastic { base, rel_sd, step_secs, diurnal, floor, ceil, seed } => {
                 let bin = (t.secs() / step_secs).floor() as u64;
                 let mult = if *rel_sd > 0.0 {
                     let mut rng = SimRng::seed_from_u64(*seed).derive(bin);
@@ -212,10 +203,9 @@ impl CapacityProcess {
     pub fn next_change(&self, t: SimTime) -> Option<SimTime> {
         match self {
             CapacityProcess::Constant(_) => None,
-            CapacityProcess::Piecewise(points) => points
-                .iter()
-                .map(|(pt, _)| *pt)
-                .find(|pt| *pt > t),
+            CapacityProcess::Piecewise(points) => {
+                points.iter().map(|(pt, _)| *pt).find(|pt| *pt > t)
+            }
             CapacityProcess::Stochastic { step_secs, .. } => {
                 let bin = (t.secs() / step_secs).floor();
                 Some(SimTime::from_secs((bin + 1.0) * step_secs))
@@ -260,10 +250,7 @@ mod tests {
         assert_eq!(p.capacity_at(SimTime::from_secs(5.0)), 20.0);
         assert_eq!(p.capacity_at(SimTime::from_secs(100.0)), 5.0);
         assert_eq!(p.next_change(SimTime::ZERO), Some(SimTime::from_secs(5.0)));
-        assert_eq!(
-            p.next_change(SimTime::from_secs(5.0)),
-            Some(SimTime::from_secs(9.0))
-        );
+        assert_eq!(p.next_change(SimTime::from_secs(5.0)), Some(SimTime::from_secs(9.0)));
         assert_eq!(p.next_change(SimTime::from_secs(9.0)), None);
     }
 
@@ -284,10 +271,8 @@ mod tests {
     #[test]
     fn stochastic_mean_tracks_base() {
         let p = CapacityProcess::stochastic(2e6, 0.25, 1.0, DiurnalProfile::flat(), 7);
-        let mean: f64 = (0..5000)
-            .map(|i| p.capacity_at(SimTime::from_secs(i as f64)))
-            .sum::<f64>()
-            / 5000.0;
+        let mean: f64 =
+            (0..5000).map(|i| p.capacity_at(SimTime::from_secs(i as f64))).sum::<f64>() / 5000.0;
         assert!((mean / 2e6 - 1.0).abs() < 0.03, "mean ratio {}", mean / 2e6);
     }
 

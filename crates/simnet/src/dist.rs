@@ -21,9 +21,7 @@ pub struct SimRng {
 impl SimRng {
     /// Create a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng {
-            inner: StdRng::seed_from_u64(seed),
-        }
+        SimRng { inner: StdRng::seed_from_u64(seed) }
     }
 
     /// Derive an independent substream keyed by `salt`.

@@ -15,7 +15,7 @@ use std::collections::{BTreeMap, BinaryHeap};
 
 use crate::capacity::CapacityProcess;
 use crate::error::SimError;
-use crate::fairshare::{max_min_fair, FlowDemand};
+use crate::fairshare::{max_min_fair_subset_into, FairShareScratch, FlowSet};
 use crate::flow::{Flow, FlowId};
 use crate::link::{Link, LinkId};
 use crate::time::SimTime;
@@ -60,6 +60,335 @@ impl SimEvent {
 /// and horizons).
 const COMPLETE_EPS_BYTES: f64 = 1e-3;
 
+/// Paths can hold up to this many links inline; longer ones spill to a
+/// heap vector at flow-start time (never in the steady-state loop).
+const INLINE_PATH: usize = 4;
+/// `lens` marker for a spilled path.
+const SPILLED: u8 = u8::MAX;
+
+/// Per-slot path/cap storage for active flows — the engine-side
+/// [`FlowSet`] the solver consumes directly. Slots stay stable across
+/// unrelated churn and are reused after removal, so rates, components
+/// and flow records can all reference a flow by slot.
+#[derive(Debug, Default)]
+struct SlotPaths {
+    /// Per-slot rate cap (`f64::INFINITY` when uncapped).
+    caps: Vec<f64>,
+    /// Inline path length, or [`SPILLED`].
+    lens: Vec<u8>,
+    /// Inline link indices (first `lens[slot]` entries are valid).
+    inline: Vec<[u32; INLINE_PATH]>,
+    /// Overflow storage for paths longer than [`INLINE_PATH`].
+    spill: Vec<Vec<u32>>,
+}
+
+impl SlotPaths {
+    /// Number of slots (live and free).
+    fn len(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// Append one (uninitialized) slot.
+    fn push_slot(&mut self) {
+        self.caps.push(f64::INFINITY);
+        self.lens.push(0);
+        self.inline.push([0; INLINE_PATH]);
+        self.spill.push(Vec::new());
+    }
+
+    /// (Re)initialize `slot` with a flow's path and cap.
+    fn set(&mut self, slot: usize, path: &[LinkId], cap: Option<f64>) {
+        self.caps[slot] = cap.unwrap_or(f64::INFINITY);
+        if path.len() <= INLINE_PATH {
+            self.lens[slot] = path.len() as u8;
+            for (dst, l) in self.inline[slot].iter_mut().zip(path) {
+                *dst = l.0 as u32;
+            }
+        } else {
+            self.lens[slot] = SPILLED;
+            self.spill[slot].clear();
+            self.spill[slot].extend(path.iter().map(|l| l.0 as u32));
+        }
+    }
+
+    /// Drop all slots (used by full rebuilds).
+    fn clear(&mut self) {
+        self.caps.clear();
+        self.lens.clear();
+        self.inline.clear();
+        self.spill.clear();
+    }
+}
+
+impl FlowSet for SlotPaths {
+    fn links_of(&self, f: usize) -> &[u32] {
+        if self.lens[f] == SPILLED {
+            &self.spill[f]
+        } else {
+            &self.inline[f][..self.lens[f] as usize]
+        }
+    }
+
+    fn cap_of(&self, f: usize) -> f64 {
+        self.caps[f]
+    }
+}
+
+/// One connected component of the link-sharing graph: its links and the
+/// flow slots currently assigned to it. Freed components keep their
+/// buffers for reuse.
+#[derive(Debug, Default)]
+struct Comp {
+    flows: Vec<u32>,
+    links: Vec<u32>,
+}
+
+/// Incrementally maintained view of the flow/link topology.
+///
+/// Holds per-link flow-incidence counts (so capacity changes on
+/// flowless links can be skipped without rescanning flows) and the
+/// connected components of the link-sharing graph — max-min fairness
+/// decomposes over components, which is what lets a capacity change or
+/// a flow arrival/departure re-solve only the component it touched.
+///
+/// Every mutation is O(touched component), not O(system): adding a flow
+/// unions the components its path crosses; removing one swap-removes it
+/// from its component. Removals never split components, so after a
+/// merge sustained churn can leave the partition coarser than the true
+/// one — still correct (a union of components also solves exactly),
+/// just less incremental — and a full rebuild re-tightens it once
+/// enough removals accumulate after a merge. Workloads whose flows pin
+/// single links (the 3GOL chunk model) never merge and never rebuild.
+#[derive(Debug, Default)]
+struct Topology {
+    /// `FlowId` of each slot (stale for free slots).
+    flow_ids: Vec<FlowId>,
+    /// Paths and caps by slot (the solver's [`FlowSet`]).
+    paths: SlotPaths,
+    /// Component of each slot (`u32::MAX` marks a free slot).
+    comp_of_flow: Vec<u32>,
+    /// Index of each slot inside its component's `flows` list.
+    pos_in_comp: Vec<u32>,
+    free_slots: Vec<u32>,
+    /// Number of active flows crossing each link.
+    incidence: Vec<u32>,
+    /// Component id of each link.
+    comp_of_link: Vec<u32>,
+    comps: Vec<Comp>,
+    /// Dirty flag per component, plus the drain list feeding
+    /// `recompute_rates` (the flag dedupes pushes).
+    comp_dirty: Vec<bool>,
+    dirty_comps: Vec<u32>,
+    free_comps: Vec<u32>,
+    /// Re-tightening bookkeeping (see type docs).
+    merged_since_rebuild: bool,
+    removals_since_merge: u32,
+    needs_rebuild: bool,
+    /// Union-find parents (rebuild scratch).
+    parent: Vec<u32>,
+}
+
+impl Topology {
+    /// Union-find root with path halving.
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            let grand = parent[parent[x as usize] as usize];
+            parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    /// Flag `c` for re-solve and enqueue it once.
+    fn mark_comp_dirty(&mut self, c: u32) {
+        if !self.comp_dirty[c as usize] {
+            self.comp_dirty[c as usize] = true;
+            self.dirty_comps.push(c);
+        }
+    }
+
+    /// Flag the component containing `link`.
+    fn mark_link_dirty(&mut self, link: usize) {
+        self.mark_comp_dirty(self.comp_of_link[link]);
+    }
+
+    /// Register a new link as its own singleton component.
+    fn add_link(&mut self) {
+        let link = self.incidence.len() as u32;
+        self.incidence.push(0);
+        let c = match self.free_comps.pop() {
+            Some(c) => c,
+            None => {
+                self.comps.push(Comp::default());
+                self.comp_dirty.push(false);
+                (self.comps.len() - 1) as u32
+            }
+        };
+        self.comps[c as usize].links.push(link);
+        self.comp_of_link.push(c);
+    }
+
+    /// Merge the smaller of components `a`, `b` into the larger;
+    /// returns the survivor.
+    fn merge(&mut self, a: u32, b: u32) -> u32 {
+        let size = |c: &Comp| c.links.len() + c.flows.len();
+        let (into, from) = if size(&self.comps[a as usize]) >= size(&self.comps[b as usize]) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let moved = std::mem::take(&mut self.comps[from as usize]);
+        for &l in &moved.links {
+            self.comp_of_link[l as usize] = into;
+        }
+        let target = &mut self.comps[into as usize];
+        let base = target.flows.len();
+        target.links.extend_from_slice(&moved.links);
+        target.flows.extend_from_slice(&moved.flows);
+        for (k, &f) in moved.flows.iter().enumerate() {
+            self.comp_of_flow[f as usize] = into;
+            self.pos_in_comp[f as usize] = (base + k) as u32;
+        }
+        // Hand the emptied buffers back for reuse and transfer dirtiness.
+        let mut moved = moved;
+        moved.flows.clear();
+        moved.links.clear();
+        self.comps[from as usize] = moved;
+        if self.comp_dirty[from as usize] {
+            self.comp_dirty[from as usize] = false;
+            self.mark_comp_dirty(into);
+        }
+        self.free_comps.push(from);
+        self.merged_since_rebuild = true;
+        into
+    }
+
+    /// Register flow `id` on `path`, returning its slot. Marks the
+    /// (possibly merged) component dirty.
+    fn add_flow(&mut self, id: FlowId, path: &[LinkId], cap: Option<f64>) -> u32 {
+        let slot = match self.free_slots.pop() {
+            Some(s) => s,
+            None => {
+                let s = self.flow_ids.len() as u32;
+                self.flow_ids.push(id);
+                self.comp_of_flow.push(0);
+                self.pos_in_comp.push(0);
+                self.paths.push_slot();
+                s
+            }
+        };
+        self.flow_ids[slot as usize] = id;
+        self.paths.set(slot as usize, path, cap);
+        let mut target = self.comp_of_link[path[0].0];
+        for l in path {
+            self.incidence[l.0] += 1;
+        }
+        for l in &path[1..] {
+            let other = self.comp_of_link[l.0];
+            if other != target {
+                target = self.merge(target, other);
+            }
+        }
+        let comp = &mut self.comps[target as usize];
+        self.comp_of_flow[slot as usize] = target;
+        self.pos_in_comp[slot as usize] = comp.flows.len() as u32;
+        comp.flows.push(slot);
+        self.mark_comp_dirty(target);
+        slot
+    }
+
+    /// Unregister the flow in `slot` (whose path was `path`) and mark
+    /// its component dirty.
+    fn remove_flow(&mut self, slot: u32, path: &[LinkId]) {
+        for l in path {
+            self.incidence[l.0] -= 1;
+        }
+        let c = self.comp_of_flow[slot as usize];
+        let pos = self.pos_in_comp[slot as usize] as usize;
+        let comp = &mut self.comps[c as usize];
+        comp.flows.swap_remove(pos);
+        if let Some(&moved) = comp.flows.get(pos) {
+            self.pos_in_comp[moved as usize] = pos as u32;
+        }
+        self.comp_of_flow[slot as usize] = u32::MAX;
+        self.free_slots.push(slot);
+        self.mark_comp_dirty(c);
+        if self.merged_since_rebuild {
+            self.removals_since_merge += 1;
+            if self.removals_since_merge as usize > 64 + 4 * self.incidence.len() {
+                self.needs_rebuild = true;
+            }
+        }
+    }
+
+    /// Recompute the exact partition from scratch (into mostly
+    /// persistent buffers), renumbering slots densely and updating each
+    /// flow's stored slot. Only runs to re-tighten coarsened components.
+    fn rebuild(&mut self, n_links: usize, flows: &mut BTreeMap<FlowId, Flow>) {
+        self.flow_ids.clear();
+        self.paths.clear();
+        self.comp_of_flow.clear();
+        self.pos_in_comp.clear();
+        self.free_slots.clear();
+        self.incidence.clear();
+        self.incidence.resize(n_links, 0);
+        self.parent.clear();
+        self.parent.extend(0..n_links as u32);
+        for (id, f) in flows.iter_mut() {
+            let slot = self.flow_ids.len();
+            f.slot = slot as u32;
+            self.flow_ids.push(*id);
+            self.paths.push_slot();
+            self.paths.set(slot, &f.path, f.rate_cap);
+            self.comp_of_flow.push(0);
+            self.pos_in_comp.push(0);
+            let root = Self::find(&mut self.parent, f.path[0].0 as u32);
+            for l in &f.path {
+                self.incidence[l.0] += 1;
+                let r = Self::find(&mut self.parent, l.0 as u32);
+                if r != root {
+                    self.parent[r as usize] = root;
+                }
+            }
+        }
+
+        // Dense component ids: number the roots, then map every link
+        // (flowless links stay singleton components).
+        self.comp_of_link.clear();
+        self.comp_of_link.resize(n_links, 0);
+        let mut n_comps = 0u32;
+        for l in 0..n_links as u32 {
+            if Self::find(&mut self.parent, l) == l {
+                self.comp_of_link[l as usize] = n_comps;
+                n_comps += 1;
+            }
+        }
+        for l in 0..n_links as u32 {
+            let root = Self::find(&mut self.parent, l);
+            self.comp_of_link[l as usize] = self.comp_of_link[root as usize];
+        }
+        self.comps.clear();
+        self.comps.resize_with(n_comps as usize, Comp::default);
+        self.comp_dirty.clear();
+        self.comp_dirty.resize(n_comps as usize, false);
+        self.dirty_comps.clear();
+        self.free_comps.clear();
+        for l in 0..n_links {
+            self.comps[self.comp_of_link[l] as usize].links.push(l as u32);
+        }
+        for slot in 0..self.flow_ids.len() {
+            let c = self.comp_of_link[self.paths.links_of(slot)[0] as usize];
+            self.comp_of_flow[slot] = c;
+            let comp = &mut self.comps[c as usize];
+            self.pos_in_comp[slot] = comp.flows.len() as u32;
+            comp.flows.push(slot as u32);
+        }
+        self.merged_since_rebuild = false;
+        self.removals_since_merge = 0;
+        self.needs_rebuild = false;
+    }
+}
+
 /// A deterministic fluid-flow network simulation.
 #[derive(Debug, Default)]
 pub struct Simulation {
@@ -70,20 +399,29 @@ pub struct Simulation {
     wakeups: BinaryHeap<Reverse<(SimTime, u64, u64)>>, // (time, seq, token)
     wake_seq: u64,
     rates_dirty: bool,
+    // --- hot-path state (see DESIGN.md §8) ---
+    /// Incrementally maintained topology (always current).
+    topo: Topology,
+    /// Re-solve every component at the next recompute (set after a
+    /// topology rebuild, whose renumbering invalidates all rates).
+    all_dirty: bool,
+    /// Cached per-link capacity, refreshed per component when that
+    /// component is re-solved (clean components keep their values —
+    /// exact between their change points, see DESIGN.md §8).
+    caps: Vec<f64>,
+    /// Per-slot rates (same indexing as `Topology::paths`).
+    rates: Vec<f64>,
+    /// Solver working memory.
+    scratch: FairShareScratch,
+    /// Links achieving the earliest next capacity change (recorded by
+    /// `next_capacity_change`, committed if that event fires).
+    cap_candidates: Vec<u32>,
 }
 
 impl Simulation {
     /// Create an empty simulation at time zero.
     pub fn new() -> Simulation {
-        Simulation {
-            now: SimTime::ZERO,
-            links: Vec::new(),
-            flows: BTreeMap::new(),
-            next_flow_id: 0,
-            wakeups: BinaryHeap::new(),
-            wake_seq: 0,
-            rates_dirty: false,
-        }
+        Simulation::default()
     }
 
     /// Current virtual time.
@@ -94,13 +432,14 @@ impl Simulation {
     /// Register a link and return its id.
     pub fn add_link(&mut self, name: impl Into<String>, process: CapacityProcess) -> LinkId {
         self.links.push(Link::new(name, process));
-        self.rates_dirty = true;
+        self.topo.add_link();
         LinkId(self.links.len() - 1)
     }
 
     /// Replace a link's capacity process (e.g., RRC state promotion).
     pub fn set_capacity_process(&mut self, link: LinkId, process: CapacityProcess) {
         self.links[link.0].process = process;
+        self.topo.mark_link_dirty(link.0);
         self.rates_dirty = true;
     }
 
@@ -158,6 +497,7 @@ impl Simulation {
         }
         let id = FlowId(self.next_flow_id);
         self.next_flow_id += 1;
+        let slot = self.topo.add_flow(id, &path, rate_cap);
         self.flows.insert(
             id,
             Flow {
@@ -167,6 +507,7 @@ impl Simulation {
                 rate_bps: 0.0,
                 rate_cap,
                 started_at: self.now,
+                slot,
             },
         );
         self.rates_dirty = true;
@@ -178,6 +519,7 @@ impl Simulation {
     /// the greedy scheduler uses this).
     pub fn cancel_flow(&mut self, id: FlowId) -> Result<Flow, SimError> {
         let f = self.flows.remove(&id).ok_or(SimError::UnknownFlow(id.0))?;
+        self.topo.remove_flow(f.slot, &f.path);
         self.rates_dirty = true;
         Ok(f)
     }
@@ -211,42 +553,95 @@ impl Simulation {
         self.schedule_wakeup(at, token);
     }
 
-    /// Recompute max-min fair rates for all active flows.
+    /// Re-solve the components flagged dirty, refreshing their links'
+    /// capacities at the current time; clean components keep their
+    /// rates. After a rebuild every component is re-solved. In steady
+    /// state (capacity changes and wakeups, no flow churn) this path
+    /// performs no heap allocation; churn itself is O(touched
+    /// component).
     fn recompute_rates(&mut self) {
-        let caps: Vec<f64> = self.links.iter().map(|l| l.capacity_at(self.now)).collect();
-        let order: Vec<FlowId> = self.flows.keys().copied().collect();
-        let demands: Vec<FlowDemand> = order
-            .iter()
-            .map(|id| {
-                let f = &self.flows[id];
-                FlowDemand {
-                    links: f.path.iter().map(|l| l.0).collect(),
-                    cap: f.rate_cap,
+        if self.topo.needs_rebuild {
+            self.topo.rebuild(self.links.len(), &mut self.flows);
+            self.all_dirty = true;
+        }
+        if self.rates.len() < self.topo.paths.len() {
+            self.rates.resize(self.topo.paths.len(), 0.0);
+        }
+        if self.caps.len() < self.links.len() {
+            self.caps.resize(self.links.len(), 0.0);
+        }
+
+        if self.all_dirty {
+            for (cap, link) in self.caps.iter_mut().zip(&self.links) {
+                *cap = link.capacity_at(self.now);
+            }
+            self.topo.dirty_comps.clear();
+            for c in 0..self.topo.comps.len() {
+                self.topo.comp_dirty[c] = false;
+                if self.topo.comps[c].flows.is_empty() {
+                    continue;
                 }
-            })
-            .collect();
-        let rates = max_min_fair(&caps, &demands);
-        for (id, rate) in order.into_iter().zip(rates) {
-            self.flows.get_mut(&id).expect("flow exists").rate_bps = rate;
+                max_min_fair_subset_into(
+                    &self.caps,
+                    &self.topo.paths,
+                    &self.topo.comps[c].flows,
+                    &mut self.scratch,
+                    &mut self.rates,
+                );
+            }
+            for f in self.flows.values_mut() {
+                f.rate_bps = self.rates[f.slot as usize];
+            }
+            self.all_dirty = false;
+        } else {
+            while let Some(c) = self.topo.dirty_comps.pop() {
+                let c = c as usize;
+                if !self.topo.comp_dirty[c] {
+                    continue; // merged away since it was queued
+                }
+                self.topo.comp_dirty[c] = false;
+                for &l in &self.topo.comps[c].links {
+                    self.caps[l as usize] = self.links[l as usize].capacity_at(self.now);
+                }
+                if self.topo.comps[c].flows.is_empty() {
+                    continue;
+                }
+                max_min_fair_subset_into(
+                    &self.caps,
+                    &self.topo.paths,
+                    &self.topo.comps[c].flows,
+                    &mut self.scratch,
+                    &mut self.rates,
+                );
+                for &slot in &self.topo.comps[c].flows {
+                    let id = self.topo.flow_ids[slot as usize];
+                    let rate = self.rates[slot as usize];
+                    self.flows.get_mut(&id).expect("flow exists").rate_bps = rate;
+                }
+            }
         }
         self.rates_dirty = false;
     }
 
-    /// Earliest upcoming capacity change among links that carry flows.
-    fn next_capacity_change(&self) -> SimTime {
-        let mut active_links = vec![false; self.links.len()];
-        for f in self.flows.values() {
-            for l in &f.path {
-                active_links[l.0] = true;
-            }
-        }
+    /// Earliest upcoming capacity change among links that carry flows,
+    /// recording the links that change at that instant into
+    /// `cap_candidates` (their components are marked dirty if that
+    /// event actually fires).
+    fn next_capacity_change(&mut self) -> SimTime {
+        self.cap_candidates.clear();
         let mut earliest = SimTime::FAR_FUTURE;
         for (i, link) in self.links.iter().enumerate() {
-            if !active_links[i] {
+            if self.topo.incidence[i] == 0 {
                 continue;
             }
             if let Some(t) = link.process.next_change(self.now) {
-                earliest = earliest.min(t);
+                if t < earliest {
+                    earliest = t;
+                    self.cap_candidates.clear();
+                    self.cap_candidates.push(i as u32);
+                } else if t == earliest {
+                    self.cap_candidates.push(i as u32);
+                }
             }
         }
         earliest
@@ -258,7 +653,7 @@ impl Simulation {
         if dt <= 0.0 {
             return;
         }
-        let mut carried = vec![0.0_f64; self.links.len()];
+        let links = &mut self.links;
         for f in self.flows.values_mut() {
             let bytes = if f.rate_bps.is_infinite() {
                 f.remaining_bytes
@@ -267,11 +662,8 @@ impl Simulation {
             };
             f.remaining_bytes -= bytes;
             for l in &f.path {
-                carried[l.0] += bytes;
+                links[l.0].bytes_carried += bytes;
             }
-        }
-        for (link, b) in self.links.iter_mut().zip(carried) {
-            link.bytes_carried += b;
         }
     }
 
@@ -283,6 +675,7 @@ impl Simulation {
             .find(|(_, f)| f.remaining_bytes <= COMPLETE_EPS_BYTES)
             .map(|(id, _)| *id)?;
         let record = self.flows.remove(&id).expect("flow exists");
+        self.topo.remove_flow(record.slot, &record.path);
         self.rates_dirty = true;
         Some(SimEvent::FlowCompleted { flow: id, record, time: self.now })
     }
@@ -335,11 +728,8 @@ impl Simulation {
                 }
             }
             let t_capacity = self.next_capacity_change();
-            let t_wake = self
-                .wakeups
-                .peek()
-                .map(|Reverse((t, _, _))| *t)
-                .unwrap_or(SimTime::FAR_FUTURE);
+            let t_wake =
+                self.wakeups.peek().map(|Reverse((t, _, _))| *t).unwrap_or(SimTime::FAR_FUTURE);
 
             let t_next = t_complete.min(t_capacity).min(t_wake);
             if t_next >= SimTime::FAR_FUTURE {
@@ -347,11 +737,13 @@ impl Simulation {
             }
             if let Some(lim) = limit {
                 if t_next > lim {
-                    // Advance exactly to the limit and stop.
+                    // Advance exactly to the limit and stop. No event
+                    // fired in between, so no capacity changed and all
+                    // rates remain valid (capacity processes are
+                    // piecewise-constant between their change points).
                     let dt = lim - self.now;
                     self.advance_flows(dt);
                     self.now = lim;
-                    self.rates_dirty = true;
                     return None;
                 }
             }
@@ -374,12 +766,21 @@ impl Simulation {
             self.advance_flows(dt);
             self.now = t_next;
 
+            if t_next == t_capacity {
+                // Mark the components of the links recorded during the
+                // scan; the recompute happens lazily at the next query
+                // or step, which also covers a coincident wakeup below.
+                // (The pre-rework engine missed a capacity change that
+                // coincided with a wakeup entirely, because the scan
+                // only looks strictly past `now`.)
+                for &l in &self.cap_candidates {
+                    self.topo.mark_link_dirty(l as usize);
+                }
+                self.rates_dirty = true;
+            }
             if t_next == t_wake {
                 let Reverse((time, _, token)) = self.wakeups.pop().expect("peeked");
                 return Some(SimEvent::Wakeup { token: WakeToken(token), time });
-            }
-            if t_next == t_capacity {
-                self.rates_dirty = true;
             }
             // Completions (if any) surface at the top of the loop.
         }
@@ -398,7 +799,6 @@ impl Simulation {
             let dt = until - self.now;
             self.advance_flows(dt);
             self.now = until;
-            self.rates_dirty = true;
         }
     }
 
@@ -409,11 +809,7 @@ impl Simulation {
         if self.rates_dirty {
             self.recompute_rates();
         }
-        self.flows
-            .values()
-            .filter(|f| f.path.contains(&link))
-            .map(|f| f.rate_bps)
-            .sum()
+        self.flows.values().filter(|f| f.path.contains(&link)).map(|f| f.rate_bps).sum()
     }
 
     /// The time of the next event without consuming it (recomputes rates
@@ -558,10 +954,7 @@ mod tests {
     #[test]
     fn cancel_unknown_flow_errors() {
         let mut sim = Simulation::new();
-        assert!(matches!(
-            sim.cancel_flow(FlowId(99)),
-            Err(SimError::UnknownFlow(99))
-        ));
+        assert!(matches!(sim.cancel_flow(FlowId(99)), Err(SimError::UnknownFlow(99))));
     }
 
     #[test]
@@ -582,10 +975,7 @@ mod tests {
     #[test]
     fn invalid_flows_rejected() {
         let mut sim = Simulation::new();
-        assert!(matches!(
-            sim.try_start_flow(vec![], 1.0, None),
-            Err(SimError::EmptyPath)
-        ));
+        assert!(matches!(sim.try_start_flow(vec![], 1.0, None), Err(SimError::EmptyPath)));
         assert!(matches!(
             sim.try_start_flow(vec![LinkId(7)], 1.0, None),
             Err(SimError::UnknownLink(7))
@@ -595,10 +985,7 @@ mod tests {
             sim.try_start_flow(vec![l], f64::NAN, None),
             Err(SimError::InvalidSize(_))
         ));
-        assert!(matches!(
-            sim.try_start_flow(vec![l], -3.0, None),
-            Err(SimError::InvalidSize(_))
-        ));
+        assert!(matches!(sim.try_start_flow(vec![l], -3.0, None), Err(SimError::InvalidSize(_))));
     }
 
     #[test]

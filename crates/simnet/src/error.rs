@@ -34,10 +34,7 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(
-            SimError::UnknownFlow(3).to_string(),
-            "unknown or completed flow #3"
-        );
+        assert_eq!(SimError::UnknownFlow(3).to_string(), "unknown or completed flow #3");
         assert_eq!(SimError::UnknownLink(1).to_string(), "unknown link #1");
         assert!(SimError::EmptyPath.to_string().contains("path"));
         assert!(SimError::InvalidSize("NaN".into()).to_string().contains("NaN"));

@@ -110,9 +110,7 @@ pub fn max_min_fair(link_capacity: &[f64], flows: &[FlowDemand]) -> Vec<f64> {
         }
         let mut any_frozen = false;
         for &f in &unfrozen {
-            let at_cap = flows[f]
-                .cap
-                .is_some_and(|c| rate[f] >= c - REL_EPS * c.max(1.0));
+            let at_cap = flows[f].cap.is_some_and(|c| rate[f] >= c - REL_EPS * c.max(1.0));
             let on_saturated = flows[f].links.iter().any(|&l| {
                 link_capacity[l].is_finite()
                     && used_after[l] >= link_capacity[l] - REL_EPS * link_capacity[l].max(1.0)
@@ -123,17 +121,319 @@ pub fn max_min_fair(link_capacity: &[f64], flows: &[FlowDemand]) -> Vec<f64> {
             }
         }
         if !any_frozen {
-            // Numerical safety net: freeze the flow with the smallest
-            // slack so the loop always terminates.
-            if inc <= 0.0 {
-                for &f in &unfrozen {
-                    frozen[f] = true;
+            // Numerical safety net: a round that froze nothing would
+            // recur forever (the increment it computed was already the
+            // largest feasible one), so force progress by freezing the
+            // flow with the smallest slack to any of its constraints.
+            let mut best = unfrozen[0];
+            let mut best_slack = f64::INFINITY;
+            for &f in &unfrozen {
+                let mut slack = f64::INFINITY;
+                if let Some(c) = flows[f].cap {
+                    slack = slack.min((c - rate[f]).max(0.0));
+                }
+                for &l in &flows[f].links {
+                    if link_capacity[l].is_finite() {
+                        slack = slack.min((link_capacity[l] - used_after[l]).max(0.0));
+                    }
+                }
+                if slack < best_slack {
+                    best_slack = slack;
+                    best = f;
                 }
             }
+            frozen[best] = true;
         }
     }
 
     rate
+}
+
+/// Flattened flow demands for the allocation-free solver.
+///
+/// Same information as a `&[FlowDemand]`, but all paths live in one
+/// contiguous arena so the table can be rebuilt with `clear` +
+/// `push_flow` without any heap traffic once its buffers are warm.
+/// Uncapped flows store a cap of `f64::INFINITY`.
+#[derive(Debug, Clone, Default)]
+pub struct FlowTable {
+    /// `offsets[f]..offsets[f + 1]` indexes `links` for flow `f`.
+    offsets: Vec<u32>,
+    /// Flattened link indices of every flow's path.
+    links: Vec<u32>,
+    /// Per-flow rate cap (`f64::INFINITY` when uncapped).
+    caps: Vec<f64>,
+}
+
+impl FlowTable {
+    /// An empty table.
+    pub fn new() -> FlowTable {
+        FlowTable::default()
+    }
+
+    /// Remove all flows, keeping the buffers.
+    pub fn clear(&mut self) {
+        self.offsets.clear();
+        self.links.clear();
+        self.caps.clear();
+    }
+
+    /// Append one flow's demand.
+    pub fn push_flow(&mut self, links: impl IntoIterator<Item = usize>, cap: Option<f64>) {
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        for l in links {
+            self.links.push(u32::try_from(l).expect("link index fits u32"));
+        }
+        self.offsets.push(self.links.len() as u32);
+        self.caps.push(cap.unwrap_or(f64::INFINITY));
+    }
+
+    /// Number of flows.
+    pub fn len(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// Whether the table holds no flows.
+    pub fn is_empty(&self) -> bool {
+        self.caps.is_empty()
+    }
+
+    /// The links flow `f` traverses.
+    pub fn links_of(&self, f: usize) -> &[u32] {
+        &self.links[self.offsets[f] as usize..self.offsets[f + 1] as usize]
+    }
+
+    /// Flow `f`'s rate cap (`f64::INFINITY` when uncapped).
+    pub fn cap_of(&self, f: usize) -> f64 {
+        self.caps[f]
+    }
+
+    /// Build a table from reference-style demands (test convenience).
+    pub fn from_demands(flows: &[FlowDemand]) -> FlowTable {
+        let mut t = FlowTable::new();
+        for d in flows {
+            t.push_flow(d.links.iter().copied(), d.cap);
+        }
+        t
+    }
+}
+
+/// Flow demands addressable by dense index — the solver's view of a
+/// flow population. Implemented by [`FlowTable`] and by the engine's
+/// slot-based storage, so the same allocation-free solver serves both.
+pub trait FlowSet {
+    /// The links flow `f` traverses.
+    fn links_of(&self, f: usize) -> &[u32];
+    /// Flow `f`'s rate cap (`f64::INFINITY` when uncapped).
+    fn cap_of(&self, f: usize) -> f64;
+}
+
+impl FlowSet for FlowTable {
+    fn links_of(&self, f: usize) -> &[u32] {
+        FlowTable::links_of(self, f)
+    }
+
+    fn cap_of(&self, f: usize) -> f64 {
+        FlowTable::cap_of(self, f)
+    }
+}
+
+/// Reusable working memory for [`max_min_fair_into`].
+///
+/// All vectors retain their capacity across calls; after a few warm-up
+/// solves on a given problem size, further solves perform no heap
+/// allocation at all.
+#[derive(Debug, Default)]
+pub struct FairShareScratch {
+    /// Per-link capacity in use (valid only for links touched this call).
+    used: Vec<f64>,
+    /// Per-link number of still-rising flows (same validity).
+    count: Vec<u32>,
+    /// Links traversed by at least one initially-unfrozen flow.
+    active_links: Vec<u32>,
+    /// Flow indices still rising.
+    unfrozen: Vec<u32>,
+    /// `0..nf` identity subset for full solves.
+    all_flows: Vec<u32>,
+}
+
+/// Allocation-free equivalent of [`max_min_fair`].
+///
+/// Writes one rate per flow into `out` (cleared and resized first).
+/// `scratch` carries the working buffers between calls; `out` likewise
+/// keeps its capacity, so a warm steady-state call allocates nothing.
+///
+/// Rates agree with the reference implementation to within `1e-9`
+/// relative (property-tested below).
+///
+/// # Panics
+/// Panics if a flow references a link index out of bounds.
+pub fn max_min_fair_into(
+    link_capacity: &[f64],
+    flows: &FlowTable,
+    scratch: &mut FairShareScratch,
+    out: &mut Vec<f64>,
+) {
+    let nf = flows.len();
+    out.clear();
+    out.resize(nf, 0.0);
+    scratch.all_flows.clear();
+    scratch.all_flows.extend(0..nf as u32);
+    // Split the borrow: the subset lives in scratch but the solver only
+    // mutates the other scratch fields, so move it out for the call.
+    let subset = std::mem::take(&mut scratch.all_flows);
+    max_min_fair_subset_into(link_capacity, flows, &subset, scratch, out);
+    scratch.all_flows = subset;
+}
+
+/// Solve max-min fairness restricted to `subset`.
+///
+/// `subset` must be *closed under link sharing*: no flow outside the
+/// subset may traverse a link that a subset flow traverses (i.e., the
+/// subset is a union of connected components of the flow/link sharing
+/// graph). Under that precondition the restricted solve equals the
+/// corresponding slice of the global solution, which is what lets the
+/// engine re-solve only the components whose links changed.
+///
+/// Only `rates[f]` for `f` in `subset` are written; other entries are
+/// left untouched. Allocation-free once `scratch` is warm.
+pub fn max_min_fair_subset_into<F: FlowSet + ?Sized>(
+    link_capacity: &[f64],
+    flows: &F,
+    subset: &[u32],
+    scratch: &mut FairShareScratch,
+    rates: &mut [f64],
+) {
+    const REL_EPS: f64 = 1e-9;
+    let nl = link_capacity.len();
+    if scratch.used.len() < nl {
+        scratch.used.resize(nl, 0.0);
+        scratch.count.resize(nl, 0);
+    }
+    scratch.active_links.clear();
+    scratch.unfrozen.clear();
+
+    // Reset the per-link state of every touched link (lazily: untouched
+    // links keep stale values that this call never reads).
+    for &f in subset {
+        for &l in flows.links_of(f as usize) {
+            let l = l as usize;
+            assert!(l < nl, "flow references unknown link {l}");
+            scratch.used[l] = 0.0;
+            scratch.count[l] = 0;
+        }
+    }
+
+    // Pre-freeze zero-cap / dead-link flows at zero; seed the per-link
+    // rising-flow counts for the rest.
+    for &f in subset {
+        let fi = f as usize;
+        rates[fi] = 0.0;
+        let capped_zero = flows.cap_of(fi) <= 0.0;
+        let dead_link = flows.links_of(fi).iter().any(|&l| link_capacity[l as usize] <= 0.0);
+        if capped_zero || dead_link {
+            continue;
+        }
+        scratch.unfrozen.push(f);
+        for &l in flows.links_of(fi) {
+            let l = l as usize;
+            if scratch.count[l] == 0 {
+                scratch.active_links.push(l as u32);
+            }
+            scratch.count[l] += 1;
+        }
+    }
+
+    // Progressive filling, incremental across rounds: `used` rises by
+    // `inc * count` per link instead of being re-summed from scratch,
+    // and freezing a flow decrements its links' counts.
+    while !scratch.unfrozen.is_empty() {
+        let mut inc = f64::INFINITY;
+        for &l in &scratch.active_links {
+            let l = l as usize;
+            if scratch.count[l] > 0 && link_capacity[l].is_finite() {
+                let slack = (link_capacity[l] - scratch.used[l]).max(0.0);
+                inc = inc.min(slack / scratch.count[l] as f64);
+            }
+        }
+        for &f in &scratch.unfrozen {
+            let c = flows.cap_of(f as usize);
+            if c.is_finite() {
+                inc = inc.min((c - rates[f as usize]).max(0.0));
+            }
+        }
+
+        if inc.is_infinite() {
+            // No finite constraint: these flows are unbounded.
+            for &f in &scratch.unfrozen {
+                rates[f as usize] = f64::INFINITY;
+            }
+            return;
+        }
+
+        for &f in &scratch.unfrozen {
+            rates[f as usize] += inc;
+        }
+        for &l in &scratch.active_links {
+            let l = l as usize;
+            scratch.used[l] += inc * scratch.count[l] as f64;
+        }
+
+        // Freeze flows whose constraint is now tight.
+        let mut any_frozen = false;
+        let mut i = 0;
+        while i < scratch.unfrozen.len() {
+            let fi = scratch.unfrozen[i] as usize;
+            let c = flows.cap_of(fi);
+            let at_cap = c.is_finite() && rates[fi] >= c - REL_EPS * c.max(1.0);
+            let on_saturated = flows.links_of(fi).iter().any(|&l| {
+                let l = l as usize;
+                link_capacity[l].is_finite()
+                    && scratch.used[l] >= link_capacity[l] - REL_EPS * link_capacity[l].max(1.0)
+            });
+            if at_cap || on_saturated {
+                for &l in flows.links_of(fi) {
+                    scratch.count[l as usize] -= 1;
+                }
+                scratch.unfrozen.swap_remove(i);
+                any_frozen = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        if !any_frozen {
+            // Same safety net as the reference: force progress by
+            // freezing the minimum-slack flow.
+            let mut best = 0;
+            let mut best_slack = f64::INFINITY;
+            for (i, &f) in scratch.unfrozen.iter().enumerate() {
+                let fi = f as usize;
+                let mut slack = f64::INFINITY;
+                let c = flows.cap_of(fi);
+                if c.is_finite() {
+                    slack = slack.min((c - rates[fi]).max(0.0));
+                }
+                for &l in flows.links_of(fi) {
+                    let l = l as usize;
+                    if link_capacity[l].is_finite() {
+                        slack = slack.min((link_capacity[l] - scratch.used[l]).max(0.0));
+                    }
+                }
+                if slack < best_slack {
+                    best_slack = slack;
+                    best = i;
+                }
+            }
+            let fi = scratch.unfrozen[best] as usize;
+            for &l in flows.links_of(fi) {
+                scratch.count[l as usize] -= 1;
+            }
+            scratch.unfrozen.swap_remove(best);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -256,16 +556,105 @@ mod tests {
         }
     }
 
+    /// Rates agree within 1e-9 relative (infinities must match exactly).
+    fn assert_rates_close(reference: &[f64], optimized: &[f64]) {
+        assert_eq!(reference.len(), optimized.len());
+        for (f, (&a, &b)) in reference.iter().zip(optimized).enumerate() {
+            if a.is_infinite() || b.is_infinite() {
+                assert_eq!(a, b, "flow {f}: {a} vs {b}");
+            } else {
+                let tol = 1e-9 * a.abs().max(b.abs()).max(1.0);
+                assert!((a - b).abs() <= tol, "flow {f}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn into_matches_reference_on_fixtures() {
+        let fixtures: Vec<(Vec<f64>, Vec<FlowDemand>)> = vec![
+            (vec![9.0], vec![demand(&[0]), demand(&[0]), demand(&[0])]),
+            (vec![1.0, 2.0], vec![demand(&[0]), demand(&[0, 1]), demand(&[1])]),
+            (vec![10.0], vec![capped(&[0], 2.0), demand(&[0])]),
+            (vec![0.0, 4.0], vec![demand(&[0, 1]), demand(&[1])]),
+            (vec![5.0], vec![capped(&[0], 0.0), demand(&[0])]),
+            (vec![f64::INFINITY], vec![demand(&[0])]),
+            (vec![3.0, 7.0], vec![demand(&[0]), demand(&[1])]),
+            (vec![1.0], vec![]),
+        ];
+        let mut scratch = FairShareScratch::default();
+        let mut out = Vec::new();
+        for (caps, flows) in &fixtures {
+            let reference = max_min_fair(caps, flows);
+            let table = FlowTable::from_demands(flows);
+            max_min_fair_into(caps, &table, &mut scratch, &mut out);
+            assert_rates_close(&reference, &out);
+        }
+    }
+
+    #[test]
+    fn subset_solve_matches_global_on_disjoint_components() {
+        // Two components: {link 0,1} with flows 0,1 and {link 2} with
+        // flow 2. Re-solving only the first component must reproduce
+        // the global solution's slice and leave flow 2 untouched.
+        let caps = [4.0, 6.0, 2.0];
+        let flows = [demand(&[0, 1]), demand(&[1]), demand(&[2])];
+        let table = FlowTable::from_demands(&flows);
+        let global = max_min_fair(&caps, &flows);
+        let mut scratch = FairShareScratch::default();
+        let mut rates = vec![-1.0; 3];
+        max_min_fair_subset_into(&caps, &table, &[0, 1], &mut scratch, &mut rates);
+        assert_rates_close(&global[..2], &rates[..2]);
+        assert_eq!(rates[2], -1.0, "flow outside the subset was written");
+        max_min_fair_subset_into(&caps, &table, &[2], &mut scratch, &mut rates);
+        assert_rates_close(&global, &rates);
+    }
+
+    #[test]
+    fn flow_table_round_trips_demands() {
+        let flows = [demand(&[2, 0]), capped(&[1], 3.5), demand(&[0])];
+        let t = FlowTable::from_demands(&flows);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.links_of(0), &[2, 0]);
+        assert_eq!(t.links_of(1), &[1]);
+        assert_eq!(t.links_of(2), &[0]);
+        assert_eq!(t.cap_of(1), 3.5);
+        assert_eq!(t.cap_of(2), f64::INFINITY);
+        let mut t = t;
+        t.clear();
+        assert!(t.is_empty());
+        t.push_flow([1usize], None);
+        assert_eq!(t.links_of(0), &[1]);
+    }
+
+    /// Regression for the no-progress safety net: constraints engineered
+    /// so float rounding leaves rounds that freeze nothing. Before the
+    /// minimum-slack freeze both implementations relied on `inc <= 0.0`
+    /// exactly, which is not guaranteed; the solve must still terminate
+    /// and stay feasible across wildly mixed magnitudes.
+    #[test]
+    fn pathological_magnitudes_terminate() {
+        let caps = [1e-12, 1.0 + 1e-15, 1e12, 3.0 * (1.0 / 3.0)];
+        let flows = [
+            demand(&[0, 1, 2, 3]),
+            capped(&[1, 3], 1.0 / 3.0 + f64::EPSILON),
+            capped(&[2], 1e12 * (1.0 - 1e-16)),
+            demand(&[3]),
+            capped(&[0], f64::MIN_POSITIVE),
+        ];
+        let reference = max_min_fair(&caps, &flows);
+        assert_max_min(&caps, &flows, &reference);
+        let mut scratch = FairShareScratch::default();
+        let mut out = Vec::new();
+        max_min_fair_into(&caps, &FlowTable::from_demands(&flows), &mut scratch, &mut out);
+        assert_rates_close(&reference, &out);
+    }
+
     #[test]
     fn max_min_property_on_mesh() {
         let caps = [4.0, 6.0, 2.0, 10.0];
-        let flows = [
-            demand(&[0, 1]),
-            demand(&[1, 2]),
-            demand(&[2, 3]),
-            demand(&[0, 3]),
-            capped(&[3], 1.0),
-        ];
+        let flows =
+            [demand(&[0, 1]), demand(&[1, 2]), demand(&[2, 3]), demand(&[0, 3]), capped(&[3], 1.0)];
         let r = max_min_fair(&caps, &flows);
         assert_max_min(&caps, &flows, &r);
     }
@@ -286,10 +675,7 @@ mod tests {
                 )
                 .prop_map(|fs| {
                     fs.into_iter()
-                        .map(|(links, cap)| FlowDemand {
-                            links: links.into_iter().collect(),
-                            cap,
-                        })
+                        .map(|(links, cap)| FlowDemand { links: links.into_iter().collect(), cap })
                         .collect::<Vec<_>>()
                 });
                 (caps, flows)
@@ -313,6 +699,30 @@ mod tests {
                 let a = max_min_fair(&caps, &flows);
                 let b = max_min_fair(&caps, &flows);
                 prop_assert_eq!(a, b);
+            }
+
+            /// The allocation-free solver is a drop-in replacement: on
+            /// any scenario it matches the reference oracle to 1e-9
+            /// relative, including when scratch is reused across cases.
+            #[test]
+            fn scratch_solver_matches_oracle((caps, flows) in arb_scenario()) {
+                let reference = max_min_fair(&caps, &flows);
+                let table = FlowTable::from_demands(&flows);
+                let mut scratch = FairShareScratch::default();
+                let mut out = Vec::new();
+                // Solve twice through the same scratch: the second call
+                // exercises the lazily-reset link state.
+                max_min_fair_into(&caps, &table, &mut scratch, &mut out);
+                max_min_fair_into(&caps, &table, &mut scratch, &mut out);
+                prop_assert_eq!(reference.len(), out.len());
+                for (f, (&a, &b)) in reference.iter().zip(&out).enumerate() {
+                    if a.is_infinite() || b.is_infinite() {
+                        prop_assert!(a == b, "flow {}: {} vs {}", f, a, b);
+                    } else {
+                        let tol = 1e-9 * a.abs().max(b.abs()).max(1.0);
+                        prop_assert!((a - b).abs() <= tol, "flow {}: {} vs {}", f, a, b);
+                    }
+                }
             }
         }
     }

@@ -33,6 +33,8 @@ pub struct Flow {
     pub rate_cap: Option<f64>,
     /// When the flow was started.
     pub started_at: SimTime,
+    /// Engine-internal topology slot (stable while the flow is active).
+    pub(crate) slot: u32,
 }
 
 impl Flow {
@@ -72,6 +74,7 @@ mod tests {
             rate_bps: rate,
             rate_cap: None,
             started_at: SimTime::ZERO,
+            slot: 0,
         }
     }
 

@@ -1,0 +1,195 @@
+//! Regression tests for rate recomputation across event interleavings.
+//!
+//! The engine re-solves only the connected components whose links
+//! changed (see `DESIGN.md` §7), so these tests pin down the observable
+//! contract: completion times and link rates must come out exactly as
+//! the fluid model predicts, across capacity changes, wakeups that add
+//! flows mid-run, completions that speed up survivors, and independent
+//! "homes" that must not disturb each other.
+
+use threegol_simnet::{CapacityProcess, SimEvent, SimTime, Simulation, WakeToken};
+
+fn assert_secs(actual: SimTime, expected: f64) {
+    assert!(
+        (actual.secs() - expected).abs() < 1e-6,
+        "expected t={expected}, got t={}",
+        actual.secs()
+    );
+}
+
+/// Two independent homes in one simulation: a piecewise capacity drop
+/// in home A must re-time A's completion exactly while home B's flows
+/// (a separate component) proceed untouched, including B's completion
+/// speeding up its survivor.
+#[test]
+fn two_home_components_evolve_independently() {
+    let mut sim = Simulation::new();
+    // Home A: 8 Mbit/s until t=10, then 4 Mbit/s.
+    let link_a = sim.add_link(
+        "a",
+        CapacityProcess::piecewise(vec![(SimTime::ZERO, 8e6), (SimTime::from_secs(10.0), 4e6)]),
+    );
+    // Home B: constant 6 Mbit/s, two flows sharing it.
+    let link_b = sim.add_link("b", CapacityProcess::constant(6e6));
+
+    // A: 160 Mbit => 80 Mbit by t=10, the rest at 4 Mbit/s => t=30.
+    let flow_a = sim.start_flow(vec![link_a], 20e6);
+    // B: fair share 3 Mbit/s each. b2 (24 Mbit) completes at t=8;
+    // b1 (60 Mbit) then runs alone at 6 Mbit/s: 24 Mbit by t=8, the
+    // remaining 36 Mbit in 6 s => t=14.
+    let flow_b1 = sim.start_flow(vec![link_b], 7.5e6);
+    let flow_b2 = sim.start_flow(vec![link_b], 3e6);
+
+    assert!((sim.link_rate(link_b) - 6e6).abs() < 1.0);
+    assert!((sim.link_rate(link_a) - 8e6).abs() < 1.0);
+
+    match sim.next_event().expect("b2 completes") {
+        SimEvent::FlowCompleted { flow, time, .. } => {
+            assert_eq!(flow, flow_b2);
+            assert_secs(time, 8.0);
+        }
+        other => panic!("unexpected event {other:?}"),
+    }
+    // Survivor takes the whole link; home A is mid-transfer, unchanged.
+    assert!((sim.link_rate(link_b) - 6e6).abs() < 1.0);
+    assert!((sim.link_rate(link_a) - 8e6).abs() < 1.0);
+
+    match sim.next_event().expect("b1 completes") {
+        SimEvent::FlowCompleted { flow, time, .. } => {
+            assert_eq!(flow, flow_b1);
+            assert_secs(time, 14.0);
+        }
+        other => panic!("unexpected event {other:?}"),
+    }
+    // The capacity drop at t=10 has already fired (internally); home
+    // A's flow must now be running at the reduced rate.
+    assert!((sim.link_rate(link_a) - 4e6).abs() < 1.0);
+
+    match sim.next_event().expect("a completes") {
+        SimEvent::FlowCompleted { flow, time, .. } => {
+            assert_eq!(flow, flow_a);
+            assert_secs(time, 30.0);
+        }
+        other => panic!("unexpected event {other:?}"),
+    }
+    assert!(sim.next_event().is_none());
+
+    // Fluid accounting: every byte crossed its link exactly once.
+    assert!((sim.link(link_a).bytes_carried - 20e6).abs() < 1.0);
+    assert!((sim.link(link_b).bytes_carried - 10.5e6).abs() < 1.0);
+}
+
+/// A wakeup that adds a flow mid-run: rates re-split at the wakeup
+/// instant and every completion lands where the fluid model says.
+#[test]
+fn wakeup_adds_flow_and_resplits_rates() {
+    let mut sim = Simulation::new();
+    let link = sim.add_link("l", CapacityProcess::constant(10e6));
+    // 100 Mbit alone at 10 Mbit/s => t=10 if undisturbed.
+    let f1 = sim.start_flow(vec![link], 12.5e6);
+    sim.schedule_wakeup(SimTime::from_secs(5.0), WakeToken(7));
+
+    match sim.next_event().expect("wakeup") {
+        SimEvent::Wakeup { token, time } => {
+            assert_eq!(token, WakeToken(7));
+            assert_secs(time, 5.0);
+        }
+        other => panic!("unexpected event {other:?}"),
+    }
+    // f1 has moved 50 Mbit. Add a 25 Mbit flow: both now get 5 Mbit/s.
+    let f2 = sim.start_flow(vec![link], 3.125e6);
+    assert!((sim.link_rate(link) - 10e6).abs() < 1.0);
+
+    // f2: 25 Mbit at 5 Mbit/s => t=10. f1: 50+25=75 Mbit by t=10,
+    // then the last 25 Mbit alone at 10 Mbit/s => t=12.5.
+    match sim.next_event().expect("f2 completes") {
+        SimEvent::FlowCompleted { flow, time, .. } => {
+            assert_eq!(flow, f2);
+            assert_secs(time, 10.0);
+        }
+        other => panic!("unexpected event {other:?}"),
+    }
+    match sim.next_event().expect("f1 completes") {
+        SimEvent::FlowCompleted { flow, time, .. } => {
+            assert_eq!(flow, f1);
+            assert_secs(time, 12.5);
+        }
+        other => panic!("unexpected event {other:?}"),
+    }
+}
+
+/// A capacity change mid-flow re-times the completion exactly.
+#[test]
+fn capacity_change_retimes_completion() {
+    let mut sim = Simulation::new();
+    let link = sim.add_link(
+        "l",
+        CapacityProcess::piecewise(vec![(SimTime::ZERO, 8e6), (SimTime::from_secs(4.0), 2e6)]),
+    );
+    // 48 Mbit: 32 by t=4, the remaining 16 at 2 Mbit/s => t=12.
+    let f = sim.start_flow(vec![link], 6e6);
+    match sim.next_event().expect("completion") {
+        SimEvent::FlowCompleted { flow, time, .. } => {
+            assert_eq!(flow, f);
+            assert_secs(time, 12.0);
+        }
+        other => panic!("unexpected event {other:?}"),
+    }
+}
+
+/// `set_capacity_process` on one home's link re-solves that component
+/// only — but correctly — while another component's rates persist.
+#[test]
+fn process_swap_dirties_only_its_component() {
+    let mut sim = Simulation::new();
+    // A multi-link component: a two-link path ties adsl+phone together.
+    let adsl = sim.add_link("adsl", CapacityProcess::constant(2e6));
+    let phone = sim.add_link("phone", CapacityProcess::constant(3e6));
+    let other = sim.add_link("other", CapacityProcess::constant(5e6));
+    sim.start_flow(vec![adsl, phone], 1e9);
+    sim.start_flow(vec![phone], 1e9);
+    sim.start_flow(vec![other], 1e9);
+
+    // Path flow is bottlenecked by adsl (2) < phone share; the pure
+    // phone flow takes the rest of phone: 2 + 1 = 3.
+    assert!((sim.link_rate(phone) - 3e6).abs() < 1.0);
+    assert!((sim.link_rate(other) - 5e6).abs() < 1.0);
+
+    // RRC promotion: the phone link jumps to 8 Mbit/s. Now the path
+    // flow is still capped by adsl at 2, the phone-only flow gets 6.
+    sim.set_capacity_process(phone, CapacityProcess::constant(8e6));
+    assert!((sim.link_rate(phone) - 8e6).abs() < 1.0);
+    assert!((sim.link_rate(adsl) - 2e6).abs() < 1.0);
+    assert!((sim.link_rate(other) - 5e6).abs() < 1.0);
+}
+
+/// Interleaving all three event kinds in one run: wakeup exactly at a
+/// capacity-change instant, followed by a completion, keeps the rate
+/// bookkeeping consistent (this interleaving defers the capacity
+/// recompute past the wakeup delivery).
+#[test]
+fn coincident_wakeup_and_capacity_change_stay_consistent() {
+    let mut sim = Simulation::new();
+    let link = sim.add_link(
+        "l",
+        CapacityProcess::piecewise(vec![(SimTime::ZERO, 4e6), (SimTime::from_secs(5.0), 8e6)]),
+    );
+    // 40 Mbit: 20 by t=5, then 20 more at 8 Mbit/s => t=7.5.
+    let f = sim.start_flow(vec![link], 5e6);
+    sim.schedule_wakeup(SimTime::from_secs(5.0), WakeToken(1));
+
+    match sim.next_event().expect("wakeup") {
+        SimEvent::Wakeup { time, .. } => assert_secs(time, 5.0),
+        other => panic!("unexpected event {other:?}"),
+    }
+    // The capacity change fired at the same instant; querying the rate
+    // now must already see the new 8 Mbit/s.
+    assert!((sim.link_rate(link) - 8e6).abs() < 1.0);
+    match sim.next_event().expect("completion") {
+        SimEvent::FlowCompleted { flow, time, .. } => {
+            assert_eq!(flow, f);
+            assert_secs(time, 7.5);
+        }
+        other => panic!("unexpected event {other:?}"),
+    }
+}

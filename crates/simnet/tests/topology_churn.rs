@@ -1,0 +1,143 @@
+//! Regression tests for incremental topology maintenance under flow
+//! churn: multi-link flows merging components, removals leaving a
+//! coarsened (but still correct) partition, and the periodic rebuild
+//! that re-tightens it — all checked against the reference
+//! `max_min_fair` oracle on the live flow set.
+
+use threegol_simnet::fairshare::{max_min_fair, FlowDemand};
+use threegol_simnet::{CapacityProcess, LinkId, Simulation};
+
+/// Ask the oracle for the aggregate rate on `link` given the current
+/// flow population (paths tracked by the test).
+fn oracle_link_rate(caps: &[f64], demands: &[FlowDemand], link: usize) -> f64 {
+    let rates = max_min_fair(caps, demands);
+    demands.iter().zip(&rates).filter(|(d, _)| d.links.contains(&link)).map(|(_, r)| r).sum()
+}
+
+/// A multi-link flow bridges two previously independent components;
+/// rates must re-split jointly, and removing the bridge must restore
+/// the original (independent) rates even though the engine is allowed
+/// to keep the coarsened partition.
+#[test]
+fn bridge_flow_merges_and_unmerges_components() {
+    let mut sim = Simulation::new();
+    let a = sim.add_link("a", CapacityProcess::constant(4e6));
+    let b = sim.add_link("b", CapacityProcess::constant(6e6));
+    sim.start_flow(vec![a], 1e12);
+    sim.start_flow(vec![b], 1e12);
+    assert!((sim.link_rate(a) - 4e6).abs() < 1.0);
+    assert!((sim.link_rate(b) - 6e6).abs() < 1.0);
+
+    // Bridge a+b: progressive filling gives the a-flow and the bridge
+    // 2 Mbit/s each (a saturates), then the b-flow takes b's slack:
+    // 6 - 2 = 4 Mbit/s.
+    let bridge = sim.start_flow(vec![a, b], 1e12);
+    assert!((sim.link_rate(a) - 4e6).abs() < 1.0);
+    assert!((sim.link_rate(b) - 6e6).abs() < 1.0);
+    let f = sim.flow(bridge).expect("active");
+    assert!((f.rate_bps - 2e6).abs() < 1.0, "bridge rate {}", f.rate_bps);
+
+    // Cancel the bridge: both links go back to single-flow saturation.
+    sim.cancel_flow(bridge).expect("cancel");
+    assert!((sim.link_rate(a) - 4e6).abs() < 1.0);
+    assert!((sim.link_rate(b) - 6e6).abs() < 1.0);
+}
+
+/// Sustained churn of merging flows: enough removals after merges to
+/// cross the rebuild threshold, with every intermediate state checked
+/// against the oracle. Exercises slot reuse, component coarsening, and
+/// the full rebuild (which renumbers every live flow's slot).
+#[test]
+fn churn_with_rebuild_matches_oracle() {
+    let mut sim = Simulation::new();
+    let n_links = 6;
+    let caps: Vec<f64> = (0..n_links).map(|i| 1e6 * (i + 1) as f64).collect();
+    let links: Vec<LinkId> = caps
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| sim.add_link(format!("l{i}"), CapacityProcess::constant(c)))
+        .collect();
+
+    // Long-lived background flows, one per link, that persist across
+    // every rebuild.
+    let mut demands = Vec::new();
+    for &l in &links {
+        sim.start_flow(vec![l], 1e12);
+        demands.push(FlowDemand { links: vec![l.index()], cap: None });
+    }
+
+    // Repeatedly add a two-link bridge (merging two components) and
+    // remove it again. Each removal after a merge counts toward the
+    // rebuild threshold (64 + 4 * n_links), so ~200 rounds is certain
+    // to cross it at least once.
+    let mut x: u64 = 9;
+    for round in 0..200 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(round);
+        let i = (x >> 33) as usize % n_links;
+        let j = (i + 1 + (x >> 13) as usize % (n_links - 1)) % n_links;
+        let bridge = sim.start_flow(vec![links[i], links[j]], 1e12);
+        demands.push(FlowDemand { links: vec![links[i].index(), links[j].index()], cap: None });
+        for (k, &l) in links.iter().enumerate() {
+            let want = oracle_link_rate(&caps, &demands, l.index());
+            let got = sim.link_rate(l);
+            assert!(
+                (got - want).abs() < 1e-3,
+                "round {round} (bridge up), link {k}: engine {got} vs oracle {want}"
+            );
+        }
+        sim.cancel_flow(bridge).expect("cancel bridge");
+        demands.pop();
+        for (k, &l) in links.iter().enumerate() {
+            let want = oracle_link_rate(&caps, &demands, l.index());
+            let got = sim.link_rate(l);
+            assert!(
+                (got - want).abs() < 1e-3,
+                "round {round} (bridge down), link {k}: engine {got} vs oracle {want}"
+            );
+        }
+    }
+}
+
+/// Capped flows keep their caps across slot reuse and rebuilds.
+#[test]
+fn rate_caps_survive_churn_and_rebuild() {
+    let mut sim = Simulation::new();
+    let l = sim.add_link("l", CapacityProcess::constant(10e6));
+    let m = sim.add_link("m", CapacityProcess::constant(10e6));
+    let capped = sim.start_capped_flow(vec![l], 1e12, 1e6);
+
+    // Churn merging flows past the rebuild threshold.
+    for _ in 0..300 {
+        let b = sim.start_flow(vec![l, m], 1e12);
+        sim.cancel_flow(b).expect("cancel");
+    }
+    // The capped flow must still be pinned at its cap, with the link
+    // otherwise idle.
+    assert!((sim.link_rate(l) - 1e6).abs() < 1.0);
+    let f = sim.flow(capped).expect("active");
+    assert!((f.rate_bps - 1e6).abs() < 1.0);
+}
+
+/// Paths longer than the inline limit (4 links) spill to the heap at
+/// start time but still solve correctly, merge all their components,
+/// and survive a rebuild.
+#[test]
+fn long_paths_spill_and_solve() {
+    let mut sim = Simulation::new();
+    let links: Vec<LinkId> = (0..6)
+        .map(|i| sim.add_link(format!("l{i}"), CapacityProcess::constant(1e6 * (i + 2) as f64)))
+        .collect();
+    // A 6-link path is bottlenecked by its slowest link (2 Mbit/s).
+    let f = sim.start_flow(links.clone(), 1e12);
+    for &l in &links {
+        assert!((sim.link_rate(l) - 2e6).abs() < 1.0);
+    }
+    assert!((sim.flow(f).expect("active").rate_bps - 2e6).abs() < 1.0);
+    // Force a rebuild under it, then re-check.
+    for _ in 0..400 {
+        let b = sim.start_flow(vec![links[0], links[5]], 1e12);
+        sim.cancel_flow(b).expect("cancel");
+    }
+    assert!((sim.link_rate(links[0]) - 2e6).abs() < 1.0);
+    assert!((sim.flow(f).expect("active").rate_bps - 2e6).abs() < 1.0);
+}

@@ -5,8 +5,8 @@
 //! `adsl_bps` assisted by an aggregate 3G bandwidth `g3_bps`; the
 //! onloaded share is throttled by the remaining daily 3GOL budget.
 
-use crate::dslam::DslamTrace;
 use crate::diurnal::{mobile_diurnal_load, wired_diurnal_load};
+use crate::dslam::DslamTrace;
 
 /// Transfer-model parameters for the budgeted analyses.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]

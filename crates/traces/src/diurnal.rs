@@ -35,9 +35,7 @@ pub fn wired_diurnal_load() -> DiurnalProfile {
 pub fn fig1_series() -> Vec<(usize, f64, f64)> {
     let m = mobile_diurnal_load().normalized_peak();
     let w = wired_diurnal_load().normalized_peak();
-    (0..24)
-        .map(|h| (h, m.at_hour(h as f64), w.at_hour(h as f64)))
-        .collect()
+    (0..24).map(|h| (h, m.at_hour(h as f64), w.at_hour(h as f64))).collect()
 }
 
 #[cfg(test)]

@@ -86,10 +86,9 @@ impl DslamTrace {
             }
             // Daily video count: lognormal(ln median, sigma), rounded up
             // so every video user has >= 1 video.
-            let count = rng
-                .lognormal(config.videos_median.ln(), config.videos_sigma)
-                .round()
-                .max(1.0) as usize;
+            let count =
+                rng.lognormal(config.videos_median.ln(), config.videos_sigma).round().max(1.0)
+                    as usize;
             for _ in 0..count {
                 // Hour by the wired diurnal distribution, uniform within.
                 let mut pick = rng.uniform();
@@ -161,10 +160,7 @@ mod tests {
     use threegol_simnet::stats::{median, Summary};
 
     fn small_trace() -> DslamTrace {
-        DslamTrace::generate(DslamTraceConfig {
-            n_users: 4000,
-            ..DslamTraceConfig::default()
-        })
+        DslamTrace::generate(DslamTraceConfig { n_users: 4000, ..DslamTraceConfig::default() })
     }
 
     #[test]
@@ -204,16 +200,10 @@ mod tests {
         assert!(t.requests.windows(2).all(|w| w[0].time_secs <= w[1].time_secs));
         assert!(t.requests.iter().all(|r| (0.0..86_400.0).contains(&r.time_secs)));
         // Evening traffic dominates the night valley.
-        let evening = t
-            .requests
-            .iter()
-            .filter(|r| (19.0..23.0).contains(&(r.time_secs / 3600.0)))
-            .count();
-        let night = t
-            .requests
-            .iter()
-            .filter(|r| (2.0..6.0).contains(&(r.time_secs / 3600.0)))
-            .count();
+        let evening =
+            t.requests.iter().filter(|r| (19.0..23.0).contains(&(r.time_secs / 3600.0))).count();
+        let night =
+            t.requests.iter().filter(|r| (2.0..6.0).contains(&(r.time_secs / 3600.0))).count();
         assert!(evening > night * 3, "evening {evening} night {night}");
     }
 

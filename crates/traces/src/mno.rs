@@ -60,18 +60,12 @@ pub struct UserBilling {
 impl UserBilling {
     /// Free (unused) volume per month, bytes.
     pub fn monthly_free_bytes(&self) -> Vec<f64> {
-        self.monthly_used_bytes
-            .iter()
-            .map(|u| (self.cap_bytes - u).max(0.0))
-            .collect()
+        self.monthly_used_bytes.iter().map(|u| (self.cap_bytes - u).max(0.0)).collect()
     }
 
     /// Fraction of cap used in the latest month.
     pub fn latest_used_fraction(&self) -> f64 {
-        self.monthly_used_bytes
-            .last()
-            .map(|u| u / self.cap_bytes)
-            .unwrap_or(0.0)
+        self.monthly_used_bytes.last().map(|u| u / self.cap_bytes).unwrap_or(0.0)
     }
 }
 
@@ -88,13 +82,8 @@ pub struct MnoTrace {
 /// reproduce Fig 10: `(quantile, used_fraction)`.
 ///
 /// 40 % of users below 0.10, 75 % below 0.50, ~3 % above the cap.
-const USAGE_FRACTION_ANCHORS: &[(f64, f64)] = &[
-    (0.00, 0.005),
-    (0.40, 0.10),
-    (0.75, 0.50),
-    (0.97, 1.00),
-    (1.00, 1.30),
-];
+const USAGE_FRACTION_ANCHORS: &[(f64, f64)] =
+    &[(0.00, 0.005), (0.40, 0.10), (0.75, 0.50), (0.97, 1.00), (1.00, 1.30)];
 
 /// Sample a user's *base* used-cap fraction via the piecewise-linear
 /// inverse CDF above.
@@ -155,22 +144,16 @@ impl MnoTrace {
     /// Mean free volume per user in the latest month, bytes (the
     /// paper's "on average … 20 MB per device per day" ≈ 600 MB/month).
     pub fn mean_free_bytes(&self) -> f64 {
-        let total: f64 = self
-            .users
-            .iter()
-            .map(|u| u.monthly_free_bytes().last().copied().unwrap_or(0.0))
-            .sum();
+        let total: f64 =
+            self.users.iter().map(|u| u.monthly_free_bytes().last().copied().unwrap_or(0.0)).sum();
         total / self.users.len().max(1) as f64
     }
 
     /// Mean *used* volume per user in the latest month, bytes (the
     /// existing cellular load in the Fig 11c adoption analysis).
     pub fn mean_used_bytes(&self) -> f64 {
-        let total: f64 = self
-            .users
-            .iter()
-            .map(|u| u.monthly_used_bytes.last().copied().unwrap_or(0.0))
-            .sum();
+        let total: f64 =
+            self.users.iter().map(|u| u.monthly_used_bytes.last().copied().unwrap_or(0.0)).sum();
         total / self.users.len().max(1) as f64
     }
 
@@ -202,11 +185,7 @@ mod tests {
     #[test]
     fn some_users_exceed_cap() {
         let t = trace();
-        let over = t
-            .users
-            .iter()
-            .filter(|u| u.latest_used_fraction() > 1.0)
-            .count() as f64
+        let over = t.users.iter().filter(|u| u.latest_used_fraction() > 1.0).count() as f64
             / t.users.len() as f64;
         assert!(over > 0.005 && over < 0.12, "overage fraction {over}");
     }
@@ -215,10 +194,7 @@ mod tests {
     fn mean_free_volume_near_600mb() {
         let free = trace().mean_free_bytes();
         // The paper works with ~20 MB/day ≈ 600 MB/month of free volume.
-        assert!(
-            free > 400e6 && free < 2.5e9,
-            "mean free volume {free} out of plausible range"
-        );
+        assert!(free > 400e6 && free < 2.5e9, "mean free volume {free} out of plausible range");
     }
 
     #[test]
@@ -236,16 +212,11 @@ mod tests {
         let t = trace();
         let mut high_cv = 0;
         for u in t.users.iter().take(500) {
-            let mean =
-                u.monthly_used_bytes.iter().sum::<f64>() / u.monthly_used_bytes.len() as f64;
+            let mean = u.monthly_used_bytes.iter().sum::<f64>() / u.monthly_used_bytes.len() as f64;
             if mean <= 0.0 {
                 continue;
             }
-            let var = u
-                .monthly_used_bytes
-                .iter()
-                .map(|x| (x - mean).powi(2))
-                .sum::<f64>()
+            let var = u.monthly_used_bytes.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
                 / (u.monthly_used_bytes.len() - 1) as f64;
             if var.sqrt() / mean > 0.6 {
                 high_cv += 1;

@@ -12,7 +12,7 @@ use std::time::Duration;
 
 use threegol::hls::VideoQuality;
 use threegol::proxy::{
-    Discovery, DeviceProxy, OriginServer, PathTarget, RateLimit, ThreegolClient,
+    DeviceProxy, Discovery, OriginServer, PathTarget, RateLimit, ThreegolClient,
 };
 
 #[tokio::main]
@@ -42,7 +42,11 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The client discovers the admissible set Φ on the LAN.
     let phi = discovery.admissible();
-    println!("discovered {} devices: {:?}", phi.len(), phi.iter().map(|a| &a.name).collect::<Vec<_>>());
+    println!(
+        "discovered {} devices: {:?}",
+        phi.len(),
+        phi.iter().map(|a| &a.name).collect::<Vec<_>>()
+    );
 
     // Path 0: the gateway, throttled to a 2 Mbit/s ADSL profile.
     let gateway = PathTarget::Gateway {
@@ -87,9 +91,7 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Uplink: a small photo set through the same paths.
     let photos: Vec<(String, bytes::Bytes)> = (0..8)
-        .map(|i| {
-            (format!("IMG_{i:04}.jpg"), bytes::Bytes::from(vec![i as u8; 400_000]))
-        })
+        .map(|i| (format!("IMG_{i:04}.jpg"), bytes::Bytes::from(vec![i as u8; 400_000])))
         .collect();
     let t0 = std::time::Instant::now();
     let report = client.upload_photos(photos).await?;

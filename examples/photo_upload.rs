@@ -17,14 +17,8 @@ fn main() {
     );
     let reps = 6;
     for location in LocationProfile::paper_table4() {
-        let adsl = UploadExperiment::paper_default(location.clone(), 0)
-            .run_mean(reps)
-            .total
-            .mean;
-        let one = UploadExperiment::paper_default(location.clone(), 1)
-            .run_mean(reps)
-            .total
-            .mean;
+        let adsl = UploadExperiment::paper_default(location.clone(), 0).run_mean(reps).total.mean;
+        let one = UploadExperiment::paper_default(location.clone(), 1).run_mean(reps).total.mean;
         let two_summary = UploadExperiment::paper_default(location.clone(), 2).run_mean(reps);
         let two = two_summary.total.mean;
         println!(

@@ -16,18 +16,12 @@ use std::time::Instant;
 use threegol::hls::VideoQuality;
 use threegol::http::codec::HttpStream;
 use threegol::http::Request;
-use threegol::proxy::{
-    DeviceProxy, HlsProxy, OriginServer, PathTarget, RateLimit, ThreegolClient,
-};
+use threegol::proxy::{DeviceProxy, HlsProxy, OriginServer, PathTarget, RateLimit, ThreegolClient};
 use tokio::net::TcpStream;
 
 /// A minimal sequential HLS player: fetch playlist, then segments in
 /// order; report the time to buffer the first `prebuffer` segments.
-async fn play(
-    proxy_addr: std::net::SocketAddr,
-    playlist: &str,
-    prebuffer: usize,
-) -> (f64, usize) {
+async fn play(proxy_addr: std::net::SocketAddr, playlist: &str, prebuffer: usize) -> (f64, usize) {
     let t0 = Instant::now();
     let stream = TcpStream::connect(proxy_addr).await.unwrap();
     let mut http = HttpStream::new(stream);

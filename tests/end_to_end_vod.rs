@@ -23,11 +23,7 @@ fn threegol_beats_adsl_across_the_ladder() {
             gol.download.mean,
             adsl.download.mean
         );
-        assert!(
-            gol.prebuffer.mean <= adsl.prebuffer.mean,
-            "Q{}: pre-buffer regressed",
-            qi + 1
-        );
+        assert!(gol.prebuffer.mean <= adsl.prebuffer.mean, "Q{}: pre-buffer regressed", qi + 1);
     }
 }
 
@@ -98,10 +94,8 @@ fn faster_adsl_reduces_relative_benefit() {
     fast_loc.adsl_down_bps = 20e6;
     let slow = VodExperiment::paper_default(slow_loc, quality.clone(), 2);
     let fast = VodExperiment::paper_default(fast_loc, quality, 2);
-    let slow_speedup =
-        slow.adsl_only().run_mean(3).download.mean / slow.run_mean(3).download.mean;
-    let fast_speedup =
-        fast.adsl_only().run_mean(3).download.mean / fast.run_mean(3).download.mean;
+    let slow_speedup = slow.adsl_only().run_mean(3).download.mean / slow.run_mean(3).download.mean;
+    let fast_speedup = fast.adsl_only().run_mean(3).download.mean / fast.run_mean(3).download.mean;
     assert!(
         slow_speedup > fast_speedup,
         "slow line ×{slow_speedup:.2} vs fast line ×{fast_speedup:.2}"

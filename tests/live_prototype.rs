@@ -115,9 +115,8 @@ async fn uploads_survive_a_slow_device() {
         },
         PathTarget::Device { addr: lan_addr },
     ]);
-    let photos: Vec<(String, bytes::Bytes)> = (0..5)
-        .map(|i| (format!("p{i}.jpg"), bytes::Bytes::from(vec![i as u8; 50_000])))
-        .collect();
+    let photos: Vec<(String, bytes::Bytes)> =
+        (0..5).map(|i| (format!("p{i}.jpg"), bytes::Bytes::from(vec![i as u8; 50_000]))).collect();
     let report = client.upload_photos(photos).await.unwrap();
     assert!(report.item_secs.iter().all(|t| t.is_finite()));
     assert_eq!(origin.uploads().len(), 5);

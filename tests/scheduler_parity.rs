@@ -31,12 +31,7 @@ fn run_both(policy: Policy, sizes: &[f64], rates_bps: &[f64]) -> (f64, f64, Vec<
         .run(&mut sim, sched.as_mut())
         .expect("completes");
 
-    (
-        toy.total_secs,
-        fluid.total_secs,
-        toy.item_completion_secs,
-        fluid.item_completion_secs,
-    )
+    (toy.total_secs, fluid.total_secs, toy.item_completion_secs, fluid.item_completion_secs)
 }
 
 #[test]
@@ -50,10 +45,7 @@ fn drivers_agree_on_fixed_scenarios() {
     ];
     for (policy, sizes, rates) in scenarios {
         let (t_toy, t_fluid, c_toy, c_fluid) = run_both(policy, &sizes, &rates);
-        assert!(
-            (t_toy - t_fluid).abs() < 1e-6,
-            "{policy:?}: toy {t_toy} vs fluid {t_fluid}"
-        );
+        assert!((t_toy - t_fluid).abs() < 1e-6, "{policy:?}: toy {t_toy} vs fluid {t_fluid}");
         for (i, (a, b)) in c_toy.iter().zip(&c_fluid).enumerate() {
             assert!((a - b).abs() < 1e-6, "{policy:?} item {i}: {a} vs {b}");
         }

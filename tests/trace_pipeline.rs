@@ -32,10 +32,7 @@ fn estimator_allowances_feed_quota_trackers() {
         }
     }
     // Most users have stable spare volume, so most devices advertise.
-    assert!(
-        advertising as f64 / total as f64 > 0.5,
-        "{advertising}/{total} advertising"
-    );
+    assert!(advertising as f64 / total as f64 > 0.5, "{advertising}/{total} advertising");
 }
 
 #[test]

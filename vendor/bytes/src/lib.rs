@@ -1,0 +1,187 @@
+//! Offline vendored mini-`bytes`.
+//!
+//! `Vec<u8>`-backed stand-ins for `Bytes`/`BytesMut`. No zero-copy
+//! reference counting — `clone` copies — but the API contract (cheap
+//! conceptual sharing of immutable byte buffers) is preserved for the
+//! workspace's HTTP prototype crates.
+
+use std::ops::Deref;
+
+/// Immutable byte buffer (Vec-backed stand-in for `bytes::Bytes`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    /// Empty buffer.
+    pub fn new() -> Bytes {
+        Bytes { data: Vec::new() }
+    }
+
+    /// Copy from a slice.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes { data: data.to_vec() }
+    }
+
+    /// Create from a static slice (copies; the real crate borrows).
+    pub fn from_static(data: &'static [u8]) -> Bytes {
+        Bytes { data: data.to_vec() }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Split off the bytes at `at`, leaving `[0, at)` in `self`.
+    pub fn split_off(&mut self, at: usize) -> Bytes {
+        Bytes { data: self.data.split_off(at) }
+    }
+
+    /// Sub-slice as a new buffer.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes { data: self.data[range].to_vec() }
+    }
+
+    /// Extract the underlying vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        Bytes { data }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(data)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes { data: s.into_bytes() }
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+}
+
+/// Growable byte buffer (Vec-backed stand-in for `bytes::BytesMut`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    /// Append a slice.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Remove and return the first `at` bytes.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        let rest = self.data.split_off(at);
+        BytesMut { data: std::mem::replace(&mut self.data, rest) }
+    }
+
+    /// Drop the first `cnt` bytes.
+    pub fn advance(&mut self, cnt: usize) {
+        self.data.drain(..cnt);
+    }
+
+    /// Clear contents.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Freeze into an immutable buffer.
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut b = Bytes::from("hello world");
+        let tail = b.split_off(5);
+        assert_eq!(&b[..], b"hello");
+        assert_eq!(&tail[..], b" world");
+        assert_eq!(b.slice(1..3).as_ref(), b"el");
+    }
+
+    #[test]
+    fn bytes_mut_split() {
+        let mut m = BytesMut::new();
+        m.extend_from_slice(b"abcdef");
+        let head = m.split_to(2);
+        assert_eq!(&head[..], b"ab");
+        assert_eq!(&m[..], b"cdef");
+        m.advance(1);
+        assert_eq!(m.freeze().as_ref(), b"def");
+    }
+}

@@ -1,0 +1,220 @@
+//! Offline vendored mini-`criterion`.
+//!
+//! The build container has no crates.io access, so this crate provides
+//! the criterion API surface the workspace's benches use — groups,
+//! `bench_function`, `iter`, `iter_batched`, the `criterion_group!` /
+//! `criterion_main!` macros — backed by a simple but real measurement
+//! loop: warm up for the configured time, then run timed batches for
+//! the configured measurement time and report the median batch rate.
+//!
+//! Output format (one line per benchmark):
+//! `bench <group>/<name> ... median <t> ns/iter (<n> iters)`
+//!
+//! No statistical analysis, plots, or saved baselines; use
+//! `crates/bench/src/bin/bench_summary.rs` for tracked JSON numbers.
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (std's is the real thing).
+pub use std::hint::black_box;
+
+/// Batch sizing hint (accepted for API compatibility; the mini harness
+/// always re-runs setup per batch element).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    default_warm_up: Duration,
+    default_measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            default_warm_up: Duration::from_millis(300),
+            default_measurement: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            warm_up: self.default_warm_up,
+            measurement: self.default_measurement,
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, mut f: F) {
+        let mut group = self.benchmark_group("");
+        group.bench_function(name, |b| f(b));
+        group.finish();
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Set the target number of samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, mut f: F) {
+        let name = name.into();
+        let label = if self.name.is_empty() { name } else { format!("{}/{}", self.name, name) };
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            samples_ns_per_iter: Vec::new(),
+            total_iters: 0,
+        };
+        f(&mut bencher);
+        bencher.report(&label);
+    }
+
+    /// Finish the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Measures one benchmark routine.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    samples_ns_per_iter: Vec<f64>,
+    total_iters: u64,
+}
+
+impl Bencher {
+    /// Benchmark `routine` called in a tight loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+
+        // Pick a batch size so one sample is ~measurement/sample_size.
+        let per_sample_ns = self.measurement.as_nanos() as f64 / self.sample_size as f64;
+        let batch = ((per_sample_ns / est_ns).round() as u64).max(1);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = t.elapsed().as_nanos() as f64;
+            self.samples_ns_per_iter.push(ns / batch as f64);
+            self.total_iters += batch;
+        }
+    }
+
+    /// Benchmark `routine` on fresh inputs from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            let input = setup();
+            black_box(routine(input));
+        }
+
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples_ns_per_iter.push(t.elapsed().as_nanos() as f64);
+            self.total_iters += 1;
+        }
+    }
+
+    fn report(&mut self, label: &str) {
+        if self.samples_ns_per_iter.is_empty() {
+            println!("bench {label:<50} no samples");
+            return;
+        }
+        self.samples_ns_per_iter.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+        let median = self.samples_ns_per_iter[self.samples_ns_per_iter.len() / 2];
+        println!("bench {label:<50} median {median:>14.1} ns/iter ({} iters)", self.total_iters);
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_produces_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+            .sample_size(5);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

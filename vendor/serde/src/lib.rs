@@ -1,0 +1,38 @@
+//! Offline vendored `serde` facade.
+//!
+//! The build container has no crates.io access. The workspace only uses
+//! serde as a *marker* — types derive `Serialize`/`Deserialize` so they
+//! can be exported once a real serializer is available, but no code in
+//! the default build actually serializes through serde (JSON artifacts
+//! are written with explicit formatting code). This facade therefore
+//! provides blanket-implemented marker traits and no-op derive macros,
+//! keeping every `#[derive(serde::Serialize, serde::Deserialize)]` and
+//! `T: Serialize` bound in the workspace compiling unchanged.
+//!
+//! Swapping the real serde back in is a one-line change in the root
+//! `Cargo.toml` once the build environment can reach a registry.
+
+/// Marker for serializable types (blanket-implemented).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types (blanket-implemented).
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// `serde::de` module subset.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// `serde::ser` module subset.
+pub mod ser {
+    pub use super::Serialize;
+}

@@ -1,0 +1,18 @@
+//! No-op derive macros backing the offline `serde` facade.
+//!
+//! The facade's `Serialize`/`Deserialize` traits are blanket-implemented
+//! marker traits, so the derives have nothing to emit; they exist so
+//! `#[derive(serde::Serialize, serde::Deserialize)]` parses. `#[serde(...)]`
+//! helper attributes are accepted and ignored.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

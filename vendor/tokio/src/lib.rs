@@ -1,0 +1,13 @@
+//! Offline placeholder for `tokio`.
+//!
+//! The build container has no crates.io access, and an async runtime is
+//! not something this repository stubs meaningfully. This crate exists
+//! solely so Cargo can resolve the workspace graph: the crates that
+//! depend on tokio (`threegol-http`, `threegol-proxy`, and the root
+//! crate's `net` feature) are excluded from the workspace's
+//! `default-members` and do not build offline.
+//!
+//! ROADMAP "Open items" tracks restoring them, either by vendoring a
+//! minimal single-threaded runtime with virtual time (enough for the
+//! loopback prototype tests) or by building in an environment with
+//! registry access.
