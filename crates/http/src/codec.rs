@@ -570,7 +570,7 @@ mod tests {
     async fn oversized_headers_rejected() {
         let (mut client, server) = tokio::io::duplex(256 * 1024);
         let mut msg = b"GET / HTTP/1.1\r\n".to_vec();
-        msg.extend(std::iter::repeat(b'a').take(MAX_HEADER_BYTES + 10));
+        msg.extend(std::iter::repeat_n(b'a', MAX_HEADER_BYTES + 10));
         tokio::spawn(async move {
             let _ = client.write_all(&msg).await;
         });

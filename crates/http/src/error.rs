@@ -57,7 +57,7 @@ mod tests {
         assert!(HttpError::UnexpectedEof.to_string().contains("closed"));
         assert!(HttpError::Malformed("x".into()).to_string().contains("x"));
         assert!(HttpError::HeadersTooLarge.to_string().contains("header"));
-        let io: HttpError = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        let io: HttpError = std::io::Error::other("boom").into();
         assert!(io.to_string().contains("boom"));
         use std::error::Error;
         assert!(io.source().is_some());

@@ -18,6 +18,8 @@
 //! Hard limits guard against malformed peers: 64 KiB of headers,
 //! 256 MiB bodies.
 
+#![warn(missing_docs)]
+
 pub mod codec;
 pub mod error;
 pub mod headers;

@@ -208,7 +208,7 @@ mod tests {
         let (lan_addr, _h2) = device.clone().spawn("127.0.0.1:0").await.unwrap();
         let stream = TcpStream::connect(lan_addr).await.unwrap();
         let mut http = HttpStream::new(stream);
-        let start = std::time::Instant::now();
+        let start = tokio::time::Instant::now();
         http.write_request(&Request::get("/probe.bin")).await.unwrap();
         let resp = http.read_response().await.unwrap();
         assert_eq!(resp.body.len(), 64_000);

@@ -27,6 +27,33 @@ pub struct Advertisement {
     pub available_bytes: f64,
 }
 
+impl Advertisement {
+    /// Encode for the wire. Like the repository's JSON artifacts, the
+    /// datagram format is explicit formatting code rather than a
+    /// serializer (the vendored `serde_json` is an offline stub): a
+    /// version tag, the proxy address, the quota, then the free-form
+    /// device name — name last so it may contain any byte, including
+    /// the `\n` field separator.
+    fn encode(&self) -> Vec<u8> {
+        format!("3gol-ad/1\n{}\n{}\n{}", self.proxy_addr, self.available_bytes, self.name)
+            .into_bytes()
+    }
+
+    /// Parse a datagram produced by [`Advertisement::encode`];
+    /// `None` for foreign or malformed traffic.
+    fn parse(payload: &[u8]) -> Option<Advertisement> {
+        let text = std::str::from_utf8(payload).ok()?;
+        let mut fields = text.splitn(4, '\n');
+        if fields.next()? != "3gol-ad/1" {
+            return None;
+        }
+        let proxy_addr = fields.next()?.parse().ok()?;
+        let available_bytes = fields.next()?.parse().ok()?;
+        let name = fields.next()?.to_string();
+        Some(Advertisement { name, proxy_addr, available_bytes })
+    }
+}
+
 /// Advertisement freshness window.
 pub const TTL: Duration = Duration::from_secs(3);
 
@@ -49,7 +76,7 @@ impl Discovery {
             let mut buf = vec![0u8; 4096];
             loop {
                 let Ok((n, _peer)) = rx_socket.recv_from(&mut buf).await else { break };
-                if let Ok(ad) = serde_json::from_slice::<Advertisement>(&buf[..n]) {
+                if let Some(ad) = Advertisement::parse(&buf[..n]) {
                     rx_seen.lock().insert(ad.name.clone(), (ad, Instant::now()));
                 }
             }
@@ -77,8 +104,7 @@ impl Discovery {
 /// Send one announcement datagram to the discovery listener.
 pub async fn announce(to: SocketAddr, ad: &Advertisement) -> std::io::Result<()> {
     let socket = UdpSocket::bind("127.0.0.1:0").await?;
-    let payload = serde_json::to_vec(ad).expect("advertisement serializes");
-    socket.send_to(&payload, to).await?;
+    socket.send_to(&ad.encode(), to).await?;
     Ok(())
 }
 

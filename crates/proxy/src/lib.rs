@@ -27,6 +27,8 @@
 //!   player points at: playlists are intercepted, segments prefetched
 //!   multipath and served from cache, transparently.
 
+#![warn(missing_docs)]
+
 pub mod client;
 pub mod device;
 pub mod discovery;

@@ -67,10 +67,15 @@ impl Bucket {
     }
 
     /// Instant at which at least `bytes` tokens will be available.
+    ///
+    /// Never earlier than 1 ms past the last refill: `available()`
+    /// truncates the float balance, so the deficit can be a fraction
+    /// of a byte whose drain time rounds to zero — an already-expired
+    /// sleep would make `poll_read` spin without yielding.
     fn ready_at(&self, bytes: usize) -> Instant {
         let deficit = (bytes as f64 - self.tokens).max(0.0);
         let secs = deficit / (self.limit.rate_bps / 8.0);
-        self.last_refill + Duration::from_secs_f64(secs.min(3600.0))
+        self.last_refill + Duration::from_secs_f64(secs.clamp(1e-3, 3600.0))
     }
 }
 
@@ -212,7 +217,7 @@ mod tests {
         tokio::spawn(async move {
             tx.write_all(&payload).await.unwrap();
         });
-        let start = std::time::Instant::now();
+        let start = tokio::time::Instant::now();
         let mut buf = vec![0u8; 100_000];
         throttled.read_exact(&mut buf).await.unwrap();
         let secs = start.elapsed().as_secs_f64();
@@ -232,7 +237,7 @@ mod tests {
             let mut buf = vec![0u8; 100_000];
             rx.read_exact(&mut buf).await.unwrap();
         });
-        let start = std::time::Instant::now();
+        let start = tokio::time::Instant::now();
         throttled.write_all(&vec![2u8; 100_000]).await.unwrap();
         throttled.flush().await.unwrap();
         reader.await.unwrap();
@@ -248,7 +253,7 @@ mod tests {
         tokio::spawn(async move {
             tx.write_all(&vec![3u8; 500_000]).await.unwrap();
         });
-        let start = std::time::Instant::now();
+        let start = tokio::time::Instant::now();
         let mut buf = vec![0u8; 500_000];
         throttled.read_exact(&mut buf).await.unwrap();
         assert!(start.elapsed().as_secs_f64() < 0.5);
@@ -265,7 +270,7 @@ mod tests {
         tokio::spawn(async move {
             tx.write_all(&vec![4u8; 32 * 1024]).await.unwrap();
         });
-        let start = std::time::Instant::now();
+        let start = tokio::time::Instant::now();
         let mut buf = vec![0u8; 32 * 1024];
         throttled.read_exact(&mut buf).await.unwrap();
         // Fits within the burst: no throttling delay.

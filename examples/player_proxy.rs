@@ -11,7 +11,7 @@
 //! ```
 
 use std::sync::Arc;
-use std::time::Instant;
+use tokio::time::Instant;
 
 use threegol::hls::VideoQuality;
 use threegol::http::codec::HttpStream;

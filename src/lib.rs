@@ -20,10 +20,8 @@
 pub use threegol_caps as caps;
 pub use threegol_core as core;
 pub use threegol_hls as hls;
-#[cfg(feature = "net")]
 pub use threegol_http as http;
 pub use threegol_measure as measure;
-#[cfg(feature = "net")]
 pub use threegol_proxy as proxy;
 pub use threegol_radio as radio;
 pub use threegol_sched as sched;

@@ -7,6 +7,25 @@
 
 use std::ops::Deref;
 
+/// Minimal stand-in for the real crate's `BufMut` trait: just the
+/// slice-append method the workspace uses.
+pub trait BufMut {
+    /// Append `src` to the buffer.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
 /// Immutable byte buffer (Vec-backed stand-in for `bytes::Bytes`).
 #[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct Bytes {
@@ -44,9 +63,21 @@ impl Bytes {
         Bytes { data: self.data.split_off(at) }
     }
 
-    /// Sub-slice as a new buffer.
-    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
-        Bytes { data: self.data[range].to_vec() }
+    /// Sub-slice as a new buffer; accepts any range kind
+    /// (`a..b`, `a..=b`, `..b`, `a..`, `..`) like the real crate.
+    pub fn slice<R: std::ops::RangeBounds<usize>>(&self, range: R) -> Bytes {
+        use std::ops::Bound;
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.data.len(),
+        };
+        Bytes { data: self.data[start..end].to_vec() }
     }
 
     /// Extract the underlying vector.
@@ -139,6 +170,12 @@ impl BytesMut {
     /// Clear contents.
     pub fn clear(&mut self) {
         self.data.clear();
+    }
+
+    /// Take the entire contents, leaving `self` empty (the real
+    /// crate's `split`, i.e. `split_to(len)`).
+    pub fn split(&mut self) -> BytesMut {
+        BytesMut { data: std::mem::take(&mut self.data) }
     }
 
     /// Freeze into an immutable buffer.

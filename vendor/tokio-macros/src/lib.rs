@@ -1,0 +1,89 @@
+//! Offline vendored `tokio-macros`: the `#[tokio::main]` and
+//! `#[tokio::test]` attribute macros, re-emitted over the vendored
+//! single-threaded runtime (`tokio::runtime::block_on`).
+//!
+//! Both macros perform the same mechanical rewrite — no `syn`/`quote`,
+//! just `proc_macro` token surgery, mirroring how the sibling
+//! `serde_derive` shim avoids heavyweight parser dependencies:
+//!
+//! ```text
+//! #[tokio::test]                      #[test]
+//! async fn name() { body }     →      fn name() {
+//!                                         ::tokio::runtime::block_on(async { body })
+//!                                     }
+//! ```
+//!
+//! Attribute arguments (`flavor = "..."`, `start_paused = true`,
+//! `worker_threads = N`) are accepted and ignored: the vendored runtime
+//! is always single-threaded and its clock is always virtual with
+//! auto-advance, which subsumes `start_paused` (see the runtime docs).
+
+use proc_macro::{Delimiter, Group, Ident, Punct, Spacing, Span, TokenStream, TokenTree};
+
+/// Marks an `async fn main` as the program entry point, executing it to
+/// completion on the vendored single-threaded runtime.
+#[proc_macro_attribute]
+pub fn main(_args: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite(item, false)
+}
+
+/// Marks an `async fn` as a `#[test]`, executing it to completion on a
+/// fresh instance of the vendored single-threaded runtime.
+#[proc_macro_attribute]
+pub fn test(_args: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite(item, true)
+}
+
+/// Rewrite `async fn f(..) -> R { body }` into a synchronous
+/// `fn f(..) -> R { ::tokio::runtime::block_on(async { body }) }`,
+/// optionally prefixed with `#[test]`. Leading attributes and
+/// visibility are preserved; the final brace group is treated as the
+/// body, everything between `async` and it as the signature.
+fn rewrite(item: TokenStream, add_test_attr: bool) -> TokenStream {
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+
+    // The function body is the trailing brace-delimited group.
+    let Some((TokenTree::Group(body), signature)) = tokens.split_last() else {
+        panic!("#[tokio::main]/#[tokio::test] expects a function item");
+    };
+    assert!(
+        body.delimiter() == Delimiter::Brace,
+        "#[tokio::main]/#[tokio::test] expects a function with a braced body"
+    );
+
+    let mut out = TokenStream::new();
+    if add_test_attr {
+        out.extend([
+            TokenTree::Punct(Punct::new('#', Spacing::Alone)),
+            TokenTree::Group(Group::new(
+                Delimiter::Bracket,
+                TokenStream::from(TokenTree::Ident(Ident::new("test", Span::call_site()))),
+            )),
+        ]);
+    }
+
+    // Copy the signature, dropping the `async` qualifier.
+    let mut saw_async = false;
+    for tt in signature {
+        if let TokenTree::Ident(ident) = tt {
+            if !saw_async && ident.to_string() == "async" {
+                saw_async = true;
+                continue;
+            }
+        }
+        out.extend([tt.clone()]);
+    }
+    assert!(saw_async, "#[tokio::main]/#[tokio::test] requires an `async fn`");
+
+    // New body: ::tokio::runtime::block_on(async move { <body> })
+    let mut call: TokenStream = "::tokio::runtime::block_on".parse().expect("path tokens parse");
+    let mut arg = TokenStream::new();
+    arg.extend([
+        TokenTree::Ident(Ident::new("async", Span::call_site())),
+        TokenTree::Ident(Ident::new("move", Span::call_site())),
+        TokenTree::Group(Group::new(Delimiter::Brace, body.stream())),
+    ]);
+    call.extend([TokenTree::Group(Group::new(Delimiter::Parenthesis, arg))]);
+    out.extend([TokenTree::Group(Group::new(Delimiter::Brace, call))]);
+    out
+}

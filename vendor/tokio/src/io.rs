@@ -1,0 +1,505 @@
+//! Async I/O traits ([`AsyncRead`], [`AsyncWrite`]), the [`ReadBuf`]
+//! cursor, the [`AsyncReadExt`]/[`AsyncWriteExt`] convenience methods,
+//! and the in-memory [`duplex`] pipe.
+//!
+//! The traits are signature-compatible with tokio's so the workspace's
+//! stream adapters (`ThrottledStream`, `CountingStream`, `HttpStream`)
+//! compile unchanged. Two deliberate narrowings, documented where they
+//! occur: [`ReadBuf`] wraps an initialized `&mut [u8]` (no
+//! `MaybeUninit` plumbing), and [`AsyncReadExt::read_buf`] is concrete
+//! over the vendored [`bytes::BytesMut`] instead of generic over a
+//! `BufMut` trait this workspace doesn't vendor.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::io;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// Reads bytes asynchronously; the pull side of tokio's I/O model.
+pub trait AsyncRead {
+    /// Attempt to read into `buf`, appending to its filled region.
+    /// Returning `Ready(Ok(()))` with nothing appended signals EOF.
+    fn poll_read(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<io::Result<()>>;
+}
+
+/// Writes bytes asynchronously; the push side of tokio's I/O model.
+pub trait AsyncWrite {
+    /// Attempt to write from `buf`, returning how many bytes were
+    /// accepted.
+    fn poll_write(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &[u8],
+    ) -> Poll<io::Result<usize>>;
+
+    /// Attempt to flush buffered data to the underlying sink.
+    fn poll_flush(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<()>>;
+
+    /// Attempt to shut down the write side, signalling EOF to the peer.
+    fn poll_shutdown(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<()>>;
+}
+
+// ---------------------------------------------------------------------------
+// ReadBuf
+// ---------------------------------------------------------------------------
+
+/// A cursor over a caller-provided byte buffer, tracking how much has
+/// been filled. Unlike tokio's, the backing slice is always fully
+/// initialized (`&mut [u8]`), so the `assume_init` bookkeeping is a
+/// no-op kept only for call-site compatibility.
+#[derive(Debug)]
+pub struct ReadBuf<'a> {
+    buf: &'a mut [u8],
+    filled: usize,
+}
+
+impl<'a> ReadBuf<'a> {
+    /// Wrap an initialized slice; the filled region starts empty.
+    pub fn new(buf: &'a mut [u8]) -> ReadBuf<'a> {
+        ReadBuf { buf, filled: 0 }
+    }
+
+    /// Total capacity of the underlying slice.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Bytes read so far.
+    pub fn filled(&self) -> &[u8] {
+        &self.buf[..self.filled]
+    }
+
+    /// Mutable view of the bytes read so far.
+    pub fn filled_mut(&mut self) -> &mut [u8] {
+        &mut self.buf[..self.filled]
+    }
+
+    /// Space left after the filled region.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.filled
+    }
+
+    /// The unfilled portion, ready to be written into (the backing
+    /// slice is always initialized, so this is tokio's
+    /// `initialize_unfilled` and `unfilled_mut` in one).
+    pub fn initialize_unfilled(&mut self) -> &mut [u8] {
+        &mut self.buf[self.filled..]
+    }
+
+    /// Mark `n` more bytes as filled (they must have been written via
+    /// [`initialize_unfilled`](Self::initialize_unfilled)).
+    pub fn advance(&mut self, n: usize) {
+        self.set_filled(self.filled + n);
+    }
+
+    /// Set the absolute size of the filled region (may shrink it).
+    pub fn set_filled(&mut self, n: usize) {
+        assert!(n <= self.buf.len(), "filled region larger than buffer capacity");
+        self.filled = n;
+    }
+
+    /// Declare `n` bytes after the filled region initialized. The
+    /// backing slice always is, so this is a no-op; `unsafe` only to
+    /// match tokio's signature at call sites.
+    ///
+    /// # Safety
+    ///
+    /// None required here; callers uphold tokio's contract anyway.
+    pub unsafe fn assume_init(&mut self, n: usize) {
+        debug_assert!(self.filled + n <= self.buf.len());
+    }
+
+    /// A sub-`ReadBuf` over at most `n` bytes of the unfilled region —
+    /// the limiting device token-bucket adapters use to cap one read.
+    pub fn take(&mut self, n: usize) -> ReadBuf<'_> {
+        let max = n.min(self.remaining());
+        let start = self.filled;
+        ReadBuf::new(&mut self.buf[start..start + max])
+    }
+
+    /// Append a slice to the filled region. Panics when it does not
+    /// fit.
+    pub fn put_slice(&mut self, src: &[u8]) {
+        assert!(src.len() <= self.remaining(), "put_slice overflows the read buffer");
+        self.buf[self.filled..self.filled + src.len()].copy_from_slice(src);
+        self.filled += src.len();
+    }
+
+    /// Reset the filled region to empty.
+    pub fn clear(&mut self) {
+        self.filled = 0;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Blanket and leaf implementations
+// ---------------------------------------------------------------------------
+
+impl<T: AsyncRead + Unpin + ?Sized> AsyncRead for &mut T {
+    fn poll_read(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<io::Result<()>> {
+        Pin::new(&mut **self.get_mut()).poll_read(cx, buf)
+    }
+}
+
+impl<T: AsyncWrite + Unpin + ?Sized> AsyncWrite for &mut T {
+    fn poll_write(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &[u8],
+    ) -> Poll<io::Result<usize>> {
+        Pin::new(&mut **self.get_mut()).poll_write(cx, buf)
+    }
+
+    fn poll_flush(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        Pin::new(&mut **self.get_mut()).poll_flush(cx)
+    }
+
+    fn poll_shutdown(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        Pin::new(&mut **self.get_mut()).poll_shutdown(cx)
+    }
+}
+
+impl<T: AsyncRead + Unpin + ?Sized> AsyncRead for Box<T> {
+    fn poll_read(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<io::Result<()>> {
+        Pin::new(&mut **self.get_mut()).poll_read(cx, buf)
+    }
+}
+
+impl<T: AsyncWrite + Unpin + ?Sized> AsyncWrite for Box<T> {
+    fn poll_write(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &[u8],
+    ) -> Poll<io::Result<usize>> {
+        Pin::new(&mut **self.get_mut()).poll_write(cx, buf)
+    }
+
+    fn poll_flush(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        Pin::new(&mut **self.get_mut()).poll_flush(cx)
+    }
+
+    fn poll_shutdown(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        Pin::new(&mut **self.get_mut()).poll_shutdown(cx)
+    }
+}
+
+/// An in-memory reader: yields the slice's bytes, then EOF.
+impl AsyncRead for &[u8] {
+    fn poll_read(
+        self: Pin<&mut Self>,
+        _cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<io::Result<()>> {
+        let this = self.get_mut();
+        let n = this.len().min(buf.remaining());
+        let (head, tail) = this.split_at(n);
+        buf.put_slice(head);
+        *this = tail;
+        Poll::Ready(Ok(()))
+    }
+}
+
+/// An in-memory writer: appends everything, never blocks.
+impl AsyncWrite for Vec<u8> {
+    fn poll_write(
+        self: Pin<&mut Self>,
+        _cx: &mut Context<'_>,
+        buf: &[u8],
+    ) -> Poll<io::Result<usize>> {
+        self.get_mut().extend_from_slice(buf);
+        Poll::Ready(Ok(buf.len()))
+    }
+
+    fn poll_flush(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        Poll::Ready(Ok(()))
+    }
+
+    fn poll_shutdown(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        Poll::Ready(Ok(()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Extension traits
+// ---------------------------------------------------------------------------
+
+/// `await`-able convenience methods over any [`AsyncRead`], mirroring
+/// the tokio methods this workspace uses.
+pub trait AsyncReadExt: AsyncRead {
+    /// Read some bytes into `buf`, returning how many. Zero means EOF
+    /// (or an empty `buf`).
+    fn read(&mut self, buf: &mut [u8]) -> impl Future<Output = io::Result<usize>>
+    where
+        Self: Unpin,
+    {
+        async move {
+            let mut read_buf = ReadBuf::new(buf);
+            std::future::poll_fn(|cx| Pin::new(&mut *self).poll_read(cx, &mut read_buf)).await?;
+            Ok(read_buf.filled().len())
+        }
+    }
+
+    /// Read exactly `buf.len()` bytes, failing with `UnexpectedEof` if
+    /// the stream ends first.
+    fn read_exact(&mut self, buf: &mut [u8]) -> impl Future<Output = io::Result<usize>>
+    where
+        Self: Unpin,
+    {
+        async move {
+            let mut filled = 0;
+            while filled < buf.len() {
+                let n = self.read(&mut buf[filled..]).await?;
+                if n == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "early eof while reading exact length",
+                    ));
+                }
+                filled += n;
+            }
+            Ok(filled)
+        }
+    }
+
+    /// Read until EOF, appending to `buf`; returns the number of bytes
+    /// read.
+    fn read_to_end(&mut self, buf: &mut Vec<u8>) -> impl Future<Output = io::Result<usize>>
+    where
+        Self: Unpin,
+    {
+        async move {
+            let mut total = 0;
+            let mut chunk = [0u8; 8192];
+            loop {
+                let n = self.read(&mut chunk).await?;
+                if n == 0 {
+                    return Ok(total);
+                }
+                buf.extend_from_slice(&chunk[..n]);
+                total += n;
+            }
+        }
+    }
+
+    /// Read some bytes and append them to `buf`, growing it; returns
+    /// how many were read (zero at EOF). Concrete over the vendored
+    /// [`bytes::BytesMut`] where tokio is generic over `bytes::BufMut`
+    /// — this workspace only ever passes `BytesMut`.
+    fn read_buf(&mut self, buf: &mut bytes::BytesMut) -> impl Future<Output = io::Result<usize>>
+    where
+        Self: Unpin,
+    {
+        async move {
+            let mut chunk = [0u8; 8192];
+            let n = self.read(&mut chunk).await?;
+            buf.extend_from_slice(&chunk[..n]);
+            Ok(n)
+        }
+    }
+}
+
+impl<T: AsyncRead + ?Sized> AsyncReadExt for T {}
+
+/// `await`-able convenience methods over any [`AsyncWrite`], mirroring
+/// the tokio methods this workspace uses.
+pub trait AsyncWriteExt: AsyncWrite {
+    /// Write some bytes from `src`, returning how many were accepted.
+    fn write(&mut self, src: &[u8]) -> impl Future<Output = io::Result<usize>>
+    where
+        Self: Unpin,
+    {
+        async move { std::future::poll_fn(|cx| Pin::new(&mut *self).poll_write(cx, src)).await }
+    }
+
+    /// Write the whole of `src`, failing with `WriteZero` if the sink
+    /// stops accepting bytes.
+    fn write_all(&mut self, src: &[u8]) -> impl Future<Output = io::Result<()>>
+    where
+        Self: Unpin,
+    {
+        async move {
+            let mut written = 0;
+            while written < src.len() {
+                let n = self.write(&src[written..]).await?;
+                if n == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "wrote zero bytes of a non-empty buffer",
+                    ));
+                }
+                written += n;
+            }
+            Ok(())
+        }
+    }
+
+    /// Flush buffered data down to the underlying sink.
+    fn flush(&mut self) -> impl Future<Output = io::Result<()>>
+    where
+        Self: Unpin,
+    {
+        async move { std::future::poll_fn(|cx| Pin::new(&mut *self).poll_flush(cx)).await }
+    }
+
+    /// Shut down the write side, signalling EOF to the peer.
+    fn shutdown(&mut self) -> impl Future<Output = io::Result<()>>
+    where
+        Self: Unpin,
+    {
+        async move { std::future::poll_fn(|cx| Pin::new(&mut *self).poll_shutdown(cx)).await }
+    }
+}
+
+impl<T: AsyncWrite + ?Sized> AsyncWriteExt for T {}
+
+// ---------------------------------------------------------------------------
+// duplex
+// ---------------------------------------------------------------------------
+
+/// One direction of a duplex pair: a bounded byte ring plus the wakers
+/// of whoever is parked on it.
+#[derive(Debug)]
+struct Pipe {
+    buf: VecDeque<u8>,
+    capacity: usize,
+    read_waker: Option<Waker>,
+    write_waker: Option<Waker>,
+    /// Writer gone or shut down: reads drain the buffer then see EOF.
+    write_closed: bool,
+    /// Reader gone: writes fail with `BrokenPipe`.
+    read_closed: bool,
+}
+
+impl Pipe {
+    fn new(capacity: usize) -> Pipe {
+        Pipe {
+            buf: VecDeque::new(),
+            capacity,
+            read_waker: None,
+            write_waker: None,
+            write_closed: false,
+            read_closed: false,
+        }
+    }
+}
+
+/// One endpoint of an in-memory, bidirectional, bounded-capacity byte
+/// stream created by [`duplex`]. Dropping an endpoint signals EOF to
+/// the peer's reads and `BrokenPipe` to the peer's writes.
+#[derive(Debug)]
+pub struct DuplexStream {
+    /// Pipe this endpoint reads from (peer writes into it).
+    read: Arc<Mutex<Pipe>>,
+    /// Pipe this endpoint writes into (peer reads from it).
+    write: Arc<Mutex<Pipe>>,
+}
+
+/// Create a pair of connected in-memory streams, each direction
+/// buffering at most `max_buf_size` bytes before writes see
+/// backpressure. The workspace's codec and throttle tests are built on
+/// this.
+pub fn duplex(max_buf_size: usize) -> (DuplexStream, DuplexStream) {
+    let a_to_b = Arc::new(Mutex::new(Pipe::new(max_buf_size)));
+    let b_to_a = Arc::new(Mutex::new(Pipe::new(max_buf_size)));
+    (
+        DuplexStream { read: Arc::clone(&b_to_a), write: Arc::clone(&a_to_b) },
+        DuplexStream { read: a_to_b, write: b_to_a },
+    )
+}
+
+impl AsyncRead for DuplexStream {
+    fn poll_read(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<io::Result<()>> {
+        let mut pipe = self.read.lock().unwrap();
+        if !pipe.buf.is_empty() {
+            let n = pipe.buf.len().min(buf.remaining());
+            let (front, back) = pipe.buf.as_slices();
+            let from_front = front.len().min(n);
+            buf.put_slice(&front[..from_front]);
+            buf.put_slice(&back[..n - from_front]);
+            pipe.buf.drain(..n);
+            if let Some(waker) = pipe.write_waker.take() {
+                waker.wake();
+            }
+            Poll::Ready(Ok(()))
+        } else if pipe.write_closed {
+            Poll::Ready(Ok(())) // nothing filled: EOF
+        } else {
+            pipe.read_waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+impl AsyncWrite for DuplexStream {
+    fn poll_write(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &[u8],
+    ) -> Poll<io::Result<usize>> {
+        let mut pipe = self.write.lock().unwrap();
+        if pipe.read_closed {
+            return Poll::Ready(Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "duplex peer dropped",
+            )));
+        }
+        let space = pipe.capacity - pipe.buf.len();
+        if space == 0 {
+            pipe.write_waker = Some(cx.waker().clone());
+            return Poll::Pending;
+        }
+        let n = space.min(buf.len());
+        pipe.buf.extend(&buf[..n]);
+        if let Some(waker) = pipe.read_waker.take() {
+            waker.wake();
+        }
+        Poll::Ready(Ok(n))
+    }
+
+    fn poll_flush(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        Poll::Ready(Ok(()))
+    }
+
+    fn poll_shutdown(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        let mut pipe = self.write.lock().unwrap();
+        pipe.write_closed = true;
+        if let Some(waker) = pipe.read_waker.take() {
+            waker.wake();
+        }
+        Poll::Ready(Ok(()))
+    }
+}
+
+impl Drop for DuplexStream {
+    fn drop(&mut self) {
+        let mut write = self.write.lock().unwrap();
+        write.write_closed = true;
+        if let Some(waker) = write.read_waker.take() {
+            waker.wake();
+        }
+        drop(write);
+        let mut read = self.read.lock().unwrap();
+        read.read_closed = true;
+        if let Some(waker) = read.write_waker.take() {
+            waker.wake();
+        }
+    }
+}

@@ -1,13 +1,50 @@
-//! Offline placeholder for `tokio`.
+//! Offline vendored `tokio`: a minimal single-threaded async runtime
+//! with a **virtual-time clock** and **loopback-only networking**,
+//! implementing exactly the API subset the `threegol-http` and
+//! `threegol-proxy` crates use. It exists so the live loopback
+//! prototype builds and tests in the offline container with no
+//! crates.io access; see DESIGN.md §9 for the full architecture.
 //!
-//! The build container has no crates.io access, and an async runtime is
-//! not something this repository stubs meaningfully. This crate exists
-//! solely so Cargo can resolve the workspace graph: the crates that
-//! depend on tokio (`threegol-http`, `threegol-proxy`, and the root
-//! crate's `net` feature) are excluded from the workspace's
-//! `default-members` and do not build offline.
+//! What is implemented, and where:
 //!
-//! ROADMAP "Open items" tracks restoring them, either by vendoring a
-//! minimal single-threaded runtime with virtual time (enough for the
-//! loopback prototype tests) or by building in an environment with
-//! registry access.
+//! - [`runtime::block_on`] — the executor: single thread, FIFO task
+//!   queue, retry reactor, auto-advancing virtual clock.
+//! - [`spawn`] / [`task::JoinHandle`] (with `abort`) and
+//!   [`task::yield_now`].
+//! - [`time`] — virtual [`time::Instant`], [`time::sleep`],
+//!   [`time::sleep_until`], [`time::timeout`], [`time::advance`].
+//! - [`io`] — `AsyncRead`/`AsyncWrite`/`ReadBuf`, the `Ext` method
+//!   traits, and the in-memory [`io::duplex`] pipe.
+//! - [`net`] — loopback-only `TcpListener`/`TcpStream`/`UdpSocket`
+//!   over nonblocking `std::net` sockets.
+//! - [`sync`] — `mpsc` (bounded and unbounded) and `Notify`.
+//! - `#[tokio::main]` / `#[tokio::test]` via the sibling
+//!   `tokio-macros` crate; attribute arguments such as
+//!   `start_paused = true` are accepted and ignored because the clock
+//!   is *always* virtual and paused-with-auto-advance.
+//!
+//! Everything else of real tokio's surface is intentionally absent;
+//! depending on it is a compile error rather than a silent stub.
+//!
+//! # Semantic deviations from tokio (all documented at the item)
+//!
+//! - Time is virtual: `sleep(100ms)` costs microseconds of real time
+//!   and `time::Instant` measures modeled durations, which is what the
+//!   throttled-link tests in this workspace assert on.
+//! - Networking rejects non-loopback addresses with `InvalidInput`.
+//! - A panicking task aborts the whole runtime (test) instead of being
+//!   captured into a `JoinError`.
+//! - `AsyncReadExt::read_buf` is concrete over the vendored
+//!   [`bytes::BytesMut`].
+
+#![warn(missing_docs)]
+
+pub mod io;
+pub mod net;
+pub mod runtime;
+pub mod sync;
+pub mod task;
+pub mod time;
+
+pub use task::spawn;
+pub use tokio_macros::{main, test};

@@ -1,0 +1,206 @@
+//! Loopback-only async TCP and UDP over nonblocking `std::net`
+//! sockets.
+//!
+//! There is no epoll/kqueue reactor here. Every socket is switched to
+//! nonblocking mode; an operation that returns `WouldBlock` parks its
+//! waker with the runtime's *retry reactor* and the executor re-wakes
+//! it whenever the system is otherwise idle (see [`crate::runtime`]).
+//! That is sound — not a busy-loop — precisely because these sockets
+//! are restricted to loopback: readiness on `127.0.0.1` changes only
+//! when another task of this runtime (or a peer process, covered by
+//! the executor's bounded real-time wait) writes, so one retry round
+//! after each batch of work observes every transition. Addresses off
+//! the loopback interface are rejected with `InvalidInput` rather than
+//! silently spinning on a slow remote.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, ToSocketAddrs};
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+use crate::io::{AsyncRead, AsyncWrite, ReadBuf};
+use crate::runtime;
+
+/// Resolve `addr` and enforce the loopback-only contract.
+fn resolve_loopback<A: ToSocketAddrs>(addr: A) -> io::Result<SocketAddr> {
+    let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+    })?;
+    if !addr.ip().is_loopback() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "vendored tokio networking is loopback-only (see vendor/tokio docs)",
+        ));
+    }
+    Ok(addr)
+}
+
+/// Run one nonblocking socket syscall from an async context: completed
+/// results bump the runtime's progress counter, `WouldBlock` parks the
+/// task with the retry reactor.
+fn poll_syscall<T>(cx: &mut Context<'_>, result: io::Result<T>) -> Poll<io::Result<T>> {
+    match result {
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+            runtime::current().register_io_waker(cx.waker().clone());
+            Poll::Pending
+        }
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+        other => {
+            runtime::current().io_op_completed();
+            Poll::Ready(other)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP
+// ---------------------------------------------------------------------------
+
+/// A loopback TCP listener, mirroring `tokio::net::TcpListener`.
+#[derive(Debug)]
+pub struct TcpListener {
+    inner: std::net::TcpListener,
+}
+
+impl TcpListener {
+    /// Bind to a loopback address (e.g. `"127.0.0.1:0"` for an
+    /// ephemeral port).
+    pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
+        let addr = resolve_loopback(addr)?;
+        let inner = std::net::TcpListener::bind(addr)?;
+        inner.set_nonblocking(true)?;
+        Ok(TcpListener { inner })
+    }
+
+    /// Accept one inbound connection, parking until a peer connects.
+    pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+        std::future::poll_fn(|cx| {
+            poll_syscall(cx, self.inner.accept()).map(|r| {
+                r.and_then(|(stream, peer)| {
+                    stream.set_nonblocking(true)?;
+                    Ok((TcpStream { inner: stream }, peer))
+                })
+            })
+        })
+        .await
+    }
+
+    /// The locally bound address (the real port for `:0` binds).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+}
+
+/// A loopback TCP stream, mirroring `tokio::net::TcpStream`.
+#[derive(Debug)]
+pub struct TcpStream {
+    inner: std::net::TcpStream,
+}
+
+impl TcpStream {
+    /// Connect to a loopback peer. The kernel completes a loopback
+    /// handshake synchronously (the peer need not have accepted yet),
+    /// so the blocking `connect` here never actually waits.
+    pub async fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<TcpStream> {
+        let addr = resolve_loopback(addr)?;
+        let inner = std::net::TcpStream::connect(addr)?;
+        inner.set_nonblocking(true)?;
+        runtime::current().io_op_completed();
+        Ok(TcpStream { inner })
+    }
+
+    /// Set `TCP_NODELAY` (disable Nagle's algorithm).
+    pub fn set_nodelay(&self, nodelay: bool) -> io::Result<()> {
+        self.inner.set_nodelay(nodelay)
+    }
+
+    /// The local address of this end of the connection.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    /// The remote peer's address.
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+}
+
+impl AsyncRead for TcpStream {
+    fn poll_read(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<io::Result<()>> {
+        let this = self.get_mut();
+        let dst = buf.initialize_unfilled();
+        match poll_syscall(cx, (&this.inner).read(dst)) {
+            Poll::Ready(Ok(n)) => {
+                buf.advance(n);
+                Poll::Ready(Ok(()))
+            }
+            Poll::Ready(Err(e)) => Poll::Ready(Err(e)),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+impl AsyncWrite for TcpStream {
+    fn poll_write(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &[u8],
+    ) -> Poll<io::Result<usize>> {
+        let this = self.get_mut();
+        poll_syscall(cx, (&this.inner).write(buf))
+    }
+
+    fn poll_flush(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        // Kernel TCP sockets have no userspace buffer to flush.
+        Poll::Ready(Ok(()))
+    }
+
+    fn poll_shutdown(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        match self.get_mut().inner.shutdown(Shutdown::Write) {
+            Ok(()) | Err(_) => Poll::Ready(Ok(())), // NotConnected after peer close is fine
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// UDP
+// ---------------------------------------------------------------------------
+
+/// A loopback UDP socket, mirroring `tokio::net::UdpSocket`.
+#[derive(Debug)]
+pub struct UdpSocket {
+    inner: std::net::UdpSocket,
+}
+
+impl UdpSocket {
+    /// Bind to a loopback address.
+    pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<UdpSocket> {
+        let addr = resolve_loopback(addr)?;
+        let inner = std::net::UdpSocket::bind(addr)?;
+        inner.set_nonblocking(true)?;
+        Ok(UdpSocket { inner })
+    }
+
+    /// Send one datagram to `target`.
+    pub async fn send_to<A: ToSocketAddrs>(&self, buf: &[u8], target: A) -> io::Result<usize> {
+        let target = resolve_loopback(target)?;
+        std::future::poll_fn(|cx| poll_syscall(cx, self.inner.send_to(buf, target))).await
+    }
+
+    /// Receive one datagram, returning its length and sender.
+    pub async fn recv_from(&self, buf: &mut [u8]) -> io::Result<(usize, SocketAddr)> {
+        std::future::poll_fn(|cx| poll_syscall(cx, self.inner.recv_from(buf))).await
+    }
+
+    /// The locally bound address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+}

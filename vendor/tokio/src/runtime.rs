@@ -1,0 +1,443 @@
+//! The single-threaded executor and its virtual-time clock.
+//!
+//! One [`block_on`] call owns one runtime: a FIFO ready-queue of
+//! spawned tasks, a timer wheel (a `BTreeMap` keyed by virtual-time
+//! deadline), a **virtual clock**, and a *retry reactor* — a list of
+//! wakers parked on nonblocking socket operations that returned
+//! `WouldBlock`.
+//!
+//! # Scheduling loop
+//!
+//! The loop runs four strictly ordered phases; a phase only runs when
+//! every earlier phase is out of work:
+//!
+//! 1. **Runnable tasks** — poll the main future when woken, then drain
+//!    the ready queue.
+//! 2. **I/O retry** — wake every waker parked on a socket and drain
+//!    again. Sockets here are loopback-only, so kernel readiness is
+//!    synchronous with the peer's (our own) writes: if any parked
+//!    operation can progress, one retry round finds it. Progress is
+//!    detected by a counter every completed socket operation bumps.
+//! 3. **Auto-advance** — if no task ran and no socket progressed, the
+//!    virtual clock jumps to the earliest pending timer deadline and
+//!    fires every timer due at it. This is why `sleep(100ms)`-style
+//!    tests finish in microseconds of real time, deterministically.
+//! 4. **Real wait** — no timers at all but sockets still parked: the
+//!    awaited bytes can only come from outside this runtime (e.g. a
+//!    peer process in the examples), so sleep half a millisecond of
+//!    real time and retry.
+//!
+//! If all four phases are empty while the main future is pending, the
+//! program is deadlocked and the runtime panics with a diagnosis
+//! instead of hanging the test suite.
+//!
+//! # Virtual time
+//!
+//! The clock (nanoseconds since a process-wide epoch) only moves in
+//! phase 3 or via [`crate::time::advance`]; real time spent inside
+//! polls contributes nothing. [`crate::time::Instant::now`] reads this
+//! clock, so durations measured by throttled-transfer tests reflect
+//! the *modeled* link rates, not host speed. Outside a runtime,
+//! `Instant::now` falls back to real time since the same epoch so the
+//! two never run backwards relative to each other.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::Duration;
+
+use crate::task::JoinHandle;
+
+// ---------------------------------------------------------------------------
+// Process epoch & thread-local current runtime
+// ---------------------------------------------------------------------------
+
+/// Process-wide real-time anchor for the virtual clock, so `Instant`s
+/// taken outside any runtime stay coherent with virtual ones.
+fn epoch() -> std::time::Instant {
+    static EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+    *EPOCH.get_or_init(std::time::Instant::now)
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<Arc<Shared>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The runtime owning the current thread, for primitives that must
+/// register timers, tasks or socket retries.
+pub(crate) fn current() -> Arc<Shared> {
+    CURRENT.with(|c| c.borrow().clone()).unwrap_or_else(|| {
+        panic!(
+            "no vendored-tokio runtime on this thread: enter one via \
+             tokio::runtime::block_on, #[tokio::main] or #[tokio::test]"
+        )
+    })
+}
+
+/// Virtual nanoseconds since the process epoch (falls back to real
+/// elapsed time outside a runtime).
+pub(crate) fn now_since_epoch() -> Duration {
+    match CURRENT.with(|c| c.borrow().clone()) {
+        Some(shared) => Duration::from_nanos(shared.clock_ns.load(Ordering::Acquire)),
+        None => epoch().elapsed(),
+    }
+}
+
+/// Resets the thread-local runtime slot when `block_on` exits, on both
+/// the success and the unwind path.
+struct ContextGuard;
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.borrow_mut().take());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared runtime state
+// ---------------------------------------------------------------------------
+
+/// State shared between the executor loop, spawned tasks, timers and
+/// socket futures. One instance per `block_on` call.
+pub(crate) struct Shared {
+    /// Tasks woken and awaiting a poll, FIFO.
+    queue: Mutex<VecDeque<Arc<Task>>>,
+    /// Set when the `block_on` root future is woken.
+    main_woken: AtomicBool,
+    /// Pending timers: (virtual deadline ns, unique seq) → entry. Weak,
+    /// so dropped `Sleep`s vanish on the next prune.
+    timers: Mutex<BTreeMap<(u64, u64), std::sync::Weak<TimerEntry>>>,
+    timer_seq: AtomicU64,
+    /// Virtual now, nanoseconds since [`epoch`].
+    clock_ns: AtomicU64,
+    /// Wakers parked on `WouldBlock` socket operations (the retry
+    /// reactor). Drained and re-filled wholesale each idle round.
+    io_wakers: Mutex<Vec<Waker>>,
+    /// Bumped on every socket operation that returns anything other
+    /// than `WouldBlock`; the executor compares it across a retry round
+    /// to decide whether real I/O progressed.
+    io_ops: AtomicU64,
+}
+
+impl Shared {
+    fn new() -> Shared {
+        Shared {
+            queue: Mutex::new(VecDeque::new()),
+            main_woken: AtomicBool::new(true),
+            timers: Mutex::new(BTreeMap::new()),
+            timer_seq: AtomicU64::new(0),
+            clock_ns: AtomicU64::new(epoch().elapsed().as_nanos() as u64),
+            io_wakers: Mutex::new(Vec::new()),
+            io_ops: AtomicU64::new(0),
+        }
+    }
+
+    fn pop_task(&self) -> Option<Arc<Task>> {
+        self.queue.lock().unwrap().pop_front()
+    }
+
+    pub(crate) fn push_task(&self, task: Arc<Task>) {
+        self.queue.lock().unwrap().push_back(task);
+    }
+
+    /// Park a socket-operation waker for the next idle retry round.
+    pub(crate) fn register_io_waker(&self, waker: Waker) {
+        self.io_wakers.lock().unwrap().push(waker);
+    }
+
+    /// Record a completed (non-`WouldBlock`) socket operation.
+    pub(crate) fn io_op_completed(&self) {
+        self.io_ops.fetch_add(1, Ordering::Release);
+    }
+
+    pub(crate) fn clock_ns(&self) -> u64 {
+        self.clock_ns.load(Ordering::Acquire)
+    }
+
+    /// Register a timer entry firing at `deadline_ns` virtual time.
+    pub(crate) fn register_timer(&self, entry: &Arc<TimerEntry>) {
+        let seq = self.timer_seq.fetch_add(1, Ordering::Relaxed);
+        self.timers.lock().unwrap().insert((entry.deadline_ns, seq), Arc::downgrade(entry));
+    }
+
+    /// Earliest deadline with a live `Sleep` attached; prunes dropped
+    /// entries on the way.
+    fn next_live_deadline(&self) -> Option<u64> {
+        let mut timers = self.timers.lock().unwrap();
+        while let Some((&key, weak)) = timers.first_key_value() {
+            if weak.strong_count() == 0 {
+                timers.remove(&key);
+                continue;
+            }
+            return Some(key.0);
+        }
+        None
+    }
+
+    /// Fire every live timer whose deadline is at or before the clock.
+    fn fire_due(&self) {
+        let now = self.clock_ns();
+        let due: Vec<std::sync::Weak<TimerEntry>> = {
+            let mut timers = self.timers.lock().unwrap();
+            let later = timers.split_off(&(now + 1, 0));
+            let due = std::mem::replace(&mut *timers, later);
+            due.into_values().collect()
+        };
+        for weak in due {
+            if let Some(entry) = weak.upgrade() {
+                entry.fire();
+            }
+        }
+    }
+
+    /// Phase-3 auto-advance: jump the clock to the next timer deadline
+    /// and fire it. Returns false when no timer is pending.
+    fn auto_advance(&self) -> bool {
+        let Some(deadline) = self.next_live_deadline() else {
+            return false;
+        };
+        self.clock_ns.fetch_max(deadline, Ordering::AcqRel);
+        self.fire_due();
+        true
+    }
+
+    /// Manual advance (`tokio::time::advance`): move the clock by `d`,
+    /// firing every timer passed along the way in deadline order.
+    pub(crate) fn advance_clock_by(&self, d: Duration) {
+        let target =
+            self.clock_ns().saturating_add(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+        while let Some(deadline) = self.next_live_deadline() {
+            if deadline > target {
+                break;
+            }
+            self.clock_ns.fetch_max(deadline, Ordering::AcqRel);
+            self.fire_due();
+        }
+        self.clock_ns.fetch_max(target, Ordering::AcqRel);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timers
+// ---------------------------------------------------------------------------
+
+/// One pending `Sleep`: fires at `deadline_ns` virtual time.
+#[derive(Debug)]
+pub(crate) struct TimerEntry {
+    pub(crate) deadline_ns: u64,
+    fired: AtomicBool,
+    waker: Mutex<Option<Waker>>,
+}
+
+impl TimerEntry {
+    /// Create and register an entry in the current runtime.
+    pub(crate) fn register(deadline_ns: u64) -> Arc<TimerEntry> {
+        let entry = Arc::new(TimerEntry {
+            deadline_ns,
+            fired: AtomicBool::new(false),
+            waker: Mutex::new(None),
+        });
+        current().register_timer(&entry);
+        entry
+    }
+
+    pub(crate) fn is_fired(&self) -> bool {
+        self.fired.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn set_waker(&self, waker: &Waker) {
+        *self.waker.lock().unwrap() = Some(waker.clone());
+    }
+
+    fn fire(&self) {
+        self.fired.store(true, Ordering::Release);
+        if let Some(waker) = self.waker.lock().unwrap().take() {
+            waker.wake();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tasks
+// ---------------------------------------------------------------------------
+
+/// A spawned task: the erased future plus scheduling flags. Pushed by
+/// wakers onto the shared ready queue; polled only by the runtime
+/// thread.
+pub(crate) struct Task {
+    /// `None` once completed or aborted. Taken out during a poll so a
+    /// reentrant self-wake never observes the lock held.
+    future: Mutex<Option<Pin<Box<dyn Future<Output = ()> + Send>>>>,
+    /// True while sitting in the ready queue (dedupes wakes).
+    scheduled: AtomicBool,
+    /// Set by `JoinHandle::abort`; the next poll drops the future.
+    pub(crate) aborted: AtomicBool,
+    shared: Weak<Shared>,
+}
+
+impl Task {
+    /// Push onto the ready queue unless already queued.
+    pub(crate) fn schedule(self: &Arc<Self>) {
+        if !self.scheduled.swap(true, Ordering::AcqRel) {
+            if let Some(shared) = self.shared.upgrade() {
+                shared.push_task(Arc::clone(self));
+            }
+        }
+    }
+
+    /// Poll the task once (or drop its future if aborted).
+    fn run(self: &Arc<Self>) {
+        self.scheduled.store(false, Ordering::Release);
+        if self.aborted.load(Ordering::Acquire) {
+            *self.future.lock().unwrap() = None;
+            return;
+        }
+        let Some(mut future) = self.future.lock().unwrap().take() else {
+            return;
+        };
+        let waker = Waker::from(Arc::clone(self));
+        let mut cx = Context::from_waker(&waker);
+        if future.as_mut().poll(&mut cx).is_pending() {
+            *self.future.lock().unwrap() = Some(future);
+        }
+    }
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        self.schedule();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.schedule();
+    }
+}
+
+/// Waker target for the `block_on` root future.
+struct MainWaker {
+    shared: Arc<Shared>,
+}
+
+impl Wake for MainWaker {
+    fn wake(self: Arc<Self>) {
+        self.shared.main_woken.store(true, Ordering::Release);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.shared.main_woken.store(true, Ordering::Release);
+    }
+}
+
+/// Spawn `future` onto the current runtime (the vendored equivalent of
+/// `tokio::spawn`). Panics outside a runtime. Unlike the real tokio the
+/// task never migrates threads, but the `Send` bound is kept so code
+/// written against this shim stays compatible with the real one.
+pub fn spawn<F>(future: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let shared = current();
+    let state = crate::task::new_join_state::<F::Output>();
+    let completion = Arc::clone(&state);
+    let task = Arc::new(Task {
+        future: Mutex::new(Some(Box::pin(async move {
+            let output = future.await;
+            crate::task::complete(&completion, Ok(output));
+        }))),
+        scheduled: AtomicBool::new(false),
+        aborted: AtomicBool::new(false),
+        shared: Arc::downgrade(&shared),
+    });
+    task.schedule();
+    crate::task::new_join_handle(state, task)
+}
+
+// ---------------------------------------------------------------------------
+// block_on
+// ---------------------------------------------------------------------------
+
+/// Run `future` to completion on a fresh single-threaded runtime with
+/// a virtual clock, driving every task it spawns. This is the only
+/// entry point; `#[tokio::main]` and `#[tokio::test]` expand to it.
+pub fn block_on<F: Future>(future: F) -> F::Output {
+    CURRENT.with(|c| {
+        assert!(
+            c.borrow().is_none(),
+            "vendored tokio runtime cannot be nested: block_on inside block_on"
+        );
+    });
+    let shared = Arc::new(Shared::new());
+    CURRENT.with(|c| *c.borrow_mut() = Some(Arc::clone(&shared)));
+    let _guard = ContextGuard;
+
+    let mut future = std::pin::pin!(future);
+    let main_waker = Waker::from(Arc::new(MainWaker { shared: Arc::clone(&shared) }));
+    let mut cx = Context::from_waker(&main_waker);
+
+    // Polls the root future (returning on completion) and drains the
+    // ready queue until nothing is runnable.
+    macro_rules! drain_runnable {
+        () => {
+            loop {
+                let mut any = false;
+                if shared.main_woken.swap(false, Ordering::AcqRel) {
+                    if let Poll::Ready(output) = future.as_mut().poll(&mut cx) {
+                        return output;
+                    }
+                    any = true;
+                }
+                while let Some(task) = shared.pop_task() {
+                    task.run();
+                    any = true;
+                }
+                if !any {
+                    break;
+                }
+            }
+        };
+    }
+
+    loop {
+        // Phase 1: run everything runnable.
+        drain_runnable!();
+
+        // Phase 2: retry parked socket operations (loopback readiness
+        // is synchronous, so one round suffices to observe any data our
+        // own tasks produced).
+        let parked = std::mem::take(&mut *shared.io_wakers.lock().unwrap());
+        if !parked.is_empty() {
+            let ops_before = shared.io_ops.load(Ordering::Acquire);
+            for waker in parked {
+                waker.wake();
+            }
+            drain_runnable!();
+            if shared.io_ops.load(Ordering::Acquire) != ops_before {
+                continue; // real I/O progressed; go look for more work
+            }
+        }
+
+        // Phase 3: quiescent — advance the virtual clock to the next
+        // timer deadline.
+        if shared.auto_advance() {
+            continue;
+        }
+
+        // Phase 4: no timers, but sockets are parked. The bytes they
+        // await can only originate outside this runtime; wait a little
+        // real time and retry.
+        if !shared.io_wakers.lock().unwrap().is_empty() {
+            std::thread::sleep(Duration::from_micros(500));
+            continue;
+        }
+
+        panic!(
+            "vendored tokio runtime deadlock: the root future is pending but no \
+             task is runnable and no timer or socket operation is registered"
+        );
+    }
+}

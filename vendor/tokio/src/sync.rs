@@ -1,0 +1,395 @@
+//! Synchronization primitives: [`mpsc`] channels and [`Notify`].
+
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// Multi-producer, single-consumer channels mirroring `tokio::sync::mpsc`.
+pub mod mpsc {
+    use super::*;
+    use std::collections::VecDeque;
+
+    /// State shared by every sender and the receiver of one channel.
+    struct Chan<T> {
+        inner: Mutex<ChanInner<T>>,
+    }
+
+    struct ChanInner<T> {
+        queue: VecDeque<T>,
+        /// `None` marks an unbounded channel.
+        capacity: Option<usize>,
+        senders: usize,
+        rx_alive: bool,
+        rx_waker: Option<Waker>,
+        /// Bounded senders parked on a full queue.
+        send_wakers: Vec<Waker>,
+    }
+
+    fn new_chan<T>(capacity: Option<usize>) -> Arc<Chan<T>> {
+        Arc::new(Chan {
+            inner: Mutex::new(ChanInner {
+                queue: VecDeque::new(),
+                capacity,
+                senders: 1,
+                rx_alive: true,
+                rx_waker: None,
+                send_wakers: Vec::new(),
+            }),
+        })
+    }
+
+    impl<T> Chan<T> {
+        /// Pop one message; `Ready(None)` once every sender is gone and
+        /// the queue is drained (or the receiver closed the channel).
+        fn poll_recv(&self, cx: &mut Context<'_>) -> Poll<Option<T>> {
+            let mut inner = self.inner.lock().unwrap();
+            if let Some(value) = inner.queue.pop_front() {
+                for waker in inner.send_wakers.drain(..) {
+                    waker.wake();
+                }
+                return Poll::Ready(Some(value));
+            }
+            if inner.senders == 0 || !inner.rx_alive {
+                return Poll::Ready(None);
+            }
+            inner.rx_waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+
+        fn add_sender(&self) {
+            self.inner.lock().unwrap().senders += 1;
+        }
+
+        fn drop_sender(&self) {
+            let mut inner = self.inner.lock().unwrap();
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                if let Some(waker) = inner.rx_waker.take() {
+                    waker.wake();
+                }
+            }
+        }
+
+        fn drop_receiver(&self) {
+            let mut inner = self.inner.lock().unwrap();
+            inner.rx_alive = false;
+            inner.queue.clear();
+            for waker in inner.send_wakers.drain(..) {
+                waker.wake();
+            }
+        }
+    }
+
+    /// Error returned by `send` when the receiver half has been
+    /// dropped; carries the unsent value like tokio's.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "channel closed")
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+    // -- unbounded ----------------------------------------------------------
+
+    /// Create an unbounded channel: sends never wait.
+    pub fn unbounded_channel<T>() -> (UnboundedSender<T>, UnboundedReceiver<T>) {
+        let chan = new_chan(None);
+        (UnboundedSender { chan: Arc::clone(&chan) }, UnboundedReceiver { chan })
+    }
+
+    /// Sending half of an unbounded channel; cheap to clone.
+    pub struct UnboundedSender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> UnboundedSender<T> {
+        /// Enqueue `value` immediately (no awaiting). Fails only when
+        /// the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut inner = self.chan.inner.lock().unwrap();
+            if !inner.rx_alive {
+                return Err(SendError(value));
+            }
+            inner.queue.push_back(value);
+            if let Some(waker) = inner.rx_waker.take() {
+                waker.wake();
+            }
+            Ok(())
+        }
+
+        /// Whether the receiving half has been dropped.
+        pub fn is_closed(&self) -> bool {
+            !self.chan.inner.lock().unwrap().rx_alive
+        }
+    }
+
+    impl<T> Clone for UnboundedSender<T> {
+        fn clone(&self) -> UnboundedSender<T> {
+            self.chan.add_sender();
+            UnboundedSender { chan: Arc::clone(&self.chan) }
+        }
+    }
+
+    impl<T> Drop for UnboundedSender<T> {
+        fn drop(&mut self) {
+            self.chan.drop_sender();
+        }
+    }
+
+    impl<T> std::fmt::Debug for UnboundedSender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("UnboundedSender").finish_non_exhaustive()
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct UnboundedReceiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> UnboundedReceiver<T> {
+        /// Await the next message; `None` once every sender is dropped
+        /// and the queue is drained.
+        pub async fn recv(&mut self) -> Option<T> {
+            std::future::poll_fn(|cx| self.chan.poll_recv(cx)).await
+        }
+
+        /// Pop a message without waiting, if one is queued.
+        pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+            let mut inner = self.chan.inner.lock().unwrap();
+            match inner.queue.pop_front() {
+                Some(value) => Ok(value),
+                None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Close the channel: subsequent sends fail, queued messages
+        /// are dropped, `recv` returns `None`.
+        pub fn close(&mut self) {
+            self.chan.drop_receiver();
+        }
+    }
+
+    impl<T> Drop for UnboundedReceiver<T> {
+        fn drop(&mut self) {
+            self.chan.drop_receiver();
+        }
+    }
+
+    impl<T> std::fmt::Debug for UnboundedReceiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("UnboundedReceiver").finish_non_exhaustive()
+        }
+    }
+
+    /// Error returned by `try_recv` on an empty or disconnected
+    /// channel.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message queued right now, but senders remain.
+        Empty,
+        /// No message queued and every sender has been dropped.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TryRecvError::Empty => write!(f, "channel empty"),
+                TryRecvError::Disconnected => write!(f, "channel disconnected"),
+            }
+        }
+    }
+
+    impl std::error::Error for TryRecvError {}
+
+    // -- bounded ------------------------------------------------------------
+
+    /// Create a bounded channel holding at most `capacity` queued
+    /// messages; sends on a full queue wait for the receiver.
+    pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(capacity > 0, "mpsc bounded channel requires capacity > 0");
+        let chan = new_chan(Some(capacity));
+        (Sender { chan: Arc::clone(&chan) }, Receiver { chan })
+    }
+
+    /// Sending half of a bounded channel; cheap to clone.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue `value`, waiting while the queue is at capacity.
+        /// Fails only when the receiver is gone.
+        pub async fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut slot = Some(value);
+            std::future::poll_fn(move |cx| {
+                let mut inner = self.chan.inner.lock().unwrap();
+                if !inner.rx_alive {
+                    return Poll::Ready(Err(SendError(slot.take().expect("polled after ready"))));
+                }
+                let capacity = inner.capacity.expect("bounded channel has a capacity");
+                if inner.queue.len() >= capacity {
+                    inner.send_wakers.push(cx.waker().clone());
+                    return Poll::Pending;
+                }
+                inner.queue.push_back(slot.take().expect("polled after ready"));
+                if let Some(waker) = inner.rx_waker.take() {
+                    waker.wake();
+                }
+                Poll::Ready(Ok(()))
+            })
+            .await
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.chan.add_sender();
+            Sender { chan: Arc::clone(&self.chan) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            self.chan.drop_sender();
+        }
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Sender").finish_non_exhaustive()
+        }
+    }
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Await the next message; `None` once every sender is dropped
+        /// and the queue is drained.
+        pub async fn recv(&mut self) -> Option<T> {
+            std::future::poll_fn(|cx| self.chan.poll_recv(cx)).await
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.chan.drop_receiver();
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Receiver").finish_non_exhaustive()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Notify
+// ---------------------------------------------------------------------------
+
+/// Task notification, mirroring `tokio::sync::Notify`'s semantics for
+/// the two methods this workspace uses:
+///
+/// - A [`Notified`](Notify::notified) future records the notification
+///   *generation* at creation, so a [`notify_waiters`] call made
+///   between creating the future and first awaiting it is still
+///   observed — the check-cache-then-wait pattern in the HLS proxy
+///   depends on exactly this guarantee.
+/// - [`notify_one`] stores a single permit that wakes and satisfies
+///   one waiter (current or future).
+///
+/// [`notify_waiters`]: Notify::notify_waiters
+/// [`notify_one`]: Notify::notify_one
+#[derive(Default)]
+pub struct Notify {
+    inner: Mutex<NotifyInner>,
+}
+
+#[derive(Default)]
+struct NotifyInner {
+    /// Bumped by every `notify_waiters` call.
+    generation: u64,
+    /// One stored `notify_one` permit.
+    permit: bool,
+    waiters: Vec<Waker>,
+}
+
+impl Notify {
+    /// Create a new `Notify` with no permit stored.
+    pub fn new() -> Notify {
+        Notify::default()
+    }
+
+    /// A future that resolves after the next [`Notify::notify_waiters`]
+    /// call (counted from the moment `notified` is called, not from
+    /// first poll) or by consuming a stored [`Notify::notify_one`]
+    /// permit.
+    pub fn notified(&self) -> Notified<'_> {
+        Notified { notify: self, generation: self.inner.lock().unwrap().generation }
+    }
+
+    /// Wake every currently registered waiter and mark the generation
+    /// so pending `Notified` futures created before this call resolve.
+    pub fn notify_waiters(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.generation += 1;
+        for waker in inner.waiters.drain(..) {
+            waker.wake();
+        }
+    }
+
+    /// Store one permit and wake one waiter if any is parked. The
+    /// permit is consumed by the first `Notified` future polled after
+    /// this call (tokio wakes one specific waiter; with a single
+    /// consumer — the only pattern in this workspace — the semantics
+    /// coincide).
+    pub fn notify_one(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.permit = true;
+        if let Some(waker) = inner.waiters.pop() {
+            waker.wake();
+        }
+    }
+}
+
+impl std::fmt::Debug for Notify {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Notify").finish_non_exhaustive()
+    }
+}
+
+/// Future returned by [`Notify::notified`].
+pub struct Notified<'a> {
+    notify: &'a Notify,
+    /// Generation observed at creation; any later `notify_waiters`
+    /// resolves this future.
+    generation: u64,
+}
+
+impl std::future::Future for Notified<'_> {
+    type Output = ();
+
+    fn poll(self: std::pin::Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut inner = self.notify.inner.lock().unwrap();
+        if inner.generation > self.generation {
+            return Poll::Ready(());
+        }
+        if inner.permit {
+            inner.permit = false;
+            return Poll::Ready(());
+        }
+        if !inner.waiters.iter().any(|w| w.will_wake(cx.waker())) {
+            inner.waiters.push(cx.waker().clone());
+        }
+        Poll::Pending
+    }
+}

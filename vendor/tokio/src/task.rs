@@ -1,0 +1,143 @@
+//! Task handles: [`spawn`], [`JoinHandle`], [`JoinError`] and
+//! [`yield_now`].
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+pub use crate::runtime::spawn;
+
+/// Completion slot shared between a spawned task and its
+/// [`JoinHandle`].
+pub(crate) struct JoinState<T> {
+    inner: Mutex<JoinInner<T>>,
+}
+
+struct JoinInner<T> {
+    result: Option<Result<T, JoinError>>,
+    waker: Option<Waker>,
+}
+
+pub(crate) fn new_join_state<T>() -> Arc<JoinState<T>> {
+    Arc::new(JoinState { inner: Mutex::new(JoinInner { result: None, waker: None }) })
+}
+
+/// Record the task's outcome (first writer wins) and wake the joiner.
+pub(crate) fn complete<T>(state: &Arc<JoinState<T>>, result: Result<T, JoinError>) {
+    let mut inner = state.inner.lock().unwrap();
+    if inner.result.is_none() {
+        inner.result = Some(result);
+        if let Some(waker) = inner.waker.take() {
+            waker.wake();
+        }
+    }
+}
+
+pub(crate) fn new_join_handle<T>(
+    state: Arc<JoinState<T>>,
+    task: Arc<crate::runtime::Task>,
+) -> JoinHandle<T> {
+    JoinHandle { state, task }
+}
+
+/// An owned permission to join a spawned task, mirroring tokio's
+/// `JoinHandle`: a future resolving to the task's output, plus
+/// [`abort`](JoinHandle::abort). Dropping the handle detaches the task
+/// (it keeps running); it does not cancel it.
+pub struct JoinHandle<T> {
+    state: Arc<JoinState<T>>,
+    task: Arc<crate::runtime::Task>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Cancel the task: its future is dropped at the next scheduling
+    /// point and the handle resolves to a cancelled [`JoinError`]. A
+    /// task that already completed is unaffected.
+    pub fn abort(&self) {
+        use std::sync::atomic::Ordering;
+        if !self.task.aborted.swap(true, Ordering::AcqRel) {
+            complete(&self.state, Err(JoinError::cancelled()));
+            // Schedule the task so its future is dropped promptly,
+            // releasing sockets and buffers it holds.
+            self.task.schedule();
+        }
+    }
+
+    /// Whether the task has finished (completed or been aborted).
+    pub fn is_finished(&self) -> bool {
+        self.state.inner.lock().unwrap().result.is_some()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut inner = self.state.inner.lock().unwrap();
+        match inner.result.take() {
+            Some(result) => Poll::Ready(result),
+            None => {
+                inner.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle").field("is_finished", &self.is_finished()).finish()
+    }
+}
+
+/// Error returned by a [`JoinHandle`]. The vendored runtime propagates
+/// task panics (a panicking task aborts the whole test), so the only
+/// inhabited variant is cancellation via [`JoinHandle::abort`].
+#[derive(Debug)]
+pub struct JoinError {
+    cancelled: bool,
+}
+
+impl JoinError {
+    fn cancelled() -> JoinError {
+        JoinError { cancelled: true }
+    }
+
+    /// True when the task was cancelled with [`JoinHandle::abort`].
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled
+    }
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task was cancelled")
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// Yield back to the executor once, letting every other runnable task
+/// (and the main future) take a turn before this one resumes.
+pub async fn yield_now() {
+    struct YieldNow {
+        yielded: bool,
+    }
+
+    impl Future for YieldNow {
+        type Output = ();
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            if self.yielded {
+                Poll::Ready(())
+            } else {
+                self.yielded = true;
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+        }
+    }
+
+    YieldNow { yielded: false }.await
+}

@@ -1,0 +1,200 @@
+//! Virtual time: [`Instant`], [`sleep`], [`sleep_until`], [`timeout`]
+//! and the test helper [`advance`].
+//!
+//! All of these read and register against the runtime's virtual clock
+//! (see [`crate::runtime`]): a `sleep` never blocks the thread, it
+//! parks the task until the executor auto-advances the clock to its
+//! deadline. Code that measures elapsed time with [`Instant`] therefore
+//! observes the *modeled* durations — which is exactly what the
+//! throttled-link tests in this workspace assert on.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll};
+use std::time::Duration as StdDuration;
+
+use crate::runtime::{self, TimerEntry};
+
+pub use std::time::Duration;
+
+/// A measurement of the virtual clock, API-compatible with
+/// `tokio::time::Instant`. Inside a runtime it advances only when the
+/// executor's virtual clock does; outside one it falls back to real
+/// time anchored at the same process epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Instant {
+    since_epoch: StdDuration,
+}
+
+impl Instant {
+    /// The current virtual time.
+    pub fn now() -> Instant {
+        Instant { since_epoch: runtime::now_since_epoch() }
+    }
+
+    /// Virtual time elapsed since this instant (zero if it lies in the
+    /// future).
+    pub fn elapsed(&self) -> StdDuration {
+        Instant::now().saturating_duration_since(*self)
+    }
+
+    /// Duration since `earlier`, saturating to zero like tokio's
+    /// `Instant::duration_since`.
+    pub fn duration_since(&self, earlier: Instant) -> StdDuration {
+        self.saturating_duration_since(earlier)
+    }
+
+    /// Duration since `earlier`, or zero when `earlier` is later.
+    pub fn saturating_duration_since(&self, earlier: Instant) -> StdDuration {
+        self.since_epoch.saturating_sub(earlier.since_epoch)
+    }
+
+    /// `self + duration`, or `None` on overflow.
+    pub fn checked_add(&self, duration: StdDuration) -> Option<Instant> {
+        self.since_epoch.checked_add(duration).map(|since_epoch| Instant { since_epoch })
+    }
+
+    /// `self - duration`, or `None` on underflow.
+    pub fn checked_sub(&self, duration: StdDuration) -> Option<Instant> {
+        self.since_epoch.checked_sub(duration).map(|since_epoch| Instant { since_epoch })
+    }
+
+    pub(crate) fn from_epoch_ns(ns: u64) -> Instant {
+        Instant { since_epoch: StdDuration::from_nanos(ns) }
+    }
+
+    pub(crate) fn as_epoch_ns(&self) -> u64 {
+        u64::try_from(self.since_epoch.as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+impl std::ops::Add<StdDuration> for Instant {
+    type Output = Instant;
+
+    fn add(self, rhs: StdDuration) -> Instant {
+        self.checked_add(rhs).expect("instant overflow")
+    }
+}
+
+impl std::ops::AddAssign<StdDuration> for Instant {
+    fn add_assign(&mut self, rhs: StdDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::ops::Sub<StdDuration> for Instant {
+    type Output = Instant;
+
+    fn sub(self, rhs: StdDuration) -> Instant {
+        self.checked_sub(rhs).expect("instant underflow")
+    }
+}
+
+impl std::ops::Sub<Instant> for Instant {
+    type Output = StdDuration;
+
+    fn sub(self, rhs: Instant) -> StdDuration {
+        self.saturating_duration_since(rhs)
+    }
+}
+
+/// Future returned by [`sleep`] and [`sleep_until`]; resolves when the
+/// virtual clock reaches its deadline.
+pub struct Sleep {
+    entry: Arc<TimerEntry>,
+}
+
+impl Sleep {
+    /// The instant this sleep resolves at.
+    pub fn deadline(&self) -> Instant {
+        Instant::from_epoch_ns(self.entry.deadline_ns)
+    }
+
+    /// Whether the deadline has been reached.
+    pub fn is_elapsed(&self) -> bool {
+        self.entry.is_fired() || runtime::current().clock_ns() >= self.entry.deadline_ns
+    }
+}
+
+impl std::fmt::Debug for Sleep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sleep").field("deadline", &self.deadline()).finish()
+    }
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.entry.is_fired() || runtime::current().clock_ns() >= self.entry.deadline_ns {
+            Poll::Ready(())
+        } else {
+            self.entry.set_waker(cx.waker());
+            Poll::Pending
+        }
+    }
+}
+
+/// Park the current task for `duration` of virtual time. Must be called
+/// inside a runtime (the timer registers at creation, like tokio's).
+pub fn sleep(duration: StdDuration) -> Sleep {
+    sleep_until(Instant::now() + duration)
+}
+
+/// Park the current task until the virtual clock reaches `deadline`.
+/// A deadline at or before now resolves on the first poll.
+pub fn sleep_until(deadline: Instant) -> Sleep {
+    Sleep { entry: TimerEntry::register(deadline.as_epoch_ns()) }
+}
+
+/// Error returned by [`timeout`] when the deadline elapses first.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Elapsed(());
+
+impl std::fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deadline has elapsed")
+    }
+}
+
+impl std::error::Error for Elapsed {}
+
+/// Future returned by [`timeout`].
+pub struct Timeout<F> {
+    future: F,
+    delay: Sleep,
+}
+
+impl<F: Future> Future for Timeout<F> {
+    type Output = Result<F::Output, Elapsed>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // Safety: `future` is structurally pinned (never moved out of
+        // `self`); `delay` is `Unpin`.
+        let this = unsafe { self.get_unchecked_mut() };
+        if let Poll::Ready(output) = unsafe { Pin::new_unchecked(&mut this.future) }.poll(cx) {
+            return Poll::Ready(Ok(output));
+        }
+        match Pin::new(&mut this.delay).poll(cx) {
+            Poll::Ready(()) => Poll::Ready(Err(Elapsed(()))),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+/// Race `future` against a virtual-time deadline `duration` from now.
+/// Resolves to `Ok(output)` if the future wins, `Err(Elapsed)` if the
+/// clock reaches the deadline first.
+pub fn timeout<F: Future>(duration: StdDuration, future: F) -> Timeout<F> {
+    Timeout { future, delay: sleep(duration) }
+}
+
+/// Advance the virtual clock by `duration`, firing every timer whose
+/// deadline is passed (in deadline order), then yield once so woken
+/// tasks run. The equivalent of tokio's `time::advance` in
+/// `start_paused` mode — which is this runtime's only mode.
+pub async fn advance(duration: StdDuration) {
+    runtime::current().advance_clock_by(duration);
+    crate::task::yield_now().await;
+}
