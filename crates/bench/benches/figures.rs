@@ -36,11 +36,13 @@ fn bench_figures(c: &mut Criterion) {
         ("abl05", 0.1),
     ];
     for &(id, scale) in configs {
+        let experiment = threegol_bench::registry().get(id).expect("registered experiment");
+        let scale = threegol_bench::Scale::new(scale).expect("valid bench scale");
         group.bench_function(id, |b| {
             // Timing only: shape checks are asserted by the unit tests
             // and the full-scale repro binaries; at bench scales some
             // stochastic checks are too noisy to gate on.
-            b.iter(|| std::hint::black_box(threegol_bench::run_experiment(id, scale)))
+            b.iter(|| std::hint::black_box(experiment.run_serial(scale)))
         });
     }
     group.finish();

@@ -1,8 +1,7 @@
-//! Ablation binary `abl03` (see DESIGN.md §6).
+//! Reproduction binary for experiment `abl03` (see DESIGN.md §6).
+//!
+//! Usage: `abl03_ablation [scale] [workers]` — `scale` in (0, 1] (default 1),
+//! `workers` defaults to `THREEGOL_WORKERS` or the core count.
 fn main() {
-    let report = threegol_bench::run_experiment("abl03", 1.0);
-    print!("{}", report.render());
-    if !report.all_ok() {
-        std::process::exit(1);
-    }
+    threegol_bench::bin_main("abl03");
 }

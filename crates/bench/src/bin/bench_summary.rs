@@ -19,6 +19,7 @@
 
 use std::time::Instant;
 
+use threegol_bench::{registry, Pool, Scale};
 use threegol_simnet::capacity::DiurnalProfile;
 use threegol_simnet::fairshare::{
     max_min_fair, max_min_fair_into, FairShareScratch, FlowDemand, FlowTable,
@@ -156,10 +157,11 @@ fn main() {
 
     // The acceptance workload: the actual fig06 experiment (full
     // scheduler sweep, 30 reps per point), flow churn included.
+    let fig06 = registry().get("fig06").expect("fig06 registered");
     let mut sweep_times = Vec::with_capacity(REPS);
     for _ in 0..REPS {
         let t = Instant::now();
-        std::hint::black_box(threegol_bench::run_experiment("fig06", 1.0));
+        std::hint::black_box(fig06.run_serial(Scale::FULL));
         sweep_times.push(t.elapsed().as_secs_f64() * 1e3);
     }
     samples.push(Sample {
@@ -168,6 +170,43 @@ fn main() {
         median_ms: median(sweep_times),
         live_before_ms: None,
         events: 30,
+    });
+
+    // Replication sharding: the two heaviest Monte-Carlo sweeps run
+    // once serially and once decomposed into per-rep units on a pool
+    // using every core. Both paths produce byte-identical reports; the
+    // "before" column is the serial wall-clock.
+    let fig07 = registry().get("fig07").expect("fig07 registered");
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut serial_times = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let t = Instant::now();
+        std::hint::black_box(fig06.run_serial(Scale::FULL));
+        std::hint::black_box(fig07.run_serial(Scale::FULL));
+        serial_times.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let mut sharded_times = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let t = Instant::now();
+        Pool::with(cores, |pool| {
+            std::hint::black_box(fig06.run_sharded(Scale::FULL, pool));
+            std::hint::black_box(fig07.run_sharded(Scale::FULL, pool));
+        });
+        sharded_times.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let units = (fig06.unit_count(Scale::FULL) + fig07.unit_count(Scale::FULL)) as u64;
+    samples.push(Sample {
+        name: "repro_shard_fig06_fig07",
+        what: Box::leak(
+            format!(
+                "fig06 + fig07 sharded into per-rep units across {cores} core(s); \
+                 before = same work serial — speedup tracks the machine's core count"
+            )
+            .into_boxed_str(),
+        ),
+        median_ms: median(sharded_times),
+        live_before_ms: Some(median(serial_times)),
+        events: units,
     });
 
     let (reference_ms, scratch_ms, iters) = run_solver_workload(64, 256, 200);

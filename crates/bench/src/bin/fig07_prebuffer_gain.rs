@@ -1,8 +1,7 @@
 //! Reproduction binary for experiment `fig07` (see DESIGN.md §6).
+//!
+//! Usage: `fig07_prebuffer_gain [scale] [workers]` — `scale` in (0, 1] (default 1),
+//! `workers` defaults to `THREEGOL_WORKERS` or the core count.
 fn main() {
-    let report = threegol_bench::run_experiment("fig07", 1.0);
-    print!("{}", report.render());
-    if !report.all_ok() {
-        std::process::exit(1);
-    }
+    threegol_bench::bin_main("fig07");
 }

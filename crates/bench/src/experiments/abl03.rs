@@ -10,71 +10,123 @@ use threegol_core::vod::VodExperiment;
 use threegol_hls::VideoQuality;
 use threegol_radio::{LocationProfile, RadioGeneration};
 
-use crate::util::{reps, secs, table, Check, Report};
+use crate::experiment::{Experiment, Scale};
+use crate::util::{reps, secs, Report};
 
-/// Run the LTE ablation.
-pub fn run(scale: f64) -> Report {
-    let n_reps = reps(10, scale);
-    let q4 = VideoQuality::paper_ladder().swap_remove(3);
-    let location = LocationProfile::reference_2mbps();
-    let mut rows = Vec::new();
-    let mut means = std::collections::HashMap::new();
-    let adsl = VodExperiment::paper_default(location.clone(), q4.clone(), 0).run_mean(n_reps);
-    rows.push(vec![
-        "ADSL alone".into(),
-        "-".into(),
-        secs(adsl.download.mean),
-        secs(adsl.prebuffer.mean),
-    ]);
-    for generation in [RadioGeneration::Hspa, RadioGeneration::Lte] {
-        for n_phones in [1usize, 2] {
-            let mut e = VodExperiment::paper_default(location.clone(), q4.clone(), n_phones);
-            e.generation = generation;
-            let s = e.run_mean(n_reps);
-            means.insert((generation, n_phones), s.download.mean);
-            rows.push(vec![
-                format!("{generation:?} ×{n_phones}"),
-                format!("{n_phones}"),
-                secs(s.download.mean),
-                secs(s.prebuffer.mean),
-            ]);
-        }
+/// The LTE-outlook ablation.
+#[derive(Debug, Clone, Copy)]
+pub struct Abl03;
+
+/// One configuration cell: all its repetitions.
+#[derive(Debug, Clone, Copy)]
+pub struct Unit {
+    /// Phone radio generation; ignored when `n_phones` is 0.
+    pub generation: RadioGeneration,
+    /// Number of onloading phones (0 = ADSL alone).
+    pub n_phones: usize,
+    /// Repetitions per cell.
+    pub n_reps: u64,
+}
+
+/// One cell's mean download and pre-buffer times.
+#[derive(Debug, Clone, Copy)]
+pub struct Partial {
+    /// Mean total download time, seconds.
+    pub download_mean: f64,
+    /// Mean pre-buffer time, seconds.
+    pub prebuffer_mean: f64,
+}
+
+impl Experiment for Abl03 {
+    type Unit = Unit;
+    type Partial = Partial;
+
+    fn id(&self) -> &'static str {
+        "abl03"
     }
-    let hspa2 = means[&(RadioGeneration::Hspa, 2)];
-    let lte1 = means[&(RadioGeneration::Lte, 1)];
-    let lte2 = means[&(RadioGeneration::Lte, 2)];
-    let checks = vec![
-        Check::new(
-            "one LTE phone beats two HSPA phones",
-            "4G makes 3GOL even more compelling",
-            format!("LTE×1 {} s vs HSPA×2 {} s", secs(lte1), secs(hspa2)),
-            lte1 < hspa2,
-        ),
-        Check::new(
-            "powerboosting period collapses",
-            "the boosting period might be extremely short",
-            format!(
-                "ADSL {} s → LTE×2 {} s (×{:.1})",
-                secs(adsl.download.mean),
-                secs(lte2),
-                adsl.download.mean / lte2
-            ),
-            lte2 < adsl.download.mean / 3.0,
-        ),
-    ];
-    Report {
-        id: "abl03",
-        title: "Ablation: HSPA vs LTE phones (§2.3 outlook)",
-        body: table(&["setup", "phones", "download s", "prebuffer s"], &rows),
-        checks,
+
+    fn paper_artifact(&self) -> &'static str {
+        "Ablation: LTE outlook (§2.3)"
+    }
+
+    fn units(&self, scale: Scale) -> Vec<Unit> {
+        let n_reps = reps(10, scale.get());
+        let mut units = vec![Unit { generation: RadioGeneration::Hspa, n_phones: 0, n_reps }];
+        for generation in [RadioGeneration::Hspa, RadioGeneration::Lte] {
+            for n_phones in [1usize, 2] {
+                units.push(Unit { generation, n_phones, n_reps });
+            }
+        }
+        units
+    }
+
+    fn run_unit(&self, unit: &Unit) -> Partial {
+        let q4 = VideoQuality::paper_ladder().swap_remove(3);
+        let mut e =
+            VodExperiment::paper_default(LocationProfile::reference_2mbps(), q4, unit.n_phones);
+        e.generation = unit.generation;
+        let s = e.run_mean(unit.n_reps);
+        Partial { download_mean: s.download.mean, prebuffer_mean: s.prebuffer.mean }
+    }
+
+    fn merge(&self, _scale: Scale, partials: Vec<Partial>) -> Report {
+        // Unit order: ADSL baseline, then HSPA ×1/×2, then LTE ×1/×2.
+        let adsl = partials[0];
+        let mut rows = vec![vec![
+            "ADSL alone".into(),
+            "-".into(),
+            secs(adsl.download_mean),
+            secs(adsl.prebuffer_mean),
+        ]];
+        let mut means = std::collections::HashMap::new();
+        let mut rest = partials[1..].iter();
+        for generation in [RadioGeneration::Hspa, RadioGeneration::Lte] {
+            for n_phones in [1usize, 2] {
+                let p = rest.next().expect("configuration cell");
+                means.insert((generation, n_phones), p.download_mean);
+                rows.push(vec![
+                    format!("{generation:?} ×{n_phones}"),
+                    format!("{n_phones}"),
+                    secs(p.download_mean),
+                    secs(p.prebuffer_mean),
+                ]);
+            }
+        }
+        let hspa2 = means[&(RadioGeneration::Hspa, 2)];
+        let lte1 = means[&(RadioGeneration::Lte, 1)];
+        let lte2 = means[&(RadioGeneration::Lte, 2)];
+        Report::new(self.id(), "Ablation: HSPA vs LTE phones (§2.3 outlook)")
+            .headers(&["setup", "phones", "download s", "prebuffer s"])
+            .rows(rows)
+            .check(
+                "one LTE phone beats two HSPA phones",
+                "4G makes 3GOL even more compelling",
+                format!("LTE×1 {} s vs HSPA×2 {} s", secs(lte1), secs(hspa2)),
+                lte1 < hspa2,
+            )
+            .check(
+                "powerboosting period collapses",
+                "the boosting period might be extremely short",
+                format!(
+                    "ADSL {} s → LTE×2 {} s (×{:.1})",
+                    secs(adsl.download_mean),
+                    secs(lte2),
+                    adsl.download_mean / lte2
+                ),
+                lte2 < adsl.download_mean / 3.0,
+            )
+            .finish()
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+    use crate::experiment::DynExperiment;
+
     #[test]
     fn lte_ablation_holds() {
-        let r = super::run(0.3);
+        let r = Abl03.run_serial(Scale::new(0.3).unwrap());
         assert!(r.all_ok(), "{}", r.render());
     }
 }

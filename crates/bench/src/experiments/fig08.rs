@@ -4,55 +4,130 @@
 //! qualities.
 
 use threegol_core::metrics::reduction_percent;
-use threegol_core::vod::{RadioStart, VodExperiment};
+use threegol_core::vod::{RadioStart, VodExperiment, VodOutcome, VodSummary};
 use threegol_hls::VideoQuality;
 use threegol_radio::LocationProfile;
 
-use crate::util::{reps, table, Check, Report};
+use crate::experiment::{Experiment, Scale};
+use crate::util::{reps, Report};
 
-/// Regenerate Fig 8.
-pub fn run(scale: f64) -> Report {
-    let n_reps = reps(30, scale.min(0.4));
-    let ladder = VideoQuality::paper_ladder();
-    let locations = LocationProfile::paper_table4();
-    let mut rows = Vec::new();
-    let mut all_reductions: Vec<f64> = Vec::new();
-    let mut second_phone_helps = 0usize;
-    let mut comparisons = 0usize;
-    for loc in &locations {
-        let mut cells = vec![loc.name.clone()];
-        let mut by_cfg: Vec<f64> = Vec::new();
-        for &n_phones in &[1usize, 2] {
-            for start in [RadioStart::Cold, RadioStart::Warm] {
+/// The Fig 8 download-time-reduction experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig08;
+
+/// One repetition of one (location, configuration, quality) cell.
+#[derive(Debug, Clone, Copy)]
+pub struct Unit {
+    /// Index into the five Table 4 evaluation locations.
+    pub li: usize,
+    /// Configuration index, column order: 1ph-3G, 1ph-H, 2ph-3G, 2ph-H.
+    pub cfg: usize,
+    /// Quality index into the paper ladder.
+    pub qi: usize,
+    /// Repetition number.
+    pub rep: u64,
+}
+
+/// The rep's outcome without 3GOL and with it.
+#[derive(Debug, Clone)]
+pub struct Partial {
+    /// ADSL-only outcome.
+    pub adsl: VodOutcome,
+    /// 3GOL outcome.
+    pub gol: VodOutcome,
+}
+
+fn n_reps_at(scale: Scale) -> u64 {
+    reps(30, scale.get().min(0.4))
+}
+
+impl Experiment for Fig08 {
+    type Unit = Unit;
+    type Partial = Partial;
+
+    fn id(&self) -> &'static str {
+        "fig08"
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "Figure 8"
+    }
+
+    fn units(&self, scale: Scale) -> Vec<Unit> {
+        let n_reps = n_reps_at(scale);
+        let n_locs = LocationProfile::paper_table4().len();
+        let mut units = Vec::new();
+        for li in 0..n_locs {
+            for cfg in 0..4 {
+                for qi in 0..4 {
+                    for rep in 0..n_reps {
+                        units.push(Unit { li, cfg, qi, rep });
+                    }
+                }
+            }
+        }
+        units
+    }
+
+    fn run_unit(&self, unit: &Unit) -> Partial {
+        let loc = LocationProfile::paper_table4().into_iter().nth(unit.li).expect("location");
+        let quality = VideoQuality::paper_ladder().into_iter().nth(unit.qi).expect("quality");
+        let n_phones = if unit.cfg < 2 { 1 } else { 2 };
+        let start = if unit.cfg.is_multiple_of(2) { RadioStart::Cold } else { RadioStart::Warm };
+        let mut e = VodExperiment::paper_default(loc, quality, n_phones);
+        e.radio_start = start;
+        Partial { adsl: e.adsl_only().run_once(unit.rep), gol: e.run_once(unit.rep) }
+    }
+
+    fn merge(&self, scale: Scale, partials: Vec<Partial>) -> Report {
+        let n_reps = n_reps_at(scale) as usize;
+        let locations = LocationProfile::paper_table4();
+        let ladder = VideoQuality::paper_ladder();
+        // Partials arrive in unit order: contiguous rep-ordered chunks
+        // per (location, config, quality) cell.
+        let mut cells = partials.chunks(n_reps);
+        let mut rows = Vec::new();
+        let mut all_reductions: Vec<f64> = Vec::new();
+        let mut second_phone_helps = 0usize;
+        let mut comparisons = 0usize;
+        for loc in &locations {
+            let mut cells_row = vec![loc.name.clone()];
+            let mut by_cfg: Vec<f64> = Vec::new();
+            for _cfg in 0..4 {
                 let mut acc = 0.0;
-                for quality in &ladder {
-                    let mut e =
-                        VodExperiment::paper_default(loc.clone(), quality.clone(), n_phones);
-                    e.radio_start = start;
-                    let adsl = e.adsl_only().run_mean(n_reps).download.mean;
-                    let gol = e.run_mean(n_reps).download.mean;
-                    acc += reduction_percent(adsl, gol);
+                for _quality in &ladder {
+                    let chunk = cells.next().expect("cell chunk");
+                    let adsl: Vec<VodOutcome> = chunk.iter().map(|p| p.adsl.clone()).collect();
+                    let gol: Vec<VodOutcome> = chunk.iter().map(|p| p.gol.clone()).collect();
+                    acc += reduction_percent(
+                        VodSummary::from_outcomes(&adsl).download.mean,
+                        VodSummary::from_outcomes(&gol).download.mean,
+                    );
                 }
                 let mean_red = acc / ladder.len() as f64;
                 by_cfg.push(mean_red);
                 all_reductions.push(mean_red);
-                cells.push(format!("{mean_red:.0}%"));
+                cells_row.push(format!("{mean_red:.0}%"));
             }
+            // cfg order: [1ph-3G, 1ph-H, 2ph-3G, 2ph-H]
+            comparisons += 2;
+            if by_cfg[2] >= by_cfg[0] {
+                second_phone_helps += 1;
+            }
+            if by_cfg[3] >= by_cfg[1] {
+                second_phone_helps += 1;
+            }
+            rows.push(cells_row);
         }
-        // cfg order: [1ph-3G, 1ph-H, 2ph-3G, 2ph-H]
-        comparisons += 2;
-        if by_cfg[2] >= by_cfg[0] {
-            second_phone_helps += 1;
-        }
-        if by_cfg[3] >= by_cfg[1] {
-            second_phone_helps += 1;
-        }
-        rows.push(cells);
-    }
-    let min_red = all_reductions.iter().cloned().fold(f64::INFINITY, f64::min);
-    let max_red = all_reductions.iter().cloned().fold(0.0, f64::max);
-    let checks = vec![
-        Check::new(
+        let min_red = all_reductions.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max_red = all_reductions.iter().cloned().fold(0.0, f64::max);
+        Report::new(
+            self.id(),
+            "Fig 8: total video download time reduction (%), avg across qualities",
+        )
+        .headers(&["location", "3G 1ph", "H 1ph", "3G 2ph", "H 2ph"])
+        .rows(rows)
+        .check(
             "reduction range",
             "38 % to 72 % (speedup ×1.5–×4.1)",
             // The slow-ADSL end reproduces; the largest paper
@@ -61,27 +136,25 @@ pub fn run(scale: f64) -> Report {
             // require the same ordering at ~0.6× magnitude.
             format!("{min_red:.0}% to {max_red:.0}%"),
             min_red > 10.0 && max_red < 80.0 && max_red > 35.0,
-        ),
-        Check::new(
+        )
+        .check(
             "second device always helps",
             "+5.9 % up to +26 % over one device",
             format!("{second_phone_helps}/{comparisons} configurations improved"),
             second_phone_helps >= comparisons - 1,
-        ),
-    ];
-    Report {
-        id: "fig08",
-        title: "Fig 8: total video download time reduction (%), avg across qualities",
-        body: table(&["location", "3G 1ph", "H 1ph", "3G 2ph", "H 2ph"], &rows),
-        checks,
+        )
+        .finish()
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+    use crate::experiment::DynExperiment;
+
     #[test]
     fn fig8_reductions_hold() {
-        let r = super::run(0.1);
+        let r = Fig08.run_serial(Scale::new(0.1).unwrap());
         assert!(r.all_ok(), "{}", r.render());
         assert_eq!(r.body.lines().count(), 2 + 5);
     }

@@ -6,33 +6,78 @@ use threegol_measure::{Campaign, Direction};
 use threegol_radio::consts::dbm_to_asu;
 use threegol_radio::LocationProfile;
 
-use crate::util::{mbps, reps, table, Check, Report};
+use crate::experiment::{Experiment, Scale};
+use crate::util::{mbps, reps, Report};
 
-/// Regenerate Table 4 (augmented with modeled single-device rates).
-pub fn run(scale: f64) -> Report {
-    let n_reps = reps(6, scale);
-    let locations = LocationProfile::paper_table4();
-    let mut rows = Vec::new();
-    let mut best_signal_dl = 0.0_f64;
-    let mut worst_signal_dl = f64::INFINITY;
-    for (li, loc) in locations.iter().enumerate() {
-        let campaign = Campaign::new(loc.clone(), 0x7AB4 + li as u64);
-        let dl = campaign.aggregate_throughput(1, 9.0, Direction::Down, n_reps).mean;
-        if loc.signal_dbm >= -85.0 {
-            best_signal_dl = best_signal_dl.max(dl);
-        }
-        if loc.signal_dbm <= -95.0 {
-            worst_signal_dl = worst_signal_dl.min(dl);
-        }
-        rows.push(vec![
-            loc.name.clone(),
-            format!("{}/{}", mbps(loc.adsl_down_bps), mbps(loc.adsl_up_bps)),
-            format!("{:.0}/{:.0}", loc.signal_dbm, dbm_to_asu(loc.signal_dbm)),
-            mbps(dl),
-        ]);
+/// The Table 4 reproduction experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct Tab04;
+
+/// One evaluation location.
+#[derive(Debug, Clone, Copy)]
+pub struct Unit {
+    /// Index into the five Table 4 locations.
+    pub li: usize,
+    /// Repetitions per measurement.
+    pub n_reps: u64,
+}
+
+/// One location's modeled single-device downlink.
+#[derive(Debug, Clone, Copy)]
+pub struct Partial {
+    /// Mean single-device 3G downlink, bits/s.
+    pub dl: f64,
+}
+
+impl Experiment for Tab04 {
+    type Unit = Unit;
+    type Partial = Partial;
+
+    fn id(&self) -> &'static str {
+        "tab04"
     }
-    let checks = vec![
-        Check::new(
+
+    fn paper_artifact(&self) -> &'static str {
+        "Table 4"
+    }
+
+    fn units(&self, scale: Scale) -> Vec<Unit> {
+        let n_reps = reps(6, scale.get());
+        (0..LocationProfile::paper_table4().len()).map(|li| Unit { li, n_reps }).collect()
+    }
+
+    fn run_unit(&self, unit: &Unit) -> Partial {
+        let loc = LocationProfile::paper_table4().into_iter().nth(unit.li).expect("location");
+        let campaign = Campaign::new(loc, 0x7AB4 + unit.li as u64);
+        Partial { dl: campaign.aggregate_throughput(1, 9.0, Direction::Down, unit.n_reps).mean }
+    }
+
+    fn merge(&self, _scale: Scale, partials: Vec<Partial>) -> Report {
+        let locations = LocationProfile::paper_table4();
+        let mut rows = Vec::new();
+        let mut best_signal_dl = 0.0_f64;
+        let mut worst_signal_dl = f64::INFINITY;
+        for (loc, p) in locations.iter().zip(&partials) {
+            if loc.signal_dbm >= -85.0 {
+                best_signal_dl = best_signal_dl.max(p.dl);
+            }
+            if loc.signal_dbm <= -95.0 {
+                worst_signal_dl = worst_signal_dl.min(p.dl);
+            }
+            rows.push(vec![
+                loc.name.clone(),
+                format!("{}/{}", mbps(loc.adsl_down_bps), mbps(loc.adsl_up_bps)),
+                format!("{:.0}/{:.0}", loc.signal_dbm, dbm_to_asu(loc.signal_dbm)),
+                mbps(p.dl),
+            ]);
+        }
+        Report::new(
+            self.id(),
+            "Table 4: evaluation locations (ADSL speed, 3G signal, modeled 1-device dl)",
+        )
+        .headers(&["location", "DSL Mbit/s (d/u)", "signal dBm/ASU", "1-device 3G dl Mbit/s"])
+        .rows(rows)
+        .check(
             "ADSL speeds reproduced",
             "6.48/0.83 … 21.64/2.77 Mbit/s (Table 4)",
             format!(
@@ -41,30 +86,25 @@ pub fn run(scale: f64) -> Report {
                 mbps(locations[1].adsl_down_bps)
             ),
             locations[0].adsl_down_bps == 6.48e6 && locations[1].adsl_down_bps == 21.64e6,
-        ),
-        Check::new(
+        )
+        .check(
             "signal affects 3G rate",
             "weak-signal locations (−95/−97 dBm) see lower 3G rates",
             format!("strong {} vs weak {} Mbit/s", mbps(best_signal_dl), mbps(worst_signal_dl)),
             best_signal_dl > worst_signal_dl,
-        ),
-    ];
-    Report {
-        id: "tab04",
-        title: "Table 4: evaluation locations (ADSL speed, 3G signal, modeled 1-device dl)",
-        body: table(
-            &["location", "DSL Mbit/s (d/u)", "signal dBm/ASU", "1-device 3G dl Mbit/s"],
-            &rows,
-        ),
-        checks,
+        )
+        .finish()
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+    use crate::experiment::DynExperiment;
+
     #[test]
     fn table4_reproduced() {
-        let r = super::run(0.5);
+        let r = Tab04.run_serial(Scale::new(0.5).unwrap());
         assert!(r.all_ok(), "{}", r.render());
         assert_eq!(r.body.lines().count(), 2 + 5);
     }

@@ -5,63 +5,73 @@
 //! series from the models in this workspace and checking the headline
 //! numbers against the paper.
 //!
-//! Run a single experiment:
+//! Every experiment implements the typed [`Experiment`] trait: it
+//! decomposes into independent seeded replication units which a
+//! work-stealing [`Pool`] shards across cores, and the partial results
+//! merge in unit order — so reports are byte-identical for any worker
+//! count (see `experiment` and `exec` module docs).
+//!
+//! Run a single experiment (optionally at a reduced scale / explicit
+//! worker count):
 //!
 //! ```text
-//! cargo run -p threegol-bench --release --bin fig06_schedulers
+//! cargo run -p threegol-bench --release --bin fig06_schedulers [scale] [workers]
 //! ```
 //!
 //! Run everything and emit an EXPERIMENTS.md-ready report:
 //!
 //! ```text
-//! cargo run -p threegol-bench --release --bin repro_all
+//! cargo run -p threegol-bench --release --bin repro_all [scale] [workers]
 //! ```
+//!
+//! The `THREEGOL_WORKERS` environment variable overrides the detected
+//! core count when no explicit worker argument is given.
 
+pub mod exec;
+pub mod experiment;
 pub mod experiments;
 pub mod util;
 
-pub use util::{Check, Report};
+pub use exec::{map, resolve_workers, Pool};
+pub use experiment::{registry, DynExperiment, Experiment, Registry, Scale, ScaleError};
+pub use util::{Check, Report, ReportBuilder};
 
-/// All experiment ids in paper order.
-pub const ALL_IDS: &[&str] = &[
-    "cap02", "fig01", "fig03", "fig04", "fig05", "tab02", "tab03", "fig06", "fig07", "fig08",
-    "fig09", "fig10", "fig11a", "fig11b", "fig11c", "tab04", "est06",
-];
-
-/// Ablations beyond the paper's evaluation (design-choice and outlook
-/// experiments DESIGN.md calls out).
-pub const ABLATION_IDS: &[&str] = &["abl01", "abl02", "abl03", "abl04", "abl05"];
-
-/// Run one experiment by id.
-///
-/// `scale` in `(0, 1]` shrinks repetition counts / population sizes so
-/// criterion benches can run the same code quickly; the repro binaries
-/// use 1.0.
-pub fn run_experiment(id: &str, scale: f64) -> Report {
-    match id {
-        "cap02" => experiments::cap02::run(),
-        "fig01" => experiments::fig01::run(),
-        "fig03" => experiments::fig03::run(scale),
-        "fig04" => experiments::fig04::run(scale),
-        "fig05" => experiments::fig05::run(scale),
-        "tab02" => experiments::tab02::run(scale),
-        "tab03" => experiments::tab03::run(scale),
-        "fig06" => experiments::fig06::run(scale),
-        "fig07" => experiments::fig07::run(scale),
-        "fig08" => experiments::fig08::run(scale),
-        "fig09" => experiments::fig09::run(scale),
-        "fig10" => experiments::fig10::run(scale),
-        "fig11a" => experiments::fig11a::run(scale),
-        "fig11b" => experiments::fig11b::run(scale),
-        "fig11c" => experiments::fig11c::run(scale),
-        "tab04" => experiments::tab04::run(scale),
-        "est06" => experiments::est06::run(scale),
-        "abl01" => experiments::abl01::run(scale),
-        "abl02" => experiments::abl02::run(scale),
-        "abl03" => experiments::abl03::run(scale),
-        "abl04" => experiments::abl04::run(scale),
-        "abl05" => experiments::abl05::run(scale),
-        other => panic!("unknown experiment id {other:?}"),
+/// Shared entry point for the per-experiment binaries: parse
+/// `[scale] [workers]` from the command line, run the experiment
+/// sharded across a worker pool, render to stdout, and exit non-zero
+/// if any paper-vs-measured check failed.
+pub fn bin_main(id: &str) {
+    let mut args = std::env::args().skip(1);
+    let scale = match args.next() {
+        None => Scale::FULL,
+        Some(raw) => match raw
+            .parse::<f64>()
+            .map_err(|e| e.to_string())
+            .and_then(|v| Scale::new(v).map_err(|e| e.to_string()))
+        {
+            Ok(scale) => scale,
+            Err(err) => {
+                eprintln!("invalid scale {raw:?}: {err}");
+                std::process::exit(2);
+            }
+        },
+    };
+    let workers_arg = match args.next() {
+        None => None,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(w) if w >= 1 => Some(w),
+            _ => {
+                eprintln!("invalid worker count {raw:?}: expected a positive integer");
+                std::process::exit(2);
+            }
+        },
+    };
+    let experiment = registry().get(id).expect("binary wired to a registered experiment id");
+    let workers = resolve_workers(workers_arg).min(experiment.unit_count(scale).max(1));
+    let report = Pool::with(workers, |pool| experiment.run_sharded(scale, pool));
+    print!("{}", report.render());
+    if !report.all_ok() {
+        std::process::exit(1);
     }
 }
 
@@ -70,18 +80,20 @@ mod tests {
     use super::*;
 
     #[test]
-    fn every_id_dispatches() {
-        // Smoke-run the cheap experiments end to end.
+    fn every_registered_experiment_runs() {
+        // Smoke-run the cheap experiments end to end through the
+        // registry + serial path.
+        let scale = Scale::new(0.2).unwrap();
         for id in ["cap02", "fig01", "fig10", "fig11c", "est06"] {
-            let r = run_experiment(id, 0.2);
+            let e = registry().get(id).expect("registered");
+            let r = e.run_serial(scale);
             assert_eq!(r.id, id);
             assert!(!r.body.is_empty());
         }
     }
 
     #[test]
-    #[should_panic]
-    fn unknown_id_panics() {
-        run_experiment("nope", 1.0);
+    fn unknown_id_is_none() {
+        assert!(registry().get("nope").is_none());
     }
 }

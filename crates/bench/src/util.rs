@@ -41,6 +41,16 @@ pub struct Report {
 }
 
 impl Report {
+    /// Start building a report: headers, rows and checks accumulate on
+    /// the [`ReportBuilder`], which formats the body table on
+    /// [`ReportBuilder::finish`]. Deliberately named `new` — the
+    /// builder is the only way to construct a `Report` field-by-field,
+    /// and call sites read naturally.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new(id: &'static str, title: &'static str) -> ReportBuilder {
+        ReportBuilder { id, title, headers: Vec::new(), rows: Vec::new(), checks: Vec::new() }
+    }
+
     /// Render for the terminal.
     pub fn render(&self) -> String {
         let mut out = format!("== {} — {}\n\n{}\n", self.id, self.title, self.body);
@@ -81,6 +91,61 @@ impl Report {
     /// True if every check passed.
     pub fn all_ok(&self) -> bool {
         self.checks.iter().all(|c| c.ok)
+    }
+}
+
+/// Builder returned by [`Report::new`]: collects the table headers,
+/// rows and paper-vs-measured checks, then formats the aligned body
+/// table once on [`ReportBuilder::finish`] — replacing the ad-hoc
+/// row-vector bookkeeping every experiment module used to repeat.
+#[derive(Debug, Clone)]
+pub struct ReportBuilder {
+    id: &'static str,
+    title: &'static str,
+    headers: Vec<&'static str>,
+    rows: Vec<Vec<String>>,
+    checks: Vec<Check>,
+}
+
+impl ReportBuilder {
+    /// Set the body table's column headers.
+    pub fn headers(mut self, headers: &[&'static str]) -> ReportBuilder {
+        self.headers = headers.to_vec();
+        self
+    }
+
+    /// Append one body row (must match the header count).
+    pub fn row(mut self, row: Vec<String>) -> ReportBuilder {
+        self.rows.push(row);
+        self
+    }
+
+    /// Append many body rows.
+    pub fn rows(mut self, rows: impl IntoIterator<Item = Vec<String>>) -> ReportBuilder {
+        self.rows.extend(rows);
+        self
+    }
+
+    /// Append one paper-vs-measured check.
+    pub fn check(
+        mut self,
+        name: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+        ok: bool,
+    ) -> ReportBuilder {
+        self.checks.push(Check::new(name, paper, measured, ok));
+        self
+    }
+
+    /// Format the body table and produce the report.
+    pub fn finish(self) -> Report {
+        Report {
+            id: self.id,
+            title: self.title,
+            body: table(&self.headers, &self.rows),
+            checks: self.checks,
+        }
     }
 }
 
@@ -171,6 +236,27 @@ mod tests {
         assert!(md.contains("## figX"));
         assert!(md.contains("✅"));
         assert!(r.all_ok());
+    }
+
+    #[test]
+    fn builder_matches_literal_construction() {
+        let built = Report::new("figX", "test")
+            .headers(&["name", "v"])
+            .row(vec!["a".into(), "1.0".into()])
+            .rows([vec!["longer".into(), "22".into()]])
+            .check("c", "1", "1.05", true)
+            .finish();
+        let literal = Report {
+            id: "figX",
+            title: "test",
+            body: table(
+                &["name", "v"],
+                &[vec!["a".into(), "1.0".into()], vec!["longer".into(), "22".into()]],
+            ),
+            checks: vec![Check::new("c", "1", "1.05", true)],
+        };
+        assert_eq!(built.render(), literal.render());
+        assert_eq!(built.render_markdown(), literal.render_markdown());
     }
 
     #[test]

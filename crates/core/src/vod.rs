@@ -220,7 +220,11 @@ pub struct VodSummary {
 }
 
 impl VodSummary {
-    fn from_outcomes(outcomes: &[VodOutcome]) -> VodSummary {
+    /// Summarize a repetition block. `run_mean(n)` is exactly
+    /// `from_outcomes` over `run_once(0..n)` in repetition order, so
+    /// callers that shard repetitions across workers can rebuild the
+    /// identical summary from the collected outcomes.
+    pub fn from_outcomes(outcomes: &[VodOutcome]) -> VodSummary {
         let pre: Vec<f64> = outcomes.iter().map(|o| o.prebuffer_secs).collect();
         let dl: Vec<f64> = outcomes.iter().map(|o| o.download_secs).collect();
         let waste: Vec<f64> = outcomes.iter().map(|o| o.wasted_bytes).collect();

@@ -1,0 +1,249 @@
+//! Work-stealing deques: the `crossbeam-deque` API on std mutexes.
+//!
+//! Three roles, as in the real crate:
+//!
+//! * [`Injector`] — a shared FIFO queue every thread can push into and
+//!   steal from (the pool's global submission queue);
+//! * [`Worker`] — a thread-local deque owned by one worker thread,
+//!   pushed/popped from its own end;
+//! * [`Stealer`] — a handle other threads use to steal from the
+//!   opposite end of a `Worker`'s deque.
+//!
+//! Steal operations return [`Steal`], whose `Retry` variant exists for
+//! API fidelity with the lock-free original; the mutex-backed
+//! implementation never produces it.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// The operation lost a race and should be retried (never produced
+    /// by this mutex-backed implementation; kept for API fidelity).
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// The stolen task, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// True if the steal found the queue empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+}
+
+/// A global FIFO injector queue.
+#[derive(Debug)]
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Injector<T> {
+        Injector::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Create an empty injector.
+    pub fn new() -> Injector<T> {
+        Injector { queue: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Push a task onto the tail of the queue.
+    pub fn push(&self, task: T) {
+        self.queue.lock().expect("injector lock").push_back(task);
+    }
+
+    /// Steal one task from the head of the queue.
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.lock().expect("injector lock").pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steal a batch of tasks, move them into `dest`, and pop one.
+    ///
+    /// Takes roughly half the injector's backlog (at least one, at most
+    /// [`MAX_BATCH`]) so workers amortize contention on the shared
+    /// queue, exactly like the real crate's batched steals.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut queue = self.queue.lock().expect("injector lock");
+        let Some(first) = queue.pop_front() else {
+            return Steal::Empty;
+        };
+        let extra = (queue.len() / 2).min(MAX_BATCH - 1);
+        if extra > 0 {
+            let mut local = dest.queue.lock().expect("worker lock");
+            for _ in 0..extra {
+                let Some(t) = queue.pop_front() else { break };
+                local.push_back(t);
+            }
+        }
+        Steal::Success(first)
+    }
+
+    /// True if the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().expect("injector lock").is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.queue.lock().expect("injector lock").len()
+    }
+}
+
+/// Upper bound on tasks moved per batched steal.
+pub const MAX_BATCH: usize = 32;
+
+/// A deque owned by a single worker thread.
+#[derive(Debug)]
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Create an empty FIFO worker deque.
+    pub fn new_fifo() -> Worker<T> {
+        Worker { queue: Arc::new(Mutex::new(VecDeque::new())) }
+    }
+
+    /// Push a task onto the owner's end.
+    pub fn push(&self, task: T) {
+        self.queue.lock().expect("worker lock").push_back(task);
+    }
+
+    /// Pop a task from the owner's end (FIFO order).
+    pub fn pop(&self) -> Option<T> {
+        self.queue.lock().expect("worker lock").pop_front()
+    }
+
+    /// True if the deque is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().expect("worker lock").is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.queue.lock().expect("worker lock").len()
+    }
+
+    /// A stealer handle onto this deque for other threads.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { queue: Arc::clone(&self.queue) }
+    }
+}
+
+/// A handle for stealing from another thread's [`Worker`] deque.
+#[derive(Debug)]
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Stealer<T> {
+        Stealer { queue: Arc::clone(&self.queue) }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steal one task from the end opposite the owner.
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.lock().expect("worker lock").pop_back() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// True if the deque is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().expect("worker lock").is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        inj.push(1);
+        inj.push(2);
+        assert_eq!(inj.len(), 2);
+        assert_eq!(inj.steal(), Steal::Success(1));
+        assert_eq!(inj.steal(), Steal::Success(2));
+        assert_eq!(inj.steal(), Steal::Empty);
+        assert!(inj.is_empty());
+    }
+
+    #[test]
+    fn batch_steal_moves_half_the_backlog() {
+        let inj = Injector::new();
+        for i in 0..9 {
+            inj.push(i);
+        }
+        let local = Worker::new_fifo();
+        // Pops 0, moves half of the remaining 8 into the local deque.
+        assert_eq!(inj.steal_batch_and_pop(&local), Steal::Success(0));
+        assert_eq!(local.len(), 4);
+        assert_eq!(inj.len(), 4);
+        assert_eq!(local.pop(), Some(1));
+    }
+
+    #[test]
+    fn stealer_takes_opposite_end() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        let s = w.stealer();
+        assert_eq!(s.steal(), Steal::Success(3));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn cross_thread_stealing_drains_everything() {
+        let inj = std::sync::Arc::new(Injector::new());
+        let n = 1000;
+        for i in 0..n {
+            inj.push(i);
+        }
+        let total = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let inj = std::sync::Arc::clone(&inj);
+                let total = std::sync::Arc::clone(&total);
+                scope.spawn(move || {
+                    let local = Worker::new_fifo();
+                    loop {
+                        let task =
+                            local.pop().or_else(|| inj.steal_batch_and_pop(&local).success());
+                        match task {
+                            Some(_) => {
+                                total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                            None => break,
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), n);
+    }
+}

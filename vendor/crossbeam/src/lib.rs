@@ -1,0 +1,11 @@
+//! Offline vendored `crossbeam` subset.
+//!
+//! Implements the `crossbeam::deque` work-stealing API surface the
+//! workspace uses (`Injector`, `Worker`, `Stealer`, `Steal`) on top of
+//! `std::sync` primitives. The real crate's deques are lock-free
+//! (Chase–Lev); these are mutex-backed, which is semantically
+//! equivalent and plenty fast for the coarse-grained replication units
+//! the bench pool schedules (milliseconds of simulation per unit, so
+//! queue operations are nowhere near the critical path).
+
+pub mod deque;
