@@ -24,7 +24,7 @@ use threegol_simnet::capacity::DiurnalProfile;
 use threegol_simnet::fairshare::{
     max_min_fair, max_min_fair_into, FairShareScratch, FlowDemand, FlowTable,
 };
-use threegol_simnet::{CapacityProcess, SimTime, Simulation};
+use threegol_simnet::{CapacityProcess, SimEvent, SimTime, Simulation};
 
 /// One measured workload: median wall-clock over `REPS` runs.
 struct Sample {
@@ -90,6 +90,60 @@ fn run_home_workload(n_homes: usize, horizon_secs: f64) -> (f64, u64) {
     (median(times), events)
 }
 
+/// Fleet with churn: `n_homes` independent ADSL+2-phone homes where
+/// every link carries two finite flows and each completion immediately
+/// starts a replacement on the same link, so the event stream mixes
+/// per-second capacity resampling with constant arrivals/departures.
+/// This is the workload the event-local stepper targets: at 1000 homes
+/// the pre-calendar engine scanned 3000 links and 6000 flows on every
+/// single event.
+fn run_fleet_workload(n_homes: usize, horizon_secs: f64) -> (f64, u64) {
+    let mut times = Vec::with_capacity(REPS);
+    let mut events = 0u64;
+    for _ in 0..REPS {
+        let mut sim = Simulation::new();
+        let mut links = Vec::with_capacity(n_homes * 3);
+        for h in 0..n_homes as u64 {
+            links.push(sim.add_link(
+                format!("adsl{h}"),
+                CapacityProcess::stochastic(2e6, 0.3, 1.0, DiurnalProfile::flat(), 1 + h),
+            ));
+            for p in 0..2u64 {
+                links.push(sim.add_link(
+                    format!("3g{h}_{p}"),
+                    CapacityProcess::stochastic(
+                        3e6,
+                        0.4,
+                        1.0,
+                        DiurnalProfile::flat(),
+                        1000 + h * 31 + p,
+                    ),
+                ));
+            }
+        }
+        let mut seq = 0u64;
+        let mut next_size = move || {
+            seq += 1;
+            250_000.0 + (seq * 37_559 % 500_000) as f64
+        };
+        for &l in &links {
+            sim.start_flow(vec![l], next_size());
+            sim.start_flow(vec![l], next_size());
+        }
+        let horizon = SimTime::from_secs(horizon_secs);
+        let t = Instant::now();
+        events = 0;
+        while let Some(ev) = sim.next_event_until(horizon) {
+            events += 1;
+            if let SimEvent::FlowCompleted { record, .. } = ev {
+                sim.start_flow(vec![record.path[0]], next_size());
+            }
+        }
+        times.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    (median(times), events)
+}
+
 /// Bare solver: the allocating reference oracle vs the scratch-backed
 /// `max_min_fair_into`, both live on identical inputs.
 fn run_solver_workload(nl: usize, nf: usize, iters: u64) -> (f64, f64, u64) {
@@ -131,8 +185,35 @@ fn run_solver_workload(nl: usize, nf: usize, iters: u64) -> (f64, f64, u64) {
 
 /// Pre-optimization numbers (see module docs). The solver row instead
 /// measures the still-present reference implementation live.
-const BASELINE: &[(&str, Option<f64>)] =
-    &[("fig06_home", Some(0.71)), ("street_16_homes", Some(10.68)), ("fig06_sweep", Some(89.6))];
+const BASELINE: &[(&str, Option<f64>)] = &[
+    ("fig06_home", Some(0.71)),
+    ("street_16_homes", Some(10.68)),
+    // Measured from the tree immediately before the event-local
+    // (calendar) stepper landed: every event paid a full scan of all
+    // flows and links.
+    ("fleet_1k_homes", Some(1436.8)),
+    ("fig06_sweep", Some(89.6)),
+];
+
+/// `after_ms` per workload from a committed `BENCH_simnet.json`,
+/// hand-parsed (serde_json is an offline stub in this container). The
+/// file is the fixed flat shape this binary writes, so scanning for
+/// the `"name"` / `"after_ms"` key pairs is sufficient.
+fn committed_after_ms(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut name: Option<String> = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("\"name\": \"") {
+            name = rest.strip_suffix("\",").map(str::to_string);
+        } else if let Some(rest) = line.strip_prefix("\"after_ms\": ") {
+            if let (Some(n), Ok(v)) = (name.take(), rest.trim_end_matches(',').parse::<f64>()) {
+                out.push((n, v));
+            }
+        }
+    }
+    out
+}
 
 fn main() {
     let mut samples = Vec::new();
@@ -150,6 +231,15 @@ fn main() {
     samples.push(Sample {
         name: "street_16_homes",
         what: "16 independent homes (48 links, 96 flows), 120 simulated s",
+        median_ms: ms,
+        live_before_ms: None,
+        events,
+    });
+
+    let (ms, events) = run_fleet_workload(1000, 5.0);
+    samples.push(Sample {
+        name: "fleet_1k_homes",
+        what: "1000 homes (3000 links, 6000 flows) with churn: completions restart, 5 simulated s",
         median_ms: ms,
         live_before_ms: None,
         events,
@@ -218,6 +308,12 @@ fn main() {
         events: iters,
     });
 
+    // Snapshot the committed numbers before overwriting: they are the
+    // reference for the regression gate below.
+    let committed = std::fs::read_to_string("BENCH_simnet.json")
+        .map(|t| committed_after_ms(&t))
+        .unwrap_or_default();
+
     // serde_json is an offline stub in this container, so format the
     // (flat, fixed-shape) JSON by hand.
     let mut out = String::from("{\n  \"benchmark\": \"simnet hot path (fig06-shaped)\",\n");
@@ -247,4 +343,28 @@ fn main() {
     out.push_str("  ]\n}\n");
     std::fs::write("BENCH_simnet.json", &out).expect("write BENCH_simnet.json");
     print!("{out}");
+
+    // Regression gate: nonzero exit if any workload measured >20%
+    // slower than the committed BENCH_simnet.json. The sharded row is
+    // exempt — its wall-clock tracks the machine's core count, not the
+    // engine. (The freshly measured file has already been written, so
+    // the offending numbers are on disk for inspection.)
+    let mut regressed = false;
+    for s in &samples {
+        if s.name == "repro_shard_fig06_fig07" {
+            continue;
+        }
+        if let Some((_, committed_ms)) = committed.iter().find(|(n, _)| n == s.name) {
+            if s.median_ms > committed_ms * 1.2 {
+                eprintln!(
+                    "REGRESSION: {} measured {:.2} ms vs committed {:.2} ms (>20% slower)",
+                    s.name, s.median_ms, committed_ms
+                );
+                regressed = true;
+            }
+        }
+    }
+    if regressed {
+        std::process::exit(1);
+    }
 }

@@ -200,6 +200,13 @@ impl CapacityProcess {
 
     /// The next time strictly after `t` at which capacity may change, or
     /// `None` if it never changes again.
+    ///
+    /// The *strictly after* contract is load-bearing: the engine's
+    /// capacity calendar re-arms a fired link from this method at the
+    /// fire instant itself, so a return value of `t` would re-queue the
+    /// same instant forever. Every process family honours it —
+    /// `Constant` never changes, `Piecewise` returns the first point
+    /// past `t`, `Stochastic` the next resampling boundary after `t`.
     pub fn next_change(&self, t: SimTime) -> Option<SimTime> {
         match self {
             CapacityProcess::Constant(_) => None,

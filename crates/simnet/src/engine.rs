@@ -6,17 +6,32 @@
 //! currently carry no flow are ignored (they cannot affect any rate),
 //! which keeps long idle periods free.
 //!
+//! Stepping is **event-local**: the engine never scans the whole flow or
+//! link population per event. Upcoming completions live in a
+//! lazy-deletion min-heap keyed by `(predicted completion, flow id)`
+//! whose entries are *lower bounds*: a rate change only queues a new
+//! entry when the fresh prediction undercuts the flow's armed one (the
+//! ratchet), and an entry that surfaces early is re-armed at the true
+//! prediction — so steady-state rate churn costs no heap traffic at
+//! all. Upcoming capacity changes live in a second heap keyed per link
+//! and invalidated by a per-link epoch. Flow and link byte counters are
+//! settled lazily from `(rate, settled_at)` anchors (see
+//! `Flow::settle_to`), so a step costs
+//! O(log n + size of the re-solved component) instead of
+//! O(all flows + all links). See DESIGN.md §8.
+//!
 //! The caller drives the simulation with [`Simulation::next_event`] and
 //! reacts to completions/wakeups — this is how the multipath schedulers
 //! in `threegol-sched` are plugged in.
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
+use std::ops::Bound;
 
 use crate::capacity::CapacityProcess;
 use crate::error::SimError;
 use crate::fairshare::{max_min_fair_subset_into, FairShareScratch, FlowSet};
-use crate::flow::{Flow, FlowId};
+use crate::flow::{Flow, FlowId, COMPLETE_EPS_BYTES};
 use crate::link::{Link, LinkId};
 use crate::time::SimTime;
 
@@ -53,12 +68,6 @@ impl SimEvent {
         }
     }
 }
-
-/// Bytes below which a flow counts as complete (numerical slop: far
-/// below one byte, yet large enough that the residual's transfer time
-/// can never underflow the clock's f64 resolution at realistic rates
-/// and horizons).
-const COMPLETE_EPS_BYTES: f64 = 1e-3;
 
 /// Paths can hold up to this many links inline; longer ones spill to a
 /// heap vector at flow-start time (never in the steady-state loop).
@@ -389,6 +398,20 @@ impl Topology {
     }
 }
 
+/// Outcome of settling a calendar-due flow at the current instant.
+enum Due {
+    /// The flow completed; the event is ready to surface.
+    Done(SimEvent),
+    /// False alarm (floating-point slack between the predicted instant
+    /// and the settled bytes): the flow still has work; a fresh
+    /// prediction must be queued.
+    Rearm,
+    /// The flow's residual transfer time is below one clock ULP, but a
+    /// wakeup is due at this same instant and fires first; the snap to
+    /// completion is deferred until the wakeups at `now` drain.
+    Gated,
+}
+
 /// A deterministic fluid-flow network simulation.
 #[derive(Debug, Default)]
 pub struct Simulation {
@@ -413,9 +436,35 @@ pub struct Simulation {
     rates: Vec<f64>,
     /// Solver working memory.
     scratch: FairShareScratch,
-    /// Links achieving the earliest next capacity change (recorded by
-    /// `next_capacity_change`, committed if that event fires).
+    /// Links achieving the earliest next capacity change, as recorded
+    /// by the reference stepper's scan (committed if that event fires).
     cap_candidates: Vec<u32>,
+    // --- event calendars (see DESIGN.md §8, "Event-local stepping") ---
+    /// Completion calendar: lazy-deletion min-heap of
+    /// `(predicted completion, flow id)`. Entry times are **lower
+    /// bounds** on the true completion instant (see
+    /// [`Flow::armed_at`]): an entry whose flow is gone is discarded
+    /// when it surfaces; one that surfaces before its flow's current
+    /// prediction is re-armed at that prediction without advancing the
+    /// clock or touching any byte accounting.
+    completions: BinaryHeap<Reverse<(SimTime, u64)>>,
+    /// Capacity calendar: min-heap of `(next change, link, link epoch)`
+    /// with one valid entry per armed link, re-armed when it fires.
+    cap_events: BinaryHeap<Reverse<(SimTime, u32, u32)>>,
+    /// Per-link arm epoch: bumped whenever queued `cap_events` entries
+    /// must die — the process was replaced, or the link's flow
+    /// incidence crossed zero in either direction.
+    cap_epochs: Vec<u32>,
+    /// Side stack for due completion entries deferred behind a
+    /// same-instant wakeup (the sub-ULP snap gate); drained back into
+    /// `completions` at the end of each pop run.
+    gated_scratch: Vec<(SimTime, u64)>,
+    /// Reusable settled copy handed out by [`Simulation::flow`], so
+    /// queries never perturb the engine's own settlement arithmetic.
+    flow_scratch: Option<Flow>,
+    /// Step via the retained global-scan reference logic instead of the
+    /// calendars (test oracle; see `use_reference_stepper`).
+    reference_scan: bool,
 }
 
 impl Simulation {
@@ -433,6 +482,7 @@ impl Simulation {
     pub fn add_link(&mut self, name: impl Into<String>, process: CapacityProcess) -> LinkId {
         self.links.push(Link::new(name, process));
         self.topo.add_link();
+        self.cap_epochs.push(0);
         LinkId(self.links.len() - 1)
     }
 
@@ -441,10 +491,19 @@ impl Simulation {
         self.links[link.0].process = process;
         self.topo.mark_link_dirty(link.0);
         self.rates_dirty = true;
+        self.cap_epochs[link.0] = self.cap_epochs[link.0].wrapping_add(1);
+        if self.topo.incidence[link.0] > 0 {
+            if let Some(t) = self.links[link.0].process.next_change(self.now) {
+                self.cap_events.push(Reverse((t, link.0 as u32, self.cap_epochs[link.0])));
+            }
+        }
     }
 
-    /// Read a link.
-    pub fn link(&self, link: LinkId) -> &Link {
+    /// Read a link (with its byte accounting settled to the current
+    /// time).
+    pub fn link(&mut self, link: LinkId) -> &Link {
+        let now = self.now;
+        self.links[link.0].settle_to(now);
         &self.links[link.0]
     }
 
@@ -453,8 +512,12 @@ impl Simulation {
         self.links.len()
     }
 
-    /// Iterate over all links with their ids.
-    pub fn links(&self) -> impl Iterator<Item = (LinkId, &Link)> {
+    /// Iterate over all links with their ids (byte accounting settled).
+    pub fn links(&mut self) -> impl Iterator<Item = (LinkId, &Link)> {
+        let now = self.now;
+        for l in &mut self.links {
+            l.settle_to(now);
+        }
         self.links.iter().enumerate().map(|(i, l)| (LinkId(i), l))
     }
 
@@ -497,19 +560,47 @@ impl Simulation {
         }
         let id = FlowId(self.next_flow_id);
         self.next_flow_id += 1;
+        for l in &path {
+            if self.topo.incidence[l.0] == 0 {
+                // Idle → active: (re)arm the capacity calendar from now.
+                // Bumping the epoch first kills any stale queued entry —
+                // and makes a duplicated link later in this same path
+                // self-correcting (its earlier arm goes stale).
+                self.cap_epochs[l.0] = self.cap_epochs[l.0].wrapping_add(1);
+                if let Some(t) = self.links[l.0].process.next_change(self.now) {
+                    self.cap_events.push(Reverse((t, l.0 as u32, self.cap_epochs[l.0])));
+                }
+            }
+        }
         let slot = self.topo.add_flow(id, &path, rate_cap);
-        self.flows.insert(
-            id,
-            Flow {
-                path,
-                size_bytes,
-                remaining_bytes: size_bytes,
-                rate_bps: 0.0,
-                rate_cap,
-                started_at: self.now,
-                slot,
-            },
-        );
+        let mut f = Flow {
+            path,
+            size_bytes,
+            remaining_bytes: size_bytes,
+            rate_bps: 0.0,
+            rate_cap,
+            started_at: self.now,
+            slot,
+            settled_at: self.now,
+            armed_at: SimTime::FAR_FUTURE,
+        };
+        // Zero-sized (≤ epsilon) flows are due immediately, before any
+        // rate is ever assigned; queue them at their start instant.
+        if let Some(t) = f.predicted_completion() {
+            f.armed_at = t;
+            self.completions.push(Reverse((t, id.0)));
+        }
+        self.flows.insert(id, f);
+        // Keep the completion calendar's capacity above its compaction
+        // ceiling (64 + 4·flows, plus one recompute's worth of ratchet
+        // pushes). Reserved here, at a flow-churn point, it guarantees
+        // the steady-state loop never outgrows the buffer however long
+        // it runs: compaction trims the length back before it can
+        // reach this capacity.
+        let floor = 65 + 5 * self.flows.len();
+        if self.completions.capacity() < floor {
+            self.completions.reserve(floor - self.completions.len());
+        }
         self.rates_dirty = true;
         Ok(id)
     }
@@ -518,20 +609,53 @@ impl Simulation {
     /// transferred before cancellation — the "wasted bytes" accounting of
     /// the greedy scheduler uses this).
     pub fn cancel_flow(&mut self, id: FlowId) -> Result<Flow, SimError> {
-        let f = self.flows.remove(&id).ok_or(SimError::UnknownFlow(id.0))?;
+        let now = self.now;
+        match self.flows.get_mut(&id) {
+            Some(f) => f.settle_to(now),
+            None => return Err(SimError::UnknownFlow(id.0)),
+        }
+        let f = self.flows.remove(&id).expect("checked above");
         self.topo.remove_flow(f.slot, &f.path);
+        for l in &f.path {
+            if self.topo.incidence[l.0] == 0 {
+                self.cap_epochs[l.0] = self.cap_epochs[l.0].wrapping_add(1);
+            }
+        }
         self.rates_dirty = true;
         Ok(f)
     }
 
-    /// Access an active flow.
-    pub fn flow(&self, id: FlowId) -> Option<&Flow> {
-        self.flows.get(&id)
+    /// Access an active flow, with its progress settled to the current
+    /// time.
+    ///
+    /// The settlement happens on a reusable scratch copy: the engine's
+    /// own record is only ever settled on event boundaries, so query
+    /// patterns cannot perturb the simulated trajectory.
+    pub fn flow(&mut self, id: FlowId) -> Option<&Flow> {
+        let f = self.flows.get(&id)?;
+        match &mut self.flow_scratch {
+            Some(s) => {
+                s.path.clone_from(&f.path);
+                s.size_bytes = f.size_bytes;
+                s.remaining_bytes = f.remaining_bytes;
+                s.rate_bps = f.rate_bps;
+                s.rate_cap = f.rate_cap;
+                s.started_at = f.started_at;
+                s.slot = f.slot;
+                s.settled_at = f.settled_at;
+                s.armed_at = f.armed_at;
+            }
+            None => self.flow_scratch = Some(f.clone()),
+        }
+        let now = self.now;
+        let s = self.flow_scratch.as_mut().expect("just populated");
+        s.settle_to(now);
+        Some(s)
     }
 
     /// Ids of all active flows (ascending).
-    pub fn active_flows(&self) -> Vec<FlowId> {
-        self.flows.keys().copied().collect()
+    pub fn active_flows(&self) -> impl Iterator<Item = FlowId> + '_ {
+        self.flows.keys().copied()
     }
 
     /// Number of active flows.
@@ -555,12 +679,25 @@ impl Simulation {
 
     /// Re-solve the components flagged dirty, refreshing their links'
     /// capacities at the current time; clean components keep their
-    /// rates. After a rebuild every component is re-solved. In steady
+    /// rates. After a rebuild every component is re-solved.
+    ///
+    /// This is the only place rates change, so it is also where all
+    /// lazy state is reconciled: every flow and link of a re-solved
+    /// component is settled to `now` *before* its new rate takes
+    /// effect, and a fresh completion prediction is queued — but only
+    /// if it undercuts the flow's armed calendar entry (the ratchet:
+    /// queued entries are lower bounds, so a *later* prediction just
+    /// lets the old entry surface early and re-arm itself). In steady
     /// state (capacity changes and wakeups, no flow churn) this path
-    /// performs no heap allocation; churn itself is O(touched
-    /// component).
+    /// performs no heap allocation and almost no heap traffic; churn
+    /// itself is O(touched component).
     fn recompute_rates(&mut self) {
         if self.topo.needs_rebuild {
+            // The rebuild renumbers slots; settle everything first so
+            // the re-solve below starts from exact byte counts.
+            for f in self.flows.values_mut() {
+                f.settle_to(self.now);
+            }
             self.topo.rebuild(self.links.len(), &mut self.flows);
             self.all_dirty = true;
         }
@@ -572,8 +709,10 @@ impl Simulation {
         }
 
         if self.all_dirty {
-            for (cap, link) in self.caps.iter_mut().zip(&self.links) {
-                *cap = link.capacity_at(self.now);
+            for (i, link) in self.links.iter_mut().enumerate() {
+                link.settle_to(self.now);
+                link.rate_sum = 0.0;
+                self.caps[i] = link.capacity_at(self.now);
             }
             self.topo.dirty_comps.clear();
             for c in 0..self.topo.comps.len() {
@@ -589,8 +728,18 @@ impl Simulation {
                     &mut self.rates,
                 );
             }
-            for f in self.flows.values_mut() {
+            for (id, f) in self.flows.iter_mut() {
+                f.settle_to(self.now);
                 f.rate_bps = self.rates[f.slot as usize];
+                for l in &f.path {
+                    self.links[l.0].rate_sum += f.rate_bps;
+                }
+                if let Some(t) = f.predicted_completion() {
+                    if t < f.armed_at {
+                        f.armed_at = t;
+                        self.completions.push(Reverse((t, id.0)));
+                    }
+                }
             }
             self.all_dirty = false;
         } else {
@@ -601,7 +750,12 @@ impl Simulation {
                 }
                 self.topo.comp_dirty[c] = false;
                 for &l in &self.topo.comps[c].links {
-                    self.caps[l as usize] = self.links[l as usize].capacity_at(self.now);
+                    // Settle under the outgoing aggregate rate before
+                    // zeroing it for re-accumulation below.
+                    let link = &mut self.links[l as usize];
+                    link.settle_to(self.now);
+                    link.rate_sum = 0.0;
+                    self.caps[l as usize] = link.capacity_at(self.now);
                 }
                 if self.topo.comps[c].flows.is_empty() {
                     continue;
@@ -616,18 +770,150 @@ impl Simulation {
                 for &slot in &self.topo.comps[c].flows {
                     let id = self.topo.flow_ids[slot as usize];
                     let rate = self.rates[slot as usize];
-                    self.flows.get_mut(&id).expect("flow exists").rate_bps = rate;
+                    let f = self.flows.get_mut(&id).expect("flow exists");
+                    f.settle_to(self.now);
+                    f.rate_bps = rate;
+                    for l in &f.path {
+                        self.links[l.0].rate_sum += rate;
+                    }
+                    if let Some(t) = f.predicted_completion() {
+                        if t < f.armed_at {
+                            f.armed_at = t;
+                            self.completions.push(Reverse((t, id.0)));
+                        }
+                    }
                 }
             }
         }
         self.rates_dirty = false;
+        self.compact_calendars();
     }
 
-    /// Earliest upcoming capacity change among links that carry flows,
-    /// recording the links that change at that instant into
-    /// `cap_candidates` (their components are marked dirty if that
-    /// event actually fires).
-    fn next_capacity_change(&mut self) -> SimTime {
+    /// Drop stale calendar entries in place once a heap outgrows a
+    /// multiple of its live population. Without this, entries that
+    /// never reach the top (e.g. far-future predictions invalidated by
+    /// churn) would accumulate without bound.
+    fn compact_calendars(&mut self) {
+        if self.completions.len() > 64 + 4 * self.flows.len() {
+            let flows = &self.flows;
+            // Entries above a flow's armed time are redundant: the
+            // armed entry (kept, `t <= armed_at`) already lower-bounds
+            // the completion, so the later ones would only ever surface
+            // early and re-arm to it.
+            self.completions.retain(|Reverse((t, raw))| {
+                flows.get(&FlowId(*raw)).map(|f| *t <= f.armed_at).unwrap_or(false)
+            });
+        }
+        if self.cap_events.len() > 64 + 4 * self.links.len() {
+            let epochs = &self.cap_epochs;
+            let incidence = &self.topo.incidence;
+            self.cap_events.retain(|Reverse((_, l, epoch))| {
+                epochs[*l as usize] == *epoch && incidence[*l as usize] > 0
+            });
+        }
+    }
+
+    /// Earliest completion-calendar entry, **unvalidated**: the top may
+    /// be stale (its flow gone, or a lower bound overtaken by a rate
+    /// drop). The stepper treats it as a candidate and validates it
+    /// only if it actually gates the step, so steady-state steps driven
+    /// by capacity changes or wakeups never pay a flow-table lookup.
+    fn peek_completion_top(&self) -> SimTime {
+        self.completions.peek().map(|&Reverse((t, _))| t).unwrap_or(SimTime::FAR_FUTURE)
+    }
+
+    /// Examine the completion heap's top entry: `Some(t)` if it is the
+    /// genuine prediction of a live flow, else repair it — drop a
+    /// dead/stalled flow's entry, re-arm an early lower bound at the
+    /// flow's current prediction — and return `None`. The clock and all
+    /// byte accounting are untouched either way.
+    ///
+    /// # Panics
+    /// Panics if the heap is empty.
+    fn validate_completion_top(&mut self) -> Option<SimTime> {
+        let &Reverse((t, raw)) = self.completions.peek().expect("nonempty calendar");
+        match self.flows.get(&FlowId(raw)).and_then(|f| f.predicted_completion()) {
+            // Lower-bound invariant: t <= prediction, so equality means
+            // the entry is exact.
+            Some(p) if p <= t => Some(t),
+            Some(p) => {
+                self.completions.pop();
+                let f = self.flows.get_mut(&FlowId(raw)).expect("checked above");
+                f.armed_at = p;
+                self.completions.push(Reverse((p, raw)));
+                None
+            }
+            None => {
+                self.completions.pop();
+                if let Some(f) = self.flows.get_mut(&FlowId(raw)) {
+                    f.armed_at = SimTime::FAR_FUTURE; // stalled: re-armed on next rate
+                }
+                None
+            }
+        }
+    }
+
+    /// Earliest *genuine* completion instant (stale tops are repaired
+    /// or dropped along the way). Used by [`Simulation::peek_time`],
+    /// which must not report a stale instant.
+    fn peek_completion(&mut self) -> SimTime {
+        while !self.completions.is_empty() {
+            if let Some(t) = self.validate_completion_top() {
+                return t;
+            }
+        }
+        SimTime::FAR_FUTURE
+    }
+
+    /// Earliest valid capacity-calendar entry (stale tops dropped).
+    fn peek_capacity(&mut self) -> SimTime {
+        while let Some(&Reverse((t, l, epoch))) = self.cap_events.peek() {
+            let l = l as usize;
+            if self.cap_epochs[l] == epoch && self.topo.incidence[l] > 0 {
+                return t;
+            }
+            self.cap_events.pop();
+        }
+        SimTime::FAR_FUTURE
+    }
+
+    /// Fire every capacity change due at `t`: mark the affected
+    /// components dirty and re-arm each fired link at its next change
+    /// point (same epoch — only invalidation events bump it).
+    fn fire_capacity(&mut self, t: SimTime) {
+        while let Some(&Reverse((et, l, epoch))) = self.cap_events.peek() {
+            if et > t {
+                break;
+            }
+            self.cap_events.pop();
+            let li = l as usize;
+            if self.cap_epochs[li] != epoch || self.topo.incidence[li] == 0 {
+                continue;
+            }
+            self.topo.mark_link_dirty(li);
+            self.rates_dirty = true;
+            if let Some(next) = self.links[li].process.next_change(t) {
+                self.cap_events.push(Reverse((next, l, epoch)));
+            }
+        }
+    }
+
+    /// Reference stepper: earliest predicted completion over all flows.
+    fn scan_completion(&self) -> SimTime {
+        let mut t = SimTime::FAR_FUTURE;
+        for f in self.flows.values() {
+            if let Some(tc) = f.predicted_completion() {
+                t = t.min(tc);
+            }
+        }
+        t
+    }
+
+    /// Reference stepper: earliest upcoming capacity change among links
+    /// that carry flows, recording the links that change at that
+    /// instant into `cap_candidates` (their components are marked dirty
+    /// if that event actually fires).
+    fn scan_capacity_change(&mut self) -> SimTime {
         self.cap_candidates.clear();
         let mut earliest = SimTime::FAR_FUTURE;
         for (i, link) in self.links.iter().enumerate() {
@@ -647,37 +933,132 @@ impl Simulation {
         earliest
     }
 
-    /// Advance all flows by `dt` seconds at their current rates and
-    /// charge the carried bytes to the links on each path.
-    fn advance_flows(&mut self, dt: f64) {
-        if dt <= 0.0 {
-            return;
+    /// Settle a flow that the calendar (or scan) claims is due at the
+    /// current instant and classify the outcome. `wake_at_now` gates
+    /// the sub-ULP snap: a residual too small to advance the clock
+    /// completes only once no wakeup shares the instant (wakeups fire
+    /// before snapped completions, exactly like the global-scan
+    /// engine's ordering).
+    fn resolve_due(&mut self, id: FlowId, wake_at_now: bool) -> Due {
+        let now = self.now;
+        let f = self.flows.get_mut(&id).expect("due flow exists");
+        // The popped entry may be a lower bound the true completion has
+        // drifted past (the rate dropped since it was armed), or the
+        // flow may have stalled outright. Classify from the prediction
+        // *before* settling, so an early surfacing leaves the
+        // settlement arithmetic bit-for-bit untouched.
+        match f.predicted_completion() {
+            Some(p) if p <= now => {}
+            _ => return Due::Rearm,
         }
-        let links = &mut self.links;
-        for f in self.flows.values_mut() {
-            let bytes = if f.rate_bps.is_infinite() {
-                f.remaining_bytes
-            } else {
-                (f.rate_bps * dt / 8.0).min(f.remaining_bytes)
-            };
-            f.remaining_bytes -= bytes;
-            for l in &f.path {
-                links[l.0].bytes_carried += bytes;
+        f.settle_to(now);
+        let mut done = f.remaining_bytes <= COMPLETE_EPS_BYTES;
+        if !done {
+            let eta = f.eta_secs().expect("due flow with bytes left has a rate");
+            if now + eta <= now {
+                // The residual transfer time is below one ULP of the
+                // clock: time cannot advance, so snap to completion
+                // instead of spinning — unless a wakeup is due first.
+                if wake_at_now {
+                    return Due::Gated;
+                }
+                f.remaining_bytes = 0.0;
+                done = true;
             }
+        }
+        if done {
+            Due::Done(self.retire(id))
+        } else {
+            Due::Rearm
         }
     }
 
-    /// Pop any flow already complete at the current instant.
-    fn pop_completed(&mut self) -> Option<SimEvent> {
-        let id = self
-            .flows
-            .iter()
-            .find(|(_, f)| f.remaining_bytes <= COMPLETE_EPS_BYTES)
-            .map(|(id, _)| *id)?;
-        let record = self.flows.remove(&id).expect("flow exists");
+    /// Remove a completed flow from the system and build its event.
+    fn retire(&mut self, id: FlowId) -> SimEvent {
+        let record = self.flows.remove(&id).expect("retired flow exists");
         self.topo.remove_flow(record.slot, &record.path);
+        for l in &record.path {
+            if self.topo.incidence[l.0] == 0 {
+                // Last flow left the link: its queued capacity changes
+                // can no longer affect any rate.
+                self.cap_epochs[l.0] = self.cap_epochs[l.0].wrapping_add(1);
+            }
+        }
         self.rates_dirty = true;
-        Some(SimEvent::FlowCompleted { flow: id, record, time: self.now })
+        SimEvent::FlowCompleted { flow: id, record, time: self.now }
+    }
+
+    /// Pop the next flow completion due at the current instant, if any.
+    ///
+    /// Due entries always sit exactly at `now` (predictions are never
+    /// in the past, and the stepper stops at the earliest candidate),
+    /// so the heap surfaces them in ascending `FlowId` order — the same
+    /// order the reference stepper's BTreeMap scan produces.
+    fn pop_due_completion(&mut self) -> Option<SimEvent> {
+        if self.reference_scan {
+            return self.pop_due_completion_scan();
+        }
+        let wake_at_now =
+            self.wakeups.peek().map(|Reverse((t, _, _))| *t <= self.now).unwrap_or(false);
+        let mut out = None;
+        while let Some(&Reverse((t, raw))) = self.completions.peek() {
+            if t > self.now {
+                break;
+            }
+            self.completions.pop();
+            let id = FlowId(raw);
+            if !self.flows.contains_key(&id) {
+                continue;
+            }
+            match self.resolve_due(id, wake_at_now) {
+                Due::Done(ev) => {
+                    out = Some(ev);
+                    break;
+                }
+                Due::Gated => self.gated_scratch.push((t, raw)),
+                Due::Rearm => {
+                    let f = self.flows.get_mut(&id).expect("present above");
+                    if let Some(tc) = f.predicted_completion() {
+                        f.armed_at = tc;
+                        self.completions.push(Reverse((tc, raw)));
+                    } else {
+                        f.armed_at = SimTime::FAR_FUTURE;
+                    }
+                }
+            }
+        }
+        while let Some(e) = self.gated_scratch.pop() {
+            self.completions.push(Reverse(e));
+        }
+        out
+    }
+
+    /// Reference-stepper variant of [`Simulation::pop_due_completion`]:
+    /// scan the flow map in id order for the first due flow, resuming
+    /// past gated / re-armed ones.
+    fn pop_due_completion_scan(&mut self) -> Option<SimEvent> {
+        let wake_at_now =
+            self.wakeups.peek().map(|Reverse((t, _, _))| *t <= self.now).unwrap_or(false);
+        let mut after: Option<FlowId> = None;
+        loop {
+            let now = self.now;
+            let due = match after {
+                None => self
+                    .flows
+                    .iter()
+                    .find(|(_, f)| matches!(f.predicted_completion(), Some(t) if t <= now)),
+                Some(prev) => self
+                    .flows
+                    .range((Bound::Excluded(prev), Bound::Unbounded))
+                    .find(|(_, f)| matches!(f.predicted_completion(), Some(t) if t <= now)),
+            }
+            .map(|(id, _)| *id);
+            let id = due?;
+            match self.resolve_due(id, wake_at_now) {
+                Due::Done(ev) => return Some(ev),
+                Due::Gated | Due::Rearm => after = Some(id),
+            }
+        }
     }
 
     /// Advance to, and return, the next externally visible event.
@@ -701,18 +1082,11 @@ impl Simulation {
         loop {
             iters += 1;
             if iters > 10_000_000 {
-                panic!(
-                    "engine stuck: now={}, flows={:?}",
-                    self.now,
-                    self.flows
-                        .iter()
-                        .map(|(id, f)| (id.0, f.rate_bps, f.remaining_bytes))
-                        .collect::<Vec<_>>()
-                );
+                self.panic_stuck();
             }
             // Zero-time completions first (e.g., several flows finishing
             // at the same instant, or zero-sized flows).
-            if let Some(ev) = self.pop_completed() {
+            if let Some(ev) = self.pop_due_completion() {
                 return Some(ev);
             }
             if self.rates_dirty {
@@ -721,13 +1095,16 @@ impl Simulation {
             }
 
             // Candidate event times.
-            let mut t_complete = SimTime::FAR_FUTURE;
-            for f in self.flows.values() {
-                if let Some(eta) = f.eta_secs() {
-                    t_complete = t_complete.min(self.now + eta);
-                }
-            }
-            let t_capacity = self.next_capacity_change();
+            let t_complete = if self.reference_scan {
+                self.scan_completion()
+            } else {
+                self.peek_completion_top()
+            };
+            let t_capacity = if self.reference_scan {
+                self.scan_capacity_change()
+            } else {
+                self.peek_capacity()
+            };
             let t_wake =
                 self.wakeups.peek().map(|Reverse((t, _, _))| *t).unwrap_or(SimTime::FAR_FUTURE);
 
@@ -735,48 +1112,39 @@ impl Simulation {
             if t_next >= SimTime::FAR_FUTURE {
                 return None; // permanently idle or stalled
             }
+            // The completion candidate is an unvalidated heap top:
+            // verify it only now that it would actually gate the step.
+            // A stale top is repaired *without* advancing the clock and
+            // the step retried, so spurious instants never leak out.
+            if !self.reference_scan
+                && t_next == t_complete
+                && self.validate_completion_top().is_none()
+            {
+                continue;
+            }
             if let Some(lim) = limit {
                 if t_next > lim {
                     // Advance exactly to the limit and stop. No event
                     // fired in between, so no capacity changed and all
-                    // rates remain valid (capacity processes are
-                    // piecewise-constant between their change points).
-                    let dt = lim - self.now;
-                    self.advance_flows(dt);
+                    // rates (hence all lazy anchors) remain valid.
                     self.now = lim;
                     return None;
                 }
             }
-
-            let dt = t_next - self.now;
-            if dt <= 0.0 && t_next == t_complete && t_wake > self.now {
-                // The nearest completion is closer than one ULP of the
-                // clock: time cannot advance, so snap the due flows to
-                // completion instead of spinning.
-                let now = self.now;
-                for f in self.flows.values_mut() {
-                    if let Some(eta) = f.eta_secs() {
-                        if now + eta <= now {
-                            f.remaining_bytes = 0.0;
-                        }
-                    }
-                }
-                continue;
-            }
-            self.advance_flows(dt);
             self.now = t_next;
 
             if t_next == t_capacity {
-                // Mark the components of the links recorded during the
-                // scan; the recompute happens lazily at the next query
-                // or step, which also covers a coincident wakeup below.
-                // (The pre-rework engine missed a capacity change that
-                // coincided with a wakeup entirely, because the scan
-                // only looks strictly past `now`.)
-                for &l in &self.cap_candidates {
-                    self.topo.mark_link_dirty(l as usize);
+                // Mark the changed links' components dirty; the
+                // recompute happens lazily at the next query or step,
+                // which also covers a coincident wakeup below.
+                if self.reference_scan {
+                    for &l in &self.cap_candidates {
+                        self.topo.mark_link_dirty(l as usize);
+                    }
+                    self.rates_dirty = true;
+                } else {
+                    self.fire_capacity(t_next);
                 }
-                self.rates_dirty = true;
             }
             if t_next == t_wake {
                 let Reverse((time, _, token)) = self.wakeups.pop().expect("peeked");
@@ -784,6 +1152,23 @@ impl Simulation {
             }
             // Completions (if any) surface at the top of the loop.
         }
+    }
+
+    /// Stuck-stepper diagnostic. Kept out of the hot loop: the message
+    /// is only built here, and only a bounded prefix of the flow table
+    /// goes into it.
+    #[cold]
+    #[inline(never)]
+    fn panic_stuck(&self) -> ! {
+        use std::fmt::Write;
+        let mut dump = String::new();
+        for (id, f) in self.flows.iter().take(16) {
+            let _ = write!(dump, " ({}, {}, {})", id.0, f.rate_bps, f.remaining_bytes);
+        }
+        if self.flows.len() > 16 {
+            let _ = write!(dump, " … and {} more", self.flows.len() - 16);
+        }
+        panic!("engine stuck: now={}, flows (id, rate, remaining):{}", self.now, dump);
     }
 
     /// Process and discard events until virtual time reaches `until`.
@@ -796,8 +1181,6 @@ impl Simulation {
             if self.rates_dirty {
                 self.recompute_rates();
             }
-            let dt = until - self.now;
-            self.advance_flows(dt);
             self.now = until;
         }
     }
@@ -809,28 +1192,24 @@ impl Simulation {
         if self.rates_dirty {
             self.recompute_rates();
         }
-        self.flows.values().filter(|f| f.path.contains(&link)).map(|f| f.rate_bps).sum()
+        self.links[link.0].rate_sum
     }
 
     /// The time of the next event without consuming it (recomputes rates
     /// if needed).
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        if self.flows.values().any(|f| f.remaining_bytes <= COMPLETE_EPS_BYTES) {
+        let due = if self.reference_scan { self.scan_completion() } else { self.peek_completion() };
+        if due <= self.now {
             return Some(self.now);
         }
         if self.rates_dirty {
             self.recompute_rates();
-            if self.flows.values().any(|f| f.rate_bps.is_infinite()) {
-                return Some(self.now);
-            }
         }
-        let mut t = SimTime::FAR_FUTURE;
-        for f in self.flows.values() {
-            if let Some(eta) = f.eta_secs() {
-                t = t.min(self.now + eta);
-            }
-        }
-        t = t.min(self.next_capacity_change());
+        let t_complete =
+            if self.reference_scan { self.scan_completion() } else { self.peek_completion() };
+        let t_capacity =
+            if self.reference_scan { self.scan_capacity_change() } else { self.peek_capacity() };
+        let mut t = t_complete.min(t_capacity);
         if let Some(Reverse((tw, _, _))) = self.wakeups.peek() {
             t = t.min(*tw);
         }
@@ -839,6 +1218,20 @@ impl Simulation {
         } else {
             Some(t)
         }
+    }
+
+    /// Step via the retained global-scan reference logic instead of the
+    /// calendars.
+    ///
+    /// The reference stepper shares every byte of the settlement
+    /// arithmetic with the calendar engine — it differs only in *how*
+    /// the next event time is found (exhaustive scans over all flows
+    /// and links, exactly like the pre-calendar engine). The oracle
+    /// tests run both modes over identical scenarios and assert the
+    /// event streams are bit-identical.
+    #[doc(hidden)]
+    pub fn use_reference_stepper(&mut self, on: bool) {
+        self.reference_scan = on;
     }
 }
 

@@ -3,6 +3,12 @@
 use crate::link::LinkId;
 use crate::time::SimTime;
 
+/// Bytes below which a flow counts as complete (numerical slop: far
+/// below one byte, yet large enough that the residual's transfer time
+/// can never underflow the clock's f64 resolution at realistic rates
+/// and horizons).
+pub(crate) const COMPLETE_EPS_BYTES: f64 = 1e-3;
+
 /// Identifier of a flow within a [`crate::Simulation`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FlowId(pub(crate) u64);
@@ -19,15 +25,21 @@ impl FlowId {
 /// The engine assigns each active flow a rate via max-min fair sharing;
 /// an optional `rate_cap` models per-flow limits such as a device's HSPA
 /// category or an application pacing itself.
+///
+/// Progress is accounted **lazily**: `remaining_bytes` is exact as of
+/// `settled_at`, and the engine materializes it (via `Flow::settle_to`)
+/// only when the flow's rate changes, it completes or is cancelled, or
+/// it is queried through [`crate::Simulation::flow`]. Records handed out
+/// in events and cancellations are always settled.
 #[derive(Debug, Clone)]
 pub struct Flow {
     /// Links the flow traverses (order does not matter to the fluid model).
     pub path: Vec<LinkId>,
     /// Total size in bytes.
     pub size_bytes: f64,
-    /// Bytes still to transfer.
+    /// Bytes still to transfer, as of `settled_at`.
     pub remaining_bytes: f64,
-    /// Current assigned rate, bits/second.
+    /// Current assigned rate, bits/second (in effect since `settled_at`).
     pub rate_bps: f64,
     /// Optional per-flow cap, bits/second.
     pub rate_cap: Option<f64>,
@@ -35,10 +47,21 @@ pub struct Flow {
     pub started_at: SimTime,
     /// Engine-internal topology slot (stable while the flow is active).
     pub(crate) slot: u32,
+    /// Time at which `remaining_bytes` was last materialized. The rate
+    /// has been constant since then, so progress between `settled_at`
+    /// and "now" is just `rate_bps × elapsed`.
+    pub(crate) settled_at: SimTime,
+    /// Earliest completion-calendar entry queued for this flow — a
+    /// *lower bound* on the true completion instant. Rate changes only
+    /// queue a new entry when the fresh prediction undercuts it (the
+    /// ratchet); an entry that surfaces early is re-armed at the true
+    /// prediction. `FAR_FUTURE` means nothing is armed (the flow is
+    /// stalled, or every queued entry is known-dead).
+    pub(crate) armed_at: SimTime,
 }
 
 impl Flow {
-    /// Bytes already transferred.
+    /// Bytes already transferred (as of the last settlement).
     pub fn transferred_bytes(&self) -> f64 {
         self.size_bytes - self.remaining_bytes
     }
@@ -60,6 +83,32 @@ impl Flow {
             None
         }
     }
+
+    /// Materialize progress up to `t` at the current rate.
+    pub(crate) fn settle_to(&mut self, t: SimTime) {
+        let dt = t - self.settled_at;
+        if dt <= 0.0 {
+            return; // never move the anchor backwards
+        }
+        let bytes = if self.rate_bps.is_infinite() {
+            self.remaining_bytes
+        } else {
+            (self.rate_bps * dt / 8.0).min(self.remaining_bytes)
+        };
+        self.remaining_bytes -= bytes;
+        self.settled_at = t;
+    }
+
+    /// Absolute completion instant predicted from the settled state, or
+    /// `None` for a stalled (zero-rate, unfinished) flow. Flows already
+    /// within [`COMPLETE_EPS_BYTES`] of done are due immediately,
+    /// whatever their rate.
+    pub(crate) fn predicted_completion(&self) -> Option<SimTime> {
+        if self.remaining_bytes <= COMPLETE_EPS_BYTES {
+            return Some(self.settled_at);
+        }
+        self.eta_secs().map(|eta| self.settled_at + eta)
+    }
 }
 
 #[cfg(test)]
@@ -75,6 +124,8 @@ mod tests {
             rate_cap: None,
             started_at: SimTime::ZERO,
             slot: 0,
+            settled_at: SimTime::ZERO,
+            armed_at: SimTime::FAR_FUTURE,
         }
     }
 
@@ -94,5 +145,26 @@ mod tests {
     #[test]
     fn zero_size_is_complete() {
         assert_eq!(flow(0.0, 0.0, 1.0).progress(), 1.0);
+    }
+
+    #[test]
+    fn settlement_materializes_progress() {
+        let mut f = flow(1000.0, 1000.0, 8000.0); // 1 kB/s
+        f.settle_to(SimTime::from_secs(0.25));
+        assert!((f.remaining_bytes - 750.0).abs() < 1e-9);
+        // Settling backwards (or to the same instant) is a no-op.
+        f.settle_to(SimTime::from_secs(0.25));
+        assert!((f.remaining_bytes - 750.0).abs() < 1e-9);
+        f.settle_to(SimTime::from_secs(10.0));
+        assert_eq!(f.remaining_bytes, 0.0);
+    }
+
+    #[test]
+    fn prediction_matches_eta() {
+        let f = flow(1000.0, 800.0, 8000.0);
+        assert_eq!(f.predicted_completion(), Some(SimTime::from_secs(0.8)));
+        assert_eq!(flow(10.0, 10.0, 0.0).predicted_completion(), None);
+        // Due-now flows predict their settle instant even at rate zero.
+        assert_eq!(flow(10.0, 1e-4, 0.0).predicted_completion(), Some(SimTime::ZERO));
     }
 }

@@ -20,6 +20,12 @@ impl LinkId {
 /// flows' paths. This keeps the model close to the paper's setting, where
 /// the relevant constraints are the ADSL line, each phone's radio share,
 /// the base-station shared channel, the Wi-Fi LAN and the cell backhaul.
+///
+/// Byte accounting is **lazy**: `bytes_carried` is exact as of
+/// `settled_at`, and the bytes since then are `rate_sum × elapsed / 8`.
+/// The engine settles a link whenever its component is re-solved (the
+/// only times `rate_sum` can change) and whenever the link is read
+/// through [`crate::Simulation::link`] / [`crate::Simulation::links`].
 #[derive(Debug, Clone)]
 pub struct Link {
     /// Human-readable name (for logs and experiment output).
@@ -27,19 +33,44 @@ pub struct Link {
     /// How this link's capacity evolves over time.
     pub process: CapacityProcess,
     /// Total bytes carried by this link so far (accounting, e.g., for
-    /// Fig 11b's "load onloaded onto the cellular network").
+    /// Fig 11b's "load onloaded onto the cellular network"), as of
+    /// `settled_at`.
     pub bytes_carried: f64,
+    /// Sum of the fair-share rates of all flows crossing this link,
+    /// bits/second, in effect since `settled_at`.
+    pub(crate) rate_sum: f64,
+    /// Time at which `bytes_carried` was last materialized.
+    pub(crate) settled_at: SimTime,
 }
 
 impl Link {
     /// Create a link with the given capacity process.
     pub fn new(name: impl Into<String>, process: CapacityProcess) -> Link {
-        Link { name: name.into(), process, bytes_carried: 0.0 }
+        Link {
+            name: name.into(),
+            process,
+            bytes_carried: 0.0,
+            rate_sum: 0.0,
+            settled_at: SimTime::ZERO,
+        }
     }
 
     /// Capacity in bits/second at `t`.
     pub fn capacity_at(&self, t: SimTime) -> f64 {
         self.process.capacity_at(t)
+    }
+
+    /// Materialize the bytes carried up to `t` at the current aggregate
+    /// rate.
+    pub(crate) fn settle_to(&mut self, t: SimTime) {
+        let dt = t - self.settled_at;
+        if dt <= 0.0 {
+            return; // never move the anchor backwards
+        }
+        if self.rate_sum > 0.0 && self.rate_sum.is_finite() {
+            self.bytes_carried += self.rate_sum * dt / 8.0;
+        }
+        self.settled_at = t;
     }
 }
 
@@ -53,5 +84,16 @@ mod tests {
         assert_eq!(l.capacity_at(SimTime::ZERO), 3e6);
         assert_eq!(l.name, "adsl");
         assert_eq!(l.bytes_carried, 0.0);
+    }
+
+    #[test]
+    fn settlement_accumulates_bytes() {
+        let mut l = Link::new("l", CapacityProcess::constant(8e6));
+        l.rate_sum = 8e6; // 1 MB/s
+        l.settle_to(SimTime::from_secs(2.0));
+        assert!((l.bytes_carried - 2e6).abs() < 1e-6);
+        l.rate_sum = 0.0;
+        l.settle_to(SimTime::from_secs(5.0));
+        assert!((l.bytes_carried - 2e6).abs() < 1e-6);
     }
 }

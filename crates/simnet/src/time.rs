@@ -88,6 +88,17 @@ impl SimTime {
     pub fn since(self, earlier: SimTime) -> f64 {
         (self.0 - earlier.0).max(0.0)
     }
+
+    /// The raw IEEE-754 bit pattern of the underlying seconds value.
+    ///
+    /// Two times compare equal via `==` iff their bits match (the
+    /// constructors reject NaN and negative values, so there is exactly
+    /// one representation per instant). Tests that assert event streams
+    /// are *byte*-identical compare these bits rather than rounded
+    /// seconds.
+    pub fn to_bits(self) -> u64 {
+        self.0.to_bits()
+    }
 }
 
 impl Eq for SimTime {}

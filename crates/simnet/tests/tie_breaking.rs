@@ -1,0 +1,156 @@
+//! Tie-breaking regressions for the event-local stepper.
+//!
+//! The calendar rework must preserve the engine's ordering rules at
+//! coincident instants exactly:
+//!
+//! 1. a wakeup sharing an instant with a completion fires first;
+//! 2. a capacity change sharing that instant is applied (component
+//!    marked dirty) before either surfaces, so the completing flow's
+//!    record still carries its pre-change rate;
+//! 3. several flows completing at one instant surface in ascending
+//!    `FlowId` order;
+//! 4. a residual transfer shorter than one clock ULP snaps to
+//!    completion at the *current* instant — after any wakeup already
+//!    due there.
+
+use threegol_simnet::{CapacityProcess, SimEvent, SimTime, Simulation, WakeToken};
+
+fn mbps(x: f64) -> f64 {
+    x * 1e6
+}
+
+/// Wakeup, capacity change and completion all at exactly t = 1 s: the
+/// wakeup surfaces first, then the completion — timed to the bit and
+/// carrying the pre-change rate.
+#[test]
+fn wakeup_precedes_completion_and_capacity_applies_silently() {
+    let mut sim = Simulation::new();
+    let l = sim.add_link(
+        "l",
+        CapacityProcess::piecewise(vec![
+            (SimTime::ZERO, mbps(8.0)),
+            (SimTime::from_secs(1.0), mbps(2.0)),
+        ]),
+    );
+    // 1 MB at 8 Mbps completes at exactly 1.0 — the same instant as
+    // the capacity drop and the wakeup.
+    let f = sim.start_flow(vec![l], 1_000_000.0);
+    sim.schedule_wakeup(SimTime::from_secs(1.0), WakeToken(7));
+
+    let e1 = sim.next_event().expect("wakeup");
+    match e1 {
+        SimEvent::Wakeup { token, time } => {
+            assert_eq!(token, WakeToken(7));
+            assert_eq!(time.to_bits(), SimTime::from_secs(1.0).to_bits());
+        }
+        other => panic!("expected the wakeup first, got {other:?}"),
+    }
+    let e2 = sim.next_event().expect("completion");
+    match e2 {
+        SimEvent::FlowCompleted { flow, record, time } => {
+            assert_eq!(flow, f);
+            assert_eq!(time.to_bits(), SimTime::from_secs(1.0).to_bits());
+            // The record still carries the rate the flow actually had:
+            // the 2 Mbps step never applied to it.
+            assert_eq!(record.rate_bps, mbps(8.0));
+        }
+        other => panic!("expected the completion second, got {other:?}"),
+    }
+    assert!(sim.next_event().is_none());
+}
+
+/// Flows tying on completion instant surface in ascending `FlowId`
+/// order, regardless of start order tricks.
+#[test]
+fn simultaneous_completions_pop_in_flow_id_order() {
+    let mut sim = Simulation::new();
+    let la = sim.add_link("a", CapacityProcess::constant(mbps(8.0)));
+    let lb = sim.add_link("b", CapacityProcess::constant(mbps(8.0)));
+    let lc = sim.add_link("c", CapacityProcess::constant(mbps(8.0)));
+    // Independent links, identical transfer times: all due at 1.0 s.
+    let f0 = sim.start_flow(vec![lc], 1_000_000.0);
+    let f1 = sim.start_flow(vec![la], 1_000_000.0);
+    let f2 = sim.start_flow(vec![lb], 1_000_000.0);
+    let mut order = Vec::new();
+    while let Some(ev) = sim.next_event() {
+        match ev {
+            SimEvent::FlowCompleted { flow, time, .. } => {
+                assert_eq!(time.to_bits(), SimTime::from_secs(1.0).to_bits());
+                order.push(flow);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+    assert_eq!(order, vec![f0, f1, f2]);
+}
+
+/// A residual shorter than one ULP of the clock completes at the
+/// current instant with zero bytes left — but only after the wakeup
+/// sharing that instant has fired.
+#[test]
+fn sub_ulp_residual_snaps_after_coincident_wakeup() {
+    let mut sim = Simulation::new();
+    let l = sim.add_link("l", CapacityProcess::constant(mbps(8.0)));
+    // Push the clock to 1e9 s, where one ULP is ~1.2e-7 s.
+    let far = SimTime::from_secs(1e9);
+    sim.schedule_wakeup(far, WakeToken(0));
+    assert!(matches!(sim.next_event(), Some(SimEvent::Wakeup { .. })));
+    assert_eq!(sim.now().to_bits(), far.to_bits());
+
+    // 0.01 bytes at 8 Mbps is a 1e-8 s transfer: below one clock ULP,
+    // so time cannot advance to its completion instant.
+    let f = sim.start_flow(vec![l], 0.01);
+    sim.schedule_wakeup(far, WakeToken(1));
+
+    let e1 = sim.next_event().expect("gating wakeup");
+    match e1 {
+        SimEvent::Wakeup { token, time } => {
+            assert_eq!(token, WakeToken(1));
+            assert_eq!(time.to_bits(), far.to_bits());
+        }
+        other => panic!("wakeup must precede the snapped completion, got {other:?}"),
+    }
+    let e2 = sim.next_event().expect("snapped completion");
+    match e2 {
+        SimEvent::FlowCompleted { flow, record, time } => {
+            assert_eq!(flow, f);
+            assert_eq!(time.to_bits(), far.to_bits());
+            assert_eq!(record.remaining_bytes, 0.0);
+        }
+        other => panic!("expected the snapped completion, got {other:?}"),
+    }
+    assert!(sim.next_event().is_none());
+}
+
+/// The reference stepper agrees with the calendar stepper on all three
+/// scenarios above (cheap spot-check on top of the proptest oracle).
+#[test]
+fn reference_stepper_agrees_on_ties() {
+    let run = |reference: bool| -> Vec<(u8, u64, u64)> {
+        let mut sim = Simulation::new();
+        sim.use_reference_stepper(reference);
+        let l = sim.add_link(
+            "l",
+            CapacityProcess::piecewise(vec![
+                (SimTime::ZERO, mbps(8.0)),
+                (SimTime::from_secs(1.0), mbps(2.0)),
+            ]),
+        );
+        let m = sim.add_link("m", CapacityProcess::constant(mbps(8.0)));
+        sim.start_flow(vec![l], 1_000_000.0);
+        sim.start_flow(vec![m], 1_000_000.0);
+        sim.start_flow(vec![m], 500_000.0);
+        sim.schedule_wakeup(SimTime::from_secs(1.0), WakeToken(7));
+        let mut out = Vec::new();
+        while let Some(ev) = sim.next_event() {
+            match ev {
+                SimEvent::FlowCompleted { flow, time, .. } => {
+                    out.push((0, flow.raw(), time.to_bits()))
+                }
+                SimEvent::Wakeup { token, time } => out.push((1, token.0, time.to_bits())),
+            }
+        }
+        out
+    };
+    assert_eq!(run(false), run(true));
+}
