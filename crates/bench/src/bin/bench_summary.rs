@@ -2,8 +2,9 @@
 //!
 //! Runs the fig06-shaped workloads (one ADSL home with two onloading
 //! phones; a street of such homes; the full fig06 scheduler sweep with
-//! flow churn; the bare fair-share solver) against the current engine
-//! and writes `BENCH_simnet.json` to the repo root
+//! flow churn; the bare fair-share solver) against the current engine,
+//! plus a live-prototype fleet on the virtual-net tokio runtime, and
+//! writes `BENCH_simnet.json` to the repo root
 //! with the measured numbers next to the recorded pre-optimization
 //! baseline, plus the resulting speedups.
 //!
@@ -144,6 +145,24 @@ fn run_fleet_workload(n_homes: usize, horizon_secs: f64) -> (f64, u64) {
     (median(times), events)
 }
 
+/// The live-prototype fleet: whole virtual-net households (origin,
+/// device proxies with discovery, client-side HLS proxy, concurrent
+/// VoD prebuffer + photo upload under virtual time) sharded across
+/// every core. Tracks the cost of the virtual network substrate
+/// itself — the simulator workloads above never touch it.
+fn run_live_fleet_workload(homes: usize) -> (f64, u64) {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut times = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let reports =
+            Pool::with(cores.min(homes), |pool| threegol_bench::fleet::run_fleet(homes, pool));
+        std::hint::black_box(&reports);
+        times.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    (median(times), homes as u64)
+}
+
 /// Bare solver: the allocating reference oracle vs the scratch-backed
 /// `max_min_fair_into`, both live on identical inputs.
 fn run_solver_workload(nl: usize, nf: usize, iters: u64) -> (f64, f64, u64) {
@@ -240,6 +259,16 @@ fn main() {
     samples.push(Sample {
         name: "fleet_1k_homes",
         what: "1000 homes (3000 links, 6000 flows) with churn: completions restart, 5 simulated s",
+        median_ms: ms,
+        live_before_ms: None,
+        events,
+    });
+
+    let (ms, events) = run_live_fleet_workload(50);
+    samples.push(Sample {
+        name: "live_fleet_50_homes",
+        what: "50 live-prototype households (virtual-net runtimes, concurrent VoD + upload) \
+               sharded across cores",
         median_ms: ms,
         live_before_ms: None,
         events,

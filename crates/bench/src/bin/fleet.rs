@@ -1,0 +1,53 @@
+//! Run a fleet of live-prototype households and print the per-home
+//! gain distributions.
+//!
+//! Every home is a full `threegol-proxy` household — origin, device
+//! proxies with quota-gated discovery, client-side HLS proxy, and a
+//! concurrent VoD prebuffer + photo upload — on its own virtual
+//! network under virtual time. Homes shard across the worker pool; the
+//! report (and its digest) is byte-identical for any worker count.
+//!
+//! ```text
+//! cargo run -p threegol-bench --release --bin fleet [homes] [workers]
+//! ```
+
+use threegol_bench::fleet::{digest, run_fleet, summarize};
+use threegol_bench::{resolve_workers, Pool};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let homes = match args.next() {
+        None => 100,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("invalid home count {raw:?}: expected a positive integer");
+                std::process::exit(2);
+            }
+        },
+    };
+    let workers_arg = match args.next() {
+        None => None,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(w) if w >= 1 => Some(w),
+            _ => {
+                eprintln!("invalid worker count {raw:?}: expected a positive integer");
+                std::process::exit(2);
+            }
+        },
+    };
+    let workers = resolve_workers(workers_arg).min(homes);
+
+    let start = std::time::Instant::now();
+    let reports = Pool::with(workers, |pool| run_fleet(homes, pool));
+    let wall = start.elapsed().as_secs_f64();
+
+    print!("{}", summarize(&reports).render());
+    let virtual_secs: f64 =
+        reports.iter().map(|r| r.vod_secs.max(r.upload_secs)).fold(0.0, f64::max);
+    println!(
+        "{homes} homes on {workers} worker(s): {wall:.2} s wall for {virtual_secs:.1} s \
+         of (slowest-home) virtual time; report digest {:016x}",
+        digest(&reports)
+    );
+}

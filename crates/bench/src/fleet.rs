@@ -1,0 +1,171 @@
+//! The deterministic proxy-fleet harness: N whole households from the
+//! live prototype (`threegol-proxy`), each an isolated tokio runtime
+//! on its own virtual-network namespace, sharded across the
+//! work-stealing [`Pool`].
+//!
+//! Each home is one replication unit: [`run_fleet`] hands every
+//! [`HomeSpec`] to a pool worker, which drives the full household —
+//! origin, device proxies with discovery announcers, client-side HLS
+//! proxy, concurrent VoD prebuffer + photo upload — to completion
+//! inside one `block_on` under virtual time. Because a runtime's
+//! clock, scheduler and sockets are all process-local and
+//! deterministic, and [`crate::exec::map`] merges results in unit
+//! order, the fleet report is byte-identical for any worker count and
+//! across repeated runs — and no kernel socket is ever opened.
+
+use threegol_proxy::{Home, HomeReport, HomeSpec};
+
+use crate::exec::{map, Pool};
+
+/// The spec for home `index`: the paper-default household with the
+/// access links cycled through four ADSL tiers and one-to-three phones
+/// per home, so the fleet is heterogeneous (a street, not one house
+/// copied N times) while staying a pure function of the index.
+pub fn home_spec(index: u16) -> HomeSpec {
+    const ADSL_TIERS: [(f64, f64); 4] = [(2e6, 0.3e6), (4e6, 0.5e6), (6e6, 0.7e6), (8e6, 1.0e6)];
+    let (down, up) = ADSL_TIERS[(index % 4) as usize];
+    HomeSpec {
+        adsl_down_bps: down,
+        adsl_up_bps: up,
+        devices: 1 + (index % 3) as usize,
+        ..HomeSpec::paper_default(index)
+    }
+}
+
+/// Run a fleet of `homes` households across the pool and return the
+/// per-home reports in home order.
+///
+/// Panics if any home's workload fails: in the virtual-net prototype
+/// every failure is a bug, never weather.
+pub fn run_fleet(homes: usize, pool: &Pool) -> Vec<HomeReport> {
+    assert!(homes <= u16::MAX as usize + 1, "home index space is u16");
+    let specs: Vec<HomeSpec> = (0..homes).map(|h| home_spec(h as u16)).collect();
+    map(pool, specs, |spec| {
+        tokio::runtime::block_on(Home::run(spec))
+            .unwrap_or_else(|e| panic!("home {} failed: {e}", spec.index))
+    })
+}
+
+/// Distribution of one per-home metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Distribution {
+    /// Smallest value.
+    pub min: f64,
+    /// Median.
+    pub p50: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Largest value.
+    pub max: f64,
+}
+
+impl Distribution {
+    /// Summarize `values` (must be non-empty).
+    pub fn of(values: &[f64]) -> Distribution {
+        assert!(!values.is_empty());
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite metric"));
+        Distribution {
+            min: sorted[0],
+            p50: sorted[sorted.len() / 2],
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            max: sorted[sorted.len() - 1],
+        }
+    }
+}
+
+/// Fleet-wide rollup of the per-home reports.
+#[derive(Debug, Clone)]
+pub struct FleetSummary {
+    /// Number of homes.
+    pub homes: usize,
+    /// Per-home VoD prebuffer gain over ADSL alone.
+    pub vod_gain: Distribution,
+    /// Per-home photo-upload gain over ADSL alone.
+    pub upload_gain: Distribution,
+    /// Total bytes onloaded onto 3G paths (uploads).
+    pub device_bytes: f64,
+    /// Total bytes moved by aborted duplicates (uploads).
+    pub wasted_bytes: f64,
+}
+
+/// Roll `reports` up into a [`FleetSummary`].
+pub fn summarize(reports: &[HomeReport]) -> FleetSummary {
+    let vod: Vec<f64> = reports.iter().map(|r| r.vod_gain).collect();
+    let upload: Vec<f64> = reports.iter().map(|r| r.upload_gain).collect();
+    FleetSummary {
+        homes: reports.len(),
+        vod_gain: Distribution::of(&vod),
+        upload_gain: Distribution::of(&upload),
+        device_bytes: reports.iter().map(|r| r.upload_device_bytes).sum(),
+        wasted_bytes: reports.iter().map(|r| r.upload_wasted_bytes).sum(),
+    }
+}
+
+impl FleetSummary {
+    /// Human-readable rollup table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("fleet: {} homes (virtual net, virtual time)\n", self.homes));
+        out.push_str("gain over ADSL alone        min    p50   mean    max\n");
+        for (name, d) in [("vod prebuffer", self.vod_gain), ("photo upload", self.upload_gain)] {
+            out.push_str(&format!(
+                "  {name:<24} {:>6.2} {:>6.2} {:>6.2} {:>6.2}\n",
+                d.min, d.p50, d.mean, d.max
+            ));
+        }
+        out.push_str(&format!(
+            "onloaded {:.2} MB to 3G paths, {:.2} MB duplicate waste\n",
+            self.device_bytes / 1e6,
+            self.wasted_bytes / 1e6
+        ));
+        out
+    }
+}
+
+/// A stable content digest of the full report vector (FNV-1a over the
+/// `Debug` rendering): two runs of the same fleet must agree on every
+/// bit, whatever the worker count.
+pub fn digest(reports: &[HomeReport]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for report in reports {
+        for byte in format!("{report:?}").bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_are_heterogeneous_but_deterministic() {
+        assert_eq!(home_spec(5), home_spec(5));
+        assert_ne!(home_spec(0).adsl_down_bps, home_spec(1).adsl_down_bps);
+        assert_eq!(home_spec(0).devices, 1);
+        assert_eq!(home_spec(2).devices, 3);
+        assert_eq!(home_spec(4).adsl_down_bps, home_spec(0).adsl_down_bps);
+    }
+
+    #[test]
+    fn distribution_of_small_sample() {
+        let d = Distribution::of(&[3.0, 1.0, 2.0]);
+        assert_eq!((d.min, d.p50, d.max), (1.0, 2.0, 3.0));
+        assert!((d.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_fleet_summarizes() {
+        let reports = Pool::with(2, |pool| run_fleet(4, pool));
+        assert_eq!(reports.len(), 4);
+        assert!(reports.iter().enumerate().all(|(h, r)| r.index as usize == h));
+        let summary = summarize(&reports);
+        assert_eq!(summary.homes, 4);
+        assert!(summary.upload_gain.min > 0.0);
+        assert!(summary.device_bytes > 0.0);
+        assert!(!summary.render().is_empty());
+    }
+}

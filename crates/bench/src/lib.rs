@@ -24,16 +24,26 @@
 //! cargo run -p threegol-bench --release --bin repro_all [scale] [workers]
 //! ```
 //!
+//! Beyond the simulator experiments, the [`fleet`] module shards whole
+//! live-prototype households (virtual-net tokio runtimes) across the
+//! same pool:
+//!
+//! ```text
+//! cargo run -p threegol-bench --release --bin fleet [homes] [workers]
+//! ```
+//!
 //! The `THREEGOL_WORKERS` environment variable overrides the detected
 //! core count when no explicit worker argument is given.
 
 pub mod exec;
 pub mod experiment;
 pub mod experiments;
+pub mod fleet;
 pub mod util;
 
 pub use exec::{map, resolve_workers, Pool};
 pub use experiment::{registry, DynExperiment, Experiment, Registry, Scale, ScaleError};
+pub use fleet::{run_fleet, summarize, FleetSummary};
 pub use util::{Check, Report, ReportBuilder};
 
 /// Shared entry point for the per-experiment binaries: parse

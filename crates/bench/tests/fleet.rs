@@ -1,0 +1,77 @@
+//! Acceptance tests for the proxy-fleet harness: a 100-home fleet
+//! completes in one process under virtual time, the full report is
+//! byte-identical across repeated runs and across worker counts, and
+//! the traffic never touches a kernel socket.
+
+use threegol_bench::fleet::{digest, home_spec, run_fleet, summarize};
+use threegol_bench::Pool;
+use threegol_proxy::Home;
+
+/// Open kernel sockets of this process, per /proc. The virtual-net
+/// prototype must never add one.
+#[cfg(target_os = "linux")]
+fn kernel_socket_count() -> usize {
+    std::fs::read_dir("/proc/self/fd")
+        .map(|dir| {
+            dir.filter_map(|entry| entry.ok())
+                .filter_map(|entry| std::fs::read_link(entry.path()).ok())
+                .filter(|target| target.to_string_lossy().starts_with("socket:"))
+                .count()
+        })
+        .unwrap_or(0)
+}
+
+#[test]
+fn hundred_home_fleet_is_deterministic_and_kernel_socket_free() {
+    #[cfg(target_os = "linux")]
+    let sockets_before = kernel_socket_count();
+
+    // Two runs on 4 workers, one on 1 worker (the serial path): every
+    // home report — f64 timings included — must agree bit for bit.
+    let first = Pool::with(4, |pool| run_fleet(100, pool));
+    let second = Pool::with(4, |pool| run_fleet(100, pool));
+    let serial = Pool::with(1, |pool| run_fleet(100, pool));
+    assert_eq!(digest(&first), digest(&second), "same worker count diverged");
+    assert_eq!(digest(&first), digest(&serial), "worker count changed the result");
+    assert_eq!(format!("{first:?}"), format!("{serial:?}"));
+
+    #[cfg(target_os = "linux")]
+    assert_eq!(kernel_socket_count(), sockets_before, "the fleet path opened a real socket");
+
+    // Sanity on the workload itself.
+    assert_eq!(first.len(), 100);
+    for (h, report) in first.iter().enumerate() {
+        assert_eq!(report.index as usize, h);
+        assert!(report.vod_secs.is_finite() && report.vod_secs > 0.0);
+        assert!(report.upload_secs.is_finite() && report.upload_secs > 0.0);
+        // Every home has at least one phone, so onloading must help
+        // the upload (the ADSL uplink is the bottleneck by design).
+        assert!(report.upload_gain > 1.0, "home {h}: upload gain {}", report.upload_gain);
+        assert!(report.upload_device_bytes > 0.0, "home {h} never used a phone");
+    }
+    let summary = summarize(&first);
+    assert!(summary.upload_gain.p50 > 1.5, "median upload gain {:?}", summary.upload_gain);
+    assert!(summary.vod_gain.p50 > 1.0, "median vod gain {:?}", summary.vod_gain);
+}
+
+#[test]
+fn home_traffic_is_entirely_virtual() {
+    // Count the sockets one home binds: they must all be virtual-net
+    // registrations, visible to the runtime's own bookkeeping.
+    let spec = home_spec(0);
+    let devices = spec.devices as u64;
+    let stats = tokio::runtime::block_on(async {
+        let report = Home::run(&spec).await.unwrap();
+        assert!(report.vod_bytes > 0.0);
+        tokio::net::stats()
+    });
+    // TCP listeners: origin + HLS proxy + one per device.
+    assert_eq!(stats.tcp_binds, 2 + devices);
+    // At minimum: playlist + segment fetches + uploads + device
+    // upstream connections all dialed through the registry.
+    assert!(stats.tcp_connects > 2 + devices, "{stats:?}");
+    // UDP: the discovery listener plus one ephemeral socket per
+    // announcement sent.
+    assert!(stats.udp_binds > devices, "{stats:?}");
+    assert!(stats.datagrams >= devices, "{stats:?}");
+}

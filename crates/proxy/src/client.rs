@@ -29,7 +29,7 @@ use threegol_http::multipart::{encode_multipart, multipart_content_type, Part};
 use threegol_http::{HttpError, Request};
 use threegol_sched::{build, Command, Policy, TransactionSpec};
 
-use crate::throttle::{RateLimit, ThrottledStream};
+use crate::throttle::{RateLimit, SharedRateLimit, ThrottledStream};
 
 /// Any bidirectional async byte stream.
 pub trait AsyncStream: AsyncRead + AsyncWrite + Unpin + Send {}
@@ -48,6 +48,18 @@ pub enum PathTarget {
         /// ADSL uplink profile.
         up: RateLimit,
     },
+    /// Straight to the origin through the residential gateway, drawing
+    /// tokens from *shared* ADSL buckets — every connection a home
+    /// opens over its DSL line contends for the same capacity, the way
+    /// a real line behaves when several transfers cross it at once.
+    SharedGateway {
+        /// Origin address.
+        origin: SocketAddr,
+        /// The home's shared ADSL downlink bucket.
+        down: SharedRateLimit,
+        /// The home's shared ADSL uplink bucket.
+        up: SharedRateLimit,
+    },
     /// Through a device proxy (which applies its own 3G throttling).
     Device {
         /// The device proxy's LAN address.
@@ -56,19 +68,37 @@ pub enum PathTarget {
 }
 
 impl PathTarget {
-    async fn connect(&self) -> std::io::Result<Box<dyn AsyncStream>> {
-        match self {
+    /// Open a connection for this path. When `wifi` is set, the whole
+    /// stream additionally draws both directions from that shared
+    /// bucket: the home's Wi-Fi medium, which every path of a 3GOL
+    /// client crosses before reaching the gateway or a phone.
+    async fn connect(
+        &self,
+        wifi: Option<&SharedRateLimit>,
+    ) -> std::io::Result<Box<dyn AsyncStream>> {
+        let stream: Box<dyn AsyncStream> = match self {
             PathTarget::Gateway { origin, down, up } => {
                 let tcp = TcpStream::connect(*origin).await?;
                 tcp.set_nodelay(true).ok();
-                Ok(Box::new(ThrottledStream::new(tcp, *down, *up)))
+                Box::new(ThrottledStream::new(tcp, *down, *up))
+            }
+            PathTarget::SharedGateway { origin, down, up } => {
+                let tcp = TcpStream::connect(*origin).await?;
+                tcp.set_nodelay(true).ok();
+                Box::new(ThrottledStream::with_shared(tcp, down.clone(), up.clone()))
             }
             PathTarget::Device { addr } => {
                 let tcp = TcpStream::connect(*addr).await?;
                 tcp.set_nodelay(true).ok();
-                Ok(Box::new(tcp))
+                Box::new(tcp)
             }
-        }
+        };
+        Ok(match wifi {
+            Some(medium) => {
+                Box::new(ThrottledStream::with_shared(stream, medium.clone(), medium.clone()))
+            }
+            None => stream,
+        })
     }
 }
 
@@ -107,12 +137,20 @@ pub struct ThreegolClient {
     pub paths: Vec<PathTarget>,
     /// Scheduling policy (the paper deploys [`Policy::Greedy`]).
     pub policy: Policy,
+    /// Shared Wi-Fi medium every connection crosses (None = ideal LAN).
+    pub wifi: Option<SharedRateLimit>,
 }
 
 impl ThreegolClient {
     /// A client over the given paths using the greedy scheduler.
     pub fn new(paths: Vec<PathTarget>) -> ThreegolClient {
-        ThreegolClient { paths, policy: Policy::Greedy }
+        ThreegolClient { paths, policy: Policy::Greedy, wifi: None }
+    }
+
+    /// Route every connection through the given shared Wi-Fi bucket.
+    pub fn with_wifi(mut self, medium: SharedRateLimit) -> ThreegolClient {
+        self.wifi = Some(medium);
+        self
     }
 
     /// Fetch `targets` (absolute request paths) in parallel. Returns
@@ -149,7 +187,7 @@ impl ThreegolClient {
         playlist_target: &str,
     ) -> Result<(MediaPlaylist, Vec<Bytes>, TransferReport), HttpError> {
         // Playlist interception happens before multipath kicks in.
-        let io = self.paths[0].connect().await.map_err(HttpError::Io)?;
+        let io = self.paths[0].connect(self.wifi.as_ref()).await.map_err(HttpError::Io)?;
         let mut http = HttpStream::new(io);
         http.write_request(&Request::get(playlist_target)).await?;
         let resp = http.read_response().await?;
@@ -225,13 +263,14 @@ impl ThreegolClient {
              tx: mpsc::UnboundedSender<(usize, usize, Result<Bytes, String>, f64)>|
              -> Running {
                 let target = self.paths[path].clone();
+                let wifi = self.wifi.clone();
                 let job = jobs[item].clone();
                 let moved = Arc::new(AtomicU64::new(0));
                 let counter = Arc::clone(&moved);
                 let handle = tokio::spawn(async move {
                     let t0 = Instant::now();
                     let outcome =
-                        tokio::time::timeout(TRANSFER_TIMEOUT, perform(target, job, counter))
+                        tokio::time::timeout(TRANSFER_TIMEOUT, perform(target, wifi, job, counter))
                             .await
                             .map_err(|_| "transfer timeout".to_string())
                             .and_then(|r| r.map_err(|e| e.to_string()));
@@ -301,7 +340,12 @@ impl ThreegolClient {
         }
 
         // Cancel stragglers (duplicates whose abort command raced).
-        for ((path, _), r) in inflight.drain() {
+        // Sorted: HashMap iteration order is randomized per process,
+        // and f64 accumulation is order-sensitive, so an unsorted
+        // drain would make the report nondeterministic across runs.
+        let mut stragglers: Vec<((usize, usize), Running)> = inflight.drain().collect();
+        stragglers.sort_by_key(|((path, item), _)| (*path, *item));
+        for ((path, _), r) in stragglers {
             r.handle.abort();
             let moved = r.moved.load(Ordering::Relaxed) as f64;
             wasted += moved;
@@ -326,10 +370,11 @@ impl ThreegolClient {
 /// Execute one job over a fresh connection.
 async fn perform(
     target: PathTarget,
+    wifi: Option<SharedRateLimit>,
     job: Job,
     counter: Arc<AtomicU64>,
 ) -> Result<Bytes, HttpError> {
-    let io = target.connect().await?;
+    let io = target.connect(wifi.as_ref()).await?;
     let mut http = HttpStream::new(CountingStream { inner: io, counter });
     match job {
         Job::Fetch(t) => {

@@ -2,9 +2,9 @@
 //!
 //! "We implement the mobile component as an Android application that
 //! includes a basic HTTP proxy to serve the requests coming from the
-//! Wi-Fi using the 3G interface." Here the Wi-Fi side is a loopback
-//! TCP listener and the 3G interface is a throttled upstream
-//! connection. The §6 quota tracker gates discovery announcements:
+//! Wi-Fi using the 3G interface." Here the Wi-Fi side is a TCP
+//! listener on the home's virtual-network subnet and the 3G interface
+//! is a throttled upstream connection. The §6 quota tracker gates discovery announcements:
 //! the device only advertises while `A(t) > 0`.
 
 use std::net::SocketAddr;

@@ -1,4 +1,5 @@
-//! UDP announce/browse discovery on the home LAN (loopback here).
+//! UDP announce/browse discovery on the home LAN (a per-home subnet
+//! of the virtual network).
 //!
 //! The paper's device component "advertises the device availability
 //! through a discovery protocol like Bonjour only if the device has an
@@ -101,9 +102,12 @@ impl Discovery {
     }
 }
 
-/// Send one announcement datagram to the discovery listener.
+/// Send one announcement datagram to the discovery listener. The
+/// sending socket binds an ephemeral port on the listener's own IP, so
+/// announcements stay inside that home's subnet whatever namespace the
+/// home uses.
 pub async fn announce(to: SocketAddr, ad: &Advertisement) -> std::io::Result<()> {
-    let socket = UdpSocket::bind("127.0.0.1:0").await?;
+    let socket = UdpSocket::bind((to.ip(), 0)).await?;
     socket.send_to(&ad.encode(), to).await?;
     Ok(())
 }

@@ -1,0 +1,364 @@
+//! A **home** as a first-class unit of the live prototype.
+//!
+//! The paper's deployment unit is a household: one ADSL line, one
+//! Wi-Fi medium, a handful of phones with 3G quota, and the client
+//! component running next to the player (§2, §4.1). This module wires
+//! those pieces together on the virtual network so a whole home — and
+//! a whole *fleet* of homes — runs inside one process under virtual
+//! time:
+//!
+//! * [`HomeNet`] gives each home its own `10.x.y.0/24`-style address
+//!   namespace, so any number of homes coexist in one runtime without
+//!   colliding and a captured address is attributable to its home;
+//! * [`HomeSpec`] bundles the link profiles (shared ADSL buckets,
+//!   shared Wi-Fi medium, per-phone 3G rates, 3GOL allowance) and the
+//!   workload (VoD prebuffer + concurrent photo upload);
+//! * [`Home::run`] spins up the origin, the device proxies (with
+//!   discovery announcers), and the client-side HLS proxy, drives the
+//!   workload, and reports the per-home speedups over ADSL alone.
+//!
+//! Every throttle a home's transfers cross is *shared*: the ADSL
+//! down/up buckets are one pair per home ([`PathTarget::SharedGateway`])
+//! and the Wi-Fi medium is one bucket both directions of every
+//! connection draw from ([`ThreegolClient::with_wifi`]) — concurrent
+//! transactions inside a home contend the way they would on the real
+//! links.
+
+use std::net::{IpAddr, Ipv4Addr, SocketAddr};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use tokio::net::TcpStream;
+use tokio::time::Instant;
+
+use threegol_hls::{MediaPlaylist, VideoQuality};
+use threegol_http::codec::HttpStream;
+use threegol_http::{HttpError, Request};
+
+use crate::client::{PathTarget, ThreegolClient};
+use crate::device::DeviceProxy;
+use crate::discovery::Discovery;
+use crate::hlsproxy::HlsProxy;
+use crate::origin::OriginServer;
+use crate::throttle::{RateLimit, SharedRateLimit};
+
+/// A home's private corner of the virtual network.
+///
+/// Home `h` owns the subnet `10.(h >> 8).(h & 0xff).0/24`; well-known
+/// hosts live at fixed final octets so an address appearing in a
+/// deadlock diagnostic or a packet trace identifies both the home and
+/// the role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HomeNet {
+    /// Home index (the `h` in `10.(h >> 8).(h & 0xff).x`).
+    pub index: u16,
+}
+
+impl HomeNet {
+    /// The namespace of home `index`.
+    pub fn new(index: u16) -> HomeNet {
+        HomeNet { index }
+    }
+
+    fn host(&self, last: u8) -> IpAddr {
+        IpAddr::V4(Ipv4Addr::new(10, (self.index >> 8) as u8, (self.index & 0xff) as u8, last))
+    }
+
+    /// The origin server, as seen from this home: `.1:8080`.
+    pub fn origin(&self) -> SocketAddr {
+        SocketAddr::new(self.host(1), 8080)
+    }
+
+    /// The client's discovery listener (the home's broadcast domain):
+    /// `.2:5353`.
+    pub fn discovery(&self) -> SocketAddr {
+        SocketAddr::new(self.host(2), 5353)
+    }
+
+    /// The client-side HLS proxy the player talks to: `.3:8088`.
+    pub fn client_proxy(&self) -> SocketAddr {
+        SocketAddr::new(self.host(3), 8088)
+    }
+
+    /// Device proxy `i`'s LAN listener: `.(10 + i):3128`.
+    pub fn device(&self, i: usize) -> SocketAddr {
+        assert!(i < 246, "at most 245 devices per home");
+        SocketAddr::new(self.host(10 + i as u8), 3128)
+    }
+}
+
+/// Link profiles and workload for one home.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HomeSpec {
+    /// Home index (selects the [`HomeNet`] namespace).
+    pub index: u16,
+    /// Number of device proxies (phones with quota).
+    pub devices: usize,
+    /// ADSL downlink, bits/s — one shared bucket for the whole home.
+    pub adsl_down_bps: f64,
+    /// ADSL uplink, bits/s — one shared bucket for the whole home.
+    pub adsl_up_bps: f64,
+    /// Each phone's 3G downlink, bits/s.
+    pub g3_down_bps: f64,
+    /// Each phone's 3G uplink, bits/s.
+    pub g3_up_bps: f64,
+    /// The Wi-Fi medium, bits/s — one shared bucket every connection
+    /// in the home crosses, both directions.
+    pub wifi_bps: f64,
+    /// Each phone's 3GOL allowance `A(0)`, bytes.
+    pub allowance_bytes: f64,
+    /// VoD bitrate, bits/s.
+    pub video_bps: f64,
+    /// VoD duration to prebuffer, seconds.
+    pub video_secs: f64,
+    /// HLS segment duration, seconds.
+    pub segment_secs: f64,
+    /// Photos in the concurrent upload batch.
+    pub photos: usize,
+    /// Bytes per photo.
+    pub photo_bytes: usize,
+}
+
+impl HomeSpec {
+    /// A paper-flavoured default: 4/0.5 Mbit/s ADSL, two phones on
+    /// 2/1 Mbit/s 3G, 30 Mbit/s Wi-Fi, a 10 s × 400 kbit/s VoD
+    /// prebuffer racing a 3 × 100 kB photo upload.
+    pub fn paper_default(index: u16) -> HomeSpec {
+        HomeSpec {
+            index,
+            devices: 2,
+            adsl_down_bps: 4e6,
+            adsl_up_bps: 0.5e6,
+            g3_down_bps: 2e6,
+            g3_up_bps: 1e6,
+            wifi_bps: 30e6,
+            allowance_bytes: 50e6,
+            video_bps: 400e3,
+            video_secs: 10.0,
+            segment_secs: 2.0,
+            photos: 3,
+            photo_bytes: 100_000,
+        }
+    }
+}
+
+/// What one home's workload achieved.
+#[derive(Debug, Clone)]
+pub struct HomeReport {
+    /// Home index.
+    pub index: u16,
+    /// VoD prebuffer bytes fetched.
+    pub vod_bytes: f64,
+    /// VoD prebuffer wall time (virtual seconds).
+    pub vod_secs: f64,
+    /// Speedup of the prebuffer over ADSL alone
+    /// (`bytes / adsl_down` vs measured).
+    pub vod_gain: f64,
+    /// Upload batch bytes.
+    pub upload_bytes: f64,
+    /// Upload batch wall time (virtual seconds).
+    pub upload_secs: f64,
+    /// Speedup of the upload over ADSL alone.
+    pub upload_gain: f64,
+    /// Upload bytes that crossed 3G paths (path 1..).
+    pub upload_device_bytes: f64,
+    /// Upload bytes moved by aborted duplicates.
+    pub upload_wasted_bytes: f64,
+}
+
+/// One home, ready to run its workload. See [`Home::run`].
+pub struct Home;
+
+impl Home {
+    /// Bring up the home and drive its workload: a VoD prebuffer
+    /// through the client-side HLS proxy, concurrent with a photo
+    /// upload — both multipath over the gateway and every discovered
+    /// device, all sharing the home's ADSL and Wi-Fi media.
+    ///
+    /// Must run inside a `tokio` runtime; any number of homes may run
+    /// in the same runtime (distinct [`HomeNet`] namespaces) or in
+    /// separate runtimes on separate threads.
+    pub async fn run(spec: &HomeSpec) -> Result<HomeReport, HttpError> {
+        let net = HomeNet::new(spec.index);
+
+        // Origin, behind the home's view of the WAN.
+        let ladder = vec![VideoQuality::new("Q1", spec.video_bps)];
+        let origin = Arc::new(OriginServer::new(&ladder, spec.video_secs, spec.segment_secs));
+        let (origin_addr, _origin_task) = origin.clone().spawn(&net.origin().to_string()).await?;
+
+        // The home's broadcast domain: a discovery listener the
+        // announcers inside this subnet reach, and nobody else.
+        let discovery = Discovery::bind(&net.discovery().to_string()).await?;
+        let discovery_addr = discovery.local_addr()?;
+
+        // Device proxies with quota-gated announcers.
+        for i in 0..spec.devices {
+            let device = Arc::new(DeviceProxy::new(
+                format!("home{}-phone-{i}", spec.index),
+                origin_addr,
+                RateLimit::new(spec.g3_down_bps),
+                RateLimit::new(spec.g3_up_bps),
+                spec.allowance_bytes,
+            ));
+            let (lan_addr, _task) = device.clone().spawn(&net.device(i).to_string()).await?;
+            device.spawn_announcer(discovery_addr, lan_addr, Duration::from_millis(100));
+        }
+
+        // Browse until every phone has advertised (quota > 0 at start,
+        // so all of them will; virtual time makes this deterministic).
+        while discovery.admissible().len() < spec.devices {
+            tokio::time::sleep(Duration::from_millis(10)).await;
+        }
+
+        // The home's shared media.
+        let wifi = SharedRateLimit::new(RateLimit::new(spec.wifi_bps));
+        let adsl_down = SharedRateLimit::new(RateLimit::new(spec.adsl_down_bps));
+        let adsl_up = SharedRateLimit::new(RateLimit::new(spec.adsl_up_bps));
+        let make_paths = || -> Vec<PathTarget> {
+            let mut paths = vec![PathTarget::SharedGateway {
+                origin: origin_addr,
+                down: adsl_down.clone(),
+                up: adsl_up.clone(),
+            }];
+            paths.extend(
+                discovery
+                    .admissible()
+                    .into_iter()
+                    .map(|ad| PathTarget::Device { addr: ad.proxy_addr }),
+            );
+            paths
+        };
+
+        // The client-side HLS proxy the player points at.
+        let hls =
+            Arc::new(HlsProxy::new(ThreegolClient::new(make_paths()).with_wifi(wifi.clone())));
+        let (proxy_addr, _proxy_task) = hls.clone().spawn(&net.client_proxy().to_string()).await?;
+
+        // The uploader is a second client-component app in the same
+        // home: its own scheduler, but the same shared media.
+        let uploader = ThreegolClient::new(make_paths()).with_wifi(wifi.clone());
+
+        // Drive the two transactions concurrently: the upload runs as
+        // its own task while this task plays the VoD prebuffer.
+        let photos: Vec<(String, Bytes)> = (0..spec.photos)
+            .map(|i| {
+                let body = vec![(i % 251) as u8; spec.photo_bytes];
+                (format!("home{}-IMG_{i:04}.jpg", spec.index), Bytes::from(body))
+            })
+            .collect();
+        let upload_bytes: f64 = photos.iter().map(|(_, d)| d.len() as f64).sum();
+        let upload_task = tokio::spawn(async move {
+            let t0 = Instant::now();
+            let report = uploader.upload_photos(photos).await?;
+            Ok::<_, HttpError>((t0.elapsed().as_secs_f64(), report))
+        });
+
+        let t0 = Instant::now();
+        let vod_bytes = prebuffer_vod(proxy_addr, "/q1/index.m3u8").await?;
+        let vod_secs = t0.elapsed().as_secs_f64();
+        let (upload_secs, upload_report) = upload_task
+            .await
+            .map_err(|e| HttpError::Malformed(format!("upload task died: {e}")))??;
+
+        // Gains against the home's ADSL line carrying the same bytes
+        // alone (the paper's "power boost" ratio).
+        let vod_baseline = vod_bytes * 8.0 / spec.adsl_down_bps;
+        let upload_baseline = upload_bytes * 8.0 / spec.adsl_up_bps;
+        Ok(HomeReport {
+            index: spec.index,
+            vod_bytes,
+            vod_secs,
+            vod_gain: vod_baseline / vod_secs,
+            upload_bytes,
+            upload_secs,
+            upload_gain: upload_baseline / upload_secs,
+            upload_device_bytes: upload_report.bytes_per_path.iter().skip(1).sum(),
+            upload_wasted_bytes: upload_report.wasted_bytes,
+        })
+    }
+}
+
+/// Play the prebuffer phase of a VoD session against the home's HLS
+/// proxy: fetch the media playlist, then every segment in order (the
+/// proxy serves them from its multipath prefetch as they land).
+/// Returns the total segment bytes received.
+async fn prebuffer_vod(proxy_addr: SocketAddr, playlist: &str) -> Result<f64, HttpError> {
+    let stream = TcpStream::connect(proxy_addr).await.map_err(HttpError::Io)?;
+    let mut http = HttpStream::new(stream);
+    http.write_request(&Request::get(playlist)).await?;
+    let resp = http.read_response().await?;
+    if resp.status != 200 {
+        return Err(HttpError::Malformed(format!("playlist fetch failed: {}", resp.status)));
+    }
+    let text = std::str::from_utf8(&resp.body)
+        .map_err(|_| HttpError::Malformed("non-UTF-8 playlist".into()))?;
+    let media = MediaPlaylist::parse(text)
+        .map_err(|e| HttpError::Malformed(format!("bad playlist: {e}")))?;
+    let base = playlist.rsplit_once('/').map(|(dir, _)| dir).unwrap_or("");
+    let mut bytes = 0.0;
+    for (_, uri) in &media.entries {
+        let target = if uri.starts_with('/') { uri.clone() } else { format!("{base}/{uri}") };
+        http.write_request(&Request::get(target)).await?;
+        let seg = http.read_response().await?;
+        if seg.status != 200 {
+            return Err(HttpError::Malformed(format!("segment fetch failed: {}", seg.status)));
+        }
+        bytes += seg.body.len() as f64;
+    }
+    Ok(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn namespaces_do_not_collide() {
+        let a = HomeNet::new(0);
+        let b = HomeNet::new(1);
+        let c = HomeNet::new(256);
+        assert_eq!(a.origin().to_string(), "10.0.0.1:8080");
+        assert_eq!(b.origin().to_string(), "10.0.1.1:8080");
+        assert_eq!(c.origin().to_string(), "10.1.0.1:8080");
+        assert_eq!(b.device(3).to_string(), "10.0.1.13:3128");
+        assert_ne!(a.discovery(), b.discovery());
+    }
+
+    #[tokio::test]
+    async fn one_home_end_to_end() {
+        let report = Home::run(&HomeSpec::paper_default(7)).await.unwrap();
+        assert_eq!(report.index, 7);
+        // 10 s × 400 kbit/s = 500 kB of video; 3 × 100 kB of photos.
+        assert_eq!(report.vod_bytes, 500_000.0);
+        assert_eq!(report.upload_bytes, 300_000.0);
+        assert!(report.vod_secs > 0.0 && report.vod_secs.is_finite());
+        // The 0.5 Mbit/s ADSL uplink alone would need 4.8 s; two
+        // 1 Mbit/s phones must beat that comfortably.
+        assert!(report.upload_gain > 1.2, "upload gain {}", report.upload_gain);
+        assert!(report.upload_device_bytes > 0.0);
+    }
+
+    #[tokio::test]
+    async fn home_without_devices_still_works() {
+        let spec = HomeSpec { devices: 0, ..HomeSpec::paper_default(9) };
+        let report = Home::run(&spec).await.unwrap();
+        // ADSL-only: no 3G bytes, gain near 1 (bounded by bursts).
+        assert_eq!(report.upload_device_bytes, 0.0);
+        assert!(report.vod_gain < 1.5, "vod gain {}", report.vod_gain);
+    }
+
+    #[test]
+    fn repeated_runs_are_identical() {
+        // Fresh runtime per run: the same home index is reusable and
+        // every event plays out at the same *relative* virtual time,
+        // so measured durations must match bit for bit.
+        let run = || tokio::runtime::block_on(Home::run(&HomeSpec::paper_default(3))).unwrap();
+        let a = run();
+        let b = run();
+        assert_eq!(a.vod_secs, b.vod_secs);
+        assert_eq!(a.upload_secs, b.upload_secs);
+        assert_eq!(a.upload_device_bytes, b.upload_device_bytes);
+        assert_eq!(a.upload_wasted_bytes, b.upload_wasted_bytes);
+    }
+}

@@ -1,6 +1,10 @@
 //! # threegol-proxy
 //!
-//! The live 3GOL prototype (paper §4.1), on tokio over loopback TCP.
+//! The live 3GOL prototype (paper §4.1), on tokio over the vendored
+//! runtime's in-process **virtual network** — every listener, stream
+//! and datagram lives inside the runtime, under virtual time, so whole
+//! fleets of households run deterministically in one process without
+//! opening a single kernel socket.
 //!
 //! The paper's deployment has three processes: an **origin** web
 //! server; a **device component** on each phone (an HTTP proxy piping
@@ -12,20 +16,25 @@
 //! * [`throttle::ThrottledStream`] — token-bucket rate limiting that
 //!   stands in for the ADSL line and each phone's 3G bearer (the
 //!   substitution for real access links; rates are taken from the same
-//!   location profiles the simulator uses);
+//!   location profiles the simulator uses); [`throttle::SharedRateLimit`]
+//!   makes a bucket a shared medium several streams contend for;
 //! * [`origin::OriginServer`] — serves generated HLS playlists and
 //!   segments, accepts multipart photo uploads, and serves the 2 MB
 //!   probe files of §3;
 //! * [`device::DeviceProxy`] — the phone-side component with quota
 //!   tracking and discovery announcements;
-//! * [`discovery::Discovery`] — UDP announce/browse on loopback (the
-//!   prototype's stand-in for Bonjour);
+//! * [`discovery::Discovery`] — UDP announce/browse inside the home's
+//!   subnet (the prototype's stand-in for Bonjour);
 //! * [`client::ThreegolClient`] — playlist interception, parallel
 //!   segment prefetch and parallel multipart uploads, driven by the
 //!   *same* `threegol-sched` schedulers the simulator uses;
 //! * [`hlsproxy::HlsProxy`] — the local HTTP proxy a stock video
 //!   player points at: playlists are intercepted, segments prefetched
-//!   multipath and served from cache, transparently.
+//!   multipath and served from cache, transparently;
+//! * [`home::Home`] — a household as a first-class unit: its own
+//!   address namespace ([`home::HomeNet`]), discovery domain, shared
+//!   ADSL/Wi-Fi media, and a concurrent VoD + photo-upload workload
+//!   reporting the per-home gain over ADSL alone.
 
 #![warn(missing_docs)]
 
@@ -33,6 +42,7 @@ pub mod client;
 pub mod device;
 pub mod discovery;
 pub mod hlsproxy;
+pub mod home;
 pub mod origin;
 pub mod throttle;
 
@@ -40,5 +50,6 @@ pub use client::{PathTarget, ThreegolClient, TransferReport};
 pub use device::DeviceProxy;
 pub use discovery::{Advertisement, Discovery};
 pub use hlsproxy::HlsProxy;
+pub use home::{Home, HomeNet, HomeReport, HomeSpec};
 pub use origin::OriginServer;
-pub use throttle::{RateLimit, ThrottledStream};
+pub use throttle::{RateLimit, SharedRateLimit, ThrottledStream};

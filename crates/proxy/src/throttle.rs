@@ -5,12 +5,20 @@
 //! for the real access links: the client wraps its origin connections
 //! with the ADSL profile, each device proxy wraps its upstream
 //! connection with its 3G profile.
+//!
+//! A bucket can also be **shared**: [`SharedRateLimit`] is a cloneable
+//! handle to one token bucket, so several streams drawing from the
+//! same physical medium (all connections crossing one home's Wi-Fi,
+//! both directions of one ADSL line) contend for the same tokens, the
+//! way they would on the real link.
 
 use std::future::Future;
 use std::pin::Pin;
+use std::sync::Arc;
 use std::task::{Context, Poll};
 use std::time::Duration;
 
+use parking_lot::Mutex;
 use tokio::io::{AsyncRead, AsyncWrite, ReadBuf};
 use tokio::time::{sleep_until, Instant, Sleep};
 
@@ -35,6 +43,39 @@ impl RateLimit {
     /// Effectively unlimited.
     pub fn unlimited() -> RateLimit {
         RateLimit { rate_bps: f64::MAX / 8.0, burst_bytes: f64::MAX / 8.0 }
+    }
+}
+
+/// A cloneable handle to one token bucket. Every clone draws from the
+/// same token balance, modeling a shared medium: give each stream that
+/// crosses a home's Wi-Fi a clone of the home's bucket and their
+/// aggregate rate — not each individual rate — is capped.
+#[derive(Debug, Clone)]
+pub struct SharedRateLimit {
+    bucket: Arc<Mutex<Bucket>>,
+}
+
+impl SharedRateLimit {
+    /// A shared bucket with the given profile.
+    pub fn new(limit: RateLimit) -> SharedRateLimit {
+        SharedRateLimit { bucket: Arc::new(Mutex::new(Bucket::new(limit))) }
+    }
+
+    /// A shared bucket that never throttles.
+    pub fn unlimited() -> SharedRateLimit {
+        SharedRateLimit::new(RateLimit::unlimited())
+    }
+
+    fn available(&self) -> usize {
+        self.bucket.lock().available()
+    }
+
+    fn consume(&self, bytes: usize) {
+        self.bucket.lock().consume(bytes);
+    }
+
+    fn ready_at(&self, bytes: usize) -> Instant {
+        self.bucket.lock().ready_at(bytes)
     }
 }
 
@@ -83,31 +124,43 @@ impl Bucket {
 /// thrash the timer wheel.
 const QUANTUM: usize = 1024;
 
-/// A rate-limited wrapper around an async transport.
+/// A rate-limited wrapper around an async transport. The read and
+/// write buckets are shared handles, so independent streams can be
+/// made to contend for one medium (see [`SharedRateLimit`]); the plain
+/// constructors create private buckets and behave like before.
 #[derive(Debug)]
 pub struct ThrottledStream<T> {
     inner: T,
-    read_bucket: Bucket,
-    write_bucket: Bucket,
+    read_bucket: SharedRateLimit,
+    write_bucket: SharedRateLimit,
     read_sleep: Option<Pin<Box<Sleep>>>,
     write_sleep: Option<Pin<Box<Sleep>>>,
 }
 
 impl<T> ThrottledStream<T> {
-    /// Wrap `inner` with independent read/write limits.
+    /// Wrap `inner` with independent, private read/write limits.
     pub fn new(inner: T, read: RateLimit, write: RateLimit) -> ThrottledStream<T> {
+        ThrottledStream::with_shared(inner, SharedRateLimit::new(read), SharedRateLimit::new(write))
+    }
+
+    /// Wrap with a symmetric private limit.
+    pub fn symmetric(inner: T, limit: RateLimit) -> ThrottledStream<T> {
+        ThrottledStream::new(inner, limit, limit)
+    }
+
+    /// Wrap `inner` drawing read and write tokens from shared buckets.
+    pub fn with_shared(
+        inner: T,
+        read: SharedRateLimit,
+        write: SharedRateLimit,
+    ) -> ThrottledStream<T> {
         ThrottledStream {
             inner,
-            read_bucket: Bucket::new(read),
-            write_bucket: Bucket::new(write),
+            read_bucket: read,
+            write_bucket: write,
             read_sleep: None,
             write_sleep: None,
         }
-    }
-
-    /// Wrap with a symmetric limit.
-    pub fn symmetric(inner: T, limit: RateLimit) -> ThrottledStream<T> {
-        ThrottledStream::new(inner, limit, limit)
     }
 
     /// The wrapped transport.
@@ -275,6 +328,35 @@ mod tests {
         throttled.read_exact(&mut buf).await.unwrap();
         // Fits within the burst: no throttling delay.
         assert!(start.elapsed().as_secs_f64() < 0.2);
+    }
+
+    #[tokio::test]
+    async fn shared_bucket_halves_per_stream_rate() {
+        // Two streams drawing from one 100 kB/s bucket: 50 kB each
+        // takes ~1 s in aggregate, vs ~0.5 s if the buckets were
+        // private. The assertion window distinguishes the two.
+        let medium = SharedRateLimit::new(RateLimit { rate_bps: 800_000.0, burst_bytes: 1024.0 });
+        let mut handles = Vec::new();
+        let start = tokio::time::Instant::now();
+        for _ in 0..2 {
+            let (mut tx, rx) = tokio::io::duplex(1024 * 1024);
+            let mut throttled =
+                ThrottledStream::with_shared(rx, medium.clone(), SharedRateLimit::unlimited());
+            handles.push(tokio::spawn(async move {
+                tokio::spawn(async move {
+                    tx.write_all(&vec![9u8; 50_000]).await.unwrap();
+                });
+                let mut buf = vec![0u8; 50_000];
+                throttled.read_exact(&mut buf).await.unwrap();
+            }));
+        }
+        for h in handles {
+            h.await.unwrap();
+        }
+        let secs = start.elapsed().as_secs_f64();
+        // 100 kB total at 100 kB/s ≈ 1 s; private buckets would finish
+        // in ≈ 0.5 s.
+        assert!(secs > 0.8 && secs < 1.6, "took {secs}");
     }
 
     #[test]

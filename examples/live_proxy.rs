@@ -1,7 +1,8 @@
-//! The live 3GOL prototype end to end over loopback TCP (paper §4.1):
-//! an origin server, two device proxies with throttled "3G" bearers
-//! and quota tracking, UDP discovery, and the HLS-aware multipath
-//! client.
+//! The live 3GOL prototype end to end on the in-process virtual
+//! network (paper §4.1): an origin server, two device proxies with
+//! throttled "3G" bearers and quota tracking, UDP discovery, and the
+//! HLS-aware multipath client — all inside one home's subnet, under
+//! virtual time, with no kernel sockets.
 //!
 //! ```text
 //! cargo run --release --example live_proxy
@@ -12,19 +13,23 @@ use std::time::Duration;
 
 use threegol::hls::VideoQuality;
 use threegol::proxy::{
-    DeviceProxy, Discovery, OriginServer, PathTarget, RateLimit, ThreegolClient,
+    DeviceProxy, Discovery, HomeNet, OriginServer, PathTarget, RateLimit, ThreegolClient,
 };
 
 #[tokio::main]
 async fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // This demo household owns the 10.0.0.0/24 corner of the virtual
+    // network.
+    let net = HomeNet::new(0);
+
     // Origin with a short 60 s video at Q1/Q2 (keeps the demo quick).
     let ladder = vec![VideoQuality::new("Q1", 200e3), VideoQuality::new("Q2", 311e3)];
     let origin = Arc::new(OriginServer::new(&ladder, 60.0, 10.0));
-    let (origin_addr, _origin_task) = origin.clone().spawn("127.0.0.1:0").await?;
+    let (origin_addr, _origin_task) = origin.clone().spawn(&net.origin().to_string()).await?;
     println!("origin listening on {origin_addr}");
 
     // Two phones with ~1.8 Mbit/s HSPA bearers and 20 MB allowances.
-    let discovery = Discovery::bind("127.0.0.1:0").await?;
+    let discovery = Discovery::bind(&net.discovery().to_string()).await?;
     let disco_addr = discovery.local_addr()?;
     for i in 1..=2 {
         let device = Arc::new(DeviceProxy::new(
@@ -34,7 +39,7 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
             RateLimit::new(1.2e6),
             20e6,
         ));
-        let (lan_addr, _task) = device.clone().spawn("127.0.0.1:0").await?;
+        let (lan_addr, _task) = device.clone().spawn(&net.device(i - 1).to_string()).await?;
         device.spawn_announcer(disco_addr, lan_addr, Duration::from_millis(200));
         println!("device phone-{i} proxying on {lan_addr}");
     }

@@ -3,8 +3,9 @@
 //! The paper's client component is a local HTTP proxy the video player
 //! points at; the player stays completely unaware of 3GOL. This
 //! example runs the full chain — origin → {ADSL gateway, device proxy}
-//! → HLS-aware proxy → sequential player — and compares startup with
-//! and without the 3GOL paths.
+//! → HLS-aware proxy → sequential player — on one home's subnet of the
+//! virtual network, and compares startup with and without the 3GOL
+//! paths.
 //!
 //! ```text
 //! cargo run --release --example player_proxy
@@ -16,7 +17,9 @@ use tokio::time::Instant;
 use threegol::hls::VideoQuality;
 use threegol::http::codec::HttpStream;
 use threegol::http::Request;
-use threegol::proxy::{DeviceProxy, HlsProxy, OriginServer, PathTarget, RateLimit, ThreegolClient};
+use threegol::proxy::{
+    DeviceProxy, HlsProxy, HomeNet, OriginServer, PathTarget, RateLimit, ThreegolClient,
+};
 use tokio::net::TcpStream;
 
 /// A minimal sequential HLS player: fetch playlist, then segments in
@@ -44,10 +47,12 @@ async fn play(proxy_addr: std::net::SocketAddr, playlist: &str, prebuffer: usize
 
 #[tokio::main]
 async fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = HomeNet::new(0);
+
     // Origin with a 60 s Q2 video in 10 s segments.
     let ladder = vec![VideoQuality::new("Q1", 311e3)];
     let origin = Arc::new(OriginServer::new(&ladder, 60.0, 10.0));
-    let (origin_addr, _t) = origin.clone().spawn("127.0.0.1:0").await?;
+    let (origin_addr, _t) = origin.clone().spawn(&net.origin().to_string()).await?;
 
     let adsl = PathTarget::Gateway {
         origin: origin_addr,
@@ -55,9 +60,10 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
         up: RateLimit::new(0.512e6),
     };
 
-    // Proxy with ADSL only.
+    // Proxy with ADSL only (a second proxy host next to the home's
+    // canonical one at .3).
     let solo = Arc::new(HlsProxy::new(ThreegolClient::new(vec![adsl.clone()])));
-    let (solo_addr, _t) = solo.clone().spawn("127.0.0.1:0").await?;
+    let (solo_addr, _t) = solo.clone().spawn("10.0.0.4:8088").await?;
     let (startup_solo, n) = play(solo_addr, "/q1/index.m3u8", 2).await;
     println!("player via proxy, ADSL only : {n} segments, 2-segment startup {startup_solo:.2} s");
 
@@ -71,11 +77,11 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
             RateLimit::new(1.2e6),
             1e9,
         ));
-        let (lan_addr, _t) = device.clone().spawn("127.0.0.1:0").await?;
+        let (lan_addr, _t) = device.clone().spawn(&net.device(i).to_string()).await?;
         paths.push(PathTarget::Device { addr: lan_addr });
     }
     let gol = Arc::new(HlsProxy::new(ThreegolClient::new(paths)));
-    let (gol_addr, _t) = gol.clone().spawn("127.0.0.1:0").await?;
+    let (gol_addr, _t) = gol.clone().spawn(&net.client_proxy().to_string()).await?;
     let (startup_gol, _) = play(gol_addr, "/q1/index.m3u8", 2).await;
     println!("player via proxy, 3GOL (2ph): {n} segments, 2-segment startup {startup_gol:.2} s");
     println!(

@@ -1,0 +1,93 @@
+//! Cross-crate integration: homes as isolated units on the virtual
+//! network. Several households share one runtime; each keeps its own
+//! address namespace, discovery broadcast domain and quota state.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use threegol::proxy::{
+    DeviceProxy, Discovery, Home, HomeNet, HomeSpec, OriginServer, PathTarget, RateLimit,
+    ThreegolClient,
+};
+
+/// Bring up one home's origin + discovery + named devices and return
+/// the discovery listener plus the device handles.
+async fn bring_up_home(
+    net: HomeNet,
+    devices: &[(&str, f64)],
+) -> (Discovery, Vec<(Arc<DeviceProxy>, std::net::SocketAddr)>) {
+    let origin = Arc::new(OriginServer::small_for_tests());
+    let (origin_addr, _task) = origin.clone().spawn(&net.origin().to_string()).await.unwrap();
+    let discovery = Discovery::bind(&net.discovery().to_string()).await.unwrap();
+    let disco_addr = discovery.local_addr().unwrap();
+    let mut spawned = Vec::new();
+    for (i, (name, allowance)) in devices.iter().enumerate() {
+        let device = Arc::new(DeviceProxy::new(
+            name.to_string(),
+            origin_addr,
+            RateLimit::unlimited(),
+            RateLimit::unlimited(),
+            *allowance,
+        ));
+        let (lan_addr, _task) = device.clone().spawn(&net.device(i).to_string()).await.unwrap();
+        device.clone().spawn_announcer(disco_addr, lan_addr, Duration::from_millis(50));
+        spawned.push((device, lan_addr));
+    }
+    (discovery, spawned)
+}
+
+#[tokio::test]
+async fn quota_exhaustion_withdraws_only_in_its_own_home() {
+    let net_a = HomeNet::new(1);
+    let net_b = HomeNet::new(2);
+    // Home A: one device whose allowance dies after two 64 kB probes,
+    // one healthy device. Home B: one healthy device.
+    let (disc_a, devs_a) = bring_up_home(net_a, &[("a-small", 100_000.0), ("a-big", 1e9)]).await;
+    let (disc_b, _devs_b) = bring_up_home(net_b, &[("b-phone", 1e9)]).await;
+
+    tokio::time::sleep(Duration::from_millis(300)).await;
+    assert_eq!(disc_a.admissible().len(), 2);
+    assert_eq!(disc_b.admissible().len(), 1);
+    // Broadcast domains are disjoint: neither home hears the other's
+    // announcers, and every advertised proxy lives in its own subnet.
+    assert!(disc_b.admissible().iter().all(|ad| ad.name == "b-phone"));
+    assert!(disc_a.admissible().iter().all(|ad| ad.name.starts_with("a-")));
+    for ad in disc_a.admissible() {
+        assert_eq!(ad.proxy_addr.to_string().split('.').nth(2), Some("1"), "{}", ad.proxy_addr);
+    }
+
+    // Burn a-small's quota through its proxy.
+    let (small_dev, small_addr) = &devs_a[0];
+    let client = ThreegolClient::new(vec![PathTarget::Device { addr: *small_addr }]);
+    for _ in 0..2 {
+        let (bodies, _) = client.fetch(vec!["/probe.bin".into()], None).await.unwrap();
+        assert_eq!(bodies[0].len(), 64_000);
+    }
+    assert!(!small_dev.should_advertise());
+
+    // Past the TTL the stale ad expires — in home A only; home B's
+    // view never flinches.
+    tokio::time::sleep(Duration::from_millis(3_200)).await;
+    let phi_a = disc_a.admissible();
+    assert_eq!(phi_a.len(), 1);
+    assert_eq!(phi_a[0].name, "a-big");
+    assert_eq!(disc_b.admissible().len(), 1);
+}
+
+#[tokio::test]
+async fn two_full_homes_share_one_runtime() {
+    // Two complete households, workload and all, in a single runtime.
+    // Identical specs (apart from the namespace) must produce
+    // identical timings — the homes cannot perturb each other.
+    let a = Home::run(&HomeSpec::paper_default(11)).await.unwrap();
+    let b = Home::run(&HomeSpec::paper_default(12)).await.unwrap();
+    assert_eq!(a.vod_secs, b.vod_secs);
+    assert_eq!(a.upload_secs, b.upload_secs);
+    assert_eq!(a.upload_device_bytes, b.upload_device_bytes);
+
+    // A crippled third home (no phones) is slower, proving the gain
+    // really comes from its own devices, not a neighbour's.
+    let solo = Home::run(&HomeSpec { devices: 0, ..HomeSpec::paper_default(13) }).await.unwrap();
+    assert!(solo.upload_secs > a.upload_secs, "{} vs {}", solo.upload_secs, a.upload_secs);
+    assert!(a.upload_gain > solo.upload_gain);
+}

@@ -1,6 +1,12 @@
 //! Cross-crate integration: the live tokio prototype — origin, device
-//! proxies, discovery, HLS-aware client — over loopback TCP.
+//! proxies, discovery, HLS-aware client — on the vendored runtime's
+//! in-process virtual network. Addresses here use the loopback name
+//! for familiarity, but nothing ever touches the kernel: every
+//! listener and datagram lives in the runtime's own registry under
+//! virtual time, which is what makes the transcript test below able to
+//! demand byte-for-byte identical behavior across runs.
 
+use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -120,4 +126,70 @@ async fn uploads_survive_a_slow_device() {
     let report = client.upload_photos(photos).await.unwrap();
     assert!(report.item_secs.iter().all(|t| t.is_finite()));
     assert_eq!(origin.uploads().len(), 5);
+}
+
+/// Run the full prototype scenario once in a fresh runtime and record
+/// everything observable — discovery order, body sizes and checksums,
+/// every report field at full `f64` precision, origin-side state —
+/// into one transcript string.
+fn scenario_transcript() -> String {
+    tokio::runtime::block_on(async {
+        let mut log = String::new();
+        let (origin, origin_addr) = small_origin().await;
+        let discovery = Discovery::bind("127.0.0.1:0").await.unwrap();
+        let disco_addr = discovery.local_addr().unwrap();
+        for i in 0..2 {
+            let device = Arc::new(DeviceProxy::new(
+                format!("phone-{i}"),
+                origin_addr,
+                RateLimit::new(2e6),
+                RateLimit::new(1e6),
+                1e9,
+            ));
+            let (lan_addr, _task) = device.clone().spawn("127.0.0.1:0").await.unwrap();
+            device.spawn_announcer(disco_addr, lan_addr, Duration::from_millis(50));
+        }
+        tokio::time::sleep(Duration::from_millis(200)).await;
+
+        let mut paths = vec![PathTarget::Gateway {
+            origin: origin_addr,
+            down: RateLimit::new(4e6),
+            up: RateLimit::new(0.5e6),
+        }];
+        for ad in discovery.admissible() {
+            writeln!(log, "discovered {} at {} ({})", ad.name, ad.proxy_addr, ad.available_bytes)
+                .unwrap();
+            paths.push(PathTarget::Device { addr: ad.proxy_addr });
+        }
+        let client = ThreegolClient::new(paths);
+
+        let t0 = tokio::time::Instant::now();
+        let (playlist, bodies, report) = client.fetch_hls("/q1/index.m3u8").await.unwrap();
+        writeln!(log, "vod: {} entries in {:?}", playlist.entries.len(), t0.elapsed()).unwrap();
+        for body in &bodies {
+            let sum: u64 = body.iter().map(|b| *b as u64).sum();
+            writeln!(log, "segment {} bytes, checksum {sum}", body.len()).unwrap();
+        }
+        writeln!(log, "vod report: {report:?}").unwrap();
+
+        let photos: Vec<(String, bytes::Bytes)> = (0..4)
+            .map(|i| (format!("p{i}.jpg"), bytes::Bytes::from(vec![i as u8; 80_000])))
+            .collect();
+        let t0 = tokio::time::Instant::now();
+        let report = client.upload_photos(photos).await.unwrap();
+        writeln!(log, "upload in {:?}: {report:?}", t0.elapsed()).unwrap();
+        for up in origin.uploads() {
+            writeln!(log, "origin got {:?} ({} bytes)", up.filenames, up.total_bytes).unwrap();
+        }
+        writeln!(log, "origin served {} requests", origin.requests_served()).unwrap();
+        log
+    })
+}
+
+#[test]
+fn scenario_transcript_is_byte_for_byte_deterministic() {
+    let first = scenario_transcript();
+    let second = scenario_transcript();
+    assert!(!first.is_empty());
+    assert_eq!(first, second, "virtual-net runs diverged");
 }

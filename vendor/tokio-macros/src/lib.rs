@@ -13,25 +13,64 @@
 //!                                     }
 //! ```
 //!
-//! Attribute arguments (`flavor = "..."`, `start_paused = true`,
-//! `worker_threads = N`) are accepted and ignored: the vendored runtime
-//! is always single-threaded and its clock is always virtual with
-//! auto-advance, which subsumes `start_paused` (see the runtime docs).
+//! Attribute arguments are *validated*, then ignored: the vendored
+//! runtime is always single-threaded and its clock is always virtual
+//! with auto-advance, which subsumes `start_paused` (see the runtime
+//! docs). `#[tokio::test]` accepts only `flavor` and `start_paused`;
+//! `#[tokio::main]` additionally accepts `worker_threads`. Any other
+//! key — a typo, or a real-tokio knob whose semantics this runtime
+//! cannot honor — is a compile error instead of a silently dropped
+//! setting.
 
 use proc_macro::{Delimiter, Group, Ident, Punct, Spacing, Span, TokenStream, TokenTree};
 
 /// Marks an `async fn main` as the program entry point, executing it to
 /// completion on the vendored single-threaded runtime.
+///
+/// Accepted arguments: `flavor`, `worker_threads`, `start_paused`.
+/// Unknown keys are a compile error.
 #[proc_macro_attribute]
-pub fn main(_args: TokenStream, item: TokenStream) -> TokenStream {
+pub fn main(args: TokenStream, item: TokenStream) -> TokenStream {
+    check_args("#[tokio::main]", args, &["flavor", "worker_threads", "start_paused"]);
     rewrite(item, false)
 }
 
 /// Marks an `async fn` as a `#[test]`, executing it to completion on a
 /// fresh instance of the vendored single-threaded runtime.
+///
+/// Accepted arguments: `flavor`, `start_paused`. Unknown keys are a
+/// compile error.
 #[proc_macro_attribute]
-pub fn test(_args: TokenStream, item: TokenStream) -> TokenStream {
+pub fn test(args: TokenStream, item: TokenStream) -> TokenStream {
+    check_args("#[tokio::test]", args, &["flavor", "start_paused"]);
     rewrite(item, true)
+}
+
+/// Validate `key = value` attribute arguments against an allow-list.
+/// The values themselves are not interpreted — the runtime has exactly
+/// one flavor and one clock mode — but an unknown *key* means the test
+/// author expected behavior this runtime will not provide, so fail the
+/// build loudly.
+fn check_args(attr: &str, args: TokenStream, allowed: &[&str]) {
+    let mut expect_key = true;
+    for tt in args {
+        match &tt {
+            TokenTree::Ident(ident) if expect_key => {
+                let key = ident.to_string();
+                assert!(
+                    allowed.contains(&key.as_str()),
+                    "{attr} does not accept the argument `{key}` (vendored runtime accepts \
+                     only: {})",
+                    allowed.join(", ")
+                );
+                expect_key = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => expect_key = true,
+            // `=` and the value tokens between key and comma.
+            _ if !expect_key => {}
+            _ => panic!("{attr} expects `key = value` arguments, got `{tt}`"),
+        }
+    }
 }
 
 /// Rewrite `async fn f(..) -> R { body }` into a synchronous

@@ -490,15 +490,24 @@ impl AsyncWrite for DuplexStream {
 
 impl Drop for DuplexStream {
     fn drop(&mut self) {
-        let mut write = self.write.lock().unwrap();
-        write.write_closed = true;
-        if let Some(waker) = write.read_waker.take() {
+        let read_waker = {
+            let mut write = self.write.lock().unwrap();
+            write.write_closed = true;
+            write.read_waker.take()
+        };
+        let write_waker = {
+            let mut read = self.read.lock().unwrap();
+            read.read_closed = true;
+            read.write_waker.take()
+        };
+        // Wake with no pipe lock held: during runtime teardown a wake
+        // can be the last reference to the peer's task, so it cascades
+        // into dropping the peer — and the peer's end of this very
+        // pipe, which must be able to re-take the locks above.
+        if let Some(waker) = read_waker {
             waker.wake();
         }
-        drop(write);
-        let mut read = self.read.lock().unwrap();
-        read.read_closed = true;
-        if let Some(waker) = read.write_waker.take() {
+        if let Some(waker) = write_waker {
             waker.wake();
         }
     }

@@ -1,27 +1,31 @@
 //! Offline vendored `tokio`: a minimal single-threaded async runtime
-//! with a **virtual-time clock** and **loopback-only networking**,
-//! implementing exactly the API subset the `threegol-http` and
-//! `threegol-proxy` crates use. It exists so the live loopback
-//! prototype builds and tests in the offline container with no
-//! crates.io access; see DESIGN.md §9 for the full architecture.
+//! with a **virtual-time clock** and a fully **in-process virtual
+//! network**, implementing exactly the API subset the `threegol-http`
+//! and `threegol-proxy` crates use. It exists so the live prototype
+//! builds and tests in the offline container with no crates.io
+//! access, and so a fleet of simulated homes can run deterministically
+//! in one process; see DESIGN.md §9 for the full architecture.
 //!
 //! What is implemented, and where:
 //!
 //! - [`runtime::block_on`] — the executor: single thread, FIFO task
-//!   queue, retry reactor, auto-advancing virtual clock.
+//!   queue, auto-advancing virtual clock.
 //! - [`spawn`] / [`task::JoinHandle`] (with `abort`) and
 //!   [`task::yield_now`].
 //! - [`time`] — virtual [`time::Instant`], [`time::sleep`],
 //!   [`time::sleep_until`], [`time::timeout`], [`time::advance`].
 //! - [`io`] — `AsyncRead`/`AsyncWrite`/`ReadBuf`, the `Ext` method
 //!   traits, and the in-memory [`io::duplex`] pipe.
-//! - [`net`] — loopback-only `TcpListener`/`TcpStream`/`UdpSocket`
-//!   over nonblocking `std::net` sockets.
+//! - [`net`] — virtual `TcpListener`/`TcpStream`/`UdpSocket` over a
+//!   per-runtime in-memory address registry; no kernel sockets at all,
+//!   any address is bindable, and [`net::stats`] exposes counters for
+//!   tests that assert it.
 //! - [`sync`] — `mpsc` (bounded and unbounded) and `Notify`.
 //! - `#[tokio::main]` / `#[tokio::test]` via the sibling
-//!   `tokio-macros` crate; attribute arguments such as
-//!   `start_paused = true` are accepted and ignored because the clock
-//!   is *always* virtual and paused-with-auto-advance.
+//!   `tokio-macros` crate; the only accepted attribute arguments are
+//!   the ones whose semantics this runtime already provides (`flavor`
+//!   and `start_paused`, plus `worker_threads` on `main`) — anything
+//!   else is a compile error rather than a silently ignored knob.
 //!
 //! Everything else of real tokio's surface is intentionally absent;
 //! depending on it is a compile error rather than a silent stub.
@@ -31,7 +35,11 @@
 //! - Time is virtual: `sleep(100ms)` costs microseconds of real time
 //!   and `time::Instant` measures modeled durations, which is what the
 //!   throttled-link tests in this workspace assert on.
-//! - Networking rejects non-loopback addresses with `InvalidInput`.
+//! - Networking is in-process: addresses live in a per-runtime
+//!   registry, so `10.7.0.1:80` binds without privileges and two
+//!   runtimes can use the same address concurrently. Connecting or
+//!   sending to an unbound address fails with `ConnectionRefused`
+//!   immediately.
 //! - A panicking task aborts the whole runtime (test) instead of being
 //!   captured into a `JoinError`.
 //! - `AsyncReadExt::read_buf` is concrete over the vendored

@@ -1,130 +1,388 @@
-//! Loopback-only async TCP and UDP over nonblocking `std::net`
-//! sockets.
+//! The in-process **virtual network substrate**: async TCP and UDP
+//! with no kernel sockets at all.
 //!
-//! There is no epoll/kqueue reactor here. Every socket is switched to
-//! nonblocking mode; an operation that returns `WouldBlock` parks its
-//! waker with the runtime's *retry reactor* and the executor re-wakes
-//! it whenever the system is otherwise idle (see [`crate::runtime`]).
-//! That is sound — not a busy-loop — precisely because these sockets
-//! are restricted to loopback: readiness on `127.0.0.1` changes only
-//! when another task of this runtime (or a peer process, covered by
-//! the executor's bounded real-time wait) writes, so one retry round
-//! after each batch of work observes every transition. Addresses off
-//! the loopback interface are rejected with `InvalidInput` rather than
-//! silently spinning on a slow remote.
+//! Every runtime owns a `VirtualNet` registry mapping bound
+//! `SocketAddr`s to virtual listeners and datagram sockets. A
+//! `TcpStream` is a pair of the same bounded byte pipes that power
+//! [`crate::io::duplex`], so reads, writes, backpressure and close
+//! semantics reuse the duplex machinery unchanged and wake through the
+//! normal waker path — there is no retry reactor and no readiness
+//! scanning. Because nothing can ever arrive from outside the process,
+//! a socket operation that is still parked when the executor runs out
+//! of tasks *and* timers is a genuine deadlock; the runtime panics
+//! with a diagnostic naming each parked operation (see
+//! [`crate::runtime`]) instead of waiting on real time.
+//!
+//! Any IPv4/IPv6 address is a valid *virtual* address — `10.3.0.1:80`
+//! works just as well as `127.0.0.1:0` and needs no privileges,
+//! because the address space is per-runtime and purely in-memory. The
+//! proxy fleet uses this to give every simulated home its own subnet.
+//! Two runtimes (even on the same thread, sequentially) can bind the
+//! same address: registries are never shared.
 
-use std::io::{self, Read, Write};
-use std::net::{Shutdown, SocketAddr, ToSocketAddrs};
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{IpAddr, SocketAddr, ToSocketAddrs};
 use std::pin::Pin;
-use std::task::{Context, Poll};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::task::{Context, Poll, Waker};
 
-use crate::io::{AsyncRead, AsyncWrite, ReadBuf};
-use crate::runtime;
+use crate::io::{duplex, AsyncRead, AsyncWrite, DuplexStream, ReadBuf};
+use crate::runtime::{self, Shared};
 
-/// Resolve `addr` and enforce the loopback-only contract.
-fn resolve_loopback<A: ToSocketAddrs>(addr: A) -> io::Result<SocketAddr> {
-    let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
-        io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
-    })?;
-    if !addr.ip().is_loopback() {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidInput,
-            "vendored tokio networking is loopback-only (see vendor/tokio docs)",
-        ));
-    }
-    Ok(addr)
+/// Per-direction byte capacity of a virtual TCP connection, standing
+/// in for the kernel's socket buffers: writers see backpressure once
+/// this many bytes are in flight.
+const STREAM_CAPACITY: usize = 64 * 1024;
+
+/// Maximum queued datagrams per UDP socket; like real UDP, excess
+/// datagrams are silently dropped (deterministically: always the
+/// newest).
+const DATAGRAM_QUEUE: usize = 1024;
+
+/// First port handed out for `:0` binds, mirroring the kernel's
+/// ephemeral range.
+const EPHEMERAL_BASE: u16 = 49152;
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// What sits behind one bound address.
+enum Binding {
+    Tcp(Arc<Mutex<ListenerState>>),
+    Udp(Arc<Mutex<UdpState>>),
 }
 
-/// Run one nonblocking socket syscall from an async context: completed
-/// results bump the runtime's progress counter, `WouldBlock` parks the
-/// task with the retry reactor.
-fn poll_syscall<T>(cx: &mut Context<'_>, result: io::Result<T>) -> Poll<io::Result<T>> {
-    match result {
-        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-            runtime::current().register_io_waker(cx.waker().clone());
-            Poll::Pending
-        }
-        Err(e) if e.kind() == io::ErrorKind::Interrupted => {
-            cx.waker().wake_by_ref();
-            Poll::Pending
-        }
-        other => {
-            runtime::current().io_op_completed();
-            Poll::Ready(other)
+/// Snapshot of a runtime's virtual-network activity, for tests that
+/// assert the substrate (and nothing else) carried the traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Successful `TcpListener::bind` calls.
+    pub tcp_binds: u64,
+    /// Successful `TcpStream::connect` calls.
+    pub tcp_connects: u64,
+    /// Successful `UdpSocket::bind` calls.
+    pub udp_binds: u64,
+    /// Datagrams delivered to a bound socket's queue.
+    pub datagrams: u64,
+}
+
+/// The per-runtime registry of virtual hosts and sockets. One instance
+/// lives in each runtime's shared state; all the socket types in this
+/// module resolve against it and against nothing else — this crate
+/// contains no kernel socket whatsoever.
+pub(crate) struct VirtualNet {
+    bindings: Mutex<HashMap<SocketAddr, Binding>>,
+    /// Next ephemeral port to try, per IP.
+    next_port: Mutex<HashMap<IpAddr, u16>>,
+    /// Socket operations currently parked (id → human-readable label),
+    /// fueling the executor's deadlock diagnostic. Keyed by a unique
+    /// per-operation id so re-parks overwrite in place.
+    parked: Mutex<std::collections::BTreeMap<u64, (&'static str, SocketAddr)>>,
+    tcp_binds: AtomicU64,
+    tcp_connects: AtomicU64,
+    udp_binds: AtomicU64,
+    datagrams: AtomicU64,
+}
+
+impl VirtualNet {
+    pub(crate) fn new() -> VirtualNet {
+        VirtualNet {
+            bindings: Mutex::new(HashMap::new()),
+            next_port: Mutex::new(HashMap::new()),
+            parked: Mutex::new(std::collections::BTreeMap::new()),
+            tcp_binds: AtomicU64::new(0),
+            tcp_connects: AtomicU64::new(0),
+            udp_binds: AtomicU64::new(0),
+            datagrams: AtomicU64::new(0),
         }
     }
+
+    /// Labels of the currently parked socket operations, oldest first,
+    /// for the executor's deadlock panic.
+    pub(crate) fn parked_labels(&self) -> Vec<String> {
+        self.parked.lock().unwrap().values().map(|(kind, addr)| format!("{kind} {addr}")).collect()
+    }
+
+    fn park(&self, op: u64, kind: &'static str, addr: SocketAddr) {
+        self.parked.lock().unwrap().insert(op, (kind, addr));
+    }
+
+    fn unpark(&self, op: u64) {
+        self.parked.lock().unwrap().remove(&op);
+    }
+
+    fn stats(&self) -> NetStats {
+        NetStats {
+            tcp_binds: self.tcp_binds.load(Ordering::Relaxed),
+            tcp_connects: self.tcp_connects.load(Ordering::Relaxed),
+            udp_binds: self.udp_binds.load(Ordering::Relaxed),
+            datagrams: self.datagrams.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resolve a bind request: explicit ports must be free, port `0`
+    /// takes the next free ephemeral port on that IP.
+    fn assign(
+        &self,
+        addr: SocketAddr,
+        bindings: &HashMap<SocketAddr, Binding>,
+    ) -> io::Result<SocketAddr> {
+        if addr.ip().is_unspecified() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "virtual net requires a concrete address (0.0.0.0 has no meaning in-process)",
+            ));
+        }
+        if addr.port() != 0 {
+            if bindings.contains_key(&addr) {
+                return Err(io::Error::new(
+                    io::ErrorKind::AddrInUse,
+                    format!("virtual address {addr} already bound"),
+                ));
+            }
+            return Ok(addr);
+        }
+        let mut next_port = self.next_port.lock().unwrap();
+        let cursor = next_port.entry(addr.ip()).or_insert(EPHEMERAL_BASE);
+        for _ in 0..=(u16::MAX - EPHEMERAL_BASE) {
+            let candidate = SocketAddr::new(addr.ip(), *cursor);
+            *cursor = if *cursor == u16::MAX { EPHEMERAL_BASE } else { *cursor + 1 };
+            if !bindings.contains_key(&candidate) {
+                return Ok(candidate);
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::AddrInUse,
+            format!("virtual ephemeral port range exhausted on {}", addr.ip()),
+        ))
+    }
+}
+
+/// Resolve `addr` to the single concrete `SocketAddr` the virtual net
+/// keys on.
+fn resolve<A: ToSocketAddrs>(addr: A) -> io::Result<SocketAddr> {
+    addr.to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing"))
+}
+
+/// The current runtime's virtual-network statistics. Panics outside a
+/// runtime, like every other runtime service.
+pub fn stats() -> NetStats {
+    runtime::current().net().stats()
+}
+
+/// Unique ids for parked-operation bookkeeping. Process-wide is fine:
+/// ids only need to be unique, never dense or deterministic.
+fn next_op_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Track one poll result for the deadlock diagnostic: parked
+/// operations are registered with their endpoint, completed ones are
+/// cleared.
+fn track<T>(
+    shared: &Weak<Shared>,
+    op: u64,
+    kind: &'static str,
+    addr: SocketAddr,
+    poll: Poll<T>,
+) -> Poll<T> {
+    if let Some(shared) = shared.upgrade() {
+        match poll {
+            Poll::Pending => shared.net().park(op, kind, addr),
+            Poll::Ready(_) => shared.net().unpark(op),
+        }
+    }
+    poll
 }
 
 // ---------------------------------------------------------------------------
 // TCP
 // ---------------------------------------------------------------------------
 
-/// A loopback TCP listener, mirroring `tokio::net::TcpListener`.
-#[derive(Debug)]
+/// A pending or established inbound connection queue.
+struct ListenerState {
+    /// Accepted-but-not-yet-claimed peers: the server-side stream and
+    /// the client's address.
+    queue: VecDeque<(DuplexStream, SocketAddr)>,
+    accept_waker: Option<Waker>,
+}
+
+/// A virtual TCP listener, mirroring `tokio::net::TcpListener`.
+///
+/// Binding registers the address with the runtime's `VirtualNet`;
+/// dropping the listener releases it. Connections queue in memory and
+/// are claimed by [`TcpListener::accept`].
 pub struct TcpListener {
-    inner: std::net::TcpListener,
+    state: Arc<Mutex<ListenerState>>,
+    local: SocketAddr,
+    shared: Weak<Shared>,
+    accept_op: u64,
+}
+
+impl std::fmt::Debug for TcpListener {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpListener").field("local", &self.local).finish_non_exhaustive()
+    }
 }
 
 impl TcpListener {
-    /// Bind to a loopback address (e.g. `"127.0.0.1:0"` for an
-    /// ephemeral port).
+    /// Bind to a virtual address (e.g. `"127.0.0.1:0"` for an
+    /// ephemeral port, or any per-home address like `"10.4.0.1:8080"`).
     pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
-        let addr = resolve_loopback(addr)?;
-        let inner = std::net::TcpListener::bind(addr)?;
-        inner.set_nonblocking(true)?;
-        Ok(TcpListener { inner })
+        let requested = resolve(addr)?;
+        let shared = runtime::current();
+        let net = shared.net();
+        let mut bindings = net.bindings.lock().unwrap();
+        let local = net.assign(requested, &bindings)?;
+        let state =
+            Arc::new(Mutex::new(ListenerState { queue: VecDeque::new(), accept_waker: None }));
+        bindings.insert(local, Binding::Tcp(Arc::clone(&state)));
+        net.tcp_binds.fetch_add(1, Ordering::Relaxed);
+        Ok(TcpListener { state, local, shared: Arc::downgrade(&shared), accept_op: next_op_id() })
     }
 
     /// Accept one inbound connection, parking until a peer connects.
     pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
         std::future::poll_fn(|cx| {
-            poll_syscall(cx, self.inner.accept()).map(|r| {
-                r.and_then(|(stream, peer)| {
-                    stream.set_nonblocking(true)?;
-                    Ok((TcpStream { inner: stream }, peer))
-                })
-            })
+            let poll = {
+                let mut state = self.state.lock().unwrap();
+                match state.queue.pop_front() {
+                    Some((io, peer)) => {
+                        Poll::Ready(Ok((TcpStream::new(io, self.local, peer), peer)))
+                    }
+                    None => {
+                        state.accept_waker = Some(cx.waker().clone());
+                        Poll::Pending
+                    }
+                }
+            };
+            track(&self.shared, self.accept_op, "tcp accept on", self.local, poll)
         })
         .await
     }
 
-    /// The locally bound address (the real port for `:0` binds).
+    /// The locally bound address (the assigned port for `:0` binds).
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
-        self.inner.local_addr()
+        Ok(self.local)
     }
 }
 
-/// A loopback TCP stream, mirroring `tokio::net::TcpStream`.
-#[derive(Debug)]
+impl Drop for TcpListener {
+    fn drop(&mut self) {
+        if let Some(shared) = self.shared.upgrade() {
+            shared.net().unpark(self.accept_op);
+            shared.net().bindings.lock().unwrap().remove(&self.local);
+        }
+        // Connections still queued are dropped here; their client ends
+        // observe EOF / BrokenPipe through the pipe close semantics.
+    }
+}
+
+/// A virtual TCP stream, mirroring `tokio::net::TcpStream`: one end of
+/// a bidirectional pair of bounded in-memory pipes.
 pub struct TcpStream {
-    inner: std::net::TcpStream,
+    io: DuplexStream,
+    local: SocketAddr,
+    peer: SocketAddr,
+    shared: Weak<Shared>,
+    read_op: u64,
+    write_op: u64,
+}
+
+impl std::fmt::Debug for TcpStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpStream")
+            .field("local", &self.local)
+            .field("peer", &self.peer)
+            .finish_non_exhaustive()
+    }
 }
 
 impl TcpStream {
-    /// Connect to a loopback peer. The kernel completes a loopback
-    /// handshake synchronously (the peer need not have accepted yet),
-    /// so the blocking `connect` here never actually waits.
-    pub async fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<TcpStream> {
-        let addr = resolve_loopback(addr)?;
-        let inner = std::net::TcpStream::connect(addr)?;
-        inner.set_nonblocking(true)?;
-        runtime::current().io_op_completed();
-        Ok(TcpStream { inner })
+    fn new(io: DuplexStream, local: SocketAddr, peer: SocketAddr) -> TcpStream {
+        TcpStream {
+            io,
+            local,
+            peer,
+            shared: Arc::downgrade(&runtime::current()),
+            read_op: next_op_id(),
+            write_op: next_op_id(),
+        }
     }
 
-    /// Set `TCP_NODELAY` (disable Nagle's algorithm).
-    pub fn set_nodelay(&self, nodelay: bool) -> io::Result<()> {
-        self.inner.set_nodelay(nodelay)
+    /// Connect to a virtual listener. Like a kernel loopback
+    /// handshake this completes synchronously: the connection is
+    /// queued with the listener (whose accept task is woken) and both
+    /// directions are immediately usable. With no listener bound at
+    /// `addr` the connect fails with `ConnectionRefused`.
+    pub async fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<TcpStream> {
+        let peer = resolve(addr)?;
+        let shared = runtime::current();
+        let net = shared.net();
+        let listener = {
+            let bindings = net.bindings.lock().unwrap();
+            match bindings.get(&peer) {
+                Some(Binding::Tcp(state)) => Arc::clone(state),
+                _ => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionRefused,
+                        format!("no virtual listener bound at {peer}"),
+                    ))
+                }
+            }
+        };
+        // The client claims an ephemeral port on the peer's IP: the
+        // virtual net has no routing table, so "which host is the
+        // client on" is a fiction we keep consistent by placing both
+        // ends of a connection in the same address family and subnet.
+        let local = {
+            let bindings = net.bindings.lock().unwrap();
+            net.assign(SocketAddr::new(peer.ip(), 0), &bindings)?
+        };
+        let (client_io, server_io) = duplex(STREAM_CAPACITY);
+        let accept_waker = {
+            let mut state = listener.lock().unwrap();
+            state.queue.push_back((server_io, local));
+            state.accept_waker.take()
+        };
+        // Wake outside the state lock (a wake may cascade into drops
+        // that re-enter it).
+        if let Some(waker) = accept_waker {
+            waker.wake();
+        }
+        net.tcp_connects.fetch_add(1, Ordering::Relaxed);
+        Ok(TcpStream::new(client_io, local, peer))
+    }
+
+    /// Set `TCP_NODELAY`. Virtual pipes have no Nagle batching, so
+    /// this is a no-op kept for call-site compatibility.
+    pub fn set_nodelay(&self, _nodelay: bool) -> io::Result<()> {
+        Ok(())
     }
 
     /// The local address of this end of the connection.
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
-        self.inner.local_addr()
+        Ok(self.local)
     }
 
     /// The remote peer's address.
     pub fn peer_addr(&self) -> io::Result<SocketAddr> {
-        self.inner.peer_addr()
+        Ok(self.peer)
+    }
+}
+
+impl Drop for TcpStream {
+    fn drop(&mut self) {
+        if let Some(shared) = self.shared.upgrade() {
+            shared.net().unpark(self.read_op);
+            shared.net().unpark(self.write_op);
+        }
     }
 }
 
@@ -135,15 +393,8 @@ impl AsyncRead for TcpStream {
         buf: &mut ReadBuf<'_>,
     ) -> Poll<io::Result<()>> {
         let this = self.get_mut();
-        let dst = buf.initialize_unfilled();
-        match poll_syscall(cx, (&this.inner).read(dst)) {
-            Poll::Ready(Ok(n)) => {
-                buf.advance(n);
-                Poll::Ready(Ok(()))
-            }
-            Poll::Ready(Err(e)) => Poll::Ready(Err(e)),
-            Poll::Pending => Poll::Pending,
-        }
+        let poll = Pin::new(&mut this.io).poll_read(cx, buf);
+        track(&this.shared, this.read_op, "tcp read from", this.peer, poll)
     }
 }
 
@@ -154,18 +405,16 @@ impl AsyncWrite for TcpStream {
         buf: &[u8],
     ) -> Poll<io::Result<usize>> {
         let this = self.get_mut();
-        poll_syscall(cx, (&this.inner).write(buf))
+        let poll = Pin::new(&mut this.io).poll_write(cx, buf);
+        track(&this.shared, this.write_op, "tcp write to", this.peer, poll)
     }
 
-    fn poll_flush(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
-        // Kernel TCP sockets have no userspace buffer to flush.
-        Poll::Ready(Ok(()))
+    fn poll_flush(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        Pin::new(&mut self.get_mut().io).poll_flush(cx)
     }
 
-    fn poll_shutdown(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
-        match self.get_mut().inner.shutdown(Shutdown::Write) {
-            Ok(()) | Err(_) => Poll::Ready(Ok(())), // NotConnected after peer close is fine
-        }
+    fn poll_shutdown(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        Pin::new(&mut self.get_mut().io).poll_shutdown(cx)
     }
 }
 
@@ -173,34 +422,115 @@ impl AsyncWrite for TcpStream {
 // UDP
 // ---------------------------------------------------------------------------
 
-/// A loopback UDP socket, mirroring `tokio::net::UdpSocket`.
-#[derive(Debug)]
+struct UdpState {
+    /// Received datagrams: payload plus sender address.
+    queue: VecDeque<(Vec<u8>, SocketAddr)>,
+    recv_waker: Option<Waker>,
+}
+
+/// A virtual UDP socket, mirroring `tokio::net::UdpSocket`. Datagrams
+/// route through the runtime's `VirtualNet`: a send to an unbound
+/// address fails with `ConnectionRefused` (the deterministic stand-in
+/// for loopback ICMP), a send to a full queue silently drops the
+/// datagram like real UDP.
 pub struct UdpSocket {
-    inner: std::net::UdpSocket,
+    state: Arc<Mutex<UdpState>>,
+    local: SocketAddr,
+    shared: Weak<Shared>,
+    recv_op: u64,
+}
+
+impl std::fmt::Debug for UdpSocket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UdpSocket").field("local", &self.local).finish_non_exhaustive()
+    }
 }
 
 impl UdpSocket {
-    /// Bind to a loopback address.
+    /// Bind to a virtual address (port 0 for ephemeral).
     pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<UdpSocket> {
-        let addr = resolve_loopback(addr)?;
-        let inner = std::net::UdpSocket::bind(addr)?;
-        inner.set_nonblocking(true)?;
-        Ok(UdpSocket { inner })
+        let requested = resolve(addr)?;
+        let shared = runtime::current();
+        let net = shared.net();
+        let mut bindings = net.bindings.lock().unwrap();
+        let local = net.assign(requested, &bindings)?;
+        let state = Arc::new(Mutex::new(UdpState { queue: VecDeque::new(), recv_waker: None }));
+        bindings.insert(local, Binding::Udp(Arc::clone(&state)));
+        net.udp_binds.fetch_add(1, Ordering::Relaxed);
+        Ok(UdpSocket { state, local, shared: Arc::downgrade(&shared), recv_op: next_op_id() })
     }
 
-    /// Send one datagram to `target`.
+    /// Send one datagram to `target`, delivering it synchronously to
+    /// the bound socket's queue and waking its receiver.
     pub async fn send_to<A: ToSocketAddrs>(&self, buf: &[u8], target: A) -> io::Result<usize> {
-        let target = resolve_loopback(target)?;
-        std::future::poll_fn(|cx| poll_syscall(cx, self.inner.send_to(buf, target))).await
+        let target = resolve(target)?;
+        let shared = runtime::current();
+        let net = shared.net();
+        let receiver = {
+            let bindings = net.bindings.lock().unwrap();
+            match bindings.get(&target) {
+                Some(Binding::Udp(state)) => Arc::clone(state),
+                _ => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionRefused,
+                        format!("no virtual UDP socket bound at {target}"),
+                    ))
+                }
+            }
+        };
+        let recv_waker = {
+            let mut state = receiver.lock().unwrap();
+            if state.queue.len() < DATAGRAM_QUEUE {
+                state.queue.push_back((buf.to_vec(), self.local));
+                net.datagrams.fetch_add(1, Ordering::Relaxed);
+                state.recv_waker.take()
+            } else {
+                // A dropped datagram still reports success, like the
+                // kernel.
+                None
+            }
+        };
+        if let Some(waker) = recv_waker {
+            waker.wake();
+        }
+        Ok(buf.len())
     }
 
-    /// Receive one datagram, returning its length and sender.
+    /// Receive one datagram, returning its length and sender. A
+    /// datagram longer than `buf` is truncated (the tail is lost,
+    /// matching recvfrom).
     pub async fn recv_from(&self, buf: &mut [u8]) -> io::Result<(usize, SocketAddr)> {
-        std::future::poll_fn(|cx| poll_syscall(cx, self.inner.recv_from(buf))).await
+        std::future::poll_fn(|cx| {
+            let poll = {
+                let mut state = self.state.lock().unwrap();
+                match state.queue.pop_front() {
+                    Some((payload, from)) => {
+                        let n = payload.len().min(buf.len());
+                        buf[..n].copy_from_slice(&payload[..n]);
+                        Poll::Ready(Ok((n, from)))
+                    }
+                    None => {
+                        state.recv_waker = Some(cx.waker().clone());
+                        Poll::Pending
+                    }
+                }
+            };
+            track(&self.shared, self.recv_op, "udp recv_from on", self.local, poll)
+        })
+        .await
     }
 
     /// The locally bound address.
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
-        self.inner.local_addr()
+        Ok(self.local)
+    }
+}
+
+impl Drop for UdpSocket {
+    fn drop(&mut self) {
+        if let Some(shared) = self.shared.upgrade() {
+            shared.net().unpark(self.recv_op);
+            shared.net().bindings.lock().unwrap().remove(&self.local);
+        }
     }
 }

@@ -2,34 +2,34 @@
 //!
 //! One [`block_on`] call owns one runtime: a FIFO ready-queue of
 //! spawned tasks, a timer wheel (a `BTreeMap` keyed by virtual-time
-//! deadline), a **virtual clock**, and a *retry reactor* — a list of
-//! wakers parked on nonblocking socket operations that returned
-//! `WouldBlock`.
+//! deadline), a **virtual clock**, and a `VirtualNet`
+//! registry backing every socket in [`crate::net`].
 //!
 //! # Scheduling loop
 //!
-//! The loop runs four strictly ordered phases; a phase only runs when
+//! The loop runs two strictly ordered phases; a phase only runs when
 //! every earlier phase is out of work:
 //!
 //! 1. **Runnable tasks** — poll the main future when woken, then drain
 //!    the ready queue.
-//! 2. **I/O retry** — wake every waker parked on a socket and drain
-//!    again. Sockets here are loopback-only, so kernel readiness is
-//!    synchronous with the peer's (our own) writes: if any parked
-//!    operation can progress, one retry round finds it. Progress is
-//!    detected by a counter every completed socket operation bumps.
-//! 3. **Auto-advance** — if no task ran and no socket progressed, the
-//!    virtual clock jumps to the earliest pending timer deadline and
-//!    fires every timer due at it. This is why `sleep(100ms)`-style
-//!    tests finish in microseconds of real time, deterministically.
-//! 4. **Real wait** — no timers at all but sockets still parked: the
-//!    awaited bytes can only come from outside this runtime (e.g. a
-//!    peer process in the examples), so sleep half a millisecond of
-//!    real time and retry.
+//! 2. **Auto-advance** — if no task ran, the virtual clock jumps to
+//!    the earliest pending timer deadline and fires every timer due at
+//!    it. This is why `sleep(100ms)`-style tests finish in
+//!    microseconds of real time, deterministically.
 //!
-//! If all four phases are empty while the main future is pending, the
+//! There is no I/O phase: sockets are virtual, so every byte and every
+//! datagram is produced by a task in this same runtime and delivery
+//! wakes the consumer through the ordinary waker path, exactly like
+//! [`crate::io::duplex`]. The old *retry reactor* (re-polling parked
+//! `WouldBlock` operations) and the real-time wait for kernel
+//! readiness are gone — with no kernel sockets there is nothing
+//! outside the process to wait for.
+//!
+//! If both phases are empty while the main future is pending, the
 //! program is deadlocked and the runtime panics with a diagnosis
-//! instead of hanging the test suite.
+//! instead of hanging the test suite. Socket operations register the
+//! endpoint they are parked on, so the panic names each one (e.g.
+//! `tcp accept on 10.0.0.1:8080`) rather than merely counting them.
 //!
 //! # Virtual time
 //!
@@ -68,7 +68,7 @@ thread_local! {
 }
 
 /// The runtime owning the current thread, for primitives that must
-/// register timers, tasks or socket retries.
+/// register timers, tasks or virtual sockets.
 pub(crate) fn current() -> Arc<Shared> {
     CURRENT.with(|c| c.borrow().clone()).unwrap_or_else(|| {
         panic!(
@@ -114,13 +114,11 @@ pub(crate) struct Shared {
     timer_seq: AtomicU64,
     /// Virtual now, nanoseconds since [`epoch`].
     clock_ns: AtomicU64,
-    /// Wakers parked on `WouldBlock` socket operations (the retry
-    /// reactor). Drained and re-filled wholesale each idle round.
-    io_wakers: Mutex<Vec<Waker>>,
-    /// Bumped on every socket operation that returns anything other
-    /// than `WouldBlock`; the executor compares it across a retry round
-    /// to decide whether real I/O progressed.
-    io_ops: AtomicU64,
+    /// This runtime's virtual network: bound addresses, connection
+    /// queues and parked-socket-op diagnostics. Per-runtime, so
+    /// concurrent runtimes (e.g. one per simulated home on a worker
+    /// pool) have fully isolated address spaces.
+    net: crate::net::VirtualNet,
 }
 
 impl Shared {
@@ -131,8 +129,7 @@ impl Shared {
             timers: Mutex::new(BTreeMap::new()),
             timer_seq: AtomicU64::new(0),
             clock_ns: AtomicU64::new(epoch().elapsed().as_nanos() as u64),
-            io_wakers: Mutex::new(Vec::new()),
-            io_ops: AtomicU64::new(0),
+            net: crate::net::VirtualNet::new(),
         }
     }
 
@@ -144,14 +141,9 @@ impl Shared {
         self.queue.lock().unwrap().push_back(task);
     }
 
-    /// Park a socket-operation waker for the next idle retry round.
-    pub(crate) fn register_io_waker(&self, waker: Waker) {
-        self.io_wakers.lock().unwrap().push(waker);
-    }
-
-    /// Record a completed (non-`WouldBlock`) socket operation.
-    pub(crate) fn io_op_completed(&self) {
-        self.io_ops.fetch_add(1, Ordering::Release);
+    /// This runtime's virtual network registry.
+    pub(crate) fn net(&self) -> &crate::net::VirtualNet {
+        &self.net
     }
 
     pub(crate) fn clock_ns(&self) -> u64 {
@@ -403,41 +395,35 @@ pub fn block_on<F: Future>(future: F) -> F::Output {
     }
 
     loop {
-        // Phase 1: run everything runnable.
+        // Phase 1: run everything runnable. Virtual-socket progress
+        // happens in here: delivering bytes or datagrams wakes the
+        // consuming task directly, so no separate I/O phase exists.
         drain_runnable!();
 
-        // Phase 2: retry parked socket operations (loopback readiness
-        // is synchronous, so one round suffices to observe any data our
-        // own tasks produced).
-        let parked = std::mem::take(&mut *shared.io_wakers.lock().unwrap());
-        if !parked.is_empty() {
-            let ops_before = shared.io_ops.load(Ordering::Acquire);
-            for waker in parked {
-                waker.wake();
-            }
-            drain_runnable!();
-            if shared.io_ops.load(Ordering::Acquire) != ops_before {
-                continue; // real I/O progressed; go look for more work
-            }
-        }
-
-        // Phase 3: quiescent — advance the virtual clock to the next
+        // Phase 2: quiescent — advance the virtual clock to the next
         // timer deadline.
         if shared.auto_advance() {
             continue;
         }
 
-        // Phase 4: no timers, but sockets are parked. The bytes they
-        // await can only originate outside this runtime; wait a little
-        // real time and retry.
-        if !shared.io_wakers.lock().unwrap().is_empty() {
-            std::thread::sleep(Duration::from_micros(500));
-            continue;
+        // Nothing runnable, no timer pending. Any socket operation
+        // still parked can never be woken — the bytes it awaits would
+        // have to come from a task, and no task can ever run again.
+        // Name the parked endpoints so the hung test points at the
+        // guilty socket instead of a bare count.
+        let parked = shared.net.parked_labels();
+        if parked.is_empty() {
+            panic!(
+                "vendored tokio runtime deadlock: the root future is pending but no \
+                 task is runnable and no timer or socket operation is registered"
+            );
         }
-
         panic!(
-            "vendored tokio runtime deadlock: the root future is pending but no \
-             task is runnable and no timer or socket operation is registered"
+            "vendored tokio runtime deadlock: no task is runnable and no timer is \
+             pending, but {} socket operation(s) are parked and can never be woken \
+             (virtual sockets only receive from tasks in this runtime): {}",
+            parked.len(),
+            parked.join(", ")
         );
     }
 }

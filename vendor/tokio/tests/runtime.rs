@@ -1,11 +1,11 @@
 //! Behavioral tests for the vendored runtime itself: virtual-time
-//! timers, duplex backpressure, channel close semantics, and loopback
-//! TCP through the retry reactor.
+//! timers, duplex backpressure, channel close semantics, and the
+//! in-process virtual network.
 
 use std::time::Duration;
 
 use tokio::io::{AsyncReadExt, AsyncWriteExt};
-use tokio::net::{TcpListener, TcpStream};
+use tokio::net::{TcpListener, TcpStream, UdpSocket};
 use tokio::sync::mpsc;
 use tokio::time::Instant;
 
@@ -156,7 +156,7 @@ async fn bounded_send_waits_for_capacity() {
 }
 
 // ---------------------------------------------------------------------------
-// Loopback TCP through the retry reactor
+// Virtual network
 // ---------------------------------------------------------------------------
 
 #[tokio::test]
@@ -180,11 +180,172 @@ async fn tcp_echo_round_trip() {
 }
 
 #[tokio::test]
-async fn non_loopback_addresses_are_rejected() {
-    let err = TcpStream::connect("192.0.2.1:80").await.unwrap_err();
-    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+async fn any_concrete_address_is_bindable_without_privileges() {
+    // Port 80 on an arbitrary subnet: impossible for an unprivileged
+    // process with kernel sockets, trivial on the virtual net. This is
+    // the cheapest proof that no real socket hides underneath.
+    let listener = TcpListener::bind("10.42.0.1:80").await.unwrap();
+    assert_eq!(listener.local_addr().unwrap().to_string(), "10.42.0.1:80");
+
+    let server = tokio::spawn(async move {
+        let (mut sock, peer) = listener.accept().await.unwrap();
+        // The client was assigned an ephemeral port on the same host.
+        assert_eq!(peer.ip().to_string(), "10.42.0.1");
+        assert!(peer.port() >= 49152);
+        sock.write_all(b"hello from :80").await.unwrap();
+    });
+    let mut client = TcpStream::connect("10.42.0.1:80").await.unwrap();
+    let mut buf = Vec::new();
+    client.read_to_end(&mut buf).await.unwrap();
+    assert_eq!(buf, b"hello from :80");
+    server.await.unwrap();
+}
+
+#[test]
+fn same_address_is_independent_across_runtimes() {
+    // Two sequential runtimes bind the identical address: virtual
+    // registries are per-runtime, so there is no cross-run AddrInUse —
+    // which also means a fleet of homes can reuse one subnet plan.
+    for round in 0..2 {
+        tokio::runtime::block_on(async move {
+            let listener = TcpListener::bind("192.168.1.1:8080").await.unwrap();
+            let server = tokio::spawn(async move {
+                let (mut sock, _) = listener.accept().await.unwrap();
+                sock.write_all(&[round]).await.unwrap();
+            });
+            let mut client = TcpStream::connect("192.168.1.1:8080").await.unwrap();
+            let mut byte = [0u8; 1];
+            client.read_exact(&mut byte).await.unwrap();
+            assert_eq!(byte[0], round);
+            server.await.unwrap();
+        });
+    }
+}
+
+#[tokio::test]
+async fn double_bind_is_addr_in_use() {
+    let _first = TcpListener::bind("10.0.0.7:1000").await.unwrap();
+    let err = TcpListener::bind("10.0.0.7:1000").await.unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse);
+}
+
+#[tokio::test]
+async fn dropping_a_listener_releases_its_address() {
+    let first = TcpListener::bind("10.0.0.8:1000").await.unwrap();
+    drop(first);
+    TcpListener::bind("10.0.0.8:1000").await.unwrap();
+}
+
+#[tokio::test]
+async fn connect_to_unbound_address_is_refused() {
+    let err = TcpStream::connect("10.9.9.9:4242").await.unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::ConnectionRefused);
+}
+
+#[tokio::test]
+async fn unspecified_addresses_are_rejected() {
     let err = TcpListener::bind("0.0.0.0:0").await.unwrap_err();
     assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+}
+
+#[tokio::test]
+async fn ephemeral_ports_are_assigned_deterministically() {
+    let a = TcpListener::bind("10.1.0.1:0").await.unwrap();
+    let b = TcpListener::bind("10.1.0.1:0").await.unwrap();
+    // Fresh runtime, fresh cursor: the kernel-style ephemeral range
+    // starts at 49152 and increments per IP.
+    assert_eq!(a.local_addr().unwrap().port(), 49152);
+    assert_eq!(b.local_addr().unwrap().port(), 49153);
+    // A different IP has its own cursor.
+    let c = UdpSocket::bind("10.1.0.2:0").await.unwrap();
+    assert_eq!(c.local_addr().unwrap().port(), 49152);
+}
+
+#[tokio::test]
+async fn udp_datagrams_route_through_the_registry() {
+    let server = UdpSocket::bind("172.16.0.1:5353").await.unwrap();
+    let client = UdpSocket::bind("172.16.0.1:0").await.unwrap();
+    let client_addr = client.local_addr().unwrap();
+
+    client.send_to(b"ping", "172.16.0.1:5353").await.unwrap();
+    let mut buf = [0u8; 16];
+    let (n, from) = server.recv_from(&mut buf).await.unwrap();
+    assert_eq!(&buf[..n], b"ping");
+    assert_eq!(from, client_addr);
+
+    // Sending to an address nobody bound is refused immediately (the
+    // deterministic stand-in for loopback ICMP unreachable).
+    let err = client.send_to(b"x", "172.16.0.1:9").await.unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::ConnectionRefused);
+}
+
+#[tokio::test]
+async fn net_stats_count_virtual_traffic() {
+    let before = tokio::net::stats();
+    let listener = TcpListener::bind("10.5.0.1:80").await.unwrap();
+    let server = tokio::spawn(async move {
+        let (mut sock, _) = listener.accept().await.unwrap();
+        let mut sink = Vec::new();
+        sock.read_to_end(&mut sink).await.unwrap();
+    });
+    let mut client = TcpStream::connect("10.5.0.1:80").await.unwrap();
+    client.write_all(b"bytes").await.unwrap();
+    drop(client);
+    server.await.unwrap();
+
+    let udp = UdpSocket::bind("10.5.0.1:5353").await.unwrap();
+    let probe = UdpSocket::bind("10.5.0.1:0").await.unwrap();
+    probe.send_to(b"ad", "10.5.0.1:5353").await.unwrap();
+    let mut buf = [0u8; 4];
+    udp.recv_from(&mut buf).await.unwrap();
+
+    let after = tokio::net::stats();
+    assert_eq!(after.tcp_binds - before.tcp_binds, 1);
+    assert_eq!(after.tcp_connects - before.tcp_connects, 1);
+    assert_eq!(after.udp_binds - before.udp_binds, 2);
+    assert_eq!(after.datagrams - before.datagrams, 1);
+}
+
+#[test]
+#[should_panic(expected = "tcp accept on 10.6.0.1:80")]
+fn deadlocked_accept_names_the_parked_operation() {
+    // Nobody will ever connect: no task is runnable, no timer pending,
+    // so the runtime must refuse to wait on real time and instead
+    // panic naming the parked operation.
+    tokio::runtime::block_on(async {
+        let listener = TcpListener::bind("10.6.0.1:80").await.unwrap();
+        listener.accept().await.unwrap();
+    });
+}
+
+#[test]
+#[should_panic(expected = "udp recv_from on 10.6.0.2:5353")]
+fn deadlocked_udp_recv_names_the_parked_operation() {
+    tokio::runtime::block_on(async {
+        let sock = UdpSocket::bind("10.6.0.2:5353").await.unwrap();
+        let mut buf = [0u8; 4];
+        sock.recv_from(&mut buf).await.unwrap();
+    });
+}
+
+#[test]
+#[should_panic(expected = "tcp read from 10.6.0.3:80")]
+fn deadlocked_read_names_the_peer_it_waits_on() {
+    tokio::runtime::block_on(async {
+        let listener = TcpListener::bind("10.6.0.3:80").await.unwrap();
+        // The server accepts and then holds the connection open without
+        // ever writing, so the client's read can never be satisfied.
+        // The panic must name that read and the peer it waits on.
+        let _server_side = tokio::spawn(async move {
+            let (sock, _) = listener.accept().await.unwrap();
+            // Hold the connection open forever without writing.
+            std::mem::forget(sock);
+            std::future::pending::<()>().await;
+        });
+        let mut client = TcpStream::connect("10.6.0.3:80").await.unwrap();
+        let mut buf = [0u8; 1];
+        client.read_exact(&mut buf).await.unwrap();
+    });
 }
 
 // ---------------------------------------------------------------------------
