@@ -20,7 +20,7 @@
 
 use std::time::Instant;
 
-use threegol_bench::{registry, Pool, Scale};
+use threegol_bench::{registry, relay, Pool, Scale};
 use threegol_simnet::capacity::DiurnalProfile;
 use threegol_simnet::fairshare::{
     max_min_fair, max_min_fair_into, FairShareScratch, FlowDemand, FlowTable,
@@ -212,6 +212,12 @@ const BASELINE: &[(&str, Option<f64>)] = &[
     // flows and links.
     ("fleet_1k_homes", Some(1436.8)),
     ("fig06_sweep", Some(89.6)),
+    // Measured from the tree immediately before the zero-copy
+    // streaming codec landed: whole-body materialization on the device
+    // relay, per-read 8 KiB stack chunks, per-message header Strings,
+    // one write syscall-equivalent per head and per body.
+    ("proxy_throughput_segment_relay", Some(14.47)),
+    ("proxy_throughput_upload_relay", Some(6.53)),
 ];
 
 /// `after_ms` per workload from a committed `BENCH_simnet.json`,
@@ -272,6 +278,49 @@ fn main() {
         median_ms: ms,
         live_before_ms: None,
         events,
+    });
+
+    let (ms, events) = run_live_fleet_workload(200);
+    samples.push(Sample {
+        name: "live_fleet_200_homes",
+        what: "200 live-prototype households (virtual-net runtimes, concurrent VoD + upload) \
+               sharded across cores",
+        median_ms: ms,
+        live_before_ms: None,
+        events,
+    });
+
+    // The relay hot path this PR optimizes: throughput through an
+    // unthrottled device proxy, both directions (see the `relay`
+    // module and the `proxy_throughput` criterion bench).
+    let mut seg_times = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let t = Instant::now();
+        relay::segment_relay();
+        seg_times.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    samples.push(Sample {
+        name: "proxy_throughput_segment_relay",
+        what: "4 x 2 MB GET bodies through an unthrottled device relay \
+               (origin -> device -> client) on the virtual net",
+        median_ms: median(seg_times),
+        live_before_ms: None,
+        events: relay::SEGMENT_RUN_BYTES as u64,
+    });
+
+    let mut up_times = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let t = Instant::now();
+        relay::upload_relay();
+        up_times.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    samples.push(Sample {
+        name: "proxy_throughput_upload_relay",
+        what: "8 x 250 kB multipart photo POSTs through an unthrottled device relay \
+               (client -> device -> origin), committed at the origin",
+        median_ms: median(up_times),
+        live_before_ms: None,
+        events: relay::UPLOAD_RUN_BYTES as u64,
     });
 
     // The acceptance workload: the actual fig06 experiment (full

@@ -39,6 +39,7 @@ pub mod exec;
 pub mod experiment;
 pub mod experiments;
 pub mod fleet;
+pub mod relay;
 pub mod util;
 
 pub use exec::{map, resolve_workers, Pool};

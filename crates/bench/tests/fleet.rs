@@ -1,4 +1,4 @@
-//! Acceptance tests for the proxy-fleet harness: a 100-home fleet
+//! Acceptance tests for the proxy-fleet harness: a 200-home fleet
 //! completes in one process under virtual time, the full report is
 //! byte-identical across repeated runs and across worker counts, and
 //! the traffic never touches a kernel socket.
@@ -22,24 +22,27 @@ fn kernel_socket_count() -> usize {
 }
 
 #[test]
-fn hundred_home_fleet_is_deterministic_and_kernel_socket_free() {
+fn two_hundred_home_fleet_is_deterministic_and_kernel_socket_free() {
     #[cfg(target_os = "linux")]
     let sockets_before = kernel_socket_count();
 
-    // Two runs on 4 workers, one on 1 worker (the serial path): every
-    // home report — f64 timings included — must agree bit for bit.
-    let first = Pool::with(4, |pool| run_fleet(100, pool));
-    let second = Pool::with(4, |pool| run_fleet(100, pool));
-    let serial = Pool::with(1, |pool| run_fleet(100, pool));
+    // Two runs on 4 workers, one on 1 worker (the serial path), one on
+    // 7 (a count that doesn't divide the fleet): every home report —
+    // f64 timings included — must agree bit for bit.
+    let first = Pool::with(4, |pool| run_fleet(200, pool));
+    let second = Pool::with(4, |pool| run_fleet(200, pool));
+    let serial = Pool::with(1, |pool| run_fleet(200, pool));
+    let odd = Pool::with(7, |pool| run_fleet(200, pool));
     assert_eq!(digest(&first), digest(&second), "same worker count diverged");
     assert_eq!(digest(&first), digest(&serial), "worker count changed the result");
+    assert_eq!(digest(&first), digest(&odd), "non-dividing worker count changed the result");
     assert_eq!(format!("{first:?}"), format!("{serial:?}"));
 
     #[cfg(target_os = "linux")]
     assert_eq!(kernel_socket_count(), sockets_before, "the fleet path opened a real socket");
 
     // Sanity on the workload itself.
-    assert_eq!(first.len(), 100);
+    assert_eq!(first.len(), 200);
     for (h, report) in first.iter().enumerate() {
         assert_eq!(report.index as usize, h);
         assert!(report.vod_secs.is_finite() && report.vod_secs > 0.0);

@@ -5,6 +5,19 @@
 //! sequential request/response exchanges (the prototype's proxies keep
 //! connections alive per transfer). The free functions are one-shot
 //! conveniences over a fresh buffer.
+//!
+//! Heads and bodies are split: `read_request_head`/`read_response_head`
+//! return the parsed head plus a [`Body`] handle. The handle either
+//! already holds the bytes ([`Body::Full`]) or describes how the body
+//! is framed on the wire ([`Body::Stream`]); the caller then chooses to
+//! materialize it ([`HttpStream::read_body`]) or to pipe it straight
+//! into a downstream writer ([`HttpStream::pipe_body`]) without ever
+//! buffering the whole payload — the relay path the device proxy uses.
+//! Any bytes read past the head (the parse remnant) stay in the stream
+//! buffer and are consumed first by either driver.
+
+use std::fmt::Write as _;
+use std::io::IoSlice;
 
 use bytes::{Bytes, BytesMut};
 use tokio::io::{AsyncRead, AsyncReadExt, AsyncWrite, AsyncWriteExt};
@@ -94,17 +107,140 @@ impl Response {
     }
 }
 
+/// The head of a request: everything before the body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestHead {
+    /// Method, e.g. `GET`.
+    pub method: String,
+    /// Request target.
+    pub target: String,
+    /// Protocol version.
+    pub version: String,
+    /// Header lines.
+    pub headers: Headers,
+}
+
+impl RequestHead {
+    /// Attach a materialized body, recovering a full [`Request`].
+    pub fn into_request(self, body: Bytes) -> Request {
+        Request {
+            method: self.method,
+            target: self.target,
+            version: self.version,
+            headers: self.headers,
+            body,
+        }
+    }
+}
+
+/// The head of a response: everything before the body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseHead {
+    /// Status code.
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: String,
+    /// Protocol version.
+    pub version: String,
+    /// Header lines.
+    pub headers: Headers,
+}
+
+impl ResponseHead {
+    /// Attach a materialized body, recovering a full [`Response`].
+    pub fn into_response(self, body: Bytes) -> Response {
+        Response {
+            status: self.status,
+            reason: self.reason,
+            version: self.version,
+            headers: self.headers,
+            body,
+        }
+    }
+}
+
+/// How a message body is framed on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BodyFraming {
+    /// No body follows the head.
+    None,
+    /// `Content-Length`-delimited: exactly this many bytes follow.
+    Length(usize),
+    /// `Transfer-Encoding: chunked`.
+    Chunked,
+    /// Close-delimited: the body runs until EOF (responses only).
+    Eof,
+}
+
+/// A handle to a message body returned alongside a parsed head.
+///
+/// `Full` already carries the bytes. `Stream` describes a body still
+/// (partially) on the wire: the [`HttpStream`] that produced it holds
+/// the parse remnant, and exactly one of [`HttpStream::read_body`] /
+/// [`HttpStream::pipe_body`] must consume the handle before the next
+/// message is read from that stream.
+#[derive(Debug)]
+#[must_use = "an unconsumed Stream body desynchronizes the connection"]
+pub enum Body {
+    /// The body is fully materialized.
+    Full(Bytes),
+    /// The body is still on the wire, framed as described.
+    Stream(BodyFraming),
+}
+
+impl Body {
+    /// The framing this body had (or would have) on the wire.
+    pub fn framing(&self) -> BodyFraming {
+        match self {
+            Body::Full(b) if b.is_empty() => BodyFraming::None,
+            Body::Full(b) => BodyFraming::Length(b.len()),
+            Body::Stream(f) => *f,
+        }
+    }
+}
+
+/// Derive the body framing from a parsed header block. Mirrors the
+/// decisions the buffered reader has always made, including the error
+/// cases (oversized or unparseable `Content-Length`).
+fn body_framing(headers: &Headers, read_to_eof_allowed: bool) -> Result<BodyFraming, HttpError> {
+    if headers.is_chunked() {
+        return Ok(BodyFraming::Chunked);
+    }
+    if let Some(len) = headers.content_length() {
+        if len > MAX_BODY_BYTES {
+            return Err(HttpError::BodyTooLarge);
+        }
+        return Ok(BodyFraming::Length(len));
+    }
+    if headers.get("content-length").is_some() {
+        return Err(HttpError::BodyTooLarge); // present but unparseable
+    }
+    if read_to_eof_allowed
+        && headers.get("connection").is_some_and(|c| c.eq_ignore_ascii_case("close"))
+    {
+        return Ok(BodyFraming::Eof);
+    }
+    Ok(BodyFraming::None)
+}
+
 /// A buffered HTTP connection over any async transport.
 #[derive(Debug)]
 pub struct HttpStream<T> {
     io: T,
+    /// Read buffer; bytes past a parsed head (the remnant) stay here
+    /// and are consumed first by the body drivers.
     buf: BytesMut,
+    /// Reused head-serialization buffer: heads of sequential messages
+    /// on a kept-alive connection share one allocation.
+    head_buf: BytesMut,
 }
 
 impl<T: AsyncRead + AsyncWrite + Unpin> HttpStream<T> {
-    /// Wrap a transport.
+    /// Wrap a transport. Buffers start empty and are sized lazily by
+    /// the first read/write, so a one-shot exchange allocates only
+    /// what it uses.
     pub fn new(io: T) -> HttpStream<T> {
-        HttpStream { io, buf: BytesMut::with_capacity(8 * 1024) }
+        HttpStream { io, buf: BytesMut::new(), head_buf: BytesMut::new() }
     }
 
     /// Consume the wrapper, returning the transport (leftover buffered
@@ -113,80 +249,275 @@ impl<T: AsyncRead + AsyncWrite + Unpin> HttpStream<T> {
         self.io
     }
 
-    /// Read one request. `Ok(None)` on clean end-of-stream before any
-    /// byte of a new message.
-    pub async fn read_request(&mut self) -> Result<Option<Request>, HttpError> {
-        let Some(head_end) = self.fill_until_headers().await? else {
-            return Ok(None);
-        };
-        let head = self.buf.split_to(head_end);
-        let text = std::str::from_utf8(&head[..head.len() - 4])
-            .map_err(|_| HttpError::Malformed("non-UTF-8 header block".into()))?;
-        let mut lines = text.split("\r\n");
-        let start = lines.next().ok_or_else(|| HttpError::Malformed("empty head".into()))?;
-        let mut parts = start.split_whitespace();
-        let method =
-            parts.next().ok_or_else(|| HttpError::Malformed("missing method".into()))?.to_string();
-        let target =
-            parts.next().ok_or_else(|| HttpError::Malformed("missing target".into()))?.to_string();
-        let version =
-            parts.next().ok_or_else(|| HttpError::Malformed("missing version".into()))?.to_string();
-        let headers = parse_headers(lines)?;
-        let body = self.read_body(&headers, false).await?;
-        Ok(Some(Request { method, target, version, headers, body }))
+    /// The underlying transport, e.g. as the sink for another stream's
+    /// [`pipe_body`](Self::pipe_body).
+    pub fn get_mut(&mut self) -> &mut T {
+        &mut self.io
     }
 
-    /// Read one response.
-    pub async fn read_response(&mut self) -> Result<Response, HttpError> {
-        let head_end = self.fill_until_headers().await?.ok_or(HttpError::UnexpectedEof)?;
-        let head = self.buf.split_to(head_end);
-        let text = std::str::from_utf8(&head[..head.len() - 4])
-            .map_err(|_| HttpError::Malformed("non-UTF-8 header block".into()))?;
-        let mut lines = text.split("\r\n");
-        let start = lines.next().ok_or_else(|| HttpError::Malformed("empty head".into()))?;
-        let mut parts = start.splitn(3, ' ');
-        let version =
-            parts.next().ok_or_else(|| HttpError::Malformed("missing version".into()))?.to_string();
-        let status: u16 = parts
-            .next()
-            .ok_or_else(|| HttpError::Malformed("missing status".into()))?
-            .parse()
-            .map_err(|_| HttpError::Malformed("bad status code".into()))?;
-        let reason = parts.next().unwrap_or("").to_string();
-        let headers = parse_headers(lines)?;
-        let body = self.read_body(&headers, true).await?;
-        Ok(Response { status, reason, version, headers, body })
-    }
-
-    /// Serialize and send a request (Content-Length is set from the
-    /// body).
-    pub async fn write_request(&mut self, req: &Request) -> Result<(), HttpError> {
-        let mut head = format!("{} {} {}\r\n", req.method, req.target, req.version);
-        append_headers(&mut head, &req.headers, req.body.len());
-        self.io.write_all(head.as_bytes()).await?;
-        self.io.write_all(&req.body).await?;
+    /// Flush the transport (the head/body writers do not flush, so a
+    /// relay can push head and body before paying one flush).
+    pub async fn flush(&mut self) -> Result<(), HttpError> {
         self.io.flush().await?;
         Ok(())
     }
 
-    /// Serialize and send a response.
-    pub async fn write_response(&mut self, resp: &Response) -> Result<(), HttpError> {
-        let mut head = format!("{} {} {}\r\n", resp.version, resp.status, resp.reason);
-        append_headers(&mut head, &resp.headers, resp.body.len());
-        self.io.write_all(head.as_bytes()).await?;
-        self.io.write_all(&resp.body).await?;
+    /// Read one request head. `Ok(None)` on clean end-of-stream before
+    /// any byte of a new message. The returned [`Body`] must be
+    /// consumed via [`read_body`](Self::read_body) or
+    /// [`pipe_body`](Self::pipe_body) before the next read.
+    pub async fn read_request_head(&mut self) -> Result<Option<(RequestHead, Body)>, HttpError> {
+        let Some(head_end) = self.fill_until_headers().await? else {
+            return Ok(None);
+        };
+        let head = {
+            let text = std::str::from_utf8(&self.buf[..head_end - 4])
+                .map_err(|_| HttpError::Malformed("non-UTF-8 header block".into()))?;
+            let mut lines = text.split("\r\n");
+            let start = lines.next().ok_or_else(|| HttpError::Malformed("empty head".into()))?;
+            let mut parts = start.split_whitespace();
+            let method = parts
+                .next()
+                .ok_or_else(|| HttpError::Malformed("missing method".into()))?
+                .to_string();
+            let target = parts
+                .next()
+                .ok_or_else(|| HttpError::Malformed("missing target".into()))?
+                .to_string();
+            let version = parts
+                .next()
+                .ok_or_else(|| HttpError::Malformed("missing version".into()))?
+                .to_string();
+            let headers = parse_headers(lines)?;
+            RequestHead { method, target, version, headers }
+        };
+        self.buf.advance(head_end);
+        let body = match body_framing(&head.headers, false)? {
+            BodyFraming::None => Body::Full(Bytes::new()),
+            framing => Body::Stream(framing),
+        };
+        Ok(Some((head, body)))
+    }
+
+    /// Read one response head, plus the [`Body`] handle to consume.
+    pub async fn read_response_head(&mut self) -> Result<(ResponseHead, Body), HttpError> {
+        let head_end = self.fill_until_headers().await?.ok_or(HttpError::UnexpectedEof)?;
+        let head = {
+            let text = std::str::from_utf8(&self.buf[..head_end - 4])
+                .map_err(|_| HttpError::Malformed("non-UTF-8 header block".into()))?;
+            let mut lines = text.split("\r\n");
+            let start = lines.next().ok_or_else(|| HttpError::Malformed("empty head".into()))?;
+            let mut parts = start.splitn(3, ' ');
+            let version = parts
+                .next()
+                .ok_or_else(|| HttpError::Malformed("missing version".into()))?
+                .to_string();
+            let status: u16 = parts
+                .next()
+                .ok_or_else(|| HttpError::Malformed("missing status".into()))?
+                .parse()
+                .map_err(|_| HttpError::Malformed("bad status code".into()))?;
+            let reason = parts.next().unwrap_or("").to_string();
+            let headers = parse_headers(lines)?;
+            ResponseHead { status, reason, version, headers }
+        };
+        self.buf.advance(head_end);
+        let body = match body_framing(&head.headers, true)? {
+            BodyFraming::None => Body::Full(Bytes::new()),
+            framing => Body::Stream(framing),
+        };
+        Ok((head, body))
+    }
+
+    /// Read one request. `Ok(None)` on clean end-of-stream before any
+    /// byte of a new message.
+    pub async fn read_request(&mut self) -> Result<Option<Request>, HttpError> {
+        let Some((head, body)) = self.read_request_head().await? else {
+            return Ok(None);
+        };
+        let body = self.read_body(body).await?;
+        Ok(Some(head.into_request(body)))
+    }
+
+    /// Read one response.
+    pub async fn read_response(&mut self) -> Result<Response, HttpError> {
+        let (head, body) = self.read_response_head().await?;
+        let body = self.read_body(body).await?;
+        Ok(head.into_response(body))
+    }
+
+    /// Materialize a [`Body`] into contiguous bytes. For
+    /// `Content-Length` bodies the storage is handed over without
+    /// copying the payload (only a pipelined remnant, if any, is
+    /// copied back into the read buffer).
+    pub async fn read_body(&mut self, body: Body) -> Result<Bytes, HttpError> {
+        match body {
+            Body::Full(bytes) => Ok(bytes),
+            Body::Stream(BodyFraming::None) => Ok(Bytes::new()),
+            Body::Stream(BodyFraming::Length(len)) => {
+                if len > self.buf.len() {
+                    self.buf.reserve(len - self.buf.len());
+                }
+                self.fill_to(len).await?;
+                Ok(self.buf.freeze_to(len))
+            }
+            Body::Stream(BodyFraming::Chunked) => self.read_chunked_body().await,
+            Body::Stream(BodyFraming::Eof) => {
+                loop {
+                    if self.buf.len() > MAX_BODY_BYTES {
+                        return Err(HttpError::BodyTooLarge);
+                    }
+                    let n = self.io.read_buf(&mut self.buf).await?;
+                    if n == 0 {
+                        break;
+                    }
+                }
+                let len = self.buf.len();
+                Ok(self.buf.freeze_to(len))
+            }
+        }
+    }
+
+    /// Drive a [`Body`] into `sink` without materializing it: decoded
+    /// body bytes are written as they arrive, starting with the parse
+    /// remnant. Returns the number of decoded bytes forwarded. The
+    /// sink is not flushed.
+    pub async fn pipe_body<W: AsyncWrite + Unpin>(
+        &mut self,
+        body: Body,
+        sink: &mut W,
+    ) -> Result<u64, HttpError> {
+        match body {
+            Body::Full(bytes) => {
+                sink.write_all(&bytes).await?;
+                Ok(bytes.len() as u64)
+            }
+            Body::Stream(BodyFraming::None) => Ok(0),
+            Body::Stream(BodyFraming::Length(len)) => {
+                self.pipe_exact(len, sink).await?;
+                Ok(len as u64)
+            }
+            Body::Stream(BodyFraming::Chunked) => {
+                let mut total: u64 = 0;
+                loop {
+                    let size = self.read_chunk_size_line().await?;
+                    if total.saturating_add(size as u64) > MAX_BODY_BYTES as u64 {
+                        return Err(HttpError::BodyTooLarge);
+                    }
+                    if size == 0 {
+                        self.consume_trailers().await?;
+                        return Ok(total);
+                    }
+                    self.pipe_exact(size, sink).await?;
+                    self.consume_chunk_crlf().await?;
+                    total += size as u64;
+                }
+            }
+            Body::Stream(BodyFraming::Eof) => {
+                let mut total: u64 = 0;
+                loop {
+                    if self.buf.is_empty() {
+                        let n = self.io.read_buf(&mut self.buf).await?;
+                        if n == 0 {
+                            return Ok(total);
+                        }
+                    }
+                    let k = self.buf.len();
+                    sink.write_all(&self.buf[..k]).await?;
+                    self.buf.advance(k);
+                    total += k as u64;
+                    if total > MAX_BODY_BYTES as u64 {
+                        return Err(HttpError::BodyTooLarge);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Forward exactly `len` raw bytes from buffer + transport into
+    /// `sink`, bounded by the read window (never the full body).
+    async fn pipe_exact<W: AsyncWrite + Unpin>(
+        &mut self,
+        len: usize,
+        sink: &mut W,
+    ) -> Result<(), HttpError> {
+        let mut remaining = len;
+        while remaining > 0 {
+            if self.buf.is_empty() {
+                let n = self.io.read_buf(&mut self.buf).await?;
+                if n == 0 {
+                    return Err(HttpError::UnexpectedEof);
+                }
+            }
+            let k = remaining.min(self.buf.len());
+            sink.write_all(&self.buf[..k]).await?;
+            self.buf.advance(k);
+            remaining -= k;
+        }
+        Ok(())
+    }
+
+    /// Serialize and send a request (Content-Length is set from the
+    /// body). Head and body leave in one gather-write.
+    pub async fn write_request(&mut self, req: &Request) -> Result<(), HttpError> {
+        self.head_buf.clear();
+        let _ = write!(self.head_buf, "{} {} {}\r\n", req.method, req.target, req.version);
+        append_headers(&mut self.head_buf, &req.headers, req.body.len());
+        write_all_vectored(&mut self.io, &self.head_buf, &req.body).await?;
         self.io.flush().await?;
+        Ok(())
+    }
+
+    /// Serialize and send a response. Head and body leave in one
+    /// gather-write.
+    pub async fn write_response(&mut self, resp: &Response) -> Result<(), HttpError> {
+        self.head_buf.clear();
+        let _ = write!(self.head_buf, "{} {} {}\r\n", resp.version, resp.status, resp.reason);
+        append_headers(&mut self.head_buf, &resp.headers, resp.body.len());
+        write_all_vectored(&mut self.io, &self.head_buf, &resp.body).await?;
+        self.io.flush().await?;
+        Ok(())
+    }
+
+    /// Serialize and send a request head whose body will follow with
+    /// the given framing (relay use; does not flush).
+    pub async fn write_request_head(
+        &mut self,
+        head: &RequestHead,
+        framing: BodyFraming,
+    ) -> Result<(), HttpError> {
+        self.head_buf.clear();
+        let _ = write!(self.head_buf, "{} {} {}\r\n", head.method, head.target, head.version);
+        append_framed_headers(&mut self.head_buf, &head.headers, framing);
+        self.io.write_all(&self.head_buf).await?;
+        Ok(())
+    }
+
+    /// Serialize and send a response head whose body will follow with
+    /// the given framing (relay use; does not flush).
+    pub async fn write_response_head(
+        &mut self,
+        head: &ResponseHead,
+        framing: BodyFraming,
+    ) -> Result<(), HttpError> {
+        self.head_buf.clear();
+        let _ = write!(self.head_buf, "{} {} {}\r\n", head.version, head.status, head.reason);
+        append_framed_headers(&mut self.head_buf, &head.headers, framing);
+        self.io.write_all(&self.head_buf).await?;
         Ok(())
     }
 
     /// Fill the buffer until a complete header block is present.
     /// Returns the offset just past `\r\n\r\n`, or `None` on clean EOF
-    /// with an empty buffer.
+    /// with an empty buffer. Each pass scans only the new bytes plus a
+    /// 3-byte overlap, so a large head is examined once, not O(n²).
     async fn fill_until_headers(&mut self) -> Result<Option<usize>, HttpError> {
+        let mut scanned = 0;
         loop {
-            if let Some(pos) = find_subsequence(&self.buf, b"\r\n\r\n") {
+            if let Some(pos) = find_from(&self.buf, scanned, b"\r\n\r\n") {
                 return Ok(Some(pos + 4));
             }
+            scanned = self.buf.len();
             if self.buf.len() > MAX_HEADER_BYTES {
                 return Err(HttpError::HeadersTooLarge);
             }
@@ -211,87 +542,78 @@ impl<T: AsyncRead + AsyncWrite + Unpin> HttpStream<T> {
         Ok(())
     }
 
-    async fn read_body(
-        &mut self,
-        headers: &Headers,
-        read_to_eof_allowed: bool,
-    ) -> Result<Bytes, HttpError> {
-        if headers.is_chunked() {
-            return self.read_chunked_body().await;
-        }
-        if let Some(len) = headers.content_length() {
-            if len > MAX_BODY_BYTES {
-                return Err(HttpError::BodyTooLarge);
+    /// Read and consume one chunk size line, returning the size.
+    async fn read_chunk_size_line(&mut self) -> Result<usize, HttpError> {
+        let mut scanned = 0;
+        let line_end = loop {
+            if let Some(pos) = find_from(&self.buf, scanned, b"\r\n") {
+                break pos;
             }
-            self.fill_to(len).await?;
-            return Ok(self.buf.split_to(len).freeze());
-        }
-        if headers.get("content-length").is_some() {
-            return Err(HttpError::BodyTooLarge); // present but unparseable
-        }
-        if read_to_eof_allowed
-            && headers.get("connection").is_some_and(|c| c.eq_ignore_ascii_case("close"))
-        {
-            // Old-style close-delimited body.
-            loop {
-                if self.buf.len() > MAX_BODY_BYTES {
-                    return Err(HttpError::BodyTooLarge);
-                }
-                let n = self.io.read_buf(&mut self.buf).await?;
-                if n == 0 {
-                    break;
-                }
+            scanned = self.buf.len();
+            let n = self.io.read_buf(&mut self.buf).await?;
+            if n == 0 {
+                return Err(HttpError::UnexpectedEof);
             }
-            return Ok(self.buf.split().freeze());
-        }
-        Ok(Bytes::new())
+        };
+        let size = {
+            let size_text = std::str::from_utf8(&self.buf[..line_end])
+                .map_err(|_| HttpError::Malformed("bad chunk size".into()))?;
+            let size_text = size_text.split(';').next().unwrap_or("").trim();
+            usize::from_str_radix(size_text, 16)
+                .map_err(|_| HttpError::Malformed(format!("bad chunk size {size_text:?}")))?
+        };
+        self.buf.advance(line_end + 2);
+        Ok(size)
     }
 
-    async fn read_chunked_body(&mut self) -> Result<Bytes, HttpError> {
-        let mut body = BytesMut::new();
+    /// Consume the CRLF that terminates a chunk payload.
+    async fn consume_chunk_crlf(&mut self) -> Result<(), HttpError> {
+        self.fill_to(2).await?;
+        if &self.buf[..2] != b"\r\n" {
+            return Err(HttpError::Malformed("missing chunk CRLF".into()));
+        }
+        self.buf.advance(2);
+        Ok(())
+    }
+
+    /// Consume (and ignore) trailers after the final zero chunk, up to
+    /// and including the blank line.
+    async fn consume_trailers(&mut self) -> Result<(), HttpError> {
         loop {
-            // Read the size line.
-            let line_end = loop {
-                if let Some(pos) = find_subsequence(&self.buf, b"\r\n") {
+            let mut scanned = 0;
+            let pos = loop {
+                if let Some(pos) = find_from(&self.buf, scanned, b"\r\n") {
                     break pos;
                 }
+                scanned = self.buf.len();
                 let n = self.io.read_buf(&mut self.buf).await?;
                 if n == 0 {
                     return Err(HttpError::UnexpectedEof);
                 }
             };
-            let line = self.buf.split_to(line_end + 2);
-            let size_text = std::str::from_utf8(&line[..line_end])
-                .map_err(|_| HttpError::Malformed("bad chunk size".into()))?;
-            let size_text = size_text.split(';').next().unwrap_or("").trim();
-            let size = usize::from_str_radix(size_text, 16)
-                .map_err(|_| HttpError::Malformed(format!("bad chunk size {size_text:?}")))?;
+            self.buf.advance(pos + 2);
+            if pos == 0 {
+                return Ok(());
+            }
+        }
+    }
+
+    async fn read_chunked_body(&mut self) -> Result<Bytes, HttpError> {
+        let mut body = BytesMut::new();
+        loop {
+            let size = self.read_chunk_size_line().await?;
             if body.len() + size > MAX_BODY_BYTES {
                 return Err(HttpError::BodyTooLarge);
             }
             if size == 0 {
-                // Trailers: consume until the final CRLF.
-                loop {
-                    if let Some(pos) = find_subsequence(&self.buf, b"\r\n") {
-                        let line = self.buf.split_to(pos + 2);
-                        if pos == 0 {
-                            return Ok(body.freeze());
-                        }
-                        let _ = line; // ignore trailer
-                        continue;
-                    }
-                    let n = self.io.read_buf(&mut self.buf).await?;
-                    if n == 0 {
-                        return Err(HttpError::UnexpectedEof);
-                    }
-                }
+                self.consume_trailers().await?;
+                return Ok(body.freeze());
             }
             self.fill_to(size + 2).await?;
-            body.extend_from_slice(&self.buf.split_to(size));
-            let crlf = self.buf.split_to(2);
-            if &crlf[..] != b"\r\n" {
-                return Err(HttpError::Malformed("missing chunk CRLF".into()));
-            }
+            body.reserve(size);
+            body.extend_from_slice(&self.buf[..size]);
+            self.buf.advance(size);
+            self.consume_chunk_crlf().await?;
         }
     }
 }
@@ -310,24 +632,114 @@ fn parse_headers<'a>(lines: impl Iterator<Item = &'a str>) -> Result<Headers, Ht
     Ok(headers)
 }
 
-fn append_headers(head: &mut String, headers: &Headers, body_len: usize) {
+fn append_headers(head: &mut BytesMut, headers: &Headers, body_len: usize) {
     let mut wrote_len = false;
     for (name, value) in headers.iter() {
         if name.eq_ignore_ascii_case("content-length") {
             wrote_len = true;
-            head.push_str(&format!("Content-Length: {body_len}\r\n"));
+            let _ = write!(head, "Content-Length: {body_len}\r\n");
         } else {
-            head.push_str(&format!("{name}: {value}\r\n"));
+            let _ = write!(head, "{name}: {value}\r\n");
         }
     }
     if !wrote_len && body_len > 0 {
-        head.push_str(&format!("Content-Length: {body_len}\r\n"));
+        let _ = write!(head, "Content-Length: {body_len}\r\n");
     }
-    head.push_str("\r\n");
+    head.extend_from_slice(b"\r\n");
 }
 
+/// Serialize headers for a head whose body follows with `framing`.
+/// `Length` rewrites/installs `Content-Length` (and drops any stale
+/// `Transfer-Encoding`, since the body is re-framed); `Chunked`/`Eof`
+/// pass the headers through verbatim.
+fn append_framed_headers(head: &mut BytesMut, headers: &Headers, framing: BodyFraming) {
+    match framing {
+        BodyFraming::None => append_headers(head, headers, 0),
+        BodyFraming::Length(len) => {
+            let mut wrote_len = false;
+            for (name, value) in headers.iter() {
+                if name.eq_ignore_ascii_case("content-length") {
+                    wrote_len = true;
+                    let _ = write!(head, "Content-Length: {len}\r\n");
+                } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                    continue;
+                } else {
+                    let _ = write!(head, "{name}: {value}\r\n");
+                }
+            }
+            if !wrote_len {
+                let _ = write!(head, "Content-Length: {len}\r\n");
+            }
+            head.extend_from_slice(b"\r\n");
+        }
+        BodyFraming::Chunked | BodyFraming::Eof => {
+            for (name, value) in headers.iter() {
+                let _ = write!(head, "{name}: {value}\r\n");
+            }
+            head.extend_from_slice(b"\r\n");
+        }
+    }
+}
+
+/// Write the whole of `head` then `body`, using gather-writes so both
+/// land in the transport in one wakeup when it has room.
+async fn write_all_vectored<W: AsyncWrite + Unpin>(
+    io: &mut W,
+    mut head: &[u8],
+    mut body: &[u8],
+) -> Result<(), HttpError> {
+    while !head.is_empty() || !body.is_empty() {
+        let n = if head.is_empty() {
+            io.write(body).await?
+        } else if body.is_empty() {
+            io.write(head).await?
+        } else {
+            io.write_vectored(&[IoSlice::new(head), IoSlice::new(body)]).await?
+        };
+        if n == 0 {
+            return Err(HttpError::Io(std::io::Error::new(
+                std::io::ErrorKind::WriteZero,
+                "wrote zero bytes of a non-empty message",
+            )));
+        }
+        let from_head = n.min(head.len());
+        head = &head[from_head..];
+        body = &body[n - from_head..];
+    }
+    Ok(())
+}
+
+/// Incremental delimiter search: resume at `scanned` minus a
+/// `needle.len() - 1` overlap, so bytes already examined are not
+/// rescanned when more arrive.
+fn find_from(haystack: &[u8], scanned: usize, needle: &[u8]) -> Option<usize> {
+    let start = scanned.saturating_sub(needle.len() - 1);
+    find_subsequence(&haystack[start..], needle).map(|pos| pos + start)
+}
+
+/// memchr-style search: skip to candidate first bytes instead of
+/// comparing a window at every offset.
 fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
-    haystack.windows(needle.len()).position(|window| window == needle)
+    let (&first, rest) = needle.split_first()?;
+    let mut base = 0;
+    while base + needle.len() <= haystack.len() {
+        let pos = find_byte(&haystack[base..], first)?;
+        let at = base + pos;
+        if at + needle.len() > haystack.len() {
+            return None;
+        }
+        if &haystack[at + 1..at + needle.len()] == rest {
+            return Some(at);
+        }
+        base = at + 1;
+    }
+    None
+}
+
+/// First position of `byte` (`iter().position` compiles to a vectorized
+/// byte scan; kept as a seam should a real memchr ever be vendored).
+fn find_byte(haystack: &[u8], byte: u8) -> Option<usize> {
+    haystack.iter().position(|&b| b == byte)
 }
 
 /// One-shot: read a request from `reader` (fresh buffer).
@@ -423,6 +835,13 @@ impl<W: AsyncWrite + Unpin> AsyncWrite for WriteOnly<W> {
         cx: &mut std::task::Context<'_>,
     ) -> std::task::Poll<std::io::Result<()>> {
         std::pin::Pin::new(&mut self.0).poll_shutdown(cx)
+    }
+    fn poll_write_vectored(
+        mut self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+        bufs: &[IoSlice<'_>],
+    ) -> std::task::Poll<std::io::Result<usize>> {
+        std::pin::Pin::new(&mut self.0).poll_write_vectored(cx, bufs)
     }
 }
 
@@ -590,5 +1009,99 @@ mod tests {
         write_response(&mut buf, &Response::not_found()).await.unwrap();
         let got = read_response(&buf[..]).await.unwrap();
         assert_eq!(got.status, 404);
+    }
+
+    #[tokio::test]
+    async fn length_body_is_zero_copy_from_read_buffer() {
+        let (mut client, server) = tokio::io::duplex(64 * 1024);
+        let payload = vec![5u8; 10_000];
+        let mut msg = b"HTTP/1.1 200 OK\r\nContent-Length: 10000\r\n\r\n".to_vec();
+        msg.extend_from_slice(&payload);
+        client.write_all(&msg).await.unwrap();
+        drop(client);
+        let mut s = HttpStream::new(server);
+        let resp = s.read_response().await.unwrap();
+        assert_eq!(&resp.body[..], &payload[..]);
+    }
+
+    #[tokio::test]
+    async fn head_then_streamed_body_matches_buffered() {
+        let (mut client, server) = tokio::io::duplex(64 * 1024);
+        let payload: Vec<u8> = (0..50_000u32).map(|i| (i % 251) as u8).collect();
+        let mut msg = b"HTTP/1.1 200 OK\r\nContent-Length: 50000\r\n\r\n".to_vec();
+        msg.extend_from_slice(&payload);
+        tokio::spawn(async move {
+            client.write_all(&msg).await.unwrap();
+        });
+        let mut s = HttpStream::new(server);
+        let (head, body) = s.read_response_head().await.unwrap();
+        assert_eq!(head.status, 200);
+        assert!(matches!(body, Body::Stream(BodyFraming::Length(50_000))));
+        let mut sink = Vec::new();
+        let piped = s.pipe_body(body, &mut sink).await.unwrap();
+        assert_eq!(piped, 50_000);
+        assert_eq!(sink, payload);
+    }
+
+    #[tokio::test]
+    async fn streamed_chunked_body_decodes_and_counts() {
+        let (mut client, server) = tokio::io::duplex(1024);
+        client
+            .write_all(
+                b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nWiki\r\n5\r\npedia\r\n0\r\nX-T: v\r\n\r\n",
+            )
+            .await
+            .unwrap();
+        drop(client);
+        let mut s = HttpStream::new(server);
+        let (_, body) = s.read_response_head().await.unwrap();
+        let mut sink = Vec::new();
+        let piped = s.pipe_body(body, &mut sink).await.unwrap();
+        assert_eq!(piped, 9);
+        assert_eq!(sink, b"Wikipedia");
+    }
+
+    #[tokio::test]
+    async fn relay_heads_reframe_chunked_to_length() {
+        // A chunked upstream body materialized by a relay goes back out
+        // Content-Length framed, with the stale TE header dropped.
+        let head = ResponseHead {
+            status: 200,
+            reason: "OK".into(),
+            version: "HTTP/1.1".into(),
+            headers: {
+                let mut h = Headers::new();
+                h.set("Transfer-Encoding", "chunked");
+                h.set("Content-Type", "video/mp2t");
+                h
+            },
+        };
+        let (client, server) = tokio::io::duplex(4096);
+        let mut c = HttpStream::new(client);
+        c.write_response_head(&head, BodyFraming::Length(3)).await.unwrap();
+        c.get_mut().write_all(b"abc").await.unwrap();
+        c.flush().await.unwrap();
+        drop(c);
+        let mut s = HttpStream::new(server);
+        let resp = s.read_response().await.unwrap();
+        assert_eq!(resp.headers.get("transfer-encoding"), None);
+        assert_eq!(resp.headers.content_length(), Some(3));
+        assert_eq!(&resp.body[..], b"abc");
+    }
+
+    #[tokio::test]
+    async fn pipelined_messages_survive_body_handoff() {
+        // Two responses written back to back: freezing the first body
+        // must leave the second message's bytes in the buffer.
+        let (mut client, server) = tokio::io::duplex(64 * 1024);
+        let mut msg = b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nfirst".to_vec();
+        msg.extend_from_slice(b"HTTP/1.1 200 OK\r\nContent-Length: 6\r\n\r\nsecond");
+        client.write_all(&msg).await.unwrap();
+        drop(client);
+        let mut s = HttpStream::new(server);
+        let a = s.read_response().await.unwrap();
+        let b = s.read_response().await.unwrap();
+        assert_eq!(&a.body[..], b"first");
+        assert_eq!(&b.body[..], b"second");
     }
 }

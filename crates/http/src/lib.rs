@@ -25,7 +25,10 @@ pub mod error;
 pub mod headers;
 pub mod multipart;
 
-pub use codec::{read_request, read_response, write_request, write_response, Request, Response};
+pub use codec::{
+    read_request, read_response, write_request, write_response, Body, BodyFraming, HttpStream,
+    Request, RequestHead, Response, ResponseHead,
+};
 pub use error::HttpError;
 pub use headers::Headers;
 pub use multipart::{encode_multipart, parse_multipart, Part};

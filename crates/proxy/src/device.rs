@@ -15,7 +15,8 @@ use parking_lot::Mutex;
 use tokio::net::{TcpListener, TcpStream};
 
 use threegol_caps::QuotaTracker;
-use threegol_http::codec::HttpStream;
+use threegol_http::codec::{Body, BodyFraming, HttpStream};
+use tokio::io::AsyncWriteExt;
 
 use crate::discovery::{announce, Advertisement};
 use crate::throttle::{RateLimit, ThrottledStream};
@@ -82,6 +83,12 @@ impl DeviceProxy {
     /// Pipe one LAN connection through the 3G bearer: each request is
     /// forwarded upstream and the response relayed back; transferred
     /// body bytes are charged to the quota.
+    ///
+    /// Bodies with known length stream through bounded-window piping —
+    /// a segment or photo is never materialized on the device, matching
+    /// the phone proxy's memory budget. Chunked/close-delimited bodies
+    /// (which the prototype's peers never send) fall back to buffering
+    /// and are re-framed with a Content-Length.
     pub async fn serve_lan_connection(
         &self,
         lan: TcpStream,
@@ -92,13 +99,46 @@ impl DeviceProxy {
         let mut upstream =
             HttpStream::new(ThrottledStream::new(upstream_tcp, self.g3_down, self.g3_up));
         let mut lan = HttpStream::new(lan);
-        while let Some(req) = lan.read_request().await? {
-            let up_bytes = req.body.len() as f64;
-            upstream.write_request(&req).await?;
-            let resp = upstream.read_response().await?;
-            let down_bytes = resp.body.len() as f64;
-            self.quota.lock().consume(up_bytes + down_bytes);
-            lan.write_response(&resp).await?;
+        while let Some((head, body)) = lan.read_request_head().await? {
+            let up_bytes = match body {
+                Body::Stream(BodyFraming::Length(len)) => {
+                    upstream.write_request_head(&head, BodyFraming::Length(len)).await?;
+                    lan.pipe_body(body, upstream.get_mut()).await?
+                }
+                body => {
+                    let bytes = lan.read_body(body).await?;
+                    let framing = if bytes.is_empty() {
+                        BodyFraming::None
+                    } else {
+                        BodyFraming::Length(bytes.len())
+                    };
+                    upstream.write_request_head(&head, framing).await?;
+                    upstream.get_mut().write_all(&bytes).await?;
+                    bytes.len() as u64
+                }
+            };
+            upstream.flush().await?;
+
+            let (resp_head, resp_body) = upstream.read_response_head().await?;
+            let down_bytes = match resp_body {
+                Body::Stream(BodyFraming::Length(len)) => {
+                    lan.write_response_head(&resp_head, BodyFraming::Length(len)).await?;
+                    upstream.pipe_body(resp_body, lan.get_mut()).await?
+                }
+                resp_body => {
+                    let bytes = upstream.read_body(resp_body).await?;
+                    let framing = if bytes.is_empty() {
+                        BodyFraming::None
+                    } else {
+                        BodyFraming::Length(bytes.len())
+                    };
+                    lan.write_response_head(&resp_head, framing).await?;
+                    lan.get_mut().write_all(&bytes).await?;
+                    bytes.len() as u64
+                }
+            };
+            lan.flush().await?;
+            self.quota.lock().consume((up_bytes + down_bytes) as f64);
         }
         Ok(())
     }

@@ -32,10 +32,16 @@ use crate::client::ThreegolClient;
 /// Prefetch cache state.
 #[derive(Default)]
 struct Cache {
-    /// Segment target → body, once fetched.
+    /// Segment target → body, once fetched and not yet served.
     ready: HashMap<String, Bytes>,
     /// Targets currently being prefetched.
     pending: HashSet<String>,
+    /// Targets already handed to the player and evicted from `ready`
+    /// (a VoD player requests each segment once, so holding served
+    /// bodies would only grow the cache for the length of the video).
+    /// Consulted by prefetch so a playlist re-intercept does not
+    /// refetch them.
+    served: HashSet<String>,
 }
 
 /// The HLS-aware local proxy.
@@ -123,7 +129,10 @@ impl HlsProxy {
             let mut fresh = Vec::new();
             for (_, uri) in &playlist.entries {
                 let t = if uri.starts_with('/') { uri.clone() } else { format!("{base}/{uri}") };
-                if !cache.ready.contains_key(&t) && !cache.pending.contains(&t) {
+                if !cache.ready.contains_key(&t)
+                    && !cache.pending.contains(&t)
+                    && !cache.served.contains(&t)
+                {
                     cache.pending.insert(t.clone());
                     fresh.push(t);
                 }
@@ -163,14 +172,18 @@ impl HlsProxy {
 
     /// Serve a segment from the prefetch cache, waiting for it to land
     /// if the prefetch is still in flight; falls back to a direct
-    /// multipath fetch for never-prefetched targets.
+    /// multipath fetch for never-prefetched targets. Serving evicts
+    /// the body from the cache — the `Bytes` handle moves to the
+    /// response without copying, and the ready cache stays bounded by
+    /// the prefetch window instead of the whole video.
     async fn handle_segment(&self, target: &str) -> Result<Response, HttpError> {
         loop {
             let notified = self.arrived.notified();
             let in_flight = {
-                let cache = self.cache.lock();
-                if let Some(body) = cache.ready.get(target) {
-                    return Ok(Response::ok("video/mp2t", body.clone()));
+                let mut cache = self.cache.lock();
+                if let Some(body) = cache.ready.remove(target) {
+                    cache.served.insert(target.to_string());
+                    return Ok(Response::ok("video/mp2t", body));
                 }
                 cache.pending.contains(target)
             };
@@ -178,16 +191,21 @@ impl HlsProxy {
                 // Not part of any intercepted playlist: fetch directly.
                 let (bodies, _) = self.client.fetch(vec![target.to_string()], None).await?;
                 let body = bodies.into_iter().next().expect("one body");
-                self.cache.lock().ready.insert(target.to_string(), body.clone());
+                self.cache.lock().served.insert(target.to_string());
                 return Ok(Response::ok("video/mp2t", body));
             }
             notified.await;
         }
     }
 
-    /// Number of cached segments (for tests/monitoring).
+    /// Number of cached (fetched, not yet served) segments.
     pub fn cached_segments(&self) -> usize {
         self.cache.lock().ready.len()
+    }
+
+    /// Number of segments already served (and evicted).
+    pub fn served_segments(&self) -> usize {
+        self.cache.lock().served.len()
     }
 }
 
@@ -235,7 +253,26 @@ mod tests {
             assert_eq!(seg.status, 200);
             assert_eq!(seg.body.len(), 16_000, "segment {i}");
         }
-        assert_eq!(proxy.cached_segments(), 5);
+        // Served segments are evicted from the ready cache.
+        assert_eq!(proxy.cached_segments(), 0);
+        assert_eq!(proxy.served_segments(), 5);
+    }
+
+    #[tokio::test]
+    async fn served_segments_are_not_refetched_on_replaylist() {
+        let (proxy, addr, origin) = setup().await;
+        let _ = player_get(addr, "/q1/index.m3u8").await;
+        for i in 0..5 {
+            let seg = player_get(addr, &format!("/q1/seg{i:05}.ts")).await;
+            assert_eq!(seg.status, 200);
+        }
+        assert_eq!(proxy.cached_segments(), 0);
+        let served_before = origin.requests_served();
+        // Re-intercepting the playlist must not refetch evicted
+        // segments the player already consumed.
+        let _ = player_get(addr, "/q1/index.m3u8").await;
+        tokio::time::sleep(std::time::Duration::from_millis(100)).await;
+        assert_eq!(origin.requests_served(), served_before + 1);
     }
 
     #[tokio::test]

@@ -113,6 +113,9 @@ impl OriginServer {
                     } else {
                         "application/octet-stream"
                     };
+                    // `Bytes` is reference-counted: `clone`/`slice`
+                    // hand out views of the stored asset, so serving a
+                    // segment never copies its payload.
                     match req.headers.get("range") {
                         Some(range) => match parse_byte_range(range, body.len()) {
                             Some((start, end)) => {

@@ -13,6 +13,7 @@
 //! way they would on the real link.
 
 use std::future::Future;
+use std::io::IoSlice;
 use std::pin::Pin;
 use std::sync::Arc;
 use std::task::{Context, Poll};
@@ -234,6 +235,54 @@ impl<T: AsyncWrite + Unpin> AsyncWrite for ThrottledStream<T> {
             }
             let allowed = available.min(data.len());
             return match Pin::new(&mut this.inner).poll_write(cx, &data[..allowed]) {
+                Poll::Ready(Ok(n)) => {
+                    this.write_bucket.consume(n);
+                    Poll::Ready(Ok(n))
+                }
+                other => other,
+            };
+        }
+    }
+
+    fn poll_write_vectored(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        bufs: &[IoSlice<'_>],
+    ) -> Poll<std::io::Result<usize>> {
+        let this = self.get_mut();
+        let total: usize = bufs.iter().map(|b| b.len()).sum();
+        if total == 0 {
+            return Pin::new(&mut this.inner).poll_write_vectored(cx, bufs);
+        }
+        loop {
+            if let Some(sleep) = this.write_sleep.as_mut() {
+                match sleep.as_mut().poll(cx) {
+                    Poll::Ready(()) => this.write_sleep = None,
+                    Poll::Pending => return Poll::Pending,
+                }
+            }
+            let available = this.write_bucket.available();
+            if available < QUANTUM.min(total).max(1) {
+                let want = QUANTUM.min(total).max(1);
+                let at = this.write_bucket.ready_at(want);
+                this.write_sleep = Some(Box::pin(sleep_until(at)));
+                continue;
+            }
+            let allowed = available.min(total);
+            // The token cap applies to the gather-write as a whole:
+            // truncate the slice list at `allowed` bytes so a head+body
+            // pair still drains the bucket at the configured rate.
+            let mut capped: Vec<IoSlice<'_>> = Vec::with_capacity(bufs.len());
+            let mut budget = allowed;
+            for b in bufs {
+                if budget == 0 {
+                    break;
+                }
+                let take = b.len().min(budget);
+                capped.push(IoSlice::new(&b[..take]));
+                budget -= take;
+            }
+            return match Pin::new(&mut this.inner).poll_write_vectored(cx, &capped) {
                 Poll::Ready(Ok(n)) => {
                     this.write_bucket.consume(n);
                     Poll::Ready(Ok(n))

@@ -1,11 +1,13 @@
 //! Offline vendored mini-`bytes`.
 //!
-//! `Vec<u8>`-backed stand-ins for `Bytes`/`BytesMut`. No zero-copy
-//! reference counting — `clone` copies — but the API contract (cheap
-//! conceptual sharing of immutable byte buffers) is preserved for the
-//! workspace's HTTP prototype crates.
+//! Arc-backed `Bytes` with zero-copy `clone`/`slice`/`split_off`, and a
+//! head-offset `BytesMut` whose `advance` is O(1) and whose
+//! `freeze`/`freeze_to` hand the storage to a `Bytes` view without
+//! copying the payload. This is what lets the proxy relay path move
+//! segment bodies around by reference instead of memcpy.
 
-use std::ops::Deref;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
 
 /// Minimal stand-in for the real crate's `BufMut` trait: just the
 /// slice-append method the workspace uses.
@@ -26,45 +28,70 @@ impl BufMut for BytesMut {
     }
 }
 
-/// Immutable byte buffer (Vec-backed stand-in for `bytes::Bytes`).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+/// Immutable byte buffer: a `[start, end)` view into shared storage.
+/// `clone`, `slice`, and `split_off` are O(1) and never copy payload.
+#[derive(Clone)]
 pub struct Bytes {
-    data: Vec<u8>,
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+fn shared_empty() -> Arc<Vec<u8>> {
+    use std::sync::OnceLock;
+    static EMPTY: OnceLock<Arc<Vec<u8>>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(Vec::new())).clone()
 }
 
 impl Bytes {
-    /// Empty buffer.
+    /// Empty buffer (no allocation; all empties share one storage).
     pub fn new() -> Bytes {
-        Bytes { data: Vec::new() }
+        Bytes { data: shared_empty(), start: 0, end: 0 }
+    }
+
+    fn from_vec(data: Vec<u8>) -> Bytes {
+        let end = data.len();
+        Bytes { data: Arc::new(data), start: 0, end }
+    }
+
+    /// A view of `[start, end)` within already-shared storage.
+    pub(crate) fn view(data: Arc<Vec<u8>>, start: usize, end: usize) -> Bytes {
+        debug_assert!(start <= end && end <= data.len());
+        Bytes { data, start, end }
     }
 
     /// Copy from a slice.
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
-        Bytes { data: data.to_vec() }
+        Bytes::from_vec(data.to_vec())
     }
 
     /// Create from a static slice (copies; the real crate borrows).
     pub fn from_static(data: &'static [u8]) -> Bytes {
-        Bytes { data: data.to_vec() }
+        Bytes::from_vec(data.to_vec())
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.end - self.start
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.start == self.end
     }
 
     /// Split off the bytes at `at`, leaving `[0, at)` in `self`.
+    /// O(1): both halves keep referencing the same storage.
     pub fn split_off(&mut self, at: usize) -> Bytes {
-        Bytes { data: self.data.split_off(at) }
+        assert!(at <= self.len(), "split_off out of bounds");
+        let tail = Bytes { data: self.data.clone(), start: self.start + at, end: self.end };
+        self.end = self.start + at;
+        tail
     }
 
     /// Sub-slice as a new buffer; accepts any range kind
     /// (`a..b`, `a..=b`, `..b`, `a..`, `..`) like the real crate.
+    /// O(1): the result shares this buffer's storage.
     pub fn slice<R: std::ops::RangeBounds<usize>>(&self, range: R) -> Bytes {
         use std::ops::Bound;
         let start = match range.start_bound() {
@@ -75,14 +102,41 @@ impl Bytes {
         let end = match range.end_bound() {
             Bound::Included(&n) => n + 1,
             Bound::Excluded(&n) => n,
-            Bound::Unbounded => self.data.len(),
+            Bound::Unbounded => self.len(),
         };
-        Bytes { data: self.data[start..end].to_vec() }
+        assert!(start <= end && end <= self.len(), "slice out of bounds");
+        Bytes { data: self.data.clone(), start: self.start + start, end: self.start + end }
     }
 
-    /// Extract the underlying vector.
+    /// Copy out the contents as a fresh vector.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.clone()
+        self.as_ref().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bytes").field("data", &self.as_ref()).finish()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
     }
 }
 
@@ -90,19 +144,19 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.start..self.end]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(data: Vec<u8>) -> Bytes {
-        Bytes { data }
+        Bytes::from_vec(data)
     }
 }
 
@@ -114,7 +168,7 @@ impl From<&[u8]> for Bytes {
 
 impl From<String> for Bytes {
     fn from(s: String) -> Bytes {
-        Bytes { data: s.into_bytes() }
+        Bytes::from_vec(s.into_bytes())
     }
 }
 
@@ -124,77 +178,241 @@ impl From<&str> for Bytes {
     }
 }
 
-/// Growable byte buffer (Vec-backed stand-in for `bytes::BytesMut`).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// Growable byte buffer whose visible contents are `data[head..]`.
+/// Consuming from the front (`advance`) just bumps `head`; freezing
+/// hands the storage to a `Bytes` view without copying.
+#[derive(Default)]
 pub struct BytesMut {
     data: Vec<u8>,
+    head: usize,
+    /// Bytes of the current allocation known to be initialized
+    /// (`data.len() <= init <= data.capacity()`). Lets
+    /// [`resize_for_read`](Self::resize_for_read) re-expose previously
+    /// zeroed spare capacity without re-zeroing it on every read.
+    init: usize,
 }
 
 impl BytesMut {
     /// Empty buffer.
     pub fn new() -> BytesMut {
-        BytesMut { data: Vec::new() }
+        BytesMut { data: Vec::new(), head: 0, init: 0 }
     }
 
     /// Empty buffer with reserved capacity.
     pub fn with_capacity(cap: usize) -> BytesMut {
-        BytesMut { data: Vec::with_capacity(cap) }
+        BytesMut { data: Vec::with_capacity(cap), head: 0, init: 0 }
+    }
+
+    /// Refresh `init` after an operation that may have grown (and so
+    /// possibly reallocated) the storage. A reallocation leaves the
+    /// tail beyond `data.len()` uninitialized again.
+    fn note_growth(&mut self, cap_before: usize) {
+        if self.data.capacity() != cap_before {
+            self.init = self.data.len();
+        } else {
+            self.init = self.init.max(self.data.len());
+        }
+    }
+
+    /// Reclaim the dead prefix when the buffer has been fully consumed.
+    fn compact_if_empty(&mut self) {
+        if self.head == self.data.len() {
+            self.data.clear();
+            self.head = 0;
+        }
     }
 
     /// Append a slice.
     pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.compact_if_empty();
+        let cap = self.data.capacity();
         self.data.extend_from_slice(src);
+        self.note_growth(cap);
     }
 
-    /// Length in bytes.
+    /// Length in bytes (of the visible contents).
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.data.len() - self.head
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.head == self.data.len()
     }
 
-    /// Remove and return the first `at` bytes.
+    /// Spare capacity available without reallocating.
+    pub fn spare_capacity(&self) -> usize {
+        self.data.capacity() - self.data.len()
+    }
+
+    /// Reserve space for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        if self.is_empty() && self.head > 0 {
+            self.compact_if_empty();
+        }
+        let cap = self.data.capacity();
+        self.data.reserve(additional);
+        self.note_growth(cap);
+    }
+
+    /// Grow or shrink the visible contents to `new_len`, filling new
+    /// bytes with `value`.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.compact_if_empty();
+        let cap = self.data.capacity();
+        self.data.resize(self.head + new_len, value);
+        self.note_growth(cap);
+    }
+
+    /// Grow the visible contents to `new_len` for use as a read
+    /// destination. Equivalent to `resize(new_len, 0)` except that
+    /// memory this buffer already zeroed (and then [`Self::truncate`]d away)
+    /// is re-exposed without being zeroed again — the repeated
+    /// grow/read/truncate cycle in `read_buf` pays one memset per
+    /// allocation instead of one per read.
+    pub fn resize_for_read(&mut self, new_len: usize) {
+        self.compact_if_empty();
+        let target = self.head + new_len;
+        if target <= self.init {
+            debug_assert!(target <= self.data.capacity());
+            // SAFETY: `init` only ever covers bytes of the current
+            // allocation that `Vec` itself wrote (via resize/extend),
+            // and is reset whenever the capacity changes, so
+            // `data[..target]` is initialized.
+            unsafe { self.data.set_len(target) }
+        } else {
+            let cap = self.data.capacity();
+            self.data.resize(target, 0);
+            self.note_growth(cap);
+        }
+    }
+
+    /// Shorten the visible contents to `len` (no-op if already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.len() {
+            self.data.truncate(self.head + len);
+        }
+    }
+
+    /// Remove and return the first `at` bytes. Copies only the
+    /// returned prefix; the remainder stays in place (O(1) for it).
     pub fn split_to(&mut self, at: usize) -> BytesMut {
-        let rest = self.data.split_off(at);
-        BytesMut { data: std::mem::replace(&mut self.data, rest) }
+        assert!(at <= self.len(), "split_to out of bounds");
+        let out = self.data[self.head..self.head + at].to_vec();
+        self.head += at;
+        self.compact_if_empty();
+        let init = out.len();
+        BytesMut { data: out, head: 0, init }
     }
 
-    /// Drop the first `cnt` bytes.
+    /// Drop the first `cnt` bytes. O(1): just bumps the head offset.
     pub fn advance(&mut self, cnt: usize) {
-        self.data.drain(..cnt);
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.head += cnt;
+        self.compact_if_empty();
     }
 
-    /// Clear contents.
+    /// Clear contents (keeps capacity).
     pub fn clear(&mut self) {
         self.data.clear();
+        self.head = 0;
     }
 
     /// Take the entire contents, leaving `self` empty (the real
     /// crate's `split`, i.e. `split_to(len)`).
     pub fn split(&mut self) -> BytesMut {
-        BytesMut { data: std::mem::take(&mut self.data) }
+        let mut v = std::mem::take(&mut self.data);
+        self.init = 0;
+        if self.head > 0 {
+            v.drain(..self.head);
+            self.head = 0;
+        }
+        let init = v.len();
+        BytesMut { data: v, head: 0, init }
     }
 
-    /// Freeze into an immutable buffer.
+    /// Freeze into an immutable buffer. Zero-copy: the storage moves
+    /// into the `Bytes`, with the view skipping any consumed prefix.
     pub fn freeze(self) -> Bytes {
-        Bytes { data: self.data }
+        let end = self.data.len();
+        if self.head == end {
+            return Bytes::new();
+        }
+        Bytes::view(Arc::new(self.data), self.head, end)
+    }
+
+    /// Freeze the first `at` visible bytes into a `Bytes` without
+    /// copying them, leaving any remainder (e.g. the head of a
+    /// pipelined next message) in `self`. The whole storage moves into
+    /// the returned `Bytes`; only the (typically tiny) remainder is
+    /// copied into fresh storage.
+    pub fn freeze_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "freeze_to out of bounds");
+        if at == 0 {
+            return Bytes::new();
+        }
+        let v = std::mem::take(&mut self.data);
+        let start = self.head;
+        self.head = 0;
+        self.data = v[start + at..].to_vec();
+        self.init = self.data.len();
+        Bytes::view(Arc::new(v), start, start + at)
     }
 }
+
+impl Clone for BytesMut {
+    fn clone(&self) -> BytesMut {
+        let data = self.as_ref().to_vec();
+        let init = data.len();
+        BytesMut { data, head: 0, init }
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BytesMut").field("data", &self.as_ref()).finish()
+    }
+}
+
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &BytesMut) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for BytesMut {}
 
 impl Deref for BytesMut {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.head..]
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let head = self.head;
+        &mut self.data[head..]
     }
 }
 
 impl AsRef<[u8]> for BytesMut {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self
+    }
+}
+
+impl AsMut<[u8]> for BytesMut {
+    fn as_mut(&mut self) -> &mut [u8] {
+        self
+    }
+}
+
+impl std::fmt::Write for BytesMut {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.extend_from_slice(s.as_bytes());
+        Ok(())
     }
 }
 
@@ -220,5 +438,104 @@ mod tests {
         assert_eq!(&m[..], b"cdef");
         m.advance(1);
         assert_eq!(m.freeze().as_ref(), b"def");
+    }
+
+    #[test]
+    fn clone_is_zero_copy() {
+        let b = Bytes::from(vec![7u8; 1024]);
+        let c = b.clone();
+        // Same storage: the payload pointer is shared, not copied.
+        assert!(std::ptr::eq(b.as_ref().as_ptr(), c.as_ref().as_ptr()));
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn slice_and_split_share_storage() {
+        let mut b = Bytes::from("0123456789");
+        let base = b.as_ref().as_ptr();
+        let s = b.slice(2..6);
+        assert_eq!(s.as_ref(), b"2345");
+        assert_eq!(s.as_ref().as_ptr(), unsafe { base.add(2) });
+        let tail = b.split_off(4);
+        assert_eq!(b.as_ref(), b"0123");
+        assert_eq!(tail.as_ref(), b"456789");
+        assert_eq!(tail.as_ref().as_ptr(), unsafe { base.add(4) });
+    }
+
+    #[test]
+    fn advance_is_offset_only() {
+        let mut m = BytesMut::new();
+        m.extend_from_slice(b"abcdefgh");
+        let base = m.as_ref().as_ptr();
+        m.advance(3);
+        assert_eq!(m.as_ref(), b"defgh");
+        assert_eq!(m.as_ref().as_ptr(), unsafe { base.add(3) });
+        // Full consumption resets the buffer for capacity reuse.
+        m.advance(5);
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn freeze_after_advance_skips_prefix() {
+        let mut m = BytesMut::new();
+        m.extend_from_slice(b"xxhello");
+        m.advance(2);
+        assert_eq!(m.freeze().as_ref(), b"hello");
+    }
+
+    #[test]
+    fn freeze_to_keeps_remnant() {
+        let mut m = BytesMut::new();
+        m.extend_from_slice(b"bodyNEXT");
+        let body = m.freeze_to(4);
+        assert_eq!(body.as_ref(), b"body");
+        assert_eq!(m.as_ref(), b"NEXT");
+        // And the frozen part did not copy the payload: its view points
+        // into the original storage.
+        let whole = m.freeze_to(4);
+        assert_eq!(whole.as_ref(), b"NEXT");
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn resize_truncate_window() {
+        let mut m = BytesMut::with_capacity(16);
+        m.extend_from_slice(b"abc");
+        m.advance(1);
+        m.resize(10, 0);
+        assert_eq!(m.len(), 10);
+        assert_eq!(&m[..2], b"bc");
+        m.as_mut()[2..5].copy_from_slice(b"def");
+        m.truncate(5);
+        assert_eq!(m.as_ref(), b"bcdef");
+    }
+
+    #[test]
+    fn resize_for_read_reexposes_initialized_tail() {
+        let mut m = BytesMut::with_capacity(64);
+        m.resize_for_read(64);
+        assert_eq!(m.len(), 64);
+        assert!(m.iter().all(|&b| b == 0));
+        m.as_mut()[..64].copy_from_slice(&[9u8; 64]);
+        m.truncate(0);
+        // Re-exposing without reallocation keeps the old contents
+        // (caller overwrites them, as a read does).
+        m.resize_for_read(64);
+        assert_eq!(m.len(), 64);
+        assert!(m.iter().all(|&b| b == 9));
+        // Growing past the allocation falls back to a zeroing resize.
+        m.resize_for_read(200);
+        assert_eq!(m.len(), 200);
+        assert!(m[64..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn fmt_write_appends() {
+        use std::fmt::Write;
+        let mut m = BytesMut::new();
+        let (path, version) = ("/x", "1.1");
+        write!(m, "GET {path} HTTP/{version}").unwrap();
+        assert_eq!(m.as_ref(), b"GET /x HTTP/1.1");
     }
 }

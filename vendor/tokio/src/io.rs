@@ -43,6 +43,22 @@ pub trait AsyncWrite {
 
     /// Attempt to shut down the write side, signalling EOF to the peer.
     fn poll_shutdown(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<()>>;
+
+    /// Attempt a gather-write from several buffers, returning the total
+    /// number of bytes accepted. The default writes only the first
+    /// non-empty buffer via [`poll_write`](Self::poll_write); streams
+    /// that can do better (the duplex pipe, the throttled adapters)
+    /// override it so an HTTP head + body pair goes out in one wakeup.
+    fn poll_write_vectored(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        bufs: &[io::IoSlice<'_>],
+    ) -> Poll<io::Result<usize>> {
+        match bufs.iter().find(|b| !b.is_empty()) {
+            Some(buf) => self.poll_write(cx, buf),
+            None => Poll::Ready(Ok(0)),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -167,6 +183,14 @@ impl<T: AsyncWrite + Unpin + ?Sized> AsyncWrite for &mut T {
     fn poll_shutdown(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<()>> {
         Pin::new(&mut **self.get_mut()).poll_shutdown(cx)
     }
+
+    fn poll_write_vectored(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        bufs: &[io::IoSlice<'_>],
+    ) -> Poll<io::Result<usize>> {
+        Pin::new(&mut **self.get_mut()).poll_write_vectored(cx, bufs)
+    }
 }
 
 impl<T: AsyncRead + Unpin + ?Sized> AsyncRead for Box<T> {
@@ -194,6 +218,14 @@ impl<T: AsyncWrite + Unpin + ?Sized> AsyncWrite for Box<T> {
 
     fn poll_shutdown(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<()>> {
         Pin::new(&mut **self.get_mut()).poll_shutdown(cx)
+    }
+
+    fn poll_write_vectored(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        bufs: &[io::IoSlice<'_>],
+    ) -> Poll<io::Result<usize>> {
+        Pin::new(&mut **self.get_mut()).poll_write_vectored(cx, bufs)
     }
 }
 
@@ -230,6 +262,20 @@ impl AsyncWrite for Vec<u8> {
 
     fn poll_shutdown(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
         Poll::Ready(Ok(()))
+    }
+
+    fn poll_write_vectored(
+        self: Pin<&mut Self>,
+        _cx: &mut Context<'_>,
+        bufs: &[io::IoSlice<'_>],
+    ) -> Poll<io::Result<usize>> {
+        let this = self.get_mut();
+        let mut n = 0;
+        for buf in bufs {
+            this.extend_from_slice(buf);
+            n += buf.len();
+        }
+        Poll::Ready(Ok(n))
     }
 }
 
@@ -304,10 +350,18 @@ pub trait AsyncReadExt: AsyncRead {
         Self: Unpin,
     {
         async move {
-            let mut chunk = [0u8; 8192];
-            let n = self.read(&mut chunk).await?;
-            buf.extend_from_slice(&chunk[..n]);
-            Ok(n)
+            // Read straight into the buffer's spare capacity instead of
+            // bouncing through a stack chunk. The window is bounded so
+            // the zero-fill of not-yet-read bytes stays cheap even when
+            // a large body reservation leaves megabytes of spare room.
+            const MIN_READ: usize = 8 * 1024;
+            const MAX_READ: usize = 64 * 1024;
+            let window = buf.spare_capacity().clamp(MIN_READ, MAX_READ);
+            let old_len = buf.len();
+            buf.resize_for_read(old_len + window);
+            let n = self.read(&mut buf.as_mut()[old_len..]).await;
+            buf.truncate(old_len + *n.as_ref().unwrap_or(&0));
+            n
         }
     }
 }
@@ -323,6 +377,20 @@ pub trait AsyncWriteExt: AsyncWrite {
         Self: Unpin,
     {
         async move { std::future::poll_fn(|cx| Pin::new(&mut *self).poll_write(cx, src)).await }
+    }
+
+    /// Gather-write from several buffers in one syscall-equivalent,
+    /// returning how many bytes were accepted in total.
+    fn write_vectored<'a>(
+        &'a mut self,
+        bufs: &'a [io::IoSlice<'a>],
+    ) -> impl Future<Output = io::Result<usize>> + 'a
+    where
+        Self: Unpin,
+    {
+        async move {
+            std::future::poll_fn(|cx| Pin::new(&mut *self).poll_write_vectored(cx, bufs)).await
+        }
     }
 
     /// Write the whole of `src`, failing with `WriteZero` if the sink
@@ -468,6 +536,44 @@ impl AsyncWrite for DuplexStream {
         }
         let n = space.min(buf.len());
         pipe.buf.extend(&buf[..n]);
+        if let Some(waker) = pipe.read_waker.take() {
+            waker.wake();
+        }
+        Poll::Ready(Ok(n))
+    }
+
+    /// Gather-write: fill the pipe across all the slices before waking
+    /// the reader, so a head + body pair costs one wakeup round-trip
+    /// instead of two.
+    fn poll_write_vectored(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        bufs: &[io::IoSlice<'_>],
+    ) -> Poll<io::Result<usize>> {
+        let mut pipe = self.write.lock().unwrap();
+        if pipe.read_closed {
+            return Poll::Ready(Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "duplex peer dropped",
+            )));
+        }
+        let space = pipe.capacity - pipe.buf.len();
+        if space == 0 {
+            if bufs.iter().all(|b| b.is_empty()) {
+                return Poll::Ready(Ok(0));
+            }
+            pipe.write_waker = Some(cx.waker().clone());
+            return Poll::Pending;
+        }
+        let mut n = 0;
+        for buf in bufs {
+            let take = buf.len().min(space - n);
+            pipe.buf.extend(&buf[..take]);
+            n += take;
+            if n == space {
+                break;
+            }
+        }
         if let Some(waker) = pipe.read_waker.take() {
             waker.wake();
         }

@@ -87,12 +87,36 @@ pub(crate) fn now_since_epoch() -> Duration {
     }
 }
 
-/// Resets the thread-local runtime slot when `block_on` exits, on both
-/// the success and the unwind path.
-struct ContextGuard;
+/// Tears the runtime down when `block_on` exits, on both the success
+/// and the unwind path: cancels every task still alive, then resets
+/// the thread-local runtime slot.
+///
+/// The cancellation is load-bearing, not cosmetic. A parked task is a
+/// reference cycle: its future owns the `Sleep`s and pipe halves it
+/// awaits, and those store cloned `Waker`s — which are `Arc<Task>`
+/// handles right back to the task. Announcer loops, accept loops and
+/// half-open connections are all parked when the root future finishes,
+/// so without breaking the cycles every `block_on` would leak its
+/// parked tasks and all the buffers they own (megabytes per simulated
+/// household, compounding across a fleet run).
+struct ContextGuard {
+    shared: Arc<Shared>,
+}
 
 impl Drop for ContextGuard {
     fn drop(&mut self) {
+        // Dropping a future can wake peers (rescheduling tasks) or, in
+        // principle, spawn; both only touch the queue/registry cleared
+        // below. Futures are dropped while CURRENT is still set so any
+        // Drop impl that consults the runtime finds it.
+        let tasks: Vec<Weak<Task>> = std::mem::take(&mut *self.shared.tasks.lock().unwrap());
+        for weak in tasks {
+            if let Some(task) = weak.upgrade() {
+                *task.future.lock().unwrap() = None;
+            }
+        }
+        self.shared.queue.lock().unwrap().clear();
+        self.shared.timers.lock().unwrap().clear();
         CURRENT.with(|c| c.borrow_mut().take());
     }
 }
@@ -112,6 +136,10 @@ pub(crate) struct Shared {
     /// so dropped `Sleep`s vanish on the next prune.
     timers: Mutex<BTreeMap<(u64, u64), std::sync::Weak<TimerEntry>>>,
     timer_seq: AtomicU64,
+    /// Every task ever spawned, weakly. Walked once at teardown to
+    /// cancel parked tasks (see [`ContextGuard`]); completed tasks are
+    /// dead weak refs by then.
+    tasks: Mutex<Vec<Weak<Task>>>,
     /// Virtual now, nanoseconds since [`epoch`].
     clock_ns: AtomicU64,
     /// This runtime's virtual network: bound addresses, connection
@@ -128,6 +156,7 @@ impl Shared {
             main_woken: AtomicBool::new(true),
             timers: Mutex::new(BTreeMap::new()),
             timer_seq: AtomicU64::new(0),
+            tasks: Mutex::new(Vec::new()),
             clock_ns: AtomicU64::new(epoch().elapsed().as_nanos() as u64),
             net: crate::net::VirtualNet::new(),
         }
@@ -345,6 +374,7 @@ where
         aborted: AtomicBool::new(false),
         shared: Arc::downgrade(&shared),
     });
+    shared.tasks.lock().unwrap().push(Arc::downgrade(&task));
     task.schedule();
     crate::task::new_join_handle(state, task)
 }
@@ -365,7 +395,7 @@ pub fn block_on<F: Future>(future: F) -> F::Output {
     });
     let shared = Arc::new(Shared::new());
     CURRENT.with(|c| *c.borrow_mut() = Some(Arc::clone(&shared)));
-    let _guard = ContextGuard;
+    let _guard = ContextGuard { shared: Arc::clone(&shared) };
 
     let mut future = std::pin::pin!(future);
     let main_waker = Waker::from(Arc::new(MainWaker { shared: Arc::clone(&shared) }));

@@ -113,6 +113,64 @@ async fn duplex_write_fails_after_reader_drops() {
     assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
 }
 
+#[tokio::test]
+async fn duplex_gather_write_crosses_slice_boundaries() {
+    use std::io::IoSlice;
+    // A single vectored write must pull bytes from several slices in
+    // one call when the pipe has room for all of them.
+    let (mut tx, mut rx) = tokio::io::duplex(1024);
+    let head = b"HEAD/".as_slice();
+    let body = b"body-bytes".as_slice();
+    let tail = b"/TAIL".as_slice();
+    let n = tx
+        .write_vectored(&[IoSlice::new(head), IoSlice::new(body), IoSlice::new(tail)])
+        .await
+        .unwrap();
+    assert_eq!(n, head.len() + body.len() + tail.len());
+    let mut got = vec![0u8; n];
+    rx.read_exact(&mut got).await.unwrap();
+    assert_eq!(got, b"HEAD/body-bytes/TAIL");
+}
+
+#[tokio::test]
+async fn duplex_gather_write_respects_backpressure() {
+    use std::io::IoSlice;
+    // A 64-byte pipe and a 16-byte head + 4 KiB body: each vectored
+    // write may only take what the pipe can hold, so the writer loops,
+    // advancing through the slice list, while the reader drains.
+    let (mut tx, mut rx) = tokio::io::duplex(64);
+    let writer = tokio::spawn(async move {
+        let head = [1u8; 16];
+        let body = [2u8; 4096];
+        let mut written = 0usize;
+        let total = head.len() + body.len();
+        while written < total {
+            let (h, b) = if written < head.len() {
+                (&head[written..], &body[..])
+            } else {
+                (&[][..], &body[written - head.len()..])
+            };
+            let n = tx.write_vectored(&[IoSlice::new(h), IoSlice::new(b)]).await.unwrap();
+            assert!(n > 0 && n <= 64, "gather write returned {n}");
+            written += n;
+        }
+        written
+    });
+    let mut got = Vec::new();
+    let mut chunk = [0u8; 48];
+    loop {
+        let n = rx.read(&mut chunk).await.unwrap();
+        if n == 0 {
+            break;
+        }
+        got.extend_from_slice(&chunk[..n]);
+    }
+    assert_eq!(writer.await.unwrap(), 16 + 4096);
+    let mut expect = vec![1u8; 16];
+    expect.extend_from_slice(&[2u8; 4096]);
+    assert_eq!(got, expect);
+}
+
 // ---------------------------------------------------------------------------
 // mpsc close semantics
 // ---------------------------------------------------------------------------
