@@ -20,7 +20,7 @@
 
 use std::time::Instant;
 
-use threegol_bench::{registry, relay, Pool, Scale};
+use threegol_bench::{fleet, registry, relay, Pool, Scale};
 use threegol_simnet::capacity::DiurnalProfile;
 use threegol_simnet::fairshare::{
     max_min_fair, max_min_fair_into, FairShareScratch, FlowDemand, FlowTable,
@@ -36,6 +36,9 @@ struct Sample {
     /// Live-measured "before" (overrides the recorded baseline).
     live_before_ms: Option<f64>,
     events: u64,
+    /// Extra raw-JSON fields for this row (e.g. the million-home row's
+    /// homes/sec and peak RSS), spliced into the object verbatim.
+    extra: Option<String>,
 }
 
 const REPS: usize = 7;
@@ -147,20 +150,25 @@ fn run_fleet_workload(n_homes: usize, horizon_secs: f64) -> (f64, u64) {
 
 /// The live-prototype fleet: whole virtual-net households (origin,
 /// device proxies with discovery, client-side HLS proxy, concurrent
-/// VoD prebuffer + photo upload under virtual time) sharded across
-/// every core. Tracks the cost of the virtual network substrate
-/// itself — the simulator workloads above never touch it.
-fn run_live_fleet_workload(homes: usize) -> (f64, u64) {
+/// VoD prebuffer + photo upload under virtual time) streamed across
+/// every core in chunks and folded into the fleet digest. Tracks the
+/// cost of the virtual network substrate itself — the simulator
+/// workloads above never touch it. Returns the median wall-clock over
+/// `reps` runs and one run's virtual-net event count.
+fn run_live_fleet_workload(homes: usize, reps: usize) -> (f64, u64) {
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let mut times = Vec::with_capacity(REPS);
-    for _ in 0..REPS {
+    let mut times = Vec::with_capacity(reps);
+    let mut events = 0;
+    for _ in 0..reps {
         let t = Instant::now();
-        let reports =
-            Pool::with(cores.min(homes), |pool| threegol_bench::fleet::run_fleet(homes, pool));
-        std::hint::black_box(&reports);
+        let digest = Pool::with(cores.min(homes), |pool| {
+            threegol_bench::fleet::run_fleet(homes, fleet::DEFAULT_CHUNK, pool)
+        });
+        std::hint::black_box(&digest);
         times.push(t.elapsed().as_secs_f64() * 1e3);
+        events = digest.net_events;
     }
-    (median(times), homes as u64)
+    (median(times), events)
 }
 
 /// Bare solver: the allocating reference oracle vs the scratch-backed
@@ -243,6 +251,64 @@ fn committed_after_ms(text: &str) -> Vec<(String, f64)> {
 fn main() {
     let mut samples = Vec::new();
 
+    // The live-prototype fleet rows run first so the process peak RSS
+    // recorded for the million-home row is attributable to the fleet
+    // path, not to whichever experiment sweep ran before it.
+    let (ms, events) = run_live_fleet_workload(50, REPS);
+    samples.push(Sample {
+        name: "live_fleet_50_homes",
+        what: "50 live-prototype households (virtual-net runtimes, concurrent VoD + upload) \
+               streamed across cores",
+        median_ms: ms,
+        live_before_ms: None,
+        events,
+        extra: None,
+    });
+
+    let (ms, events) = run_live_fleet_workload(200, REPS);
+    samples.push(Sample {
+        name: "live_fleet_200_homes",
+        what: "200 live-prototype households (virtual-net runtimes, concurrent VoD + upload) \
+               streamed across cores",
+        median_ms: ms,
+        live_before_ms: None,
+        events,
+        extra: None,
+    });
+
+    // The fleet-scale acceptance row: one million streamed homes, a
+    // single run (it is minutes of wall-clock, and at this unit count
+    // run-to-run variance is negligible). The row records homes/sec,
+    // virtual-net events/sec and the process peak RSS, and fails hard
+    // if the streamed design's documented memory ceiling is broken.
+    let (ms, events) = run_live_fleet_workload(1_000_000, 1);
+    let peak_rss = fleet::peak_rss_bytes().unwrap_or(0);
+    if peak_rss > fleet::FLEET_RSS_CEILING_BYTES {
+        eprintln!(
+            "RSS CEILING BROKEN: million-home fleet peaked at {:.1} MiB (ceiling {} MiB)",
+            peak_rss as f64 / (1024.0 * 1024.0),
+            fleet::FLEET_RSS_CEILING_BYTES / (1024 * 1024)
+        );
+        std::process::exit(1);
+    }
+    samples.push(Sample {
+        name: "live_fleet_1m_homes",
+        what: "1,000,000 live-prototype households streamed through the pool in 64-home \
+               chunks, folded into the mergeable fleet digest (single run)",
+        median_ms: ms,
+        live_before_ms: None,
+        events,
+        extra: Some(format!(
+            "\"runs\": 1,\n      \"homes_per_sec\": {:.0},\n      \
+             \"events_per_sec\": {:.0},\n      \"peak_rss_mib\": {:.1},\n      \
+             \"rss_ceiling_mib\": {}",
+            1_000_000.0 / (ms / 1e3),
+            events as f64 / (ms / 1e3),
+            peak_rss as f64 / (1024.0 * 1024.0),
+            fleet::FLEET_RSS_CEILING_BYTES / (1024 * 1024)
+        )),
+    });
+
     let (ms, events) = run_home_workload(1, 600.0);
     samples.push(Sample {
         name: "fig06_home",
@@ -250,6 +316,7 @@ fn main() {
         median_ms: ms,
         live_before_ms: None,
         events,
+        extra: None,
     });
 
     let (ms, events) = run_home_workload(16, 120.0);
@@ -259,6 +326,7 @@ fn main() {
         median_ms: ms,
         live_before_ms: None,
         events,
+        extra: None,
     });
 
     let (ms, events) = run_fleet_workload(1000, 5.0);
@@ -268,29 +336,10 @@ fn main() {
         median_ms: ms,
         live_before_ms: None,
         events,
+        extra: None,
     });
 
-    let (ms, events) = run_live_fleet_workload(50);
-    samples.push(Sample {
-        name: "live_fleet_50_homes",
-        what: "50 live-prototype households (virtual-net runtimes, concurrent VoD + upload) \
-               sharded across cores",
-        median_ms: ms,
-        live_before_ms: None,
-        events,
-    });
-
-    let (ms, events) = run_live_fleet_workload(200);
-    samples.push(Sample {
-        name: "live_fleet_200_homes",
-        what: "200 live-prototype households (virtual-net runtimes, concurrent VoD + upload) \
-               sharded across cores",
-        median_ms: ms,
-        live_before_ms: None,
-        events,
-    });
-
-    // The relay hot path this PR optimizes: throughput through an
+    // The relay hot path: throughput through an
     // unthrottled device proxy, both directions (see the `relay`
     // module and the `proxy_throughput` criterion bench).
     let mut seg_times = Vec::with_capacity(REPS);
@@ -306,6 +355,7 @@ fn main() {
         median_ms: median(seg_times),
         live_before_ms: None,
         events: relay::SEGMENT_RUN_BYTES as u64,
+        extra: None,
     });
 
     let mut up_times = Vec::with_capacity(REPS);
@@ -321,6 +371,7 @@ fn main() {
         median_ms: median(up_times),
         live_before_ms: None,
         events: relay::UPLOAD_RUN_BYTES as u64,
+        extra: None,
     });
 
     // The acceptance workload: the actual fig06 experiment (full
@@ -338,6 +389,7 @@ fn main() {
         median_ms: median(sweep_times),
         live_before_ms: None,
         events: 30,
+        extra: None,
     });
 
     // Replication sharding: the two heaviest Monte-Carlo sweeps run
@@ -375,6 +427,7 @@ fn main() {
         median_ms: median(sharded_times),
         live_before_ms: Some(median(serial_times)),
         events: units,
+        extra: None,
     });
 
     let (reference_ms, scratch_ms, iters) = run_solver_workload(64, 256, 200);
@@ -384,6 +437,7 @@ fn main() {
         median_ms: scratch_ms,
         live_before_ms: Some(reference_ms),
         events: iters,
+        extra: None,
     });
 
     // Snapshot the committed numbers before overwriting: they are the
@@ -405,16 +459,21 @@ fn main() {
             Some(b) => (format!("{b:.2}"), format!("{:.2}", b / s.median_ms)),
             None => ("null".to_string(), "null".to_string()),
         };
+        let extra = match &s.extra {
+            Some(fields) => format!(",\n      {fields}"),
+            None => String::new(),
+        };
         out.push_str(&format!(
             "    {{\n      \"name\": \"{}\",\n      \"what\": \"{}\",\n      \
              \"events\": {},\n      \"before_ms\": {},\n      \"after_ms\": {:.2},\n      \
-             \"speedup\": {}\n    }}{}\n",
+             \"speedup\": {}{}\n    }}{}\n",
             s.name,
             s.what,
             s.events,
             base_str,
             s.median_ms,
             speedup_str,
+            extra,
             if i + 1 < samples.len() { "," } else { "" }
         ));
     }

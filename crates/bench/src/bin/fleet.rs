@@ -1,53 +1,51 @@
-//! Run a fleet of live-prototype households and print the per-home
-//! gain distributions.
+//! Run a fleet of live-prototype households, streamed through the
+//! worker pool, and print the fleet digest.
 //!
 //! Every home is a full `threegol-proxy` household — origin, device
 //! proxies with quota-gated discovery, client-side HLS proxy, and a
 //! concurrent VoD prebuffer + photo upload — on its own virtual
-//! network under virtual time. Homes shard across the worker pool; the
-//! report (and its digest) is byte-identical for any worker count.
+//! network under virtual time. Homes stream through the workers in
+//! chunks and fold into a mergeable digest, so memory stays flat in
+//! the fleet size (a million homes run in tens of megabytes) and the
+//! digest is byte-identical for any worker count or chunk size.
 //!
 //! ```text
-//! cargo run -p threegol-bench --release --bin fleet [homes] [workers]
+//! cargo run -p threegol-bench --release --bin fleet [homes] [workers] [chunk]
 //! ```
 
-use threegol_bench::fleet::{digest, run_fleet, summarize};
+use threegol_bench::fleet::{peak_rss_bytes, run_fleet, DEFAULT_CHUNK};
 use threegol_bench::{resolve_workers, Pool};
+
+fn parse_positive(raw: &str, what: &str) -> usize {
+    match raw.parse::<usize>() {
+        Ok(n) if n >= 1 => n,
+        _ => {
+            eprintln!("invalid {what} {raw:?}: expected a positive integer");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let homes = match args.next() {
-        None => 100,
-        Some(raw) => match raw.parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => {
-                eprintln!("invalid home count {raw:?}: expected a positive integer");
-                std::process::exit(2);
-            }
-        },
-    };
-    let workers_arg = match args.next() {
-        None => None,
-        Some(raw) => match raw.parse::<usize>() {
-            Ok(w) if w >= 1 => Some(w),
-            _ => {
-                eprintln!("invalid worker count {raw:?}: expected a positive integer");
-                std::process::exit(2);
-            }
-        },
-    };
+    let homes = args.next().map_or(100, |raw| parse_positive(&raw, "home count"));
+    let workers_arg = args.next().map(|raw| parse_positive(&raw, "worker count"));
+    let chunk = args.next().map_or(DEFAULT_CHUNK, |raw| parse_positive(&raw, "chunk size"));
     let workers = resolve_workers(workers_arg).min(homes);
 
     let start = std::time::Instant::now();
-    let reports = Pool::with(workers, |pool| run_fleet(homes, pool));
+    let digest = Pool::with(workers, |pool| run_fleet(homes, chunk, pool));
     let wall = start.elapsed().as_secs_f64();
 
-    print!("{}", summarize(&reports).render());
-    let virtual_secs: f64 =
-        reports.iter().map(|r| r.vod_secs.max(r.upload_secs)).fold(0.0, f64::max);
+    print!("{}", digest.render());
     println!(
-        "{homes} homes on {workers} worker(s): {wall:.2} s wall for {virtual_secs:.1} s \
-         of (slowest-home) virtual time; report digest {:016x}",
-        digest(&reports)
+        "{homes} homes on {workers} worker(s), chunk {chunk}: {wall:.2} s wall \
+         ({:.0} homes/s, {:.0} net events/s); report digest {:016x}",
+        homes as f64 / wall,
+        digest.net_events as f64 / wall,
+        digest.digest()
     );
+    if let Some(rss) = peak_rss_bytes() {
+        println!("peak RSS {:.1} MiB", rss as f64 / (1024.0 * 1024.0));
+    }
 }

@@ -13,7 +13,86 @@
 //! each experiment's merge step reassembles its partials in unit
 //! order — so the output is byte-identical for any worker count.
 
+use threegol_bench::fleet::{run_fleet, FleetDigest, DEFAULT_CHUNK};
 use threegol_bench::{registry, resolve_workers, DynExperiment, Pool, Report, Scale};
+
+/// Homes in the live fleet run at full scale. Small enough to add only
+/// seconds to the report, large enough that every ADSL tier × device
+/// mix in [`threegol_bench::fleet::home_spec`] appears many times.
+const FLEET_HOMES_FULL: f64 = 200.0;
+
+/// The recorded million-home run (see the section text for why the
+/// gain rows and digest reproduce bit for bit anywhere while the
+/// throughput and RSS lines are machine-specific).
+const RECORDED_1M: &str = "\
+fleet: 1000000 homes (virtual net, virtual time)
+gain over ADSL alone        min   ~p50   mean    max
+  vod prebuffer              1.37   1.83   1.92   2.96
+  photo upload               1.79   3.67   4.69  11.92
+onloaded 315209.29 MB to 3G paths, 109800.70 MB duplicate waste, 69166667 virtual-net events
+1000000 homes on 1 worker(s), chunk 64: 3331.86 s wall (300 homes/s, 20759 net events/s); report digest 7e89eed9238527de
+peak RSS 10.9 MiB
+";
+
+/// Render the fleet-at-scale section: a live streamed fleet run folded
+/// into this report, then the recorded million-home run with its exact
+/// reproduction command. Returns the Markdown and whether the live
+/// checks passed.
+fn fleet_section(digest: &FleetDigest, homes: usize) -> (String, bool) {
+    let min_ok = digest.upload_gain.min > 1.0;
+    let p50_ok = digest.upload_gain.p50() > 1.2;
+    let mut out = String::new();
+    out.push_str("## fleet — §6 aggregates from the live prototype, at fleet scale\n\n");
+    out.push_str(
+        "Section 6 of the paper aggregates per-home gains measured in ~10 \
+         deployed households. The reproduction's live prototype runs *whole \
+         households* — HLS VoD prebuffer and multi-device photo upload through \
+         the splitting proxies, one single-threaded tokio runtime per home on a \
+         virtual net and virtual clock — and streams them through the worker \
+         pool in chunks, folding each report into a mergeable digest \
+         (DESIGN.md §11). Virtual time makes every home a pure function of its \
+         index, so the gain distributions and the content digest below \
+         reproduce bit for bit on any machine and any worker count.\n\n",
+    );
+    out.push_str(&format!(
+        "Live run folded into this report ({homes} homes at this scale):\n\n```text\n{}digest {:016x}\n```\n",
+        digest.render(),
+        digest.digest(),
+    ));
+    out.push_str("\n| check | paper | measured | |\n|---|---|---|---|\n");
+    out.push_str(&format!(
+        "| worst-home upload gain | §6: onloading never hurts (> 1×) | {:.2}× | {} |\n",
+        digest.upload_gain.min,
+        if min_ok { "✅" } else { "⚠️" }
+    ));
+    out.push_str(&format!(
+        "| median upload gain | §6: phones roughly double the uplink | {:.2}× | {} |\n",
+        digest.upload_gain.p50(),
+        if p50_ok { "✅" } else { "⚠️" }
+    ));
+    out.push_str(
+        "\n### Recorded million-home run\n\n\
+         The same binary scales four orders of magnitude past the paper's \
+         deployment on one core in flat memory — the streamed fold never \
+         materializes the fleet:\n\n\
+         ```text\n\
+         $ cargo run -p threegol-bench --release --bin fleet -- 1000000 1 64\n",
+    );
+    out.push_str(RECORDED_1M);
+    out.push_str(
+        "```\n\n\
+         Throughput, wall-clock and peak RSS above are machine-specific \
+         (recorded on the 1-core reference container; the RSS ceiling is \
+         enforced at 256 MiB by `bench_summary` and the `fleet_scale` test). \
+         The gain table and the digest are not: rerunning with any worker \
+         count or chunk size — `fleet -- 1000000 7 23` included — must \
+         reproduce them bit for bit, because each home is deterministic under \
+         virtual time and the digest merge reassembles chunk partials in \
+         index order (tested at 200, 5 000 and 10 000 homes; the merge \
+         algebra makes the invariant size-independent).\n\n",
+    );
+    (out, min_ok && p50_ok)
+}
 
 fn main() {
     let scale = match std::env::args().nth(1) {
@@ -48,7 +127,8 @@ fn main() {
     // partials as they complete. Drivers mostly block, so the CPU
     // parallelism is the pool's worker count, not 22 + workers.
     let mut slots: Vec<Option<Report>> = (0..experiments.len()).map(|_| None).collect();
-    Pool::with(workers, |pool| {
+    let fleet_homes = ((FLEET_HOMES_FULL * scale.get()).round() as usize).max(1);
+    let fleet_digest = Pool::with(workers, |pool| {
         std::thread::scope(|scope| {
             for (experiment, slot) in experiments.iter().zip(slots.iter_mut()) {
                 scope.spawn(move || {
@@ -57,6 +137,8 @@ fn main() {
                 });
             }
         });
+        eprintln!("running fleet ({fleet_homes} live homes) …");
+        run_fleet(fleet_homes, DEFAULT_CHUNK, pool)
     });
     let reports: Vec<Report> =
         slots.into_iter().map(|r| r.expect("every experiment ran")).collect();
@@ -77,7 +159,14 @@ fn main() {
         print!("{}", report.render_markdown());
         all_ok &= report.all_ok();
     }
-    let failed: Vec<&str> = reports.iter().filter(|r| !r.all_ok()).map(|r| r.id).collect();
+    let (fleet_md, fleet_ok) = fleet_section(&fleet_digest, fleet_homes);
+    eprint!("{}", fleet_digest.render());
+    print!("{fleet_md}");
+    all_ok &= fleet_ok;
+    let mut failed: Vec<&str> = reports.iter().filter(|r| !r.all_ok()).map(|r| r.id).collect();
+    if !fleet_ok {
+        failed.push("fleet");
+    }
     if !all_ok {
         eprintln!("checks failed in: {failed:?}");
         std::process::exit(1);

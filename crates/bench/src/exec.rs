@@ -19,6 +19,7 @@
 //! detection) lives in [`resolve_workers`]; the `THREEGOL_WORKERS`
 //! environment variable overrides the detected core count everywhere.
 
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
@@ -148,8 +149,41 @@ where
     F: Fn(&U) -> P + Send + Sync + 'static,
 {
     let n = units.len();
+    fold(pool, units, f, Vec::with_capacity(n), |mut all, partial| {
+        all.push(partial);
+        all
+    })
+}
+
+/// Run `f` over every unit on the pool and fold the partial results
+/// into `init` with `merge`, **in unit order**, as they arrive.
+///
+/// This is the streaming counterpart of [`map`]: instead of holding
+/// every partial result until the end, the caller's accumulator
+/// absorbs each one the moment all earlier units have been absorbed —
+/// partials that finish out of order wait in a buffer bounded by the
+/// pool's reordering depth (at most the in-flight unit count), so the
+/// driver's memory stays proportional to the worker count, never to
+/// the unit count.
+///
+/// The merge order is the unit order regardless of how many workers
+/// ran or how the steals interleaved, so an order-sensitive
+/// accumulator (a running digest, a float fold) produces byte-identical
+/// results for any worker count. With a single worker, or a single
+/// unit, everything runs inline on the caller — the exact serial path.
+///
+/// A unit that panics re-raises the panic on the calling thread,
+/// mirroring serial behavior.
+pub fn fold<U, P, A, F, M>(pool: &Pool, units: Vec<U>, f: F, init: A, mut merge: M) -> A
+where
+    U: Send + Sync + 'static,
+    P: Send + 'static,
+    F: Fn(&U) -> P + Send + Sync + 'static,
+    M: FnMut(A, P) -> A,
+{
+    let n = units.len();
     if pool.workers() <= 1 || n <= 1 {
-        return units.iter().map(f).collect();
+        return units.iter().map(f).fold(init, merge);
     }
     let units = Arc::new(units);
     let f = Arc::new(f);
@@ -166,15 +200,24 @@ where
         }));
     }
     drop(tx);
-    let mut slots: Vec<Option<P>> = (0..n).map(|_| None).collect();
+    let mut acc = init;
+    let mut next = 0usize;
+    let mut pending: BTreeMap<usize, P> = BTreeMap::new();
     for _ in 0..n {
         let (index, result) = rx.recv().expect("pool worker dropped a unit result");
         match result {
-            Ok(partial) => slots[index] = Some(partial),
+            Ok(partial) => {
+                pending.insert(index, partial);
+                while let Some(partial) = pending.remove(&next) {
+                    acc = merge(acc, partial);
+                    next += 1;
+                }
+            }
             Err(payload) => resume_unwind(payload),
         }
     }
-    slots.into_iter().map(|s| s.expect("every unit ran exactly once")).collect()
+    debug_assert!(pending.is_empty() && next == n, "every unit merged exactly once");
+    acc
 }
 
 /// Pick the worker count: explicit `cli` argument if given, else the
@@ -228,6 +271,52 @@ mod tests {
                 }
             });
         });
+    }
+
+    #[test]
+    fn fold_merges_in_unit_order_for_any_worker_count() {
+        // An order-sensitive accumulator: a polynomial hash of the
+        // unit results. Any reordering changes the value.
+        let hash = |workers: usize| {
+            let units: Vec<u64> = (0..200).collect();
+            Pool::with(workers, |pool| {
+                fold(
+                    pool,
+                    units,
+                    |&u| {
+                        if u % 5 == 0 {
+                            std::thread::sleep(Duration::from_micros(150));
+                        }
+                        u * 7 + 1
+                    },
+                    0u64,
+                    |acc, p| acc.wrapping_mul(0x100000001b3).wrapping_add(p),
+                )
+            })
+        };
+        let serial = hash(1);
+        assert_eq!(hash(2), serial);
+        assert_eq!(hash(4), serial);
+        assert_eq!(hash(7), serial);
+    }
+
+    #[test]
+    fn fold_panic_propagates_to_driver() {
+        let result = std::panic::catch_unwind(|| {
+            Pool::with(4, |pool| {
+                fold(
+                    pool,
+                    (0..16u64).collect::<Vec<u64>>(),
+                    |&u| {
+                        assert!(u != 9, "unit 9 exploded");
+                        u
+                    },
+                    0u64,
+                    |acc, p| acc + p,
+                )
+            })
+        });
+        assert!(result.is_err());
     }
 
     #[test]

@@ -1,27 +1,37 @@
-//! The deterministic proxy-fleet harness: N whole households from the
-//! live prototype (`threegol-proxy`), each an isolated tokio runtime
-//! on its own virtual-network namespace, sharded across the
-//! work-stealing [`Pool`].
+//! The deterministic proxy-fleet harness at fleet scale: N whole
+//! households from the live prototype (`threegol-proxy`), each an
+//! isolated tokio runtime on its own virtual-network namespace,
+//! **streamed** through the work-stealing [`Pool`] in chunks and
+//! aggregated into a mergeable [`FleetDigest`].
 //!
-//! Each home is one replication unit: [`run_fleet`] hands every
-//! [`HomeSpec`] to a pool worker, which drives the full household —
-//! origin, device proxies with discovery announcers, client-side HLS
-//! proxy, concurrent VoD prebuffer + photo upload — to completion
-//! inside one `block_on` under virtual time. Because a runtime's
-//! clock, scheduler and sockets are all process-local and
-//! deterministic, and [`crate::exec::map`] merges results in unit
-//! order, the fleet report is byte-identical for any worker count and
-//! across repeated runs — and no kernel socket is ever opened.
+//! Nothing is ever materialized per home: a [`HomeSpec`] is a pure
+//! `Copy` function of the home index built on the worker's stack, a
+//! [`HomeReport`] is folded into the worker's chunk digest the moment
+//! the home finishes, and [`crate::exec::fold`] absorbs chunk digests
+//! into the fleet digest in chunk order as they arrive. The driver's
+//! live state is one digest per in-flight chunk — a million-home fleet
+//! runs in the same flat tens-of-megabytes RSS as a hundred-home one
+//! (see [`FLEET_RSS_CEILING_BYTES`]).
+//!
+//! Determinism contract: each home is a deterministic function of its
+//! index (own runtime, own virtual clock, own virtual net), chunk
+//! digests fold homes in index order, and the fleet digest merges
+//! chunks in chunk order — so the final digest is byte-identical for
+//! any worker count and chunk size, across repeated runs. All
+//! [`FleetDigest`] state is exactly mergeable (integer counts,
+//! fixed-point integer sums, min/max, histogram buckets, and a
+//! polynomial hash monoid), so the merge is associative as well as
+//! order-preserving; see `DESIGN.md` §11.
 
 use threegol_proxy::{Home, HomeReport, HomeSpec};
 
-use crate::exec::{map, Pool};
+use crate::exec::{fold, map, Pool};
 
 /// The spec for home `index`: the paper-default household with the
 /// access links cycled through four ADSL tiers and one-to-three phones
 /// per home, so the fleet is heterogeneous (a street, not one house
 /// copied N times) while staying a pure function of the index.
-pub fn home_spec(index: u16) -> HomeSpec {
+pub fn home_spec(index: u32) -> HomeSpec {
     const ADSL_TIERS: [(f64, f64); 4] = [(2e6, 0.3e6), (4e6, 0.5e6), (6e6, 0.7e6), (8e6, 1.0e6)];
     let (down, up) = ADSL_TIERS[(index % 4) as usize];
     HomeSpec {
@@ -32,109 +42,450 @@ pub fn home_spec(index: u16) -> HomeSpec {
     }
 }
 
-/// Run a fleet of `homes` households across the pool and return the
-/// per-home reports in home order.
+/// Default homes per streamed unit: big enough that pool bookkeeping
+/// is noise (a chunk is hundreds of milliseconds of work), small
+/// enough that a million-home fleet still load-balances across
+/// workers and the reorder buffer stays tiny.
+pub const DEFAULT_CHUNK: usize = 64;
+
+/// Documented hard ceiling on peak RSS for a streamed fleet run of
+/// *any* size, one million homes included: 256 MiB.
 ///
-/// Panics if any home's workload fails: in the virtual-net prototype
-/// every failure is a bug, never weather.
-pub fn run_fleet(homes: usize, pool: &Pool) -> Vec<HomeReport> {
-    assert!(homes <= u16::MAX as usize + 1, "home index space is u16");
-    let specs: Vec<HomeSpec> = (0..homes).map(|h| home_spec(h as u16)).collect();
-    map(pool, specs, |spec| {
-        tokio::runtime::block_on(Home::run(spec))
-            .unwrap_or_else(|e| panic!("home {} failed: {e}", spec.index))
-    })
+/// The streamed design makes peak memory a function of the worker
+/// count (one in-flight chunk digest per worker plus one home's
+/// transient allocations per worker), never of the fleet size; the
+/// `fleet_scale` integration test and the `bench_summary` million-home
+/// row both fail if a run exceeds this.
+pub const FLEET_RSS_CEILING_BYTES: u64 = 256 * 1024 * 1024;
+
+/// Number of buckets in a [`MetricDigest`] histogram.
+pub const HIST_BUCKETS: usize = 64;
+
+/// Fixed-point scale for exactly-mergeable metric sums: values are
+/// accumulated as `round(v * 2^20)` in 128-bit integers, so summation
+/// is associative to the last bit (unlike `f64` addition) while
+/// keeping ~1e-6 absolute resolution and room for a million homes of
+/// gigabyte-sized byte counts.
+const FP_SCALE: f64 = (1u64 << 20) as f64;
+
+/// 64-bit FNV-1a offset basis / prime (the prime doubles as the odd
+/// multiplier of the polynomial hash monoid).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+fn to_fp(v: f64) -> i128 {
+    (v * FP_SCALE).round() as i128
 }
 
-/// Distribution of one per-home metric.
+fn from_fp(fp: i128) -> f64 {
+    fp as f64 / FP_SCALE
+}
+
+/// Mergeable summary of one per-home metric: count, exact fixed-point
+/// sum, min/max, and a 64-bucket quarter-log2 histogram covering
+/// `[2^-4, 2^12)` (0.0625 .. 4096, ~19% per bucket) from which
+/// quantiles are estimated. Every field merges exactly (integer adds,
+/// float min/max), so [`MetricDigest::merge`] is associative and a
+/// chunked merge is bit-identical to the sequential fold.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Distribution {
-    /// Smallest value.
+pub struct MetricDigest {
+    /// Observations folded in.
+    pub count: u64,
+    /// Exact sum, fixed-point (`2^-20` units).
+    sum_fp: i128,
+    /// Smallest observation (`+inf` when empty).
     pub min: f64,
-    /// Median.
-    pub p50: f64,
-    /// Arithmetic mean.
-    pub mean: f64,
-    /// Largest value.
+    /// Largest observation (`-inf` when empty).
     pub max: f64,
+    /// Quarter-log2 bucket counts; values outside the covered range
+    /// clamp to the end buckets.
+    pub hist: [u64; HIST_BUCKETS],
 }
 
-impl Distribution {
-    /// Summarize `values` (must be non-empty).
-    pub fn of(values: &[f64]) -> Distribution {
-        assert!(!values.is_empty());
-        let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite metric"));
-        Distribution {
-            min: sorted[0],
-            p50: sorted[sorted.len() / 2],
-            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
-            max: sorted[sorted.len() - 1],
+impl MetricDigest {
+    /// The identity digest: no observations.
+    pub fn empty() -> MetricDigest {
+        MetricDigest {
+            count: 0,
+            sum_fp: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            hist: [0; HIST_BUCKETS],
         }
     }
-}
 
-/// Fleet-wide rollup of the per-home reports.
-#[derive(Debug, Clone)]
-pub struct FleetSummary {
-    /// Number of homes.
-    pub homes: usize,
-    /// Per-home VoD prebuffer gain over ADSL alone.
-    pub vod_gain: Distribution,
-    /// Per-home photo-upload gain over ADSL alone.
-    pub upload_gain: Distribution,
-    /// Total bytes onloaded onto 3G paths (uploads).
-    pub device_bytes: f64,
-    /// Total bytes moved by aborted duplicates (uploads).
-    pub wasted_bytes: f64,
-}
+    fn bucket(v: f64) -> usize {
+        // NaN and non-positive values (which log2 can't place) land in
+        // the first bucket.
+        if v <= 0.0 || v.is_nan() {
+            return 0;
+        }
+        let b = ((v.log2() + 4.0) * 4.0).floor();
+        b.clamp(0.0, (HIST_BUCKETS - 1) as f64) as usize
+    }
 
-/// Roll `reports` up into a [`FleetSummary`].
-pub fn summarize(reports: &[HomeReport]) -> FleetSummary {
-    let vod: Vec<f64> = reports.iter().map(|r| r.vod_gain).collect();
-    let upload: Vec<f64> = reports.iter().map(|r| r.upload_gain).collect();
-    FleetSummary {
-        homes: reports.len(),
-        vod_gain: Distribution::of(&vod),
-        upload_gain: Distribution::of(&upload),
-        device_bytes: reports.iter().map(|r| r.upload_device_bytes).sum(),
-        wasted_bytes: reports.iter().map(|r| r.upload_wasted_bytes).sum(),
+    /// Fold one observation in. Values must be finite.
+    pub fn observe(&mut self, v: f64) {
+        assert!(v.is_finite(), "metric observation must be finite, got {v}");
+        self.count += 1;
+        self.sum_fp += to_fp(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.hist[Self::bucket(v)] += 1;
+    }
+
+    /// Fold another digest in. Exact and associative: integer adds and
+    /// float min/max only.
+    pub fn merge(&mut self, other: &MetricDigest) {
+        self.count += other.count;
+        self.sum_fp += other.sum_fp;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (mine, theirs) in self.hist.iter_mut().zip(other.hist.iter()) {
+            *mine += *theirs;
+        }
+    }
+
+    /// Sum of all observations (fixed-point rounded).
+    pub fn sum(&self) -> f64 {
+        from_fp(self.sum_fp)
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum() / self.count as f64
+        }
+    }
+
+    /// Median estimate from the histogram: the geometric midpoint of
+    /// the bucket holding the middle observation (~±9% with the
+    /// quarter-log2 buckets). 0 when empty.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Quantile estimate from the histogram (see [`MetricDigest::p50`]).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((self.count - 1) as f64 * q.clamp(0.0, 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (b, &n) in self.hist.iter().enumerate() {
+            seen += n;
+            if seen > rank {
+                return f64::exp2((b as f64 + 0.5) / 4.0 - 4.0);
+            }
+        }
+        self.max
     }
 }
 
-impl FleetSummary {
+/// Mergeable rollup of an entire fleet: per-metric digests, exact
+/// byte totals, virtual-net event counts, and an order-sensitive
+/// content hash — everything the old per-home report vector was for,
+/// in a few kilobytes of `Copy` state.
+///
+/// `merge` is **associative** and order-preserving, so any chunking of
+/// the home sequence produces bit-identical results as long as chunks
+/// merge in home order — which [`run_fleet`] guarantees for every
+/// worker count. The content hash is a polynomial fold of per-home
+/// FNV-1a hashes: home `i` contributes `fnv(report_i)` and the
+/// combined hash of a sequence is `Σ fnv(report_i) · R^(n-1-i)` in
+/// wrapping 64-bit arithmetic, represented as the pair
+/// `(hash, R^n)` so two digests concatenate in O(1).
+///
+/// ```
+/// use threegol_bench::fleet::FleetDigest;
+/// use threegol_proxy::HomeReport;
+///
+/// let report = |index: u32| HomeReport {
+///     index,
+///     vod_bytes: 5e5,
+///     vod_secs: 1.0 + index as f64,
+///     vod_gain: 2.0,
+///     upload_bytes: 3e5,
+///     upload_secs: 2.0,
+///     upload_gain: 3.0,
+///     upload_device_bytes: 2e5,
+///     upload_wasted_bytes: 1e4,
+/// };
+///
+/// // Sequential fold of four homes...
+/// let mut all = FleetDigest::empty();
+/// for i in 0..4 {
+///     all.observe(&report(i));
+/// }
+///
+/// // ...equals any associative chunking, merged in home order.
+/// let mut left = FleetDigest::empty();
+/// left.observe(&report(0));
+/// let mut right = FleetDigest::empty();
+/// right.observe(&report(1));
+/// right.observe(&report(2));
+/// right.observe(&report(3));
+/// left.merge(&right);
+/// assert_eq!(left, all);
+/// assert_eq!(left.digest(), all.digest());
+///
+/// // ...but a different order is a different fleet.
+/// let mut swapped = FleetDigest::empty();
+/// swapped.observe(&report(1));
+/// swapped.observe(&report(0));
+/// let mut tail = FleetDigest::empty();
+/// tail.observe(&report(2));
+/// tail.observe(&report(3));
+/// swapped.merge(&tail);
+/// assert_ne!(swapped.digest(), all.digest());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetDigest {
+    /// Homes folded in.
+    pub homes: u64,
+    /// Per-home VoD prebuffer gain over ADSL alone.
+    pub vod_gain: MetricDigest,
+    /// Per-home photo-upload gain over ADSL alone.
+    pub upload_gain: MetricDigest,
+    /// Per-home VoD prebuffer wall time (virtual seconds).
+    pub vod_secs: MetricDigest,
+    /// Per-home upload batch wall time (virtual seconds).
+    pub upload_secs: MetricDigest,
+    /// Virtual-net events across all homes (socket binds + connects +
+    /// datagrams delivered); bumped by the fleet runner, merged by
+    /// addition.
+    pub net_events: u64,
+    /// Exact totals, fixed-point.
+    vod_bytes_fp: i128,
+    upload_bytes_fp: i128,
+    device_bytes_fp: i128,
+    wasted_bytes_fp: i128,
+    /// Polynomial content hash `Σ fnv(report_i) · R^(n-1-i)`.
+    hash: u64,
+    /// `R^n` for the `n` reports folded in — the concatenation weight.
+    weight: u64,
+}
+
+/// FNV-1a over the canonical byte encoding of a report: the index and
+/// every metric's exact bit pattern. Stable across platforms (no
+/// `Debug` formatting involved) and sensitive to every bit of every
+/// field.
+fn fnv_report(r: &HomeReport) -> u64 {
+    let mut h = FNV_OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    eat(&r.index.to_le_bytes());
+    for v in [
+        r.vod_bytes,
+        r.vod_secs,
+        r.vod_gain,
+        r.upload_bytes,
+        r.upload_secs,
+        r.upload_gain,
+        r.upload_device_bytes,
+        r.upload_wasted_bytes,
+    ] {
+        eat(&v.to_bits().to_le_bytes());
+    }
+    h
+}
+
+impl FleetDigest {
+    /// The identity digest: zero homes. Merging it in either direction
+    /// is a no-op.
+    pub fn empty() -> FleetDigest {
+        FleetDigest {
+            homes: 0,
+            vod_gain: MetricDigest::empty(),
+            upload_gain: MetricDigest::empty(),
+            vod_secs: MetricDigest::empty(),
+            upload_secs: MetricDigest::empty(),
+            net_events: 0,
+            vod_bytes_fp: 0,
+            upload_bytes_fp: 0,
+            device_bytes_fp: 0,
+            wasted_bytes_fp: 0,
+            hash: 0,
+            weight: 1,
+        }
+    }
+
+    /// Fold one home's report in (appends to the hashed sequence).
+    pub fn observe(&mut self, report: &HomeReport) {
+        self.homes += 1;
+        self.vod_gain.observe(report.vod_gain);
+        self.upload_gain.observe(report.upload_gain);
+        self.vod_secs.observe(report.vod_secs);
+        self.upload_secs.observe(report.upload_secs);
+        self.vod_bytes_fp += to_fp(report.vod_bytes);
+        self.upload_bytes_fp += to_fp(report.upload_bytes);
+        self.device_bytes_fp += to_fp(report.upload_device_bytes);
+        self.wasted_bytes_fp += to_fp(report.upload_wasted_bytes);
+        self.hash = self.hash.wrapping_mul(FNV_PRIME).wrapping_add(fnv_report(report));
+        self.weight = self.weight.wrapping_mul(FNV_PRIME);
+    }
+
+    /// Concatenate `other`'s home sequence after this one.
+    ///
+    /// Associative and exact: counts, histogram buckets and
+    /// fixed-point sums add; min/max combine; the content hashes
+    /// concatenate through the `(hash, weight)` monoid — so
+    /// `(a·b)·c == a·(b·c)` bit for bit, and any chunked merge in
+    /// home order equals the sequential fold. See the type-level
+    /// example.
+    pub fn merge(&mut self, other: &FleetDigest) {
+        self.homes += other.homes;
+        self.vod_gain.merge(&other.vod_gain);
+        self.upload_gain.merge(&other.upload_gain);
+        self.vod_secs.merge(&other.vod_secs);
+        self.upload_secs.merge(&other.upload_secs);
+        self.net_events += other.net_events;
+        self.vod_bytes_fp += other.vod_bytes_fp;
+        self.upload_bytes_fp += other.upload_bytes_fp;
+        self.device_bytes_fp += other.device_bytes_fp;
+        self.wasted_bytes_fp += other.wasted_bytes_fp;
+        self.hash = self.hash.wrapping_mul(other.weight).wrapping_add(other.hash);
+        self.weight = self.weight.wrapping_mul(other.weight);
+    }
+
+    /// The order-sensitive content hash of every report folded in: two
+    /// fleets agree on this only if every home's every metric agrees
+    /// bit for bit, in the same order.
+    pub fn digest(&self) -> u64 {
+        self.hash
+    }
+
+    /// Total VoD prebuffer bytes fetched across the fleet.
+    pub fn vod_bytes(&self) -> f64 {
+        from_fp(self.vod_bytes_fp)
+    }
+
+    /// Total upload batch bytes across the fleet.
+    pub fn upload_bytes(&self) -> f64 {
+        from_fp(self.upload_bytes_fp)
+    }
+
+    /// Total upload bytes that crossed 3G paths.
+    pub fn device_bytes(&self) -> f64 {
+        from_fp(self.device_bytes_fp)
+    }
+
+    /// Total upload bytes moved by aborted duplicates.
+    pub fn wasted_bytes(&self) -> f64 {
+        from_fp(self.wasted_bytes_fp)
+    }
+
     /// Human-readable rollup table.
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("fleet: {} homes (virtual net, virtual time)\n", self.homes));
-        out.push_str("gain over ADSL alone        min    p50   mean    max\n");
-        for (name, d) in [("vod prebuffer", self.vod_gain), ("photo upload", self.upload_gain)] {
+        out.push_str("gain over ADSL alone        min   ~p50   mean    max\n");
+        for (name, d) in [("vod prebuffer", &self.vod_gain), ("photo upload", &self.upload_gain)] {
             out.push_str(&format!(
                 "  {name:<24} {:>6.2} {:>6.2} {:>6.2} {:>6.2}\n",
-                d.min, d.p50, d.mean, d.max
+                d.min,
+                d.p50(),
+                d.mean(),
+                d.max
             ));
         }
         out.push_str(&format!(
-            "onloaded {:.2} MB to 3G paths, {:.2} MB duplicate waste\n",
-            self.device_bytes / 1e6,
-            self.wasted_bytes / 1e6
+            "onloaded {:.2} MB to 3G paths, {:.2} MB duplicate waste, \
+             {} virtual-net events\n",
+            self.device_bytes() / 1e6,
+            self.wasted_bytes() / 1e6,
+            self.net_events
         ));
         out
     }
 }
 
-/// A stable content digest of the full report vector (FNV-1a over the
-/// `Debug` rendering): two runs of the same fleet must agree on every
-/// bit, whatever the worker count.
-pub fn digest(reports: &[HomeReport]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for report in reports {
-        for byte in format!("{report:?}").bytes() {
-            hash ^= byte as u64;
-            hash = hash.wrapping_mul(0x1000_0000_01b3);
-        }
-    }
-    hash
+/// Run one home inside its own fresh runtime and fold the outcome
+/// (report + that runtime's virtual-net event count) into `digest`.
+fn run_home_into(digest: &mut FleetDigest, index: u32) {
+    let spec = home_spec(index);
+    let (report, stats) = tokio::runtime::block_on(async {
+        let report = Home::run(&spec).await;
+        (report, tokio::net::stats())
+    });
+    let report = report.unwrap_or_else(|e| panic!("home {index} failed: {e}"));
+    digest.observe(&report);
+    digest.net_events += stats.tcp_binds + stats.tcp_connects + stats.udp_binds + stats.datagrams;
+}
+
+/// Run a fleet of `homes` households, streamed through the pool in
+/// `chunk`-home units, and return the fleet digest.
+///
+/// Memory is flat in the fleet size: no spec, report, or result vector
+/// of length `homes` ever exists (see module docs and
+/// [`FLEET_RSS_CEILING_BYTES`]). The digest is byte-identical for any
+/// worker count and any chunk size, because chunk digests fold homes
+/// in index order and merge in chunk order.
+///
+/// ```
+/// use threegol_bench::fleet::run_fleet;
+/// use threegol_bench::Pool;
+///
+/// let two = Pool::with(2, |pool| run_fleet(4, 2, pool));
+/// let seven = Pool::with(7, |pool| run_fleet(4, 1, pool));
+/// assert_eq!(two, seven);
+/// assert_eq!(two.homes, 4);
+/// assert!(two.upload_gain.min > 0.0);
+/// ```
+///
+/// Panics if any home's workload fails: in the virtual-net prototype
+/// every failure is a bug, never weather.
+pub fn run_fleet(homes: usize, chunk: usize, pool: &Pool) -> FleetDigest {
+    assert!(homes <= u32::MAX as usize, "home index space is u32");
+    let homes = homes as u32;
+    let chunk = chunk.max(1) as u32;
+    let ranges: Vec<(u32, u32)> =
+        (0..homes).step_by(chunk as usize).map(|start| (start, homes.min(start + chunk))).collect();
+    fold(
+        pool,
+        ranges,
+        |&(start, end)| {
+            let mut part = FleetDigest::empty();
+            for index in start..end {
+                run_home_into(&mut part, index);
+            }
+            part
+        },
+        FleetDigest::empty(),
+        |mut acc, part| {
+            acc.merge(&part);
+            acc
+        },
+    )
+}
+
+/// Run a small fleet and keep every per-home report — the
+/// materializing path for tests and close inspection. The big-fleet
+/// entry point is [`run_fleet`]; this one holds `homes` reports in
+/// memory.
+pub fn collect_reports(homes: usize, pool: &Pool) -> Vec<HomeReport> {
+    assert!(homes <= u32::MAX as usize, "home index space is u32");
+    let indices: Vec<u32> = (0..homes as u32).collect();
+    map(pool, indices, |&index| {
+        let spec = home_spec(index);
+        tokio::runtime::block_on(Home::run(&spec))
+            .unwrap_or_else(|e| panic!("home {index} failed: {e}"))
+    })
+}
+
+/// Peak resident set size of this process so far (`VmHWM`), in bytes.
+/// `None` where `/proc` is unavailable.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
 }
 
 #[cfg(test)]
@@ -148,24 +499,129 @@ mod tests {
         assert_eq!(home_spec(0).devices, 1);
         assert_eq!(home_spec(2).devices, 3);
         assert_eq!(home_spec(4).adsl_down_bps, home_spec(0).adsl_down_bps);
+        // The index space reaches a million homes and beyond.
+        assert_eq!(home_spec(1_000_000).index, 1_000_000);
+    }
+
+    fn synthetic_report(index: u32) -> HomeReport {
+        // Deterministic, heterogeneous, and full of awkward float
+        // values so order-dependence would show.
+        let x = (index as f64 * 0.7370915).sin().abs() + 0.01;
+        HomeReport {
+            index,
+            vod_bytes: 5e5 + index as f64,
+            vod_secs: x * 3.0,
+            vod_gain: 0.5 + x * 4.0,
+            upload_bytes: 3e5,
+            upload_secs: x * 7.0,
+            upload_gain: 0.3 + x * 11.0,
+            upload_device_bytes: 1e5 * x,
+            upload_wasted_bytes: 1e4 * x,
+        }
+    }
+
+    /// Digest the chunked-by-`c` sequence `[0, n)`, merging chunk
+    /// digests left to right — the shape a `c`-chunk fleet produces.
+    fn chunked_digest(n: u32, c: u32) -> FleetDigest {
+        let mut acc = FleetDigest::empty();
+        let mut start = 0;
+        while start < n {
+            let mut part = FleetDigest::empty();
+            for i in start..n.min(start + c) {
+                part.observe(&synthetic_report(i));
+            }
+            acc.merge(&part);
+            start += c;
+        }
+        acc
     }
 
     #[test]
-    fn distribution_of_small_sample() {
-        let d = Distribution::of(&[3.0, 1.0, 2.0]);
-        assert_eq!((d.min, d.p50, d.max), (1.0, 2.0, 3.0));
-        assert!((d.mean - 2.0).abs() < 1e-12);
+    fn digest_merge_is_associative_and_matches_sequential_fold() {
+        // 10k synthetic homes: the sequential fold vs every chunking a
+        // 1-, 2- or 7-worker fleet run could produce (chunk sizes that
+        // divide, don't divide, and exceed the fleet), bit for bit.
+        let sequential = chunked_digest(10_000, u32::MAX);
+        for chunk in [1, 2, 7, 64, 1000, 9999, 10_000, 20_000] {
+            let chunked = chunked_digest(10_000, chunk);
+            assert_eq!(chunked, sequential, "chunk size {chunk} diverged");
+            assert_eq!(chunked.digest(), sequential.digest());
+        }
+
+        // Raw associativity on uneven splits: (a·b)·c == a·(b·c).
+        let part = |lo: u32, hi: u32| {
+            let mut d = FleetDigest::empty();
+            for i in lo..hi {
+                d.observe(&synthetic_report(i));
+            }
+            d
+        };
+        let (a, b, c) = (part(0, 17), part(17, 6000), part(6000, 10_000));
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        assert_eq!(left, right);
+
+        // Identity on both sides.
+        let mut with_empty = FleetDigest::empty();
+        with_empty.merge(&sequential);
+        with_empty.merge(&FleetDigest::empty());
+        assert_eq!(with_empty, sequential);
     }
 
     #[test]
-    fn small_fleet_summarizes() {
-        let reports = Pool::with(2, |pool| run_fleet(4, pool));
-        assert_eq!(reports.len(), 4);
-        assert!(reports.iter().enumerate().all(|(h, r)| r.index as usize == h));
-        let summary = summarize(&reports);
-        assert_eq!(summary.homes, 4);
-        assert!(summary.upload_gain.min > 0.0);
-        assert!(summary.device_bytes > 0.0);
-        assert!(!summary.render().is_empty());
+    fn digest_is_order_sensitive() {
+        let mut forward = FleetDigest::empty();
+        forward.observe(&synthetic_report(0));
+        forward.observe(&synthetic_report(1));
+        let mut backward = FleetDigest::empty();
+        backward.observe(&synthetic_report(1));
+        backward.observe(&synthetic_report(0));
+        assert_ne!(forward.digest(), backward.digest());
+    }
+
+    #[test]
+    fn digest_sees_every_bit() {
+        let mut a = FleetDigest::empty();
+        a.observe(&synthetic_report(3));
+        let mut tweaked = synthetic_report(3);
+        tweaked.upload_wasted_bytes = f64::from_bits(tweaked.upload_wasted_bytes.to_bits() ^ 1);
+        let mut b = FleetDigest::empty();
+        b.observe(&tweaked);
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn metric_digest_summarizes() {
+        let mut d = MetricDigest::empty();
+        for v in [1.0, 2.0, 3.0] {
+            d.observe(v);
+        }
+        assert_eq!(d.count, 3);
+        assert_eq!((d.min, d.max), (1.0, 3.0));
+        assert!((d.mean() - 2.0).abs() < 1e-5);
+        // Histogram p50: within one quarter-log2 bucket of the truth.
+        assert!((d.p50() / 2.0).log2().abs() < 0.26, "p50 {}", d.p50());
+    }
+
+    #[test]
+    fn small_fleet_digests_and_renders() {
+        let digest = Pool::with(2, |pool| run_fleet(4, 2, pool));
+        assert_eq!(digest.homes, 4);
+        assert!(digest.upload_gain.min > 0.0);
+        assert!(digest.device_bytes() > 0.0);
+        assert!(digest.net_events > 0);
+        assert!(!digest.render().is_empty());
+        // The collect path sees the same homes.
+        let reports = Pool::with(2, |pool| collect_reports(4, pool));
+        let mut refold = FleetDigest::empty();
+        for r in &reports {
+            refold.observe(r);
+        }
+        assert_eq!(refold.digest(), digest.digest());
     }
 }

@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! # threegol-bench
 //!
 //! The reproduction harness: one module per table/figure of the
@@ -24,12 +26,14 @@
 //! cargo run -p threegol-bench --release --bin repro_all [scale] [workers]
 //! ```
 //!
-//! Beyond the simulator experiments, the [`fleet`] module shards whole
-//! live-prototype households (virtual-net tokio runtimes) across the
-//! same pool:
+//! Beyond the simulator experiments, the [`fleet`] module streams
+//! whole live-prototype households (virtual-net tokio runtimes)
+//! through the same pool in chunks, folding them into a mergeable
+//! [`fleet::FleetDigest`] so fleets of a million homes run in flat
+//! memory:
 //!
 //! ```text
-//! cargo run -p threegol-bench --release --bin fleet [homes] [workers]
+//! cargo run -p threegol-bench --release --bin fleet [homes] [workers] [chunk]
 //! ```
 //!
 //! The `THREEGOL_WORKERS` environment variable overrides the detected
@@ -42,9 +46,9 @@ pub mod fleet;
 pub mod relay;
 pub mod util;
 
-pub use exec::{map, resolve_workers, Pool};
+pub use exec::{fold, map, resolve_workers, Pool};
 pub use experiment::{registry, DynExperiment, Experiment, Registry, Scale, ScaleError};
-pub use fleet::{run_fleet, summarize, FleetSummary};
+pub use fleet::{run_fleet, FleetDigest, MetricDigest};
 pub use util::{Check, Report, ReportBuilder};
 
 /// Shared entry point for the per-experiment binaries: parse

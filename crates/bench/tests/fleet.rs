@@ -1,9 +1,10 @@
-//! Acceptance tests for the proxy-fleet harness: a 200-home fleet
-//! completes in one process under virtual time, the full report is
-//! byte-identical across repeated runs and across worker counts, and
-//! the traffic never touches a kernel socket.
+//! Acceptance tests for the streamed proxy-fleet harness: a 200-home
+//! fleet completes in one process under virtual time, the fleet digest
+//! is byte-identical across repeated runs, worker counts, and chunk
+//! sizes, it agrees with the sequential per-report fold, and the
+//! traffic never touches a kernel socket.
 
-use threegol_bench::fleet::{digest, home_spec, run_fleet, summarize};
+use threegol_bench::fleet::{collect_reports, home_spec, run_fleet, FleetDigest, DEFAULT_CHUNK};
 use threegol_bench::Pool;
 use threegol_proxy::Home;
 
@@ -26,24 +27,35 @@ fn two_hundred_home_fleet_is_deterministic_and_kernel_socket_free() {
     #[cfg(target_os = "linux")]
     let sockets_before = kernel_socket_count();
 
-    // Two runs on 4 workers, one on 1 worker (the serial path), one on
-    // 7 (a count that doesn't divide the fleet): every home report —
-    // f64 timings included — must agree bit for bit.
-    let first = Pool::with(4, |pool| run_fleet(200, pool));
-    let second = Pool::with(4, |pool| run_fleet(200, pool));
-    let serial = Pool::with(1, |pool| run_fleet(200, pool));
-    let odd = Pool::with(7, |pool| run_fleet(200, pool));
-    assert_eq!(digest(&first), digest(&second), "same worker count diverged");
-    assert_eq!(digest(&first), digest(&serial), "worker count changed the result");
-    assert_eq!(digest(&first), digest(&odd), "non-dividing worker count changed the result");
-    assert_eq!(format!("{first:?}"), format!("{serial:?}"));
+    // Two streamed runs on 4 workers, one on 1 worker (the serial
+    // path), one on 7 (a count that doesn't divide the fleet) with a
+    // chunk size that doesn't divide it either: every digest field —
+    // f64-derived sums and the content hash included — must agree bit
+    // for bit.
+    let first = Pool::with(4, |pool| run_fleet(200, DEFAULT_CHUNK, pool));
+    let second = Pool::with(4, |pool| run_fleet(200, DEFAULT_CHUNK, pool));
+    let serial = Pool::with(1, |pool| run_fleet(200, DEFAULT_CHUNK, pool));
+    let odd = Pool::with(7, |pool| run_fleet(200, 23, pool));
+    assert_eq!(first, second, "same worker count diverged");
+    assert_eq!(first, serial, "worker count changed the result");
+    assert_eq!(first, odd, "worker/chunk combination changed the result");
+
+    // The streamed digest is exactly the sequential fold of the
+    // materialized per-home reports.
+    let reports = Pool::with(4, |pool| collect_reports(200, pool));
+    let mut refold = FleetDigest::empty();
+    for report in &reports {
+        refold.observe(report);
+    }
+    assert_eq!(refold.digest(), first.digest(), "streamed digest != sequential fold");
 
     #[cfg(target_os = "linux")]
     assert_eq!(kernel_socket_count(), sockets_before, "the fleet path opened a real socket");
 
     // Sanity on the workload itself.
-    assert_eq!(first.len(), 200);
-    for (h, report) in first.iter().enumerate() {
+    assert_eq!(first.homes, 200);
+    assert_eq!(reports.len(), 200);
+    for (h, report) in reports.iter().enumerate() {
         assert_eq!(report.index as usize, h);
         assert!(report.vod_secs.is_finite() && report.vod_secs > 0.0);
         assert!(report.upload_secs.is_finite() && report.upload_secs > 0.0);
@@ -52,9 +64,10 @@ fn two_hundred_home_fleet_is_deterministic_and_kernel_socket_free() {
         assert!(report.upload_gain > 1.0, "home {h}: upload gain {}", report.upload_gain);
         assert!(report.upload_device_bytes > 0.0, "home {h} never used a phone");
     }
-    let summary = summarize(&first);
-    assert!(summary.upload_gain.p50 > 1.5, "median upload gain {:?}", summary.upload_gain);
-    assert!(summary.vod_gain.p50 > 1.0, "median vod gain {:?}", summary.vod_gain);
+    assert!(first.upload_gain.min > 1.0, "worst upload gain {}", first.upload_gain.min);
+    assert!(first.upload_gain.p50() > 1.5, "median upload gain {}", first.upload_gain.p50());
+    assert!(first.vod_gain.p50() > 1.0, "median vod gain {}", first.vod_gain.p50());
+    assert!(first.net_events > 200 * 10, "implausibly few net events: {}", first.net_events);
 }
 
 #[test]
@@ -77,4 +90,15 @@ fn home_traffic_is_entirely_virtual() {
     // announcement sent.
     assert!(stats.udp_binds > devices, "{stats:?}");
     assert!(stats.datagrams >= devices, "{stats:?}");
+}
+
+#[test]
+fn indices_beyond_the_namespace_width_run_fine() {
+    // A million-home fleet reaches indices far past the 16-bit subnet
+    // plan; each home runs in its own runtime, so the aliased
+    // namespace never collides.
+    let report =
+        tokio::runtime::block_on(Home::run(&home_spec(999_999))).expect("home 999999 runs");
+    assert_eq!(report.index, 999_999);
+    assert!(report.upload_gain > 1.0);
 }

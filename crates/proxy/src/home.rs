@@ -49,6 +49,14 @@ use crate::throttle::{RateLimit, SharedRateLimit};
 /// hosts live at fixed final octets so an address appearing in a
 /// deadlock diagnostic or a packet trace identifies both the home and
 /// the role.
+///
+/// The namespace index is 16 bits — the 10.x.y.0/24 plan has exactly
+/// 65 536 subnets — while [`HomeSpec::index`] is 32 bits so a fleet
+/// can hold millions of homes. [`Home::run`] folds the spec index into
+/// this space with `index % 65536`: two homes alias the same subnet
+/// only if they run in the *same* runtime, and the fleet harness gives
+/// every home its own runtime, so fleets larger than 65 536 homes
+/// never collide.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HomeNet {
     /// Home index (the `h` in `10.(h >> 8).(h & 0xff).x`).
@@ -89,10 +97,14 @@ impl HomeNet {
 }
 
 /// Link profiles and workload for one home.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Plain scalars only — the spec is `Copy`, costs nothing to build
+/// from an index on a worker's stack, and a million-home fleet never
+/// needs to materialize a single one on the heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HomeSpec {
-    /// Home index (selects the [`HomeNet`] namespace).
-    pub index: u16,
+    /// Home index (selects the [`HomeNet`] namespace, modulo 2^16).
+    pub index: u32,
     /// Number of device proxies (phones with quota).
     pub devices: usize,
     /// ADSL downlink, bits/s — one shared bucket for the whole home.
@@ -124,7 +136,7 @@ impl HomeSpec {
     /// A paper-flavoured default: 4/0.5 Mbit/s ADSL, two phones on
     /// 2/1 Mbit/s 3G, 30 Mbit/s Wi-Fi, a 10 s × 400 kbit/s VoD
     /// prebuffer racing a 3 × 100 kB photo upload.
-    pub fn paper_default(index: u16) -> HomeSpec {
+    pub fn paper_default(index: u32) -> HomeSpec {
         HomeSpec {
             index,
             devices: 2,
@@ -144,10 +156,14 @@ impl HomeSpec {
 }
 
 /// What one home's workload achieved.
-#[derive(Debug, Clone)]
+///
+/// Like [`HomeSpec`] this is a fixed-size `Copy` record: a fleet
+/// aggregates reports into a digest as they are produced instead of
+/// holding a vector of them.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HomeReport {
     /// Home index.
-    pub index: u16,
+    pub index: u32,
     /// VoD prebuffer bytes fetched.
     pub vod_bytes: f64,
     /// VoD prebuffer wall time (virtual seconds).
@@ -180,7 +196,7 @@ impl Home {
     /// in the same runtime (distinct [`HomeNet`] namespaces) or in
     /// separate runtimes on separate threads.
     pub async fn run(spec: &HomeSpec) -> Result<HomeReport, HttpError> {
-        let net = HomeNet::new(spec.index);
+        let net = HomeNet::new((spec.index % (1 << 16)) as u16);
 
         // Origin, behind the home's view of the WAN.
         let ladder = vec![VideoQuality::new("Q1", spec.video_bps)];
