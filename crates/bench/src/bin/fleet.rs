@@ -10,10 +10,19 @@
 //! digest is byte-identical for any worker count or chunk size.
 //!
 //! ```text
-//! cargo run -p threegol-bench --release --bin fleet [homes] [workers] [chunk]
+//! cargo run -p threegol-bench --release --bin fleet [homes] [workers] [chunk] [--cells N]
 //! ```
+//!
+//! With `--cells N` the homes share `N` 3G cells through the
+//! fixed-point cellular coupling (paper §6 / Fig 11): the fleet runs
+//! repeatedly, each pass's per-cell onload feeding back as the next
+//! pass's per-phone capacity shares, until the shares settle. The
+//! printed digest is the converged pass's — still byte-identical
+//! across worker counts and chunk sizes.
 
-use threegol_bench::fleet::{peak_rss_bytes, run_fleet, DEFAULT_CHUNK};
+use threegol_bench::fleet::{
+    peak_rss_bytes, run_cell_fleet, run_fleet, CellFleetConfig, DEFAULT_CHUNK, MAX_CELLS,
+};
 use threegol_bench::{resolve_workers, Pool};
 
 fn parse_positive(raw: &str, what: &str) -> usize {
@@ -27,17 +36,46 @@ fn parse_positive(raw: &str, what: &str) -> usize {
 }
 
 fn main() {
+    let mut positional = Vec::new();
+    let mut cells: Option<u32> = None;
     let mut args = std::env::args().skip(1);
-    let homes = args.next().map_or(100, |raw| parse_positive(&raw, "home count"));
-    let workers_arg = args.next().map(|raw| parse_positive(&raw, "worker count"));
-    let chunk = args.next().map_or(DEFAULT_CHUNK, |raw| parse_positive(&raw, "chunk size"));
+    while let Some(raw) = args.next() {
+        if raw == "--cells" {
+            let value = args.next().unwrap_or_else(|| {
+                eprintln!("--cells needs a value (1..={MAX_CELLS})");
+                std::process::exit(2);
+            });
+            let n = parse_positive(&value, "cell count");
+            if n > MAX_CELLS {
+                eprintln!("invalid cell count {n}: the digest tracks at most {MAX_CELLS} cells");
+                std::process::exit(2);
+            }
+            cells = Some(n as u32);
+        } else {
+            positional.push(raw);
+        }
+    }
+    let mut positional = positional.into_iter();
+    let homes = positional.next().map_or(100, |raw| parse_positive(&raw, "home count"));
+    let workers_arg = positional.next().map(|raw| parse_positive(&raw, "worker count"));
+    let chunk = positional.next().map_or(DEFAULT_CHUNK, |raw| parse_positive(&raw, "chunk size"));
     let workers = resolve_workers(workers_arg).min(homes);
 
     let start = std::time::Instant::now();
-    let digest = Pool::with(workers, |pool| run_fleet(homes, chunk, pool));
+    let (digest, cell_run) = Pool::with(workers, |pool| match cells {
+        Some(cells) => {
+            let config = CellFleetConfig { cells, ..CellFleetConfig::default() };
+            let run = run_cell_fleet(homes, chunk, pool, &config);
+            (run.digest, Some(run))
+        }
+        None => (run_fleet(homes, chunk, pool), None),
+    });
     let wall = start.elapsed().as_secs_f64();
 
     print!("{}", digest.render());
+    if let Some(run) = &cell_run {
+        print!("{}", run.render());
+    }
     println!(
         "{homes} homes on {workers} worker(s), chunk {chunk}: {wall:.2} s wall \
          ({:.0} homes/s, {:.0} net events/s); report digest {:016x}",

@@ -23,23 +23,18 @@
 //! polynomial hash monoid), so the merge is associative as well as
 //! order-preserving; see `DESIGN.md` §11.
 
-use threegol_proxy::{Home, HomeReport, HomeSpec};
+use threegol_proxy::{CellProfile, Home, HomeReport, HomeSpec, Tier, NO_CELL};
+use threegol_radio::{CellLoad, CellMap};
 
 use crate::exec::{fold, map, Pool};
 
 /// The spec for home `index`: the paper-default household with the
-/// access links cycled through four ADSL tiers and one-to-three phones
-/// per home, so the fleet is heterogeneous (a street, not one house
-/// copied N times) while staying a pure function of the index.
+/// access links cycled through the four ADSL [`Tier`]s and
+/// one-to-three phones per home, so the fleet is heterogeneous (a
+/// street, not one house copied N times) while staying a pure function
+/// of the index.
 pub fn home_spec(index: u32) -> HomeSpec {
-    const ADSL_TIERS: [(f64, f64); 4] = [(2e6, 0.3e6), (4e6, 0.5e6), (6e6, 0.7e6), (8e6, 1.0e6)];
-    let (down, up) = ADSL_TIERS[(index % 4) as usize];
-    HomeSpec {
-        adsl_down_bps: down,
-        adsl_up_bps: up,
-        devices: 1 + (index % 3) as usize,
-        ..HomeSpec::paper_default(index)
-    }
+    HomeSpec::tier(Tier::of_index(index)).index(index).devices(1 + (index % 3) as usize)
 }
 
 /// Default homes per streamed unit: big enough that pool bookkeeping
@@ -204,12 +199,15 @@ impl MetricDigest {
 ///
 /// let report = |index: u32| HomeReport {
 ///     index,
+///     cell: index % 2,
+///     hour: 21,
 ///     vod_bytes: 5e5,
 ///     vod_secs: 1.0 + index as f64,
 ///     vod_gain: 2.0,
 ///     upload_bytes: 3e5,
 ///     upload_secs: 2.0,
 ///     upload_gain: 3.0,
+///     vod_device_bytes: 1e5,
 ///     upload_device_bytes: 2e5,
 ///     upload_wasted_bytes: 1e4,
 /// };
@@ -257,6 +255,9 @@ pub struct FleetDigest {
     /// datagrams delivered); bumped by the fleet runner, merged by
     /// addition.
     pub net_events: u64,
+    /// Per-cell onloaded-byte accumulators for cell-coupled fleets
+    /// (all zeros when every home runs isolated 3G).
+    pub cells: CellDigest,
     /// Exact totals, fixed-point.
     vod_bytes_fp: i128,
     upload_bytes_fp: i128,
@@ -281,6 +282,8 @@ fn fnv_report(r: &HomeReport) -> u64 {
         }
     };
     eat(&r.index.to_le_bytes());
+    eat(&r.cell.to_le_bytes());
+    eat(&[r.hour]);
     for v in [
         r.vod_bytes,
         r.vod_secs,
@@ -288,12 +291,118 @@ fn fnv_report(r: &HomeReport) -> u64 {
         r.upload_bytes,
         r.upload_secs,
         r.upload_gain,
+        r.vod_device_bytes,
         r.upload_device_bytes,
         r.upload_wasted_bytes,
     ] {
         eat(&v.to_bits().to_le_bytes());
     }
     h
+}
+
+/// Most cells a [`CellDigest`] can track: enough for the paper's
+/// city-scale sketch (§6 works with ~1.7 M lines over ~2000 cells but
+/// the aggregate analysis bins them into a handful of archetypes)
+/// while keeping the digest a fixed-size `Copy` value.
+pub const MAX_CELLS: usize = 32;
+
+/// Fixed-point scale for per-`(cell, hour)` byte accumulators: 2^10
+/// units (~1 millibyte resolution). Coarser than [`FP_SCALE`] on
+/// purpose — the slots are `i64`, and a million-home fleet can land
+/// several terabytes of onloaded bytes in one `(cell, hour)` slot, so
+/// the scale leaves ~2^53 bytes (8 petabytes) of headroom per slot.
+const CELL_FP_SCALE: f64 = (1u64 << 10) as f64;
+
+/// Exactly-mergeable per-cell onload accumulators: for every
+/// `(cell, hour-of-day)` slot, the fixed-point sum of downlink (VoD)
+/// and uplink (upload) bytes that crossed 3G paths, plus a per-cell
+/// home count. All state is integers, so `merge` is element-wise
+/// addition — associative to the last bit, like the rest of
+/// [`FleetDigest`].
+///
+/// Homes with [`NO_CELL`] (isolated 3G) are not accumulated; a
+/// non-`NO_CELL` cell index must be below [`MAX_CELLS`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellDigest {
+    /// Homes attached per cell.
+    pub homes: [u64; MAX_CELLS],
+    /// Downlink onloaded bytes per `(cell, hour)`, fixed-point
+    /// (`cell * 24 + hour` layout, `2^-10` units).
+    dl_fp: [i64; MAX_CELLS * 24],
+    /// Uplink onloaded bytes per `(cell, hour)`, same layout.
+    ul_fp: [i64; MAX_CELLS * 24],
+}
+
+impl CellDigest {
+    /// The identity digest: no homes, no bytes.
+    pub fn empty() -> CellDigest {
+        CellDigest { homes: [0; MAX_CELLS], dl_fp: [0; MAX_CELLS * 24], ul_fp: [0; MAX_CELLS * 24] }
+    }
+
+    fn to_cell_fp(v: f64) -> i64 {
+        (v * CELL_FP_SCALE).round() as i64
+    }
+
+    /// Fold one home's onload into its `(cell, hour)` slot. No-op for
+    /// isolated homes.
+    pub fn observe(&mut self, report: &HomeReport) {
+        if report.cell == NO_CELL {
+            return;
+        }
+        let cell = report.cell as usize;
+        assert!(cell < MAX_CELLS, "cell {cell} out of digest range");
+        let slot = cell * 24 + (report.hour as usize % 24);
+        self.homes[cell] += 1;
+        self.dl_fp[slot] += Self::to_cell_fp(report.vod_device_bytes);
+        self.ul_fp[slot] += Self::to_cell_fp(report.upload_device_bytes);
+    }
+
+    /// Fold another digest in: element-wise integer adds, exact and
+    /// associative.
+    pub fn merge(&mut self, other: &CellDigest) {
+        for (mine, theirs) in self.homes.iter_mut().zip(other.homes.iter()) {
+            *mine += *theirs;
+        }
+        for (mine, theirs) in self.dl_fp.iter_mut().zip(other.dl_fp.iter()) {
+            *mine += *theirs;
+        }
+        for (mine, theirs) in self.ul_fp.iter_mut().zip(other.ul_fp.iter()) {
+            *mine += *theirs;
+        }
+    }
+
+    /// Onloaded bytes for cell `cell` at hour `hour`, `(down, up)`.
+    pub fn bytes_at(&self, cell: u32, hour: usize) -> (f64, f64) {
+        let slot = cell as usize * 24 + hour % 24;
+        (self.dl_fp[slot] as f64 / CELL_FP_SCALE, self.ul_fp[slot] as f64 / CELL_FP_SCALE)
+    }
+
+    /// Total onloaded bytes across all cells and hours, `(down, up)`.
+    pub fn total_bytes(&self) -> (f64, f64) {
+        let dl: i64 = self.dl_fp.iter().sum();
+        let ul: i64 = self.ul_fp.iter().sum();
+        (dl as f64 / CELL_FP_SCALE, ul as f64 / CELL_FP_SCALE)
+    }
+
+    /// The accumulated load on the first `cells` cells as
+    /// [`CellLoad`]s: the hourly byte sums become mean extra bits/s
+    /// over that hour, with each simulated home standing in for
+    /// `scale_per_home` city households (the fleet samples the city;
+    /// see `CellFleetConfig::scale_per_home`).
+    pub fn loads(&self, cells: u32, scale_per_home: f64) -> Vec<CellLoad> {
+        (0..cells)
+            .map(|cell| {
+                let mut load = CellLoad::empty(cell);
+                load.homes = self.homes[cell as usize];
+                for hour in 0..24 {
+                    let (dl, ul) = self.bytes_at(cell, hour);
+                    load.dl_bps[hour] = dl * 8.0 / 3600.0 * scale_per_home;
+                    load.ul_bps[hour] = ul * 8.0 / 3600.0 * scale_per_home;
+                }
+                load
+            })
+            .collect()
+    }
 }
 
 impl FleetDigest {
@@ -307,6 +416,7 @@ impl FleetDigest {
             vod_secs: MetricDigest::empty(),
             upload_secs: MetricDigest::empty(),
             net_events: 0,
+            cells: CellDigest::empty(),
             vod_bytes_fp: 0,
             upload_bytes_fp: 0,
             device_bytes_fp: 0,
@@ -323,9 +433,10 @@ impl FleetDigest {
         self.upload_gain.observe(report.upload_gain);
         self.vod_secs.observe(report.vod_secs);
         self.upload_secs.observe(report.upload_secs);
+        self.cells.observe(report);
         self.vod_bytes_fp += to_fp(report.vod_bytes);
         self.upload_bytes_fp += to_fp(report.upload_bytes);
-        self.device_bytes_fp += to_fp(report.upload_device_bytes);
+        self.device_bytes_fp += to_fp(report.vod_device_bytes + report.upload_device_bytes);
         self.wasted_bytes_fp += to_fp(report.upload_wasted_bytes);
         self.hash = self.hash.wrapping_mul(FNV_PRIME).wrapping_add(fnv_report(report));
         self.weight = self.weight.wrapping_mul(FNV_PRIME);
@@ -346,6 +457,7 @@ impl FleetDigest {
         self.vod_secs.merge(&other.vod_secs);
         self.upload_secs.merge(&other.upload_secs);
         self.net_events += other.net_events;
+        self.cells.merge(&other.cells);
         self.vod_bytes_fp += other.vod_bytes_fp;
         self.upload_bytes_fp += other.upload_bytes_fp;
         self.device_bytes_fp += other.device_bytes_fp;
@@ -371,7 +483,8 @@ impl FleetDigest {
         from_fp(self.upload_bytes_fp)
     }
 
-    /// Total upload bytes that crossed 3G paths.
+    /// Total bytes that crossed 3G paths, both directions (VoD
+    /// prefetches plus uploads).
     pub fn device_bytes(&self) -> f64 {
         from_fp(self.device_bytes_fp)
     }
@@ -408,13 +521,12 @@ impl FleetDigest {
 
 /// Run one home inside its own fresh runtime and fold the outcome
 /// (report + that runtime's virtual-net event count) into `digest`.
-fn run_home_into(digest: &mut FleetDigest, index: u32) {
-    let spec = home_spec(index);
+fn run_home_into(digest: &mut FleetDigest, spec: &HomeSpec) {
     let (report, stats) = tokio::runtime::block_on(async {
-        let report = Home::run(&spec).await;
+        let report = Home::run(spec).await;
         (report, tokio::net::stats())
     });
-    let report = report.unwrap_or_else(|e| panic!("home {index} failed: {e}"));
+    let report = report.unwrap_or_else(|e| panic!("home {} failed: {e}", spec.index));
     digest.observe(&report);
     digest.net_events += stats.tcp_binds + stats.tcp_connects + stats.udp_binds + stats.datagrams;
 }
@@ -442,6 +554,19 @@ fn run_home_into(digest: &mut FleetDigest, index: u32) {
 /// Panics if any home's workload fails: in the virtual-net prototype
 /// every failure is a bug, never weather.
 pub fn run_fleet(homes: usize, chunk: usize, pool: &Pool) -> FleetDigest {
+    run_fleet_with(homes, chunk, pool, home_spec)
+}
+
+/// [`run_fleet`] with a caller-supplied spec function: home `index`
+/// runs under `spec(index)`. The function must be a *pure* function of
+/// the index — it is called on whichever worker's stack picks the
+/// chunk up, and determinism of the digest rests on every call site
+/// agreeing. This is the entry point cell-coupled passes use, feeding
+/// per-cell capacity profiles from the previous pass into each spec.
+pub fn run_fleet_with<F>(homes: usize, chunk: usize, pool: &Pool, spec: F) -> FleetDigest
+where
+    F: Fn(u32) -> HomeSpec + Send + Sync + 'static,
+{
     assert!(homes <= u32::MAX as usize, "home index space is u32");
     let homes = homes as u32;
     let chunk = chunk.max(1) as u32;
@@ -450,10 +575,10 @@ pub fn run_fleet(homes: usize, chunk: usize, pool: &Pool) -> FleetDigest {
     fold(
         pool,
         ranges,
-        |&(start, end)| {
+        move |&(start, end)| {
             let mut part = FleetDigest::empty();
             for index in start..end {
-                run_home_into(&mut part, index);
+                run_home_into(&mut part, &spec(index));
             }
             part
         },
@@ -477,6 +602,198 @@ pub fn collect_reports(homes: usize, pool: &Pool) -> Vec<HomeReport> {
         tokio::runtime::block_on(Home::run(&spec))
             .unwrap_or_else(|e| panic!("home {index} failed: {e}"))
     })
+}
+
+/// Configuration for a cell-coupled fleet run (see [`run_cell_fleet`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellFleetConfig {
+    /// Shared 3G cells in the city grid (≤ [`MAX_CELLS`]).
+    pub cells: u32,
+    /// Fixed-point passes to run before giving up on convergence.
+    pub max_passes: u32,
+    /// Convergence threshold: the loop stops once no per-phone share
+    /// changed by more than this relative amount between passes.
+    pub tolerance: f64,
+    /// City households each simulated home stands in for when its
+    /// onloaded bytes are charged to the cell. The paper's back of the
+    /// envelope (§2.1) puts ~880 DSL households under one urban cell;
+    /// the default of 1000 lets a thousand-home fleet model a
+    /// million-household city.
+    pub scale_per_home: f64,
+    /// Nominal (uncontended) per-phone 3G downlink, bits/s.
+    pub nominal_down_bps: f64,
+    /// Nominal (uncontended) per-phone 3G uplink, bits/s.
+    pub nominal_up_bps: f64,
+    /// Relaxation weight for the share update, `(0, 1]`: each pass
+    /// moves the shares this fraction of the way toward the loads'
+    /// implied shares. `1.0` is the raw undamped update, which can
+    /// oscillate (low share → bytes shift to ADSL → load drops →
+    /// high share → …); `0.5` halves the oscillation amplitude every
+    /// pass.
+    pub damping: f64,
+}
+
+impl Default for CellFleetConfig {
+    fn default() -> CellFleetConfig {
+        CellFleetConfig {
+            cells: 8,
+            max_passes: 8,
+            tolerance: 0.05,
+            scale_per_home: 1000.0,
+            nominal_down_bps: 2e6,
+            nominal_up_bps: 1e6,
+            damping: 0.5,
+        }
+    }
+}
+
+/// The outcome of a cell-coupled fleet run: the final pass's digest,
+/// how the fixed point went, and the per-cell load and share curves it
+/// settled on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellFleetRun {
+    /// The configuration the run used.
+    pub config: CellFleetConfig,
+    /// The city grid the fleet ran under.
+    pub map: CellMap,
+    /// Digest of the final pass (per-cell accumulators included).
+    pub digest: FleetDigest,
+    /// Fleet passes executed.
+    pub passes: u32,
+    /// Whether the share curves settled within the tolerance.
+    pub converged: bool,
+    /// Final per-cell 3GOL load (what the last pass put on each cell).
+    pub loads: Vec<CellLoad>,
+    /// The per-phone share curves the last pass ran under.
+    pub profiles: Vec<CellProfile>,
+}
+
+impl CellFleetRun {
+    /// Human-readable per-cell rollup: Fig 11 as a table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "cells: {} shared 3G cells, {} pass{} ({}), \
+             {:.0} households per simulated home\n",
+            self.map.cells(),
+            self.passes,
+            if self.passes == 1 { "" } else { "es" },
+            if self.converged { "converged" } else { "not converged" },
+            self.config.scale_per_home,
+        ));
+        out.push_str(
+            "cell  area              homes  peak-dl Mb/s  peak-ul Mb/s  peak-h  share@19h Mb/s\n",
+        );
+        for load in &self.loads {
+            let site = self.map.site(load.cell);
+            let share = &self.profiles[load.cell as usize];
+            out.push_str(&format!(
+                "  {:>2}  {:<16} {:>6}  {:>12.3}  {:>12.3}  {:>6}  {:>14.3}\n",
+                load.cell,
+                format!("{:?}", site.area),
+                load.homes,
+                load.peak_dl_bps() / 1e6,
+                load.peak_ul_bps() / 1e6,
+                load.peak_hour(),
+                share.down_bps[19] / 1e6,
+            ));
+        }
+        out
+    }
+}
+
+/// Largest relative change between two share curves.
+fn profile_shift(old: &CellProfile, new: &CellProfile) -> f64 {
+    let mut shift: f64 = 0.0;
+    for h in 0..24 {
+        shift = shift.max((new.down_bps[h] - old.down_bps[h]).abs() / old.down_bps[h].max(1.0));
+        shift = shift.max((new.up_bps[h] - old.up_bps[h]).abs() / old.up_bps[h].max(1.0));
+    }
+    shift
+}
+
+/// Per-phone share curves for every cell given the loads of the
+/// previous pass (pure function of map + config + loads).
+fn share_profiles(map: &CellMap, config: &CellFleetConfig, loads: &[CellLoad]) -> Vec<CellProfile> {
+    loads
+        .iter()
+        .map(|load| {
+            let (down_bps, up_bps) =
+                map.phone_share(load.cell, config.nominal_down_bps, config.nominal_up_bps, load);
+            CellProfile { cell: load.cell, down_bps, up_bps }
+        })
+        .collect()
+}
+
+/// Run a fleet coupled through shared 3G cells to its fixed point:
+/// the paper's §6 question — what does a whole city of 3GOL homes do
+/// to the cells it onloads onto? — answered by iteration.
+///
+/// Each pass streams the full fleet with every home's 3G capacity set
+/// to its cell's per-phone share curve from the previous pass (pass 1
+/// starts from the unloaded-cell shares). The pass digest's per-cell
+/// accumulators then become the next pass's [`CellLoad`]s, and the
+/// loop stops when no share moves by more than `config.tolerance`
+/// (relative) or after `config.max_passes` passes. Load up → shares
+/// down → the schedulers shift bytes back to ADSL → load down: the
+/// same damping that makes the real system stable makes the iteration
+/// converge.
+///
+/// Determinism: every pass input is a pure function of the previous
+/// pass's digest, and every digest is byte-identical across worker
+/// counts and chunk sizes — so the pass count, the convergence
+/// verdict, the final profiles *and* the final digest are all
+/// worker-invariant. The coupled fleet keeps the streamed fleet's
+/// contract.
+pub fn run_cell_fleet(
+    homes: usize,
+    chunk: usize,
+    pool: &Pool,
+    config: &CellFleetConfig,
+) -> CellFleetRun {
+    assert!(config.cells > 0 && config.cells as usize <= MAX_CELLS, "1..={MAX_CELLS} cells");
+    assert!(config.max_passes > 0, "need at least one pass");
+    let map = CellMap::city(config.cells);
+    let empty: Vec<CellLoad> = (0..config.cells).map(CellLoad::empty).collect();
+    let mut profiles = share_profiles(&map, config, &empty);
+    let mut passes = 0;
+    loop {
+        passes += 1;
+        let (pass_map, pass_profiles) = (map.clone(), profiles.clone());
+        let digest = run_fleet_with(homes, chunk, pool, move |index| {
+            let cell = pass_map.cell_of(index);
+            home_spec(index).hour(pass_map.hour_of(index)).cell(pass_profiles[cell as usize])
+        });
+        let loads = digest.cells.loads(config.cells, config.scale_per_home);
+        let mut next = share_profiles(&map, config, &loads);
+        // Relax: move only `damping` of the way toward the implied
+        // shares, so the load↔share oscillation contracts.
+        for (new, old) in next.iter_mut().zip(profiles.iter()) {
+            for h in 0..24 {
+                new.down_bps[h] =
+                    old.down_bps[h] + config.damping * (new.down_bps[h] - old.down_bps[h]);
+                new.up_bps[h] = old.up_bps[h] + config.damping * (new.up_bps[h] - old.up_bps[h]);
+            }
+        }
+        let shift = profiles
+            .iter()
+            .zip(next.iter())
+            .map(|(old, new)| profile_shift(old, new))
+            .fold(0.0, f64::max);
+        let converged = shift <= config.tolerance;
+        if converged || passes >= config.max_passes {
+            return CellFleetRun {
+                config: *config,
+                map,
+                digest,
+                passes,
+                converged,
+                loads,
+                profiles,
+            };
+        }
+        profiles = next;
+    }
 }
 
 /// Peak resident set size of this process so far (`VmHWM`), in bytes.
@@ -509,12 +826,15 @@ mod tests {
         let x = (index as f64 * 0.7370915).sin().abs() + 0.01;
         HomeReport {
             index,
+            cell: if index.is_multiple_of(5) { threegol_proxy::NO_CELL } else { index % 5 },
+            hour: (index % 24) as u8,
             vod_bytes: 5e5 + index as f64,
             vod_secs: x * 3.0,
             vod_gain: 0.5 + x * 4.0,
             upload_bytes: 3e5,
             upload_secs: x * 7.0,
             upload_gain: 0.3 + x * 11.0,
+            vod_device_bytes: 2e5 * x,
             upload_device_bytes: 1e5 * x,
             upload_wasted_bytes: 1e4 * x,
         }
@@ -593,6 +913,66 @@ mod tests {
         let mut b = FleetDigest::empty();
         b.observe(&tweaked);
         assert_ne!(a.digest(), b.digest());
+        // The hash also covers the cell-coupling fields.
+        let mut recelled = synthetic_report(3);
+        recelled.cell += 1;
+        let mut c = FleetDigest::empty();
+        c.observe(&recelled);
+        assert_ne!(a.digest(), c.digest());
+        let mut rehoured = synthetic_report(3);
+        rehoured.hour += 1;
+        let mut d = FleetDigest::empty();
+        d.observe(&rehoured);
+        assert_ne!(a.digest(), d.digest());
+    }
+
+    #[test]
+    fn cell_digest_buckets_by_cell_and_hour() {
+        let mut digest = CellDigest::empty();
+        for i in 0..200u32 {
+            digest.observe(&synthetic_report(i));
+        }
+        // Isolated homes (index % 5 == 0) never land in a cell.
+        assert_eq!(digest.homes.iter().sum::<u64>(), 160);
+        assert_eq!(digest.homes[0], 0);
+        // Byte totals match a direct sum over the coupled reports.
+        let (dl, ul) = digest.total_bytes();
+        let mut want_dl = 0.0;
+        let mut want_ul = 0.0;
+        for i in 0..200u32 {
+            let r = synthetic_report(i);
+            if r.cell != threegol_proxy::NO_CELL {
+                want_dl += r.vod_device_bytes;
+                want_ul += r.upload_device_bytes;
+            }
+        }
+        assert!((dl - want_dl).abs() < 1.0, "{dl} vs {want_dl}");
+        assert!((ul - want_ul).abs() < 1.0);
+        // Loads convert bytes to mean bits/s with the city scale.
+        let loads = digest.loads(5, 1000.0);
+        let r = synthetic_report(7); // cell 2, hour 7
+        let (dl7, _) = digest.bytes_at(2, 7);
+        assert!(dl7 >= r.vod_device_bytes * 0.999);
+        assert!((loads[2].dl_bps[7] - dl7 * 8.0 / 3600.0 * 1000.0).abs() < 1e-6);
+        assert_eq!(loads[2].cell, 2);
+        assert_eq!(loads[2].homes, digest.homes[2]);
+    }
+
+    #[test]
+    fn cell_fleet_reaches_a_deterministic_fixed_point() {
+        let config =
+            CellFleetConfig { cells: 4, scale_per_home: 20_000.0, ..CellFleetConfig::default() };
+        let a = Pool::with(2, |pool| run_cell_fleet(12, 3, pool, &config));
+        let b = Pool::with(1, |pool| run_cell_fleet(12, 5, pool, &config));
+        assert_eq!(a.passes, b.passes);
+        assert_eq!(a.converged, b.converged);
+        assert_eq!(a.profiles, b.profiles);
+        assert_eq!(a.loads, b.loads);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.digest.digest(), b.digest.digest());
+        // Every home landed in a cell, and the render names them all.
+        assert_eq!(a.digest.cells.homes.iter().sum::<u64>(), 12);
+        assert!(a.render().contains("shared 3G cells"));
     }
 
     #[test]

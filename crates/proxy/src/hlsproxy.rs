@@ -27,7 +27,7 @@ use threegol_hls::MediaPlaylist;
 use threegol_http::codec::HttpStream;
 use threegol_http::{HttpError, Request, Response};
 
-use crate::client::ThreegolClient;
+use crate::client::{ThreegolClient, TransferReport};
 
 /// Prefetch cache state.
 #[derive(Default)]
@@ -44,11 +44,36 @@ struct Cache {
     served: HashSet<String>,
 }
 
+/// Per-path byte tallies across every transfer this proxy issued,
+/// plus the number of prefetch transfers still settling their books.
+#[derive(Default)]
+struct PathStats {
+    /// Bytes that crossed each path index (0 = gateway, 1.. = phones),
+    /// aborted partials included — the load the access links saw.
+    bytes: Vec<f64>,
+    /// Prefetch transfers in flight (fetch kicked off, report not yet
+    /// folded in).
+    in_flight: usize,
+}
+
+impl PathStats {
+    fn note(&mut self, report: &TransferReport) {
+        if self.bytes.len() < report.bytes_per_path.len() {
+            self.bytes.resize(report.bytes_per_path.len(), 0.0);
+        }
+        for (acc, v) in self.bytes.iter_mut().zip(&report.bytes_per_path) {
+            *acc += *v;
+        }
+    }
+}
+
 /// The HLS-aware local proxy.
 pub struct HlsProxy {
     client: Arc<ThreegolClient>,
     cache: Arc<Mutex<Cache>>,
     arrived: Arc<Notify>,
+    stats: Arc<Mutex<PathStats>>,
+    idle: Arc<Notify>,
 }
 
 impl HlsProxy {
@@ -58,6 +83,8 @@ impl HlsProxy {
             client: Arc::new(client),
             cache: Arc::new(Mutex::new(Cache::default())),
             arrived: Arc::new(Notify::new()),
+            stats: Arc::new(Mutex::new(PathStats::default())),
+            idle: Arc::new(Notify::new()),
         }
     }
 
@@ -108,7 +135,8 @@ impl HlsProxy {
     /// untouched — the player picks a variant and requests its media
     /// playlist next, which triggers the prefetch.
     async fn handle_playlist(&self, target: &str) -> Result<Response, HttpError> {
-        let (bodies, _) = self.client.fetch(vec![target.to_string()], None).await?;
+        let (bodies, report) = self.client.fetch(vec![target.to_string()], None).await?;
+        self.stats.lock().note(&report);
         let body = bodies.into_iter().next().expect("one body");
         if let Ok(text) = std::str::from_utf8(&body) {
             if let Ok(playlist) = MediaPlaylist::parse(text) {
@@ -145,10 +173,23 @@ impl HlsProxy {
         let client = Arc::clone(&self.client);
         let cache = Arc::clone(&self.cache);
         let arrived = Arc::clone(&self.arrived);
+        let stats = Arc::clone(&self.stats);
+        let idle = Arc::clone(&self.idle);
         let (tx, mut rx) = mpsc::unbounded_channel::<(usize, Bytes)>();
         let fetch_targets = targets.clone();
+        stats.lock().in_flight += 1;
         tokio::spawn(async move {
-            let _ = client.fetch_streaming(fetch_targets, tx).await;
+            let report = client.fetch_streaming(fetch_targets, tx).await;
+            let mut s = stats.lock();
+            if let Ok(report) = report {
+                s.note(&report);
+            }
+            s.in_flight -= 1;
+            let now_idle = s.in_flight == 0;
+            drop(s);
+            if now_idle {
+                idle.notify_waiters();
+            }
         });
         tokio::spawn(async move {
             while let Some((idx, body)) = rx.recv().await {
@@ -189,13 +230,39 @@ impl HlsProxy {
             };
             if !in_flight {
                 // Not part of any intercepted playlist: fetch directly.
-                let (bodies, _) = self.client.fetch(vec![target.to_string()], None).await?;
+                let (bodies, report) = self.client.fetch(vec![target.to_string()], None).await?;
+                self.stats.lock().note(&report);
                 let body = bodies.into_iter().next().expect("one body");
                 self.cache.lock().served.insert(target.to_string());
                 return Ok(Response::ok("video/mp2t", body));
             }
             notified.await;
         }
+    }
+
+    /// Wait until no prefetch transfer is settling its books, so the
+    /// per-path tallies below are complete. Returns immediately when
+    /// nothing is in flight.
+    pub async fn wait_idle(&self) {
+        loop {
+            let notified = self.idle.notified();
+            if self.stats.lock().in_flight == 0 {
+                return;
+            }
+            notified.await;
+        }
+    }
+
+    /// Bytes this proxy's transfers moved per path index (0 = the
+    /// gateway, 1.. = device paths), aborted partials included.
+    pub fn path_bytes(&self) -> Vec<f64> {
+        self.stats.lock().bytes.clone()
+    }
+
+    /// Bytes this proxy's transfers moved over device (3G) paths —
+    /// the downlink burden the phones' cells carried.
+    pub fn device_bytes(&self) -> f64 {
+        self.stats.lock().bytes.iter().skip(1).sum()
     }
 
     /// Number of cached (fetched, not yet served) segments.

@@ -36,12 +36,13 @@ use threegol_hls::{MediaPlaylist, VideoQuality};
 use threegol_http::codec::HttpStream;
 use threegol_http::{HttpError, Request};
 
+use crate::capacity::{CapacitySource, CellProfile, G3Source};
 use crate::client::{PathTarget, ThreegolClient};
 use crate::device::DeviceProxy;
 use crate::discovery::Discovery;
 use crate::hlsproxy::HlsProxy;
 use crate::origin::OriginServer;
-use crate::throttle::{RateLimit, SharedRateLimit};
+use crate::throttle::SharedRateLimit;
 
 /// A home's private corner of the virtual network.
 ///
@@ -96,11 +97,78 @@ impl HomeNet {
     }
 }
 
+/// The cell index a [`HomeReport`] carries when the home's 3G is
+/// private ([`G3Source::Isolated`]): the all-ones sentinel, never a
+/// valid cell.
+pub const NO_CELL: u32 = u32::MAX;
+
+/// An ADSL service tier: the four paper-flavoured line speeds a street
+/// of homes cycles through. The tier — together with the cell
+/// assignment and the index — is the single source of truth a
+/// [`HomeSpec`] is built from; see [`HomeSpec::tier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// 2 / 0.3 Mbit/s ADSL.
+    Basic,
+    /// 4 / 0.5 Mbit/s ADSL — the paper-default line.
+    Standard,
+    /// 6 / 0.7 Mbit/s ADSL.
+    Fast,
+    /// 8 / 1.0 Mbit/s ADSL.
+    Premium,
+}
+
+impl Tier {
+    /// Every tier, slowest first.
+    pub const ALL: [Tier; 4] = [Tier::Basic, Tier::Standard, Tier::Fast, Tier::Premium];
+
+    /// The tier of home `index` in a heterogeneous street: indices
+    /// cycle through [`Tier::ALL`].
+    pub fn of_index(index: u32) -> Tier {
+        Tier::ALL[(index % 4) as usize]
+    }
+
+    /// The tier's ADSL downlink, bits/s.
+    pub fn adsl_down_bps(self) -> f64 {
+        match self {
+            Tier::Basic => 2e6,
+            Tier::Standard => 4e6,
+            Tier::Fast => 6e6,
+            Tier::Premium => 8e6,
+        }
+    }
+
+    /// The tier's ADSL uplink, bits/s.
+    pub fn adsl_up_bps(self) -> f64 {
+        match self {
+            Tier::Basic => 0.3e6,
+            Tier::Standard => 0.5e6,
+            Tier::Fast => 0.7e6,
+            Tier::Premium => 1.0e6,
+        }
+    }
+}
+
 /// Link profiles and workload for one home.
 ///
-/// Plain scalars only — the spec is `Copy`, costs nothing to build
-/// from an index on a worker's stack, and a million-home fleet never
-/// needs to materialize a single one on the heap.
+/// Plain `Copy` data only — the spec costs nothing to build from an
+/// index on a worker's stack, and a million-home fleet never needs to
+/// materialize a single one on the heap. Built with the consuming
+/// builder starting at [`HomeSpec::tier`]:
+///
+/// ```
+/// use threegol_proxy::{CellProfile, HomeSpec, Tier};
+///
+/// let home = HomeSpec::tier(Tier::Fast)
+///     .devices(3)
+///     .cell(CellProfile::flat(2, 1.5e6, 0.8e6))
+///     .hour(21)
+///     .index(42);
+/// assert_eq!(home.adsl_down_bps, 6e6);
+/// assert_eq!(home.index, 42);
+/// let copy = home; // still Copy
+/// assert_eq!(copy, home);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HomeSpec {
     /// Home index (selects the [`HomeNet`] namespace, modulo 2^16).
@@ -111,10 +179,13 @@ pub struct HomeSpec {
     pub adsl_down_bps: f64,
     /// ADSL uplink, bits/s — one shared bucket for the whole home.
     pub adsl_up_bps: f64,
-    /// Each phone's 3G downlink, bits/s.
-    pub g3_down_bps: f64,
-    /// Each phone's 3G uplink, bits/s.
-    pub g3_up_bps: f64,
+    /// Where the phones' 3G capacity comes from: private rates or a
+    /// per-phone share of a shared cell (see [`G3Source`]).
+    pub g3: G3Source,
+    /// Hour of day `[0, 24)` the workload runs at — samples the cell
+    /// share when `g3` is a [`CellProfile`], and buckets the home's
+    /// onloaded bytes in the fleet digest.
+    pub hour: u8,
     /// The Wi-Fi medium, bits/s — one shared bucket every connection
     /// in the home crosses, both directions.
     pub wifi_bps: f64,
@@ -133,17 +204,20 @@ pub struct HomeSpec {
 }
 
 impl HomeSpec {
-    /// A paper-flavoured default: 4/0.5 Mbit/s ADSL, two phones on
+    /// Start building a spec from an ADSL tier: the tier's line speeds
+    /// plus the paper-flavoured defaults — two phones on private
     /// 2/1 Mbit/s 3G, 30 Mbit/s Wi-Fi, a 10 s × 400 kbit/s VoD
-    /// prebuffer racing a 3 × 100 kB photo upload.
-    pub fn paper_default(index: u32) -> HomeSpec {
+    /// prebuffer racing a 3 × 100 kB photo upload, index 0, noon.
+    /// Chain [`HomeSpec::index`], [`HomeSpec::devices`],
+    /// [`HomeSpec::cell`] and [`HomeSpec::hour`] to finish.
+    pub fn tier(tier: Tier) -> HomeSpec {
         HomeSpec {
-            index,
+            index: 0,
             devices: 2,
-            adsl_down_bps: 4e6,
-            adsl_up_bps: 0.5e6,
-            g3_down_bps: 2e6,
-            g3_up_bps: 1e6,
+            adsl_down_bps: tier.adsl_down_bps(),
+            adsl_up_bps: tier.adsl_up_bps(),
+            g3: G3Source::isolated(2e6, 1e6),
+            hour: 12,
             wifi_bps: 30e6,
             allowance_bytes: 50e6,
             video_bps: 400e3,
@@ -152,6 +226,43 @@ impl HomeSpec {
             photos: 3,
             photo_bytes: 100_000,
         }
+    }
+
+    /// The paper-default household: the [`Tier::Standard`] line with
+    /// every builder default, at `index`.
+    pub fn paper_default(index: u32) -> HomeSpec {
+        HomeSpec::tier(Tier::Standard).index(index)
+    }
+
+    /// Set the home index.
+    pub fn index(mut self, index: u32) -> HomeSpec {
+        self.index = index;
+        self
+    }
+
+    /// Set the number of phones.
+    pub fn devices(mut self, devices: usize) -> HomeSpec {
+        self.devices = devices;
+        self
+    }
+
+    /// Draw the phones' 3G from a shared cell's per-phone share.
+    pub fn cell(mut self, profile: CellProfile) -> HomeSpec {
+        self.g3 = G3Source::Cell(profile);
+        self
+    }
+
+    /// Give the phones private 3G rates (the uncoupled default).
+    pub fn isolated(mut self, down_bps: f64, up_bps: f64) -> HomeSpec {
+        self.g3 = G3Source::isolated(down_bps, up_bps);
+        self
+    }
+
+    /// Set the hour of day `[0, 24)` the workload runs at.
+    pub fn hour(mut self, hour: u8) -> HomeSpec {
+        assert!(hour < 24, "hour of day must be in [0, 24), got {hour}");
+        self.hour = hour;
+        self
     }
 }
 
@@ -164,6 +275,11 @@ impl HomeSpec {
 pub struct HomeReport {
     /// Home index.
     pub index: u32,
+    /// The shared cell the home's phones drew from, or [`NO_CELL`]
+    /// for private 3G.
+    pub cell: u32,
+    /// Hour of day the workload ran at (from [`HomeSpec::hour`]).
+    pub hour: u8,
     /// VoD prebuffer bytes fetched.
     pub vod_bytes: f64,
     /// VoD prebuffer wall time (virtual seconds).
@@ -177,7 +293,10 @@ pub struct HomeReport {
     pub upload_secs: f64,
     /// Speedup of the upload over ADSL alone.
     pub upload_gain: f64,
-    /// Upload bytes that crossed 3G paths (path 1..).
+    /// VoD bytes the HLS proxy pulled over 3G paths (path 1..) —
+    /// downlink onload, the cell's downlink burden.
+    pub vod_device_bytes: f64,
+    /// Upload bytes that crossed 3G paths (path 1..) — uplink onload.
     pub upload_device_bytes: f64,
     /// Upload bytes moved by aborted duplicates.
     pub upload_wasted_bytes: f64,
@@ -208,13 +327,16 @@ impl Home {
         let discovery = Discovery::bind(&net.discovery().to_string()).await?;
         let discovery_addr = discovery.local_addr()?;
 
-        // Device proxies with quota-gated announcers.
+        // Device proxies with quota-gated announcers: every phone's 3G
+        // rates come from the spec's capacity source at the home's
+        // hour — a private pipe or a per-phone share of a shared cell.
+        let (g3_down, g3_up) = spec.g3.phone_limits(spec.hour as f64);
         for i in 0..spec.devices {
             let device = Arc::new(DeviceProxy::new(
                 format!("home{}-phone-{i}", spec.index),
                 origin_addr,
-                RateLimit::new(spec.g3_down_bps),
-                RateLimit::new(spec.g3_up_bps),
+                g3_down,
+                g3_up,
                 spec.allowance_bytes,
             ));
             let (lan_addr, _task) = device.clone().spawn(&net.device(i).to_string()).await?;
@@ -228,9 +350,9 @@ impl Home {
         }
 
         // The home's shared media.
-        let wifi = SharedRateLimit::new(RateLimit::new(spec.wifi_bps));
-        let adsl_down = SharedRateLimit::new(RateLimit::new(spec.adsl_down_bps));
-        let adsl_up = SharedRateLimit::new(RateLimit::new(spec.adsl_up_bps));
+        let wifi = SharedRateLimit::from_bps(spec.wifi_bps as u64);
+        let adsl_down = SharedRateLimit::from_bps(spec.adsl_down_bps as u64);
+        let adsl_up = SharedRateLimit::from_bps(spec.adsl_up_bps as u64);
         let make_paths = || -> Vec<PathTarget> {
             let mut paths = vec![PathTarget::SharedGateway {
                 origin: origin_addr,
@@ -277,18 +399,27 @@ impl Home {
             .await
             .map_err(|e| HttpError::Malformed(format!("upload task died: {e}")))??;
 
+        // The prefetch transfer may still be settling its books (abort
+        // accounting for duplicate stragglers) when the player has the
+        // last segment: wait for the proxy to go idle so the per-path
+        // byte tallies are complete — free under virtual time.
+        hls.wait_idle().await;
+
         // Gains against the home's ADSL line carrying the same bytes
         // alone (the paper's "power boost" ratio).
         let vod_baseline = vod_bytes * 8.0 / spec.adsl_down_bps;
         let upload_baseline = upload_bytes * 8.0 / spec.adsl_up_bps;
         Ok(HomeReport {
             index: spec.index,
+            cell: spec.g3.cell().unwrap_or(NO_CELL),
+            hour: spec.hour,
             vod_bytes,
             vod_secs,
             vod_gain: vod_baseline / vod_secs,
             upload_bytes,
             upload_secs,
             upload_gain: upload_baseline / upload_secs,
+            vod_device_bytes: hls.device_bytes(),
             upload_device_bytes: upload_report.bytes_per_path.iter().skip(1).sum(),
             upload_wasted_bytes: upload_report.wasted_bytes,
         })
@@ -357,11 +488,31 @@ mod tests {
 
     #[tokio::test]
     async fn home_without_devices_still_works() {
-        let spec = HomeSpec { devices: 0, ..HomeSpec::paper_default(9) };
+        let spec = HomeSpec::paper_default(9).devices(0);
         let report = Home::run(&spec).await.unwrap();
         // ADSL-only: no 3G bytes, gain near 1 (bounded by bursts).
         assert_eq!(report.upload_device_bytes, 0.0);
+        assert_eq!(report.vod_device_bytes, 0.0);
         assert!(report.vod_gain < 1.5, "vod gain {}", report.vod_gain);
+    }
+
+    #[test]
+    fn cell_coupled_home_reports_its_cell_and_hour() {
+        // Fresh runtime per run (same index, same virtual epoch). A
+        // congested evening share vs a generous one: both homes
+        // complete, report their cell/hour, and the starved one is
+        // slower — the knob the fleet's fixed-point loop turns.
+        let run = |spec: HomeSpec| tokio::runtime::block_on(Home::run(&spec)).unwrap();
+        let a = run(HomeSpec::paper_default(21).cell(CellProfile::flat(4, 2e6, 1e6)).hour(4));
+        let b = run(HomeSpec::paper_default(21).cell(CellProfile::flat(4, 360e3, 64e3)).hour(19));
+        assert_eq!((a.cell, a.hour), (4, 4));
+        assert_eq!((b.cell, b.hour), (4, 19));
+        assert!(a.upload_secs < b.upload_secs, "{} !< {}", a.upload_secs, b.upload_secs);
+        // The paper-default isolated home matches the equal-rate cell
+        // share bit for bit: the seam changed, the physics did not.
+        let isolated = run(HomeSpec::paper_default(21));
+        assert_eq!(isolated.upload_secs, a.upload_secs);
+        assert_eq!(isolated.vod_secs, a.vod_secs);
     }
 
     #[test]

@@ -18,6 +18,12 @@
 //!   substitution for real access links; rates are taken from the same
 //!   location profiles the simulator uses); [`throttle::SharedRateLimit`]
 //!   makes a bucket a shared medium several streams contend for;
+//! * [`capacity::CapacitySource`] — the seam between a home and
+//!   whatever provides its 3G: private per-phone rates
+//!   ([`capacity::Isolated`]) or a per-phone share of a shared cell
+//!   ([`capacity::CellProfile`]), folded into the `Copy`
+//!   [`home::HomeSpec`] so a whole fleet can couple through shared
+//!   cells without sharing mutable state;
 //! * [`origin::OriginServer`] — serves generated HLS playlists and
 //!   segments, accepts multipart photo uploads, and serves the 2 MB
 //!   probe files of §3;
@@ -38,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+pub mod capacity;
 pub mod client;
 pub mod device;
 pub mod discovery;
@@ -46,10 +53,11 @@ pub mod home;
 pub mod origin;
 pub mod throttle;
 
+pub use capacity::{CapacitySource, CellProfile, G3Source, Isolated};
 pub use client::{PathTarget, ThreegolClient, TransferReport};
 pub use device::DeviceProxy;
 pub use discovery::{Advertisement, Discovery};
 pub use hlsproxy::HlsProxy;
-pub use home::{Home, HomeNet, HomeReport, HomeSpec};
+pub use home::{Home, HomeNet, HomeReport, HomeSpec, Tier, NO_CELL};
 pub use origin::OriginServer;
 pub use throttle::{RateLimit, SharedRateLimit, ThrottledStream};

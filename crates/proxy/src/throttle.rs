@@ -57,14 +57,18 @@ pub struct SharedRateLimit {
 }
 
 impl SharedRateLimit {
-    /// A shared bucket with the given profile.
-    pub fn new(limit: RateLimit) -> SharedRateLimit {
-        SharedRateLimit { bucket: Arc::new(Mutex::new(Bucket::new(limit))) }
+    /// A shared bucket sustaining `bps` bits per second with the
+    /// default burst (see [`RateLimit::new`]). Together with
+    /// [`SharedRateLimit::unlimited`] this is the whole constructor
+    /// surface — a limit with a custom burst converts via
+    /// `From<RateLimit>`.
+    pub fn from_bps(bps: u64) -> SharedRateLimit {
+        SharedRateLimit::from(RateLimit::new(bps as f64))
     }
 
     /// A shared bucket that never throttles.
     pub fn unlimited() -> SharedRateLimit {
-        SharedRateLimit::new(RateLimit::unlimited())
+        SharedRateLimit::from(RateLimit::unlimited())
     }
 
     fn available(&self) -> usize {
@@ -77,6 +81,14 @@ impl SharedRateLimit {
 
     fn ready_at(&self, bytes: usize) -> Instant {
         self.bucket.lock().ready_at(bytes)
+    }
+}
+
+impl From<RateLimit> for SharedRateLimit {
+    /// Wrap a fully specified limit (custom burst included) in a fresh
+    /// shared bucket.
+    fn from(limit: RateLimit) -> SharedRateLimit {
+        SharedRateLimit { bucket: Arc::new(Mutex::new(Bucket::new(limit))) }
     }
 }
 
@@ -141,7 +153,7 @@ pub struct ThrottledStream<T> {
 impl<T> ThrottledStream<T> {
     /// Wrap `inner` with independent, private read/write limits.
     pub fn new(inner: T, read: RateLimit, write: RateLimit) -> ThrottledStream<T> {
-        ThrottledStream::with_shared(inner, SharedRateLimit::new(read), SharedRateLimit::new(write))
+        ThrottledStream::with_shared(inner, read.into(), write.into())
     }
 
     /// Wrap with a symmetric private limit.
@@ -384,7 +396,7 @@ mod tests {
         // Two streams drawing from one 100 kB/s bucket: 50 kB each
         // takes ~1 s in aggregate, vs ~0.5 s if the buckets were
         // private. The assertion window distinguishes the two.
-        let medium = SharedRateLimit::new(RateLimit { rate_bps: 800_000.0, burst_bytes: 1024.0 });
+        let medium = SharedRateLimit::from(RateLimit { rate_bps: 800_000.0, burst_bytes: 1024.0 });
         let mut handles = Vec::new();
         let start = tokio::time::Instant::now();
         for _ in 0..2 {

@@ -16,8 +16,18 @@
 //! fair sharing over those links then yields the cluster-size behaviour
 //! the paper measures (downlink scaling with devices, uplink plateauing
 //! near the 5.76 Mbit/s HSUPA ceiling).
+//!
+//! For the city-scale aggregate analysis (§6, Fig 11) the crate also
+//! provides [`cellmap`]: a deterministic grid of shared cells under a
+//! streamed fleet of homes, with weighted home→cell assignment,
+//! wired-diurnal hour assignment, and the feedback law that turns a
+//! measured per-cell 3GOL load into next-pass per-phone capacity
+//! shares.
+
+#![warn(missing_docs)]
 
 pub mod basestation;
+pub mod cellmap;
 pub mod consts;
 pub mod device;
 pub mod efficiency;
@@ -27,9 +37,13 @@ pub mod network;
 pub mod rrc;
 
 pub use basestation::BaseStation;
+pub use cellmap::{CellLoad, CellMap, CellSite};
 pub use device::{Device, DeviceCategory};
 pub use efficiency::EfficiencyCurve;
-pub use location::{AreaKind, LocationProfile, Provisioning};
+pub use location::{
+    availability_profile, mobile_diurnal_load, wired_diurnal_load, AreaKind, LocationProfile,
+    Provisioning,
+};
 pub use lte::RadioGeneration;
 pub use network::{Attachment, CellularDeployment, InstalledCell};
 pub use rrc::{RrcConfig, RrcMachine, RrcState};

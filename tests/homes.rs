@@ -87,7 +87,7 @@ async fn two_full_homes_share_one_runtime() {
 
     // A crippled third home (no phones) is slower, proving the gain
     // really comes from its own devices, not a neighbour's.
-    let solo = Home::run(&HomeSpec { devices: 0, ..HomeSpec::paper_default(13) }).await.unwrap();
+    let solo = Home::run(&HomeSpec::paper_default(13).devices(0)).await.unwrap();
     assert!(solo.upload_secs > a.upload_secs, "{} vs {}", solo.upload_secs, a.upload_secs);
     assert!(a.upload_gain > solo.upload_gain);
 }
