@@ -21,7 +21,8 @@
 //! across worker counts and chunk sizes.
 
 use threegol_bench::fleet::{
-    peak_rss_bytes, run_cell_fleet, run_fleet, CellFleetConfig, DEFAULT_CHUNK, MAX_CELLS,
+    peak_rss_bytes, run_cell_fleet, run_fleet, take_home_cost, CellFleetConfig, DEFAULT_CHUNK,
+    MAX_CELLS,
 };
 use threegol_bench::{resolve_workers, Pool};
 
@@ -86,4 +87,11 @@ fn main() {
     if let Some(rss) = peak_rss_bytes() {
         println!("peak RSS {:.1} MiB", rss as f64 / (1024.0 * 1024.0));
     }
+    let cost = take_home_cost();
+    println!(
+        "per-home cost: {:.1} µs setup + {:.1} µs workload + {:.1} µs teardown",
+        cost.setup_us(),
+        cost.workload_us(),
+        cost.teardown_us()
+    );
 }

@@ -29,11 +29,12 @@ const FLEET_HOMES_FULL: f64 = 200.0;
 const RECORDED_1M: &str = "\
 fleet: 1000000 homes (virtual net, virtual time)
 gain over ADSL alone        min   ~p50   mean    max
-  vod prebuffer              1.37   1.83   1.92   2.96
+  vod prebuffer              1.37   1.83   1.88   2.77
   photo upload               1.79   3.67   4.69  11.92
-onloaded 315209.29 MB to 3G paths, 109800.70 MB duplicate waste, 69166667 virtual-net events
-1000000 homes on 1 worker(s), chunk 64: 3331.86 s wall (300 homes/s, 20759 net events/s); report digest 7e89eed9238527de
-peak RSS 10.9 MiB
+onloaded 595407.88 MB to 3G paths, 100010.68 MB duplicate waste, 50833330 virtual-net events
+1000000 homes on 1 worker(s), chunk 64: 1383.26 s wall (723 homes/s, 36749 net events/s); report digest 36f8644e7ac9100a
+peak RSS 11.5 MiB
+per-home cost: 0.9 \u{b5}s setup + 1378.9 \u{b5}s workload + 2.8 \u{b5}s teardown
 ";
 
 /// Render the fleet-at-scale section: a live streamed fleet run folded

@@ -23,8 +23,13 @@
 //! polynomial hash monoid), so the merge is associative as well as
 //! order-preserving; see `DESIGN.md` §11.
 
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::OnceLock;
+
 use threegol_proxy::{CellProfile, Home, HomeReport, HomeSpec, Tier, NO_CELL};
 use threegol_radio::{CellLoad, CellMap};
+use tokio::runtime::Runtime;
 
 use crate::exec::{fold, map, Pool};
 
@@ -519,16 +524,136 @@ impl FleetDigest {
     }
 }
 
-/// Run one home inside its own fresh runtime and fold the outcome
-/// (report + that runtime's virtual-net event count) into `digest`.
-fn run_home_into(digest: &mut FleetDigest, spec: &HomeSpec) {
-    let (report, stats) = tokio::runtime::block_on(async {
-        let report = Home::run(spec).await;
-        (report, tokio::net::stats())
+/// How each fleet worker obtains the tokio runtime a home runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeMode {
+    /// One runtime per worker thread, [`Runtime::reset`] between homes
+    /// (the default): the run queue, timer wheel, task registry, and
+    /// virtual-net tables keep their allocations from home to home, so
+    /// per-home setup is a handful of pointer writes instead of ~8
+    /// fresh `Arc`s and maps.
+    Reuse,
+    /// A fresh runtime for every home — the pre-reuse behaviour, kept
+    /// as the reference arm of the determinism contract (the fleet
+    /// digest must be byte-identical in either mode).
+    Fresh,
+}
+
+impl RuntimeMode {
+    /// The process-wide default: [`RuntimeMode::Reuse`], unless the
+    /// `THREEGOL_FRESH_RUNTIME` environment variable is set to
+    /// anything but `0` (the A/B switch `bench_summary` and profiling
+    /// runs use). Read once and cached.
+    pub fn default_mode() -> RuntimeMode {
+        static MODE: OnceLock<RuntimeMode> = OnceLock::new();
+        *MODE.get_or_init(|| match std::env::var_os("THREEGOL_FRESH_RUNTIME") {
+            Some(v) if v != "0" => RuntimeMode::Fresh,
+            _ => RuntimeMode::Reuse,
+        })
+    }
+}
+
+thread_local! {
+    /// The worker thread's reused home runtime ([`RuntimeMode::Reuse`]).
+    static HOME_RT: RefCell<Option<Runtime>> = const { RefCell::new(None) };
+}
+
+/// Hand `f` a runtime per `mode`: the thread's reused one (reset) or a
+/// fresh throwaway.
+fn with_runtime<R>(mode: RuntimeMode, f: impl FnOnce(&mut Runtime) -> R) -> R {
+    match mode {
+        RuntimeMode::Fresh => f(&mut Runtime::new()),
+        RuntimeMode::Reuse => HOME_RT.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            let rt = slot.get_or_insert_with(Runtime::new);
+            rt.reset();
+            f(rt)
+        }),
+    }
+}
+
+static HOME_COST_HOMES: AtomicU64 = AtomicU64::new(0);
+static HOME_COST_SETUP_NS: AtomicU64 = AtomicU64::new(0);
+static HOME_COST_WORKLOAD_NS: AtomicU64 = AtomicU64::new(0);
+static HOME_COST_TEARDOWN_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Where the per-home wall time of a fleet run went, summed across all
+/// workers: runtime acquire/reset (`setup`), the home's `block_on`
+/// (`workload`), and digest fold + runtime release (`teardown`).
+/// Collected by [`take_home_cost`]; the `bench_summary`
+/// `home_cost_breakdown` row reports the per-home averages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HomeCost {
+    /// Homes the counters cover.
+    pub homes: u64,
+    /// Total nanoseconds acquiring (and resetting) runtimes.
+    pub setup_ns: u64,
+    /// Total nanoseconds inside `block_on` running home workloads.
+    pub workload_ns: u64,
+    /// Total nanoseconds folding reports and releasing runtimes.
+    pub teardown_ns: u64,
+}
+
+impl HomeCost {
+    fn per_home_us(&self, ns: u64) -> f64 {
+        if self.homes == 0 {
+            0.0
+        } else {
+            ns as f64 / self.homes as f64 / 1e3
+        }
+    }
+
+    /// Mean setup microseconds per home.
+    pub fn setup_us(&self) -> f64 {
+        self.per_home_us(self.setup_ns)
+    }
+
+    /// Mean workload microseconds per home.
+    pub fn workload_us(&self) -> f64 {
+        self.per_home_us(self.workload_ns)
+    }
+
+    /// Mean teardown microseconds per home.
+    pub fn teardown_us(&self) -> f64 {
+        self.per_home_us(self.teardown_ns)
+    }
+}
+
+/// Drain the process-wide home-cost counters: returns the totals
+/// accumulated since the last call and rewinds them to zero.
+pub fn take_home_cost() -> HomeCost {
+    HomeCost {
+        homes: HOME_COST_HOMES.swap(0, Relaxed),
+        setup_ns: HOME_COST_SETUP_NS.swap(0, Relaxed),
+        workload_ns: HOME_COST_WORKLOAD_NS.swap(0, Relaxed),
+        teardown_ns: HOME_COST_TEARDOWN_NS.swap(0, Relaxed),
+    }
+}
+
+/// Run one home inside a runtime obtained per `mode` and fold the
+/// outcome (report + that run's virtual-net event count) into
+/// `digest`. The home-cost counters get the setup / workload /
+/// teardown split.
+fn run_home_into(digest: &mut FleetDigest, spec: &HomeSpec, mode: RuntimeMode) {
+    let start = std::time::Instant::now();
+    let mut ready = start;
+    let mut done = start;
+    let (report, stats) = with_runtime(mode, |rt| {
+        ready = std::time::Instant::now();
+        let out = rt.block_on(async {
+            let report = Home::run(spec).await;
+            (report, tokio::net::stats())
+        });
+        done = std::time::Instant::now();
+        out
     });
     let report = report.unwrap_or_else(|e| panic!("home {} failed: {e}", spec.index));
     digest.observe(&report);
     digest.net_events += stats.tcp_binds + stats.tcp_connects + stats.udp_binds + stats.datagrams;
+    HOME_COST_HOMES.fetch_add(1, Relaxed);
+    HOME_COST_SETUP_NS.fetch_add((ready - start).as_nanos() as u64, Relaxed);
+    HOME_COST_WORKLOAD_NS.fetch_add((done - ready).as_nanos() as u64, Relaxed);
+    HOME_COST_TEARDOWN_NS.fetch_add(done.elapsed().as_nanos() as u64, Relaxed);
 }
 
 /// Run a fleet of `homes` households, streamed through the pool in
@@ -567,6 +692,23 @@ pub fn run_fleet_with<F>(homes: usize, chunk: usize, pool: &Pool, spec: F) -> Fl
 where
     F: Fn(u32) -> HomeSpec + Send + Sync + 'static,
 {
+    run_fleet_mode(homes, chunk, pool, spec, RuntimeMode::default_mode())
+}
+
+/// [`run_fleet_with`] with an explicit [`RuntimeMode`] — the entry
+/// point the determinism tests use to prove the fourth invariant:
+/// the digest is byte-identical whether each home gets a fresh
+/// runtime or the worker's reused one.
+pub fn run_fleet_mode<F>(
+    homes: usize,
+    chunk: usize,
+    pool: &Pool,
+    spec: F,
+    mode: RuntimeMode,
+) -> FleetDigest
+where
+    F: Fn(u32) -> HomeSpec + Send + Sync + 'static,
+{
     assert!(homes <= u32::MAX as usize, "home index space is u32");
     let homes = homes as u32;
     let chunk = chunk.max(1) as u32;
@@ -578,7 +720,7 @@ where
         move |&(start, end)| {
             let mut part = FleetDigest::empty();
             for index in start..end {
-                run_home_into(&mut part, &spec(index));
+                run_home_into(&mut part, &spec(index), mode);
             }
             part
         },
@@ -599,7 +741,7 @@ pub fn collect_reports(homes: usize, pool: &Pool) -> Vec<HomeReport> {
     let indices: Vec<u32> = (0..homes as u32).collect();
     map(pool, indices, |&index| {
         let spec = home_spec(index);
-        tokio::runtime::block_on(Home::run(&spec))
+        with_runtime(RuntimeMode::default_mode(), |rt| rt.block_on(Home::run(&spec)))
             .unwrap_or_else(|e| panic!("home {index} failed: {e}"))
     })
 }

@@ -4,7 +4,9 @@
 //! sizes, it agrees with the sequential per-report fold, and the
 //! traffic never touches a kernel socket.
 
-use threegol_bench::fleet::{collect_reports, home_spec, run_fleet, FleetDigest, DEFAULT_CHUNK};
+use threegol_bench::fleet::{
+    collect_reports, home_spec, run_fleet, run_fleet_mode, FleetDigest, RuntimeMode, DEFAULT_CHUNK,
+};
 use threegol_bench::Pool;
 use threegol_proxy::Home;
 
@@ -68,6 +70,34 @@ fn two_hundred_home_fleet_is_deterministic_and_kernel_socket_free() {
     assert!(first.upload_gain.p50() > 1.5, "median upload gain {}", first.upload_gain.p50());
     assert!(first.vod_gain.p50() > 1.0, "median vod gain {}", first.vod_gain.p50());
     assert!(first.net_events > 200 * 10, "implausibly few net events: {}", first.net_events);
+}
+
+#[test]
+fn runtime_reuse_is_bitwise_invisible() {
+    // The fourth determinism invariant (DESIGN.md §11): the fleet
+    // digest is a pure function of (homes, spec) — worker count, chunk
+    // size, AND runtime mode included. A reused runtime whose reset
+    // leaks any state into the next home (a timer, a task, a clock
+    // skew, a virtual-net table entry) shifts some transfer's
+    // completion instant and changes the content hash, so bitwise
+    // equality across every {workers} x {chunk} x {reuse|fresh}
+    // combination is the whole proof.
+    let mut runs = Vec::new();
+    for (workers, chunk) in [(1, DEFAULT_CHUNK), (4, 23)] {
+        for mode in [RuntimeMode::Reuse, RuntimeMode::Fresh] {
+            let digest =
+                Pool::with(workers, |pool| run_fleet_mode(200, chunk, pool, home_spec, mode));
+            runs.push((workers, chunk, mode, digest));
+        }
+    }
+    let (_, _, _, reference) = &runs[0];
+    assert_eq!(reference.homes, 200);
+    for (workers, chunk, mode, digest) in &runs[1..] {
+        assert_eq!(
+            digest, reference,
+            "{workers} worker(s) / chunk {chunk} / {mode:?} diverged from the reference digest"
+        );
+    }
 }
 
 #[test]

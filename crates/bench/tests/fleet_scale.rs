@@ -8,7 +8,10 @@
 //! (synthetic reports, milliseconds); the live worker-count sweep is
 //! in `tests/fleet.rs` and the CI fleet-smoke job.
 
-use threegol_bench::fleet::{peak_rss_bytes, run_fleet, DEFAULT_CHUNK, FLEET_RSS_CEILING_BYTES};
+use threegol_bench::fleet::{
+    home_spec, peak_rss_bytes, run_fleet, run_fleet_mode, RuntimeMode, DEFAULT_CHUNK,
+    FLEET_RSS_CEILING_BYTES,
+};
 use threegol_bench::Pool;
 
 #[test]
@@ -47,5 +50,24 @@ fn streamed_fleet_memory_is_flat_and_under_the_ceiling() {
         "memory grew with fleet size: {:.1} MiB after 500 homes, {:.1} MiB after 5000",
         mib(peak_after_small),
         mib(peak_after_large)
+    );
+
+    // The runtime-reuse leak check: 5000 homes through ONE worker is
+    // 5000 consecutive `Runtime::reset`s of the same runtime. A reset
+    // that retains anything per-home — a task slot, a timer entry, a
+    // virtual-net registration, a parked-waker Arc — compounds 5000x
+    // and moves the monotonic VmHWM past the slack; a correct reset
+    // keeps only the reusable arenas the warm-up already paid for.
+    let reused = Pool::with(1, |pool| {
+        run_fleet_mode(5000, DEFAULT_CHUNK, pool, home_spec, RuntimeMode::Reuse)
+    });
+    let peak_after_reuse = peak_rss_bytes().unwrap();
+    assert_eq!(reused.homes, 5000);
+    assert!(
+        peak_after_reuse <= peak_after_small + slack,
+        "single reused runtime leaked across homes: {:.1} MiB after warm-up, \
+         {:.1} MiB after 5000 sequential resets",
+        mib(peak_after_small),
+        mib(peak_after_reuse)
     );
 }

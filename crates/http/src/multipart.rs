@@ -136,8 +136,23 @@ fn strip_crlf(buf: &[u8]) -> Result<&[u8], HttpError> {
         .ok_or_else(|| HttpError::BadMultipart("missing CRLF after boundary".into()))
 }
 
+/// First occurrence of `needle`, scanning for its first byte with the
+/// vectorized `iter().position` and only then comparing the tail. The
+/// naive `windows().position(|w| w == needle)` walks the haystack a
+/// window at a time — ~1 ns/byte, which at a 100 kB photo body per
+/// upload was the single hottest poll in fleet runs.
 fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
-    haystack.windows(needle.len()).position(|w| w == needle)
+    let (&first, rest) = needle.split_first()?;
+    let last = haystack.len().checked_sub(needle.len())?;
+    let mut base = 0;
+    while base <= last {
+        let pos = base + haystack[base..=last].iter().position(|&b| b == first)?;
+        if haystack[pos + 1..pos + needle.len()] == *rest {
+            return Some(pos);
+        }
+        base = pos + 1;
+    }
+    None
 }
 
 #[cfg(test)]

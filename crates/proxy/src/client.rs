@@ -119,11 +119,13 @@ pub struct TransferReport {
     pub aborts: usize,
 }
 
-/// One transfer job.
+/// One transfer job. Cloned once per transfer attempt, so the fetch
+/// target is a shared `Arc<str>` — cloning bumps a refcount instead of
+/// copying the path.
 #[derive(Debug, Clone)]
 enum Job {
     /// `GET {target}` and return the body.
-    Fetch(String),
+    Fetch(Arc<str>),
     /// `POST /upload` with a single-photo multipart body.
     Upload { filename: String, data: Bytes },
 }
@@ -154,10 +156,13 @@ impl ThreegolClient {
     }
 
     /// Fetch `targets` (absolute request paths) in parallel. Returns
-    /// the bodies in target order plus the transfer report.
+    /// the bodies in target order plus the transfer report. Targets
+    /// are shared `Arc<str>`s so callers that already intern them (the
+    /// HLS proxy's prefetch cache) hand them over without copying;
+    /// `"/path".into()` still works for one-off fetches.
     pub async fn fetch(
         &self,
-        targets: Vec<String>,
+        targets: Vec<Arc<str>>,
         expected_sizes: Option<Vec<f64>>,
     ) -> Result<(Vec<Bytes>, TransferReport), HttpError> {
         let jobs: Vec<Job> = targets.into_iter().map(Job::Fetch).collect();
@@ -170,7 +175,7 @@ impl ThreegolClient {
     /// rather than waiting for the whole transaction.
     pub async fn fetch_streaming(
         &self,
-        targets: Vec<String>,
+        targets: Vec<Arc<str>>,
         ready_tx: mpsc::UnboundedSender<(usize, Bytes)>,
     ) -> Result<TransferReport, HttpError> {
         let jobs: Vec<Job> = targets.into_iter().map(Job::Fetch).collect();
@@ -199,18 +204,16 @@ impl ThreegolClient {
         let playlist = MediaPlaylist::parse(text)
             .map_err(|e| HttpError::Malformed(format!("bad playlist: {e}")))?;
         let base = playlist_target.rsplit_once('/').map(|(dir, _)| dir).unwrap_or("");
-        let targets: Vec<String> = playlist
+        let targets: Vec<Arc<str>> = playlist
             .entries
             .iter()
-            .map(
-                |(_, uri)| {
-                    if uri.starts_with('/') {
-                        uri.clone()
-                    } else {
-                        format!("{base}/{uri}")
-                    }
-                },
-            )
+            .map(|(_, uri)| {
+                if uri.starts_with('/') {
+                    Arc::from(uri.as_str())
+                } else {
+                    Arc::from(format!("{base}/{uri}"))
+                }
+            })
             .collect();
         let (bodies, report) = self.fetch(targets, None).await?;
         Ok((playlist, bodies, report))
@@ -378,7 +381,7 @@ async fn perform(
     let mut http = HttpStream::new(CountingStream { inner: io, counter });
     match job {
         Job::Fetch(t) => {
-            http.write_request(&Request::get(t)).await?;
+            http.write_request(&Request::get(&*t)).await?;
             let resp = http.read_response().await?;
             if resp.status == 200 {
                 Ok(resp.body)
@@ -500,7 +503,7 @@ mod tests {
     async fn multipath_beats_single_path() {
         // 8 probe fetches over 1.6 Mbit/s ADSL alone vs ADSL + two
         // 1.6 Mbit/s phones.
-        let targets: Vec<String> = (0..6).map(|_| "/probe.bin".to_string()).collect();
+        let targets: Vec<Arc<str>> = (0..6).map(|_| Arc::from("/probe.bin")).collect();
         let (single, _o1) = setup(1.6e6, vec![]).await;
         let t0 = Instant::now();
         let (_, r1) = single.fetch(targets.clone(), None).await.unwrap();
@@ -547,7 +550,7 @@ mod tests {
     async fn greedy_duplicates_tail_on_slow_path() {
         // One very slow phone: the gateway should duplicate-and-abort.
         let (client, _origin) = setup(8e6, vec![64_000.0]).await;
-        let targets: Vec<String> = (0..3).map(|_| "/probe.bin".to_string()).collect();
+        let targets: Vec<Arc<str>> = (0..3).map(|_| Arc::from("/probe.bin")).collect();
         let (bodies, report) = client.fetch(targets, None).await.unwrap();
         assert!(bodies.iter().all(|b| b.len() == 64_000));
         assert!(report.aborts >= 1, "{report:?}");

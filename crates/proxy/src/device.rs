@@ -18,7 +18,7 @@ use threegol_caps::QuotaTracker;
 use threegol_http::codec::{Body, BodyFraming, HttpStream};
 use tokio::io::AsyncWriteExt;
 
-use crate::discovery::{announce, Advertisement};
+use crate::discovery::{Advertisement, Announcer};
 use crate::throttle::{RateLimit, ThrottledStream};
 
 /// The phone-side proxy.
@@ -154,6 +154,9 @@ impl DeviceProxy {
         interval: Duration,
     ) -> tokio::task::JoinHandle<()> {
         tokio::spawn(async move {
+            // One socket for the announcer's lifetime, bound lazily on
+            // the first beacon (a quota-less device never binds at all).
+            let mut announcer = None;
             loop {
                 if self.should_advertise() {
                     let ad = Advertisement {
@@ -161,7 +164,14 @@ impl DeviceProxy {
                         proxy_addr: lan_addr,
                         available_bytes: self.available_bytes(),
                     };
-                    if announce(discovery_addr, &ad).await.is_err() {
+                    let sender = match &announcer {
+                        Some(sender) => sender,
+                        None => match Announcer::bind(discovery_addr).await {
+                            Ok(sender) => announcer.insert(sender),
+                            Err(_) => break,
+                        },
+                    };
+                    if sender.announce(&ad).await.is_err() {
                         break;
                     }
                 }

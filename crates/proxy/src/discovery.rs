@@ -102,14 +102,33 @@ impl Discovery {
     }
 }
 
-/// Send one announcement datagram to the discovery listener. The
-/// sending socket binds an ephemeral port on the listener's own IP, so
-/// announcements stay inside that home's subnet whatever namespace the
-/// home uses.
+/// A reusable announcement sender: one bound socket for many beacons.
+/// A periodic announcer sends every ~100 ms for its whole lifetime;
+/// binding a fresh socket per beacon (what [`announce`] does) pays
+/// ephemeral-port assignment and socket teardown every tick.
+pub struct Announcer {
+    socket: UdpSocket,
+    to: SocketAddr,
+}
+
+impl Announcer {
+    /// Bind a sender toward `to`, on an ephemeral port of the
+    /// listener's own IP so beacons stay inside that home's subnet.
+    pub async fn bind(to: SocketAddr) -> std::io::Result<Announcer> {
+        Ok(Announcer { socket: UdpSocket::bind((to.ip(), 0)).await?, to })
+    }
+
+    /// Send one announcement datagram.
+    pub async fn announce(&self, ad: &Advertisement) -> std::io::Result<()> {
+        self.socket.send_to(&ad.encode(), self.to).await?;
+        Ok(())
+    }
+}
+
+/// Send one announcement datagram to the discovery listener through a
+/// freshly bound socket (see [`Announcer`] for the repeated case).
 pub async fn announce(to: SocketAddr, ad: &Advertisement) -> std::io::Result<()> {
-    let socket = UdpSocket::bind((to.ip(), 0)).await?;
-    socket.send_to(&ad.encode(), to).await?;
-    Ok(())
+    Announcer::bind(to).await?.announce(ad).await
 }
 
 #[cfg(test)]

@@ -29,19 +29,22 @@ use threegol_http::{HttpError, Request, Response};
 
 use crate::client::{ThreegolClient, TransferReport};
 
-/// Prefetch cache state.
+/// Prefetch cache state. Targets are interned `Arc<str>`s: each
+/// segment path is built exactly once per prefetch round and every
+/// map, set, in-flight fetch and eviction shares that one allocation
+/// (lookups by `&str` still work — `Arc<str>: Borrow<str>`).
 #[derive(Default)]
 struct Cache {
     /// Segment target → body, once fetched and not yet served.
-    ready: HashMap<String, Bytes>,
+    ready: HashMap<Arc<str>, Bytes>,
     /// Targets currently being prefetched.
-    pending: HashSet<String>,
+    pending: HashSet<Arc<str>>,
     /// Targets already handed to the player and evicted from `ready`
     /// (a VoD player requests each segment once, so holding served
     /// bodies would only grow the cache for the length of the video).
     /// Consulted by prefetch so a playlist re-intercept does not
     /// refetch them.
-    served: HashSet<String>,
+    served: HashSet<Arc<str>>,
 }
 
 /// Per-path byte tallies across every transfer this proxy issued,
@@ -135,7 +138,7 @@ impl HlsProxy {
     /// untouched — the player picks a variant and requests its media
     /// playlist next, which triggers the prefetch.
     async fn handle_playlist(&self, target: &str) -> Result<Response, HttpError> {
-        let (bodies, report) = self.client.fetch(vec![target.to_string()], None).await?;
+        let (bodies, report) = self.client.fetch(vec![Arc::from(target)], None).await?;
         self.stats.lock().note(&report);
         let body = bodies.into_iter().next().expect("one body");
         if let Ok(text) = std::str::from_utf8(&body) {
@@ -149,25 +152,32 @@ impl HlsProxy {
     }
 
     /// Begin prefetching every segment of `playlist` not already cached
-    /// or in flight.
+    /// or in flight. Each target string is built exactly once here;
+    /// the pending set, the fetch jobs and the arrival bookkeeping all
+    /// share it as an `Arc<str>` (the old code cloned every URI 2-3
+    /// times per round).
     fn start_prefetch(&self, playlist_target: &str, playlist: &MediaPlaylist) {
-        let base = playlist_target.rsplit_once('/').map(|(dir, _)| dir).unwrap_or("").to_string();
-        let targets: Vec<String> = {
+        let base = playlist_target.rsplit_once('/').map(|(dir, _)| dir).unwrap_or("");
+        let fresh: Vec<Arc<str>> = {
             let mut cache = self.cache.lock();
             let mut fresh = Vec::new();
             for (_, uri) in &playlist.entries {
-                let t = if uri.starts_with('/') { uri.clone() } else { format!("{base}/{uri}") };
-                if !cache.ready.contains_key(&t)
-                    && !cache.pending.contains(&t)
-                    && !cache.served.contains(&t)
+                let t: Arc<str> = if uri.starts_with('/') {
+                    Arc::from(uri.as_str())
+                } else {
+                    Arc::from(format!("{base}/{uri}"))
+                };
+                if !cache.ready.contains_key(&*t)
+                    && !cache.pending.contains(&*t)
+                    && !cache.served.contains(&*t)
                 {
-                    cache.pending.insert(t.clone());
+                    cache.pending.insert(Arc::clone(&t));
                     fresh.push(t);
                 }
             }
             fresh
         };
-        if targets.is_empty() {
+        if fresh.is_empty() {
             return;
         }
         let client = Arc::clone(&self.client);
@@ -176,7 +186,10 @@ impl HlsProxy {
         let stats = Arc::clone(&self.stats);
         let idle = Arc::clone(&self.idle);
         let (tx, mut rx) = mpsc::unbounded_channel::<(usize, Bytes)>();
-        let fetch_targets = targets.clone();
+        // Both tasks below share one target list; the fetch call gets
+        // its own Vec of refcount bumps, not string copies.
+        let targets: Arc<[Arc<str>]> = fresh.into();
+        let fetch_targets: Vec<Arc<str>> = targets.to_vec();
         stats.lock().in_flight += 1;
         tokio::spawn(async move {
             let report = client.fetch_streaming(fetch_targets, tx).await;
@@ -195,16 +208,16 @@ impl HlsProxy {
             while let Some((idx, body)) = rx.recv().await {
                 let mut c = cache.lock();
                 let t = &targets[idx];
-                c.pending.remove(t);
-                c.ready.insert(t.clone(), body);
+                c.pending.remove(&**t);
+                c.ready.insert(Arc::clone(t), body);
                 drop(c);
                 arrived.notify_waiters();
             }
             // Fetch task ended: clear any leftovers so segment requests
             // fall back to direct fetches instead of waiting forever.
             let mut c = cache.lock();
-            for t in &targets {
-                c.pending.remove(t);
+            for t in targets.iter() {
+                c.pending.remove(&**t);
             }
             drop(c);
             arrived.notify_waiters();
@@ -222,18 +235,21 @@ impl HlsProxy {
             let notified = self.arrived.notified();
             let in_flight = {
                 let mut cache = self.cache.lock();
-                if let Some(body) = cache.ready.remove(target) {
-                    cache.served.insert(target.to_string());
+                // `remove_entry` recovers the interned key so the
+                // served set reuses it instead of re-allocating.
+                if let Some((key, body)) = cache.ready.remove_entry(target) {
+                    cache.served.insert(key);
                     return Ok(Response::ok("video/mp2t", body));
                 }
                 cache.pending.contains(target)
             };
             if !in_flight {
                 // Not part of any intercepted playlist: fetch directly.
-                let (bodies, report) = self.client.fetch(vec![target.to_string()], None).await?;
+                let interned: Arc<str> = Arc::from(target);
+                let (bodies, report) = self.client.fetch(vec![Arc::clone(&interned)], None).await?;
                 self.stats.lock().note(&report);
                 let body = bodies.into_iter().next().expect("one body");
-                self.cache.lock().served.insert(target.to_string());
+                self.cache.lock().served.insert(interned);
                 return Ok(Response::ok("video/mp2t", body));
             }
             notified.await;

@@ -381,8 +381,7 @@ impl Home {
         // its own task while this task plays the VoD prebuffer.
         let photos: Vec<(String, Bytes)> = (0..spec.photos)
             .map(|i| {
-                let body = vec![(i % 251) as u8; spec.photo_bytes];
-                (format!("home{}-IMG_{i:04}.jpg", spec.index), Bytes::from(body))
+                (format!("home{}-IMG_{i:04}.jpg", spec.index), photo_body(i, spec.photo_bytes))
             })
             .collect();
         let upload_bytes: f64 = photos.iter().map(|(_, d)| d.len() as f64).sum();
@@ -430,6 +429,25 @@ impl Home {
 /// proxy: fetch the media playlist, then every segment in order (the
 /// proxy serves them from its multipath prefetch as they land).
 /// Returns the total segment bytes received.
+/// Deterministic filler body for photo `i`, shared process-wide: every
+/// home with the same photo size uploads views of one allocation
+/// instead of re-filling `photo_bytes` per photo per home (the upload
+/// path never mutates its payload — multipart encoding copies it into
+/// the request body).
+fn photo_body(i: usize, photo_bytes: usize) -> Bytes {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<HashMap<(usize, usize), Bytes>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    Bytes::clone(
+        cache
+            .lock()
+            .unwrap()
+            .entry((i, photo_bytes))
+            .or_insert_with(|| Bytes::from(vec![(i % 251) as u8; photo_bytes])),
+    )
+}
+
 async fn prebuffer_vod(proxy_addr: SocketAddr, playlist: &str) -> Result<f64, HttpError> {
     let stream = TcpStream::connect(proxy_addr).await.map_err(HttpError::Io)?;
     let mut http = HttpStream::new(stream);

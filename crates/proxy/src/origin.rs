@@ -31,38 +31,88 @@ pub struct ReceivedUpload {
 
 /// The origin server: generated in-memory assets + upload sink.
 pub struct OriginServer {
-    assets: HashMap<String, Bytes>,
+    /// The asset tree, shared process-wide between every origin built
+    /// from the same parameters (see [`cached_assets`]): a fleet of
+    /// identical homes pays for the ~2.6 MB of playlists, segments and
+    /// probe body once, not once per home.
+    assets: Arc<HashMap<String, Bytes>>,
     uploads: Mutex<Vec<ReceivedUpload>>,
     requests_served: AtomicU64,
 }
 
-impl OriginServer {
-    /// Build the asset tree for the paper's test video (`duration_secs`
-    /// at every quality of the ladder) plus a 2 MB probe file.
-    pub fn new(ladder: &[VideoQuality], duration_secs: f64, segment_secs: f64) -> OriginServer {
-        let mut assets = HashMap::new();
-        let master = MasterPlaylist::from_ladder(ladder);
-        assets.insert("/master.m3u8".to_string(), Bytes::from(master.to_m3u8()));
-        for (i, q) in ladder.iter().enumerate() {
-            let spec = VideoSpec { duration_secs, segment_secs, quality: q.clone() };
-            let segments = segment_video(&spec);
-            let media = MediaPlaylist::from_segments(&segments);
-            assets.insert(format!("/q{}/index.m3u8", i + 1), Bytes::from(media.to_m3u8()));
-            for seg in &segments {
-                // Deterministic filler payload of the right size.
-                let body = vec![(seg.index % 251) as u8; seg.size_bytes as usize];
-                assets.insert(format!("/q{}/{}", i + 1, seg.uri), Bytes::from(body));
-            }
+/// Build (or fetch) the asset tree for one parameter set. Keyed by the
+/// exact bit patterns of the inputs, so only genuinely identical trees
+/// are shared; bodies are `Bytes`, so concurrent servers on different
+/// worker threads serve views of one allocation.
+fn cached_assets(
+    ladder: &[VideoQuality],
+    duration_secs: f64,
+    segment_secs: f64,
+) -> Arc<HashMap<String, Bytes>> {
+    type AssetCache = Mutex<HashMap<String, Arc<HashMap<String, Bytes>>>>;
+    static CACHE: std::sync::OnceLock<AssetCache> = std::sync::OnceLock::new();
+    let mut key = format!("{}:{}", duration_secs.to_bits(), segment_secs.to_bits());
+    for q in ladder {
+        use std::fmt::Write;
+        let _ = write!(key, "|{}={}", q.label, q.bitrate_bps.to_bits());
+    }
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(assets) = cache.lock().get(&key) {
+        return Arc::clone(assets);
+    }
+    // Built outside the lock: a miss costs ~2.6 MB of memset and the
+    // playlist rendering, and a racing duplicate build is benign (one
+    // winner is kept).
+    let built = Arc::new(build_assets(ladder, duration_secs, segment_secs));
+    Arc::clone(cache.lock().entry(key).or_insert(built))
+}
+
+/// Render the asset tree: playlists, deterministic filler segments and
+/// the 2 MB probe.
+fn build_assets(
+    ladder: &[VideoQuality],
+    duration_secs: f64,
+    segment_secs: f64,
+) -> HashMap<String, Bytes> {
+    let mut assets = HashMap::new();
+    let master = MasterPlaylist::from_ladder(ladder);
+    assets.insert("/master.m3u8".to_string(), Bytes::from(master.to_m3u8()));
+    for (i, q) in ladder.iter().enumerate() {
+        let spec = VideoSpec { duration_secs, segment_secs, quality: q.clone() };
+        let segments = segment_video(&spec);
+        let media = MediaPlaylist::from_segments(&segments);
+        assets.insert(format!("/q{}/index.m3u8", i + 1), Bytes::from(media.to_m3u8()));
+        for seg in &segments {
+            // Deterministic filler payload of the right size.
+            let body = vec![(seg.index % 251) as u8; seg.size_bytes as usize];
+            assets.insert(format!("/q{}/{}", i + 1, seg.uri), Bytes::from(body));
         }
-        assets.insert("/probe.bin".to_string(), Bytes::from(vec![0xAB; 2_000_000]));
-        OriginServer { assets, uploads: Mutex::new(Vec::new()), requests_served: AtomicU64::new(0) }
+    }
+    assets.insert("/probe.bin".to_string(), Bytes::from(vec![0xAB; 2_000_000]));
+    assets
+}
+
+impl OriginServer {
+    /// Serve the asset tree for the paper's test video (`duration_secs`
+    /// at every quality of the ladder) plus a 2 MB probe file. The
+    /// tree itself comes from a process-wide cache shared by every
+    /// origin with the same parameters.
+    pub fn new(ladder: &[VideoQuality], duration_secs: f64, segment_secs: f64) -> OriginServer {
+        OriginServer {
+            assets: cached_assets(ladder, duration_secs, segment_secs),
+            uploads: Mutex::new(Vec::new()),
+            requests_served: AtomicU64::new(0),
+        }
     }
 
     /// A small origin for fast tests: short video, tiny probe.
     pub fn small_for_tests() -> OriginServer {
         let ladder = vec![VideoQuality::new("Q1", 64e3)];
         let mut o = OriginServer::new(&ladder, 10.0, 2.0);
-        o.assets.insert("/probe.bin".to_string(), Bytes::from(vec![0xAB; 64_000]));
+        // This origin's tree diverges from the shared one: un-share
+        // before mutating (refcount-bump copies of the bodies).
+        Arc::make_mut(&mut o.assets)
+            .insert("/probe.bin".to_string(), Bytes::from(vec![0xAB; 64_000]));
         o
     }
 

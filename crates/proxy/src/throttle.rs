@@ -15,6 +15,7 @@
 use std::future::Future;
 use std::io::IoSlice;
 use std::pin::Pin;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::task::{Context, Poll};
 use std::time::Duration;
@@ -82,6 +83,29 @@ impl SharedRateLimit {
     fn ready_at(&self, bytes: usize) -> Instant {
         self.bucket.lock().ready_at(bytes)
     }
+
+    /// Fire-time re-check for a dry-bucket wait (see
+    /// [`ThrottleWait`]): `None` when at least `need` bytes are now
+    /// available (wake the waiter), otherwise the re-arm deadline.
+    /// Runs the same `available()`-then-`ready_at()` arithmetic the
+    /// woken stream would run at this same virtual instant.
+    fn gate_check(&self, need: usize) -> Option<Instant> {
+        let mut bucket = self.bucket.lock();
+        if bucket.available() >= need {
+            None
+        } else {
+            Some(bucket.ready_at(need))
+        }
+    }
+
+    /// This bucket's scheduling quantum: [`QUANTUM`] capped at the
+    /// bucket depth. A dry wait must never target more tokens than the
+    /// bucket can hold, or it would sleep forever; shallow buckets
+    /// simply schedule at their full depth.
+    fn scheduling_quantum(&self) -> usize {
+        let bucket = self.bucket.lock();
+        (bucket.limit.burst_bytes.min(QUANTUM as f64) as usize).max(1)
+    }
 }
 
 impl From<RateLimit> for SharedRateLimit {
@@ -133,9 +157,82 @@ impl Bucket {
     }
 }
 
-/// Minimum scheduling quantum, bytes: waking for single bytes would
-/// thrash the timer wheel.
-const QUANTUM: usize = 1024;
+/// Scheduling quantum, bytes: how many tokens a dry stream waits for
+/// before it wakes and moves data. Waking for single bytes would
+/// thrash the timer wheel; waking per KiB costs one full task poll
+/// cycle per KiB transferred, which dominates fleet-scale runs.
+///
+/// Coarsening the quantum does **not** change modeled transfer times:
+/// a stream always consumes *all* available tokens when it runs, and a
+/// wait's deadline is the exact fluid-model instant the bucket covers
+/// the deficit — so each transfer's completion instant is a function
+/// of the token integral, not of the wake granularity. Only the
+/// intra-transfer arrival pattern coarsens (16 KiB bursts instead of
+/// 1 KiB). Buckets shallower than a quantum schedule at their full
+/// depth instead (see [`SharedRateLimit::scheduling_quantum`]).
+const QUANTUM: usize = 16 * 1024;
+
+/// One direction's dry-bucket wait: a single `Sleep` created on the
+/// first wait and **reset in place** for every wait after it. A busy
+/// throttled stream waits once per quantum for its whole life — the
+/// old `Option<Pin<Box<Sleep>>>` slot allocated a boxed timer for each
+/// of those waits; this allocates once (the timer entry inside the
+/// `Sleep`) and re-arms it, which is why the vendored `Sleep` grew
+/// `reset` in the first place.
+#[derive(Debug, Default)]
+struct ThrottleWait {
+    sleep: Option<Sleep>,
+    /// True while a wait is armed and not yet observed `Ready`. The
+    /// `Sleep` itself can't answer this: after a wait completes it
+    /// stays elapsed until the next `arm` re-arms it.
+    armed: bool,
+    /// The byte count the current wait is for, read by the sleep's
+    /// fire-time gate (shared because the gate closure lives inside
+    /// the timer entry).
+    want: Arc<AtomicUsize>,
+}
+
+impl ThrottleWait {
+    /// Arm (or re-arm) the wait until `bucket` can cover `want` bytes.
+    ///
+    /// The sleep carries a fire-time gate ([`Sleep::gate`]): when the
+    /// deadline arrives, the runtime re-checks the bucket *in the
+    /// timer dispatch path* and silently re-arms if the tokens were
+    /// consumed by a sibling stream in the meantime. Contending
+    /// streams on one shared medium would otherwise stampede — every
+    /// refill waking every waiter, one of them progressing, the rest
+    /// paying a full task poll just to re-arm.
+    fn arm(&mut self, bucket: &SharedRateLimit, want: usize) {
+        let at = bucket.ready_at(want);
+        self.want.store(want, Ordering::Relaxed);
+        match &mut self.sleep {
+            Some(sleep) => sleep.reset(at),
+            None => {
+                let mut sleep = sleep_until(at);
+                let gate_bucket = bucket.clone();
+                let gate_want = Arc::clone(&self.want);
+                sleep.gate(move || gate_bucket.gate_check(gate_want.load(Ordering::Relaxed)));
+                self.sleep = Some(sleep);
+            }
+        }
+        self.armed = true;
+    }
+
+    /// Wait out the armed sleep; immediately `Ready` when disarmed.
+    fn poll_wait(&mut self, cx: &mut Context<'_>) -> Poll<()> {
+        if !self.armed {
+            return Poll::Ready(());
+        }
+        let sleep = self.sleep.as_mut().expect("armed ThrottleWait without a Sleep");
+        match Pin::new(sleep).poll(cx) {
+            Poll::Ready(()) => {
+                self.armed = false;
+                Poll::Ready(())
+            }
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
 
 /// A rate-limited wrapper around an async transport. The read and
 /// write buckets are shared handles, so independent streams can be
@@ -146,8 +243,13 @@ pub struct ThrottledStream<T> {
     inner: T,
     read_bucket: SharedRateLimit,
     write_bucket: SharedRateLimit,
-    read_sleep: Option<Pin<Box<Sleep>>>,
-    write_sleep: Option<Pin<Box<Sleep>>>,
+    read_wait: ThrottleWait,
+    write_wait: ThrottleWait,
+    /// Cached [`SharedRateLimit::scheduling_quantum`] per direction —
+    /// bucket depth never changes after construction, so these are
+    /// computed once instead of locking the bucket every poll.
+    read_quantum: usize,
+    write_quantum: usize,
 }
 
 impl<T> ThrottledStream<T> {
@@ -167,12 +269,16 @@ impl<T> ThrottledStream<T> {
         read: SharedRateLimit,
         write: SharedRateLimit,
     ) -> ThrottledStream<T> {
+        let read_quantum = read.scheduling_quantum();
+        let write_quantum = write.scheduling_quantum();
         ThrottledStream {
             inner,
             read_bucket: read,
             write_bucket: write,
-            read_sleep: None,
-            write_sleep: None,
+            read_wait: ThrottleWait::default(),
+            write_wait: ThrottleWait::default(),
+            read_quantum,
+            write_quantum,
         }
     }
 
@@ -191,17 +297,13 @@ impl<T: AsyncRead + Unpin> AsyncRead for ThrottledStream<T> {
         let this = self.get_mut();
         loop {
             // Wait out any pending throttle sleep.
-            if let Some(sleep) = this.read_sleep.as_mut() {
-                match sleep.as_mut().poll(cx) {
-                    Poll::Ready(()) => this.read_sleep = None,
-                    Poll::Pending => return Poll::Pending,
-                }
+            if this.read_wait.poll_wait(cx).is_pending() {
+                return Poll::Pending;
             }
             let available = this.read_bucket.available();
-            if available < QUANTUM.min(buf.remaining()) {
-                let want = QUANTUM.min(buf.remaining()).max(1);
-                let at = this.read_bucket.ready_at(want);
-                this.read_sleep = Some(Box::pin(sleep_until(at)));
+            if available < this.read_quantum.min(buf.remaining()) {
+                let want = this.read_quantum.min(buf.remaining()).max(1);
+                this.read_wait.arm(&this.read_bucket, want);
                 continue;
             }
             let allowed = available.min(buf.remaining());
@@ -232,17 +334,13 @@ impl<T: AsyncWrite + Unpin> AsyncWrite for ThrottledStream<T> {
     ) -> Poll<std::io::Result<usize>> {
         let this = self.get_mut();
         loop {
-            if let Some(sleep) = this.write_sleep.as_mut() {
-                match sleep.as_mut().poll(cx) {
-                    Poll::Ready(()) => this.write_sleep = None,
-                    Poll::Pending => return Poll::Pending,
-                }
+            if this.write_wait.poll_wait(cx).is_pending() {
+                return Poll::Pending;
             }
             let available = this.write_bucket.available();
-            if available < QUANTUM.min(data.len()).max(1) {
-                let want = QUANTUM.min(data.len()).max(1);
-                let at = this.write_bucket.ready_at(want);
-                this.write_sleep = Some(Box::pin(sleep_until(at)));
+            if available < this.write_quantum.min(data.len()).max(1) {
+                let want = this.write_quantum.min(data.len()).max(1);
+                this.write_wait.arm(&this.write_bucket, want);
                 continue;
             }
             let allowed = available.min(data.len());
@@ -267,20 +365,27 @@ impl<T: AsyncWrite + Unpin> AsyncWrite for ThrottledStream<T> {
             return Pin::new(&mut this.inner).poll_write_vectored(cx, bufs);
         }
         loop {
-            if let Some(sleep) = this.write_sleep.as_mut() {
-                match sleep.as_mut().poll(cx) {
-                    Poll::Ready(()) => this.write_sleep = None,
-                    Poll::Pending => return Poll::Pending,
-                }
+            if this.write_wait.poll_wait(cx).is_pending() {
+                return Poll::Pending;
             }
             let available = this.write_bucket.available();
-            if available < QUANTUM.min(total).max(1) {
-                let want = QUANTUM.min(total).max(1);
-                let at = this.write_bucket.ready_at(want);
-                this.write_sleep = Some(Box::pin(sleep_until(at)));
+            if available < this.write_quantum.min(total).max(1) {
+                let want = this.write_quantum.min(total).max(1);
+                this.write_wait.arm(&this.write_bucket, want);
                 continue;
             }
             let allowed = available.min(total);
+            // Tokens cover the whole gather-write: pass the caller's
+            // slices straight through, allocation-free.
+            if allowed >= total {
+                return match Pin::new(&mut this.inner).poll_write_vectored(cx, bufs) {
+                    Poll::Ready(Ok(n)) => {
+                        this.write_bucket.consume(n);
+                        Poll::Ready(Ok(n))
+                    }
+                    other => other,
+                };
+            }
             // The token cap applies to the gather-write as a whole:
             // truncate the slice list at `allowed` bytes so a head+body
             // pair still drains the bucket at the configured rate.

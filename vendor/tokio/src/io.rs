@@ -10,7 +10,6 @@
 //! over the vendored [`bytes::BytesMut`] instead of generic over a
 //! `BufMut` trait this workspace doesn't vendor.
 
-use std::collections::VecDeque;
 use std::future::Future;
 use std::io;
 use std::pin::Pin;
@@ -438,12 +437,76 @@ impl<T: AsyncWrite + ?Sized> AsyncWriteExt for T {}
 // duplex
 // ---------------------------------------------------------------------------
 
+/// A fixed-capacity byte ring over flat storage. Both transfer
+/// directions are bulk `copy_from_slice`s of at most two segments —
+/// a `VecDeque<u8>` here would push and pop element-wise, which at
+/// pipe bandwidth (every proxied byte crosses several pipes) is the
+/// difference between memcpy speed and ~1 ns/byte.
+#[derive(Debug)]
+struct Ring {
+    buf: Box<[u8]>,
+    /// Read position; data occupies `head..head + len` modulo capacity.
+    head: usize,
+    len: usize,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Ring {
+        Ring { buf: vec![0; capacity].into_boxed_slice(), head: 0, len: 0 }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn space(&self) -> usize {
+        self.buf.len() - self.len
+    }
+
+    fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Copy as much of `src` as fits, returning how much was taken.
+    fn write(&mut self, src: &[u8]) -> usize {
+        let n = src.len().min(self.space());
+        if n == 0 {
+            return 0;
+        }
+        let mut tail = self.head + self.len;
+        if tail >= self.buf.len() {
+            tail -= self.buf.len();
+        }
+        let first = n.min(self.buf.len() - tail);
+        self.buf[tail..tail + first].copy_from_slice(&src[..first]);
+        self.buf[..n - first].copy_from_slice(&src[first..n]);
+        self.len += n;
+        n
+    }
+
+    /// Copy up to `dst.remaining()` bytes out, returning how many.
+    fn read(&mut self, dst: &mut ReadBuf<'_>) -> usize {
+        let n = self.len.min(dst.remaining());
+        if n == 0 {
+            return 0;
+        }
+        let first = n.min(self.buf.len() - self.head);
+        dst.put_slice(&self.buf[self.head..self.head + first]);
+        dst.put_slice(&self.buf[..n - first]);
+        self.head += n;
+        if self.head >= self.buf.len() {
+            self.head -= self.buf.len();
+        }
+        self.len -= n;
+        n
+    }
+}
+
 /// One direction of a duplex pair: a bounded byte ring plus the wakers
 /// of whoever is parked on it.
 #[derive(Debug)]
 struct Pipe {
-    buf: VecDeque<u8>,
-    capacity: usize,
+    buf: Ring,
     read_waker: Option<Waker>,
     write_waker: Option<Waker>,
     /// Writer gone or shut down: reads drain the buffer then see EOF.
@@ -455,8 +518,7 @@ struct Pipe {
 impl Pipe {
     fn new(capacity: usize) -> Pipe {
         Pipe {
-            buf: VecDeque::new(),
-            capacity,
+            buf: Ring::new(capacity),
             read_waker: None,
             write_waker: None,
             write_closed: false,
@@ -497,20 +559,24 @@ impl AsyncRead for DuplexStream {
     ) -> Poll<io::Result<()>> {
         let mut pipe = self.read.lock().unwrap();
         if !pipe.buf.is_empty() {
-            let n = pipe.buf.len().min(buf.remaining());
-            let (front, back) = pipe.buf.as_slices();
-            let from_front = front.len().min(n);
-            buf.put_slice(&front[..from_front]);
-            buf.put_slice(&back[..n - from_front]);
-            pipe.buf.drain(..n);
-            if let Some(waker) = pipe.write_waker.take() {
-                waker.wake();
+            pipe.buf.read(buf);
+            // Watermark: a writer only parks on a *full* pipe, so batch
+            // its wake until half the capacity has drained rather than
+            // waking per read. An empty pipe always clears the
+            // watermark, so the parked writer can never be stranded.
+            if pipe.write_waker.is_some() && pipe.buf.space() >= pipe.buf.capacity() / 2 {
+                if let Some(waker) = pipe.write_waker.take() {
+                    waker.wake();
+                }
             }
             Poll::Ready(Ok(()))
         } else if pipe.write_closed {
             Poll::Ready(Ok(())) // nothing filled: EOF
         } else {
-            pipe.read_waker = Some(cx.waker().clone());
+            match &pipe.read_waker {
+                Some(w) if w.will_wake(cx.waker()) => {}
+                _ => pipe.read_waker = Some(cx.waker().clone()),
+            }
             Poll::Pending
         }
     }
@@ -529,13 +595,14 @@ impl AsyncWrite for DuplexStream {
                 "duplex peer dropped",
             )));
         }
-        let space = pipe.capacity - pipe.buf.len();
-        if space == 0 {
-            pipe.write_waker = Some(cx.waker().clone());
+        if pipe.buf.space() == 0 {
+            match &pipe.write_waker {
+                Some(w) if w.will_wake(cx.waker()) => {}
+                _ => pipe.write_waker = Some(cx.waker().clone()),
+            }
             return Poll::Pending;
         }
-        let n = space.min(buf.len());
-        pipe.buf.extend(&buf[..n]);
+        let n = pipe.buf.write(buf);
         if let Some(waker) = pipe.read_waker.take() {
             waker.wake();
         }
@@ -557,20 +624,21 @@ impl AsyncWrite for DuplexStream {
                 "duplex peer dropped",
             )));
         }
-        let space = pipe.capacity - pipe.buf.len();
-        if space == 0 {
+        if pipe.buf.space() == 0 {
             if bufs.iter().all(|b| b.is_empty()) {
                 return Poll::Ready(Ok(0));
             }
-            pipe.write_waker = Some(cx.waker().clone());
+            match &pipe.write_waker {
+                Some(w) if w.will_wake(cx.waker()) => {}
+                _ => pipe.write_waker = Some(cx.waker().clone()),
+            }
             return Poll::Pending;
         }
         let mut n = 0;
         for buf in bufs {
-            let take = buf.len().min(space - n);
-            pipe.buf.extend(&buf[..take]);
+            let take = pipe.buf.write(buf);
             n += take;
-            if n == space {
+            if take < buf.len() {
                 break;
             }
         }

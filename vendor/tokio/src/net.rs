@@ -24,7 +24,7 @@ use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{IpAddr, SocketAddr, ToSocketAddrs};
 use std::pin::Pin;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, Weak};
 use std::task::{Context, Poll, Waker};
 
@@ -98,6 +98,20 @@ impl VirtualNet {
             udp_binds: AtomicU64::new(0),
             datagrams: AtomicU64::new(0),
         }
+    }
+
+    /// Forget every binding, parked-op label and ephemeral-port
+    /// cursor, and zero the stats counters — the virtual-net half of
+    /// [`crate::runtime::Runtime::reset`]. Map capacity is kept so a
+    /// reused runtime re-binds without reallocating.
+    pub(crate) fn reset(&self) {
+        self.bindings.lock().unwrap().clear();
+        self.next_port.lock().unwrap().clear();
+        self.parked.lock().unwrap().clear();
+        self.tcp_binds.store(0, Ordering::Relaxed);
+        self.tcp_connects.store(0, Ordering::Relaxed);
+        self.udp_binds.store(0, Ordering::Relaxed);
+        self.datagrams.store(0, Ordering::Relaxed);
     }
 
     /// Labels of the currently parked socket operations, oldest first,
@@ -182,20 +196,59 @@ fn next_op_id() -> u64 {
     NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
+/// One socket operation's slot in the deadlock diagnostic: its
+/// process-unique id plus whether it is currently registered as
+/// parked. The flag keeps the global parked map off the hot path —
+/// `track` only touches the map on park/unpark *transitions*, so the
+/// overwhelmingly common repeat polls (Ready after Ready, Pending
+/// after Pending) cost one relaxed atomic instead of a global lock
+/// plus a map operation.
+#[derive(Debug)]
+struct ParkSlot {
+    id: u64,
+    parked: AtomicBool,
+}
+
+impl ParkSlot {
+    fn new() -> ParkSlot {
+        ParkSlot { id: next_op_id(), parked: AtomicBool::new(false) }
+    }
+
+    /// Remove this op from the parked map if it is registered there
+    /// (socket teardown).
+    fn clear(&self, shared: &Weak<Shared>) {
+        if self.parked.swap(false, Ordering::Relaxed) {
+            if let Some(shared) = shared.upgrade() {
+                shared.net().unpark(self.id);
+            }
+        }
+    }
+}
+
 /// Track one poll result for the deadlock diagnostic: parked
 /// operations are registered with their endpoint, completed ones are
-/// cleared.
+/// cleared. Only state *transitions* touch the runtime's parked map.
 fn track<T>(
     shared: &Weak<Shared>,
-    op: u64,
+    slot: &ParkSlot,
     kind: &'static str,
     addr: SocketAddr,
     poll: Poll<T>,
 ) -> Poll<T> {
-    if let Some(shared) = shared.upgrade() {
-        match poll {
-            Poll::Pending => shared.net().park(op, kind, addr),
-            Poll::Ready(_) => shared.net().unpark(op),
+    match &poll {
+        Poll::Pending => {
+            if !slot.parked.swap(true, Ordering::Relaxed) {
+                if let Some(shared) = shared.upgrade() {
+                    shared.net().park(slot.id, kind, addr);
+                }
+            }
+        }
+        Poll::Ready(_) => {
+            if slot.parked.swap(false, Ordering::Relaxed) {
+                if let Some(shared) = shared.upgrade() {
+                    shared.net().unpark(slot.id);
+                }
+            }
         }
     }
     poll
@@ -222,7 +275,7 @@ pub struct TcpListener {
     state: Arc<Mutex<ListenerState>>,
     local: SocketAddr,
     shared: Weak<Shared>,
-    accept_op: u64,
+    accept_op: ParkSlot,
 }
 
 impl std::fmt::Debug for TcpListener {
@@ -244,7 +297,12 @@ impl TcpListener {
             Arc::new(Mutex::new(ListenerState { queue: VecDeque::new(), accept_waker: None }));
         bindings.insert(local, Binding::Tcp(Arc::clone(&state)));
         net.tcp_binds.fetch_add(1, Ordering::Relaxed);
-        Ok(TcpListener { state, local, shared: Arc::downgrade(&shared), accept_op: next_op_id() })
+        Ok(TcpListener {
+            state,
+            local,
+            shared: Arc::downgrade(&shared),
+            accept_op: ParkSlot::new(),
+        })
     }
 
     /// Accept one inbound connection, parking until a peer connects.
@@ -257,12 +315,15 @@ impl TcpListener {
                         Poll::Ready(Ok((TcpStream::new(io, self.local, peer), peer)))
                     }
                     None => {
-                        state.accept_waker = Some(cx.waker().clone());
+                        match &state.accept_waker {
+                            Some(w) if w.will_wake(cx.waker()) => {}
+                            _ => state.accept_waker = Some(cx.waker().clone()),
+                        }
                         Poll::Pending
                     }
                 }
             };
-            track(&self.shared, self.accept_op, "tcp accept on", self.local, poll)
+            track(&self.shared, &self.accept_op, "tcp accept on", self.local, poll)
         })
         .await
     }
@@ -275,8 +336,8 @@ impl TcpListener {
 
 impl Drop for TcpListener {
     fn drop(&mut self) {
+        self.accept_op.clear(&self.shared);
         if let Some(shared) = self.shared.upgrade() {
-            shared.net().unpark(self.accept_op);
             shared.net().bindings.lock().unwrap().remove(&self.local);
         }
         // Connections still queued are dropped here; their client ends
@@ -291,8 +352,8 @@ pub struct TcpStream {
     local: SocketAddr,
     peer: SocketAddr,
     shared: Weak<Shared>,
-    read_op: u64,
-    write_op: u64,
+    read_op: ParkSlot,
+    write_op: ParkSlot,
 }
 
 impl std::fmt::Debug for TcpStream {
@@ -311,8 +372,8 @@ impl TcpStream {
             local,
             peer,
             shared: Arc::downgrade(&runtime::current()),
-            read_op: next_op_id(),
-            write_op: next_op_id(),
+            read_op: ParkSlot::new(),
+            write_op: ParkSlot::new(),
         }
     }
 
@@ -379,10 +440,8 @@ impl TcpStream {
 
 impl Drop for TcpStream {
     fn drop(&mut self) {
-        if let Some(shared) = self.shared.upgrade() {
-            shared.net().unpark(self.read_op);
-            shared.net().unpark(self.write_op);
-        }
+        self.read_op.clear(&self.shared);
+        self.write_op.clear(&self.shared);
     }
 }
 
@@ -394,7 +453,7 @@ impl AsyncRead for TcpStream {
     ) -> Poll<io::Result<()>> {
         let this = self.get_mut();
         let poll = Pin::new(&mut this.io).poll_read(cx, buf);
-        track(&this.shared, this.read_op, "tcp read from", this.peer, poll)
+        track(&this.shared, &this.read_op, "tcp read from", this.peer, poll)
     }
 }
 
@@ -406,7 +465,7 @@ impl AsyncWrite for TcpStream {
     ) -> Poll<io::Result<usize>> {
         let this = self.get_mut();
         let poll = Pin::new(&mut this.io).poll_write(cx, buf);
-        track(&this.shared, this.write_op, "tcp write to", this.peer, poll)
+        track(&this.shared, &this.write_op, "tcp write to", this.peer, poll)
     }
 
     fn poll_flush(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<()>> {
@@ -424,7 +483,7 @@ impl AsyncWrite for TcpStream {
     ) -> Poll<io::Result<usize>> {
         let this = self.get_mut();
         let poll = Pin::new(&mut this.io).poll_write_vectored(cx, bufs);
-        track(&this.shared, this.write_op, "tcp write to", this.peer, poll)
+        track(&this.shared, &this.write_op, "tcp write to", this.peer, poll)
     }
 }
 
@@ -447,7 +506,7 @@ pub struct UdpSocket {
     state: Arc<Mutex<UdpState>>,
     local: SocketAddr,
     shared: Weak<Shared>,
-    recv_op: u64,
+    recv_op: ParkSlot,
 }
 
 impl std::fmt::Debug for UdpSocket {
@@ -467,7 +526,7 @@ impl UdpSocket {
         let state = Arc::new(Mutex::new(UdpState { queue: VecDeque::new(), recv_waker: None }));
         bindings.insert(local, Binding::Udp(Arc::clone(&state)));
         net.udp_binds.fetch_add(1, Ordering::Relaxed);
-        Ok(UdpSocket { state, local, shared: Arc::downgrade(&shared), recv_op: next_op_id() })
+        Ok(UdpSocket { state, local, shared: Arc::downgrade(&shared), recv_op: ParkSlot::new() })
     }
 
     /// Send one datagram to `target`, delivering it synchronously to
@@ -520,12 +579,15 @@ impl UdpSocket {
                         Poll::Ready(Ok((n, from)))
                     }
                     None => {
-                        state.recv_waker = Some(cx.waker().clone());
+                        match &state.recv_waker {
+                            Some(w) if w.will_wake(cx.waker()) => {}
+                            _ => state.recv_waker = Some(cx.waker().clone()),
+                        }
                         Poll::Pending
                     }
                 }
             };
-            track(&self.shared, self.recv_op, "udp recv_from on", self.local, poll)
+            track(&self.shared, &self.recv_op, "udp recv_from on", self.local, poll)
         })
         .await
     }
@@ -538,8 +600,8 @@ impl UdpSocket {
 
 impl Drop for UdpSocket {
     fn drop(&mut self) {
+        self.recv_op.clear(&self.shared);
         if let Some(shared) = self.shared.upgrade() {
-            shared.net().unpark(self.recv_op);
             shared.net().bindings.lock().unwrap().remove(&self.local);
         }
     }

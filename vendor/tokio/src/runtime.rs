@@ -1,9 +1,13 @@
 //! The single-threaded executor and its virtual-time clock.
 //!
-//! One [`block_on`] call owns one runtime: a FIFO ready-queue of
-//! spawned tasks, a timer wheel (a `BTreeMap` keyed by virtual-time
-//! deadline), a **virtual clock**, and a `VirtualNet`
-//! registry backing every socket in [`crate::net`].
+//! One runtime owns a FIFO ready-queue of spawned tasks, a timer wheel
+//! (a lazy-deletion binary min-heap keyed by virtual-time deadline), a
+//! **virtual clock**, and a `VirtualNet` registry backing every socket
+//! in [`crate::net`]. [`block_on`] runs a future on a fresh runtime;
+//! [`Runtime`] makes the same machinery reusable, so a worker thread
+//! that simulates thousands of households pays for the allocations
+//! (queues, maps, the timer heap) once instead of once per household —
+//! see [`Runtime::reset`] for the reuse contract.
 //!
 //! # Scheduling loop
 //!
@@ -31,17 +35,36 @@
 //! endpoint they are parked on, so the panic names each one (e.g.
 //! `tcp accept on 10.0.0.1:8080`) rather than merely counting them.
 //!
+//! # The timer wheel
+//!
+//! Pending timers live in a binary min-heap ordered by
+//! `(deadline_ns, seq)` — `seq` is a per-runtime registration counter,
+//! so same-instant timers fire in registration order, exactly the
+//! iteration order of the `BTreeMap` wheel this heap replaced (the
+//! property test in `tests/timer_order.rs` holds the two orders
+//! equal). Deletion is lazy: dropping a `Sleep` or resetting it to a
+//! new deadline leaves the old heap slot in place, and the slot is
+//! discarded when it reaches the top — either its entry is dead (the
+//! `Weak` no longer upgrades) or stale (the entry's generation moved
+//! past the slot's). The heap is only ever touched by the thread
+//! driving the runtime, so it sits in an unsynchronized cell instead
+//! of behind a `Mutex` (see `ThreadConfined`).
+//!
 //! # Virtual time
 //!
 //! The clock (nanoseconds since a process-wide epoch) only moves in
-//! phase 3 or via [`crate::time::advance`]; real time spent inside
+//! phase 2 or via [`crate::time::advance`]; real time spent inside
 //! polls contributes nothing. [`crate::time::Instant::now`] reads this
 //! clock, so durations measured by throttled-transfer tests reflect
 //! the *modeled* link rates, not host speed. Outside a runtime,
 //! `Instant::now` falls back to real time since the same epoch so the
-//! two never run backwards relative to each other.
+//! two never run backwards relative to each other. All of the
+//! workspace's timing arithmetic is relative (deadline = now + delta),
+//! so behavior is invariant under translation of the clock base —
+//! which is what makes [`Runtime::reset`]'s rewind sound.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::cell::UnsafeCell;
+use std::collections::{BinaryHeap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -81,10 +104,13 @@ pub(crate) fn current() -> Arc<Shared> {
 /// Virtual nanoseconds since the process epoch (falls back to real
 /// elapsed time outside a runtime).
 pub(crate) fn now_since_epoch() -> Duration {
-    match CURRENT.with(|c| c.borrow().clone()) {
+    // Read the clock through the borrow instead of cloning the Arc:
+    // this is the hottest function in the workspace (every token-bucket
+    // refill and deadline computation lands here).
+    CURRENT.with(|c| match &*c.borrow() {
         Some(shared) => Duration::from_nanos(shared.clock_ns.load(Ordering::Acquire)),
         None => epoch().elapsed(),
-    }
+    })
 }
 
 /// Tears the runtime down when `block_on` exits, on both the success
@@ -105,19 +131,161 @@ struct ContextGuard {
 
 impl Drop for ContextGuard {
     fn drop(&mut self) {
-        // Dropping a future can wake peers (rescheduling tasks) or, in
-        // principle, spawn; both only touch the queue/registry cleared
-        // below. Futures are dropped while CURRENT is still set so any
-        // Drop impl that consults the runtime finds it.
-        let tasks: Vec<Weak<Task>> = std::mem::take(&mut *self.shared.tasks.lock().unwrap());
-        for weak in tasks {
-            if let Some(task) = weak.upgrade() {
-                *task.future.lock().unwrap() = None;
+        self.shared.cancel_all();
+        CURRENT.with(|c| c.borrow_mut().take());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-confined cell
+// ---------------------------------------------------------------------------
+
+/// Interior mutability without a lock, for state only the runtime's
+/// driving thread touches.
+///
+/// `Shared` must be `Sync` (socket futures are `Send` and hold
+/// `Weak<Shared>`), but the timer wheel inside it is only ever
+/// accessed while executing runtime code on the thread that owns the
+/// runtime: registering a timer requires [`current`] (a thread-local
+/// that only `block_on` sets), and firing/peeking happens in the
+/// executor loop itself. Wakers — the one part of the system that may
+/// legitimately cross threads — never touch timers, only the (still
+/// `Mutex`-guarded) ready queue. So a plain `UnsafeCell` with a
+/// debug-mode thread assertion replaces the old `Mutex<BTreeMap>`.
+struct ThreadConfined<T> {
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: all access goes through `with`, which (in debug builds)
+// asserts the accessing thread is the one currently driving this
+// runtime; see the struct docs for why no other thread can reach it.
+unsafe impl<T: Send> Send for ThreadConfined<T> {}
+unsafe impl<T: Send> Sync for ThreadConfined<T> {}
+
+impl<T> ThreadConfined<T> {
+    fn new(value: T) -> ThreadConfined<T> {
+        ThreadConfined { value: UnsafeCell::new(value) }
+    }
+
+    /// Run `f` with exclusive access. `f` must not re-enter `with` on
+    /// the same cell (the callers below never do: timer callbacks are
+    /// invoked only after the borrow ends).
+    fn with<R>(&self, owner: &Shared, f: impl FnOnce(&mut T) -> R) -> R {
+        debug_assert!(
+            CURRENT.with(|c| {
+                c.borrow().as_ref().is_none_or(|shared| std::ptr::eq(&**shared, owner))
+            }),
+            "thread-confined runtime state accessed from a foreign runtime's thread"
+        );
+        // SAFETY: single-threaded by the confinement argument above;
+        // non-reentrant by the `with` contract.
+        unsafe { f(&mut *self.value.get()) }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timer wheel
+// ---------------------------------------------------------------------------
+
+/// One slot in the timer heap. Compares by `(deadline_ns, seq)`
+/// *reversed*, so `BinaryHeap` (a max-heap) pops the earliest deadline
+/// first and same-deadline slots pop in registration order.
+struct HeapTimer {
+    deadline_ns: u64,
+    seq: u64,
+    /// The entry's generation at registration time; a mismatch at pop
+    /// time means the `Sleep` was reset and this slot is stale.
+    generation: u64,
+    entry: std::sync::Weak<TimerEntry>,
+}
+
+impl PartialEq for HeapTimer {
+    fn eq(&self, other: &Self) -> bool {
+        (self.deadline_ns, self.seq) == (other.deadline_ns, other.seq)
+    }
+}
+
+impl Eq for HeapTimer {}
+
+impl PartialOrd for HeapTimer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapTimer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: the max-heap's top is the minimum key.
+        (other.deadline_ns, other.seq).cmp(&(self.deadline_ns, self.seq))
+    }
+}
+
+/// The pending-timer heap plus its registration counter. Lives in a
+/// [`ThreadConfined`] cell: no lock, no atomics.
+struct TimerWheel {
+    heap: BinaryHeap<HeapTimer>,
+    /// Next registration sequence number; the tiebreaker that makes
+    /// same-deadline firing order deterministic.
+    seq: u64,
+}
+
+impl TimerWheel {
+    fn new() -> TimerWheel {
+        TimerWheel { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    fn register(&mut self, entry: &Arc<TimerEntry>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(HeapTimer {
+            deadline_ns: entry.deadline_ns(),
+            seq,
+            generation: entry.generation(),
+            entry: Arc::downgrade(entry),
+        });
+    }
+
+    /// Drop stale slots off the top until a live one (or nothing)
+    /// remains, then report its deadline.
+    fn next_live_deadline(&mut self) -> Option<u64> {
+        loop {
+            let top = self.heap.peek()?;
+            match top.entry.upgrade() {
+                Some(entry) if entry.generation() == top.generation => {
+                    return Some(top.deadline_ns);
+                }
+                _ => {
+                    self.heap.pop();
+                }
             }
         }
-        self.shared.queue.lock().unwrap().clear();
-        self.shared.timers.lock().unwrap().clear();
-        CURRENT.with(|c| c.borrow_mut().take());
+    }
+
+    /// Pop the earliest live slot due at or before `now`, if any.
+    fn pop_due(&mut self, now: u64) -> Option<Arc<TimerEntry>> {
+        loop {
+            let top = self.heap.peek()?;
+            if top.deadline_ns > now {
+                match top.entry.upgrade() {
+                    Some(entry) if entry.generation() == top.generation => return None,
+                    // Stale slot: discard and keep looking.
+                    _ => {
+                        self.heap.pop();
+                        continue;
+                    }
+                }
+            }
+            let slot = self.heap.pop().expect("peeked");
+            match slot.entry.upgrade() {
+                Some(entry) if entry.generation() == slot.generation => return Some(entry),
+                _ => continue,
+            }
+        }
+    }
+
+    /// Forget every pending timer, keeping the heap's allocation.
+    fn clear(&mut self) {
+        self.heap.clear();
     }
 }
 
@@ -126,16 +294,15 @@ impl Drop for ContextGuard {
 // ---------------------------------------------------------------------------
 
 /// State shared between the executor loop, spawned tasks, timers and
-/// socket futures. One instance per `block_on` call.
+/// socket futures. One instance per [`Runtime`] (the free [`block_on`]
+/// makes a throwaway one per call).
 pub(crate) struct Shared {
     /// Tasks woken and awaiting a poll, FIFO.
     queue: Mutex<VecDeque<Arc<Task>>>,
     /// Set when the `block_on` root future is woken.
     main_woken: AtomicBool,
-    /// Pending timers: (virtual deadline ns, unique seq) → entry. Weak,
-    /// so dropped `Sleep`s vanish on the next prune.
-    timers: Mutex<BTreeMap<(u64, u64), std::sync::Weak<TimerEntry>>>,
-    timer_seq: AtomicU64,
+    /// Pending timers; see [`TimerWheel`]. Thread-confined, lock-free.
+    timers: ThreadConfined<TimerWheel>,
     /// Every task ever spawned, weakly. Walked once at teardown to
     /// cancel parked tasks (see [`ContextGuard`]); completed tasks are
     /// dead weak refs by then.
@@ -154,8 +321,7 @@ impl Shared {
         Shared {
             queue: Mutex::new(VecDeque::new()),
             main_woken: AtomicBool::new(true),
-            timers: Mutex::new(BTreeMap::new()),
-            timer_seq: AtomicU64::new(0),
+            timers: ThreadConfined::new(TimerWheel::new()),
             tasks: Mutex::new(Vec::new()),
             clock_ns: AtomicU64::new(epoch().elapsed().as_nanos() as u64),
             net: crate::net::VirtualNet::new(),
@@ -179,43 +345,31 @@ impl Shared {
         self.clock_ns.load(Ordering::Acquire)
     }
 
-    /// Register a timer entry firing at `deadline_ns` virtual time.
+    /// Register a timer entry firing at its current deadline.
     pub(crate) fn register_timer(&self, entry: &Arc<TimerEntry>) {
-        let seq = self.timer_seq.fetch_add(1, Ordering::Relaxed);
-        self.timers.lock().unwrap().insert((entry.deadline_ns, seq), Arc::downgrade(entry));
+        self.timers.with(self, |wheel| wheel.register(entry));
     }
 
     /// Earliest deadline with a live `Sleep` attached; prunes dropped
-    /// entries on the way.
+    /// and reset entries on the way.
     fn next_live_deadline(&self) -> Option<u64> {
-        let mut timers = self.timers.lock().unwrap();
-        while let Some((&key, weak)) = timers.first_key_value() {
-            if weak.strong_count() == 0 {
-                timers.remove(&key);
-                continue;
-            }
-            return Some(key.0);
-        }
-        None
+        self.timers.with(self, |wheel| wheel.next_live_deadline())
     }
 
-    /// Fire every live timer whose deadline is at or before the clock.
+    /// Fire every live timer whose deadline is at or before the clock,
+    /// in `(deadline, seq)` order. Entries are popped one at a time so
+    /// the heap borrow never overlaps the `fire()` call (which runs
+    /// wakers, and wakers may drop arbitrary state — though never
+    /// timer-wheel state: dropping or resetting a `Sleep` only bumps
+    /// refcounts/generations, by design).
     fn fire_due(&self) {
         let now = self.clock_ns();
-        let due: Vec<std::sync::Weak<TimerEntry>> = {
-            let mut timers = self.timers.lock().unwrap();
-            let later = timers.split_off(&(now + 1, 0));
-            let due = std::mem::replace(&mut *timers, later);
-            due.into_values().collect()
-        };
-        for weak in due {
-            if let Some(entry) = weak.upgrade() {
-                entry.fire();
-            }
+        while let Some(entry) = self.timers.with(self, |wheel| wheel.pop_due(now)) {
+            entry.fire();
         }
     }
 
-    /// Phase-3 auto-advance: jump the clock to the next timer deadline
+    /// Phase-2 auto-advance: jump the clock to the next timer deadline
     /// and fire it. Returns false when no timer is pending.
     fn auto_advance(&self) -> bool {
         let Some(deadline) = self.next_live_deadline() else {
@@ -240,30 +394,96 @@ impl Shared {
         }
         self.clock_ns.fetch_max(target, Ordering::AcqRel);
     }
+
+    /// Cancel every live task and clear the ready queue and timer
+    /// wheel (keeping their allocations). The future drops run with
+    /// whatever `CURRENT` is set to at the call site — `block_on`
+    /// teardown calls this while `CURRENT` still points here, so Drop
+    /// impls that consult the runtime find it.
+    fn cancel_all(&self) {
+        let tasks: Vec<Weak<Task>> = std::mem::take(&mut *self.tasks.lock().unwrap());
+        for weak in tasks {
+            if let Some(task) = weak.upgrade() {
+                *task.future.lock().unwrap() = None;
+            }
+        }
+        self.queue.lock().unwrap().clear();
+        self.timers.with(self, |wheel| wheel.clear());
+    }
 }
 
 // ---------------------------------------------------------------------------
 // Timers
 // ---------------------------------------------------------------------------
 
-/// One pending `Sleep`: fires at `deadline_ns` virtual time.
-#[derive(Debug)]
+/// One pending `Sleep`: fires when the virtual clock reaches its
+/// deadline. Reusable: [`TimerEntry::reset`] re-arms it at a new
+/// deadline and bumps `generation` so the old heap slot is ignored.
 pub(crate) struct TimerEntry {
-    pub(crate) deadline_ns: u64,
+    deadline_ns: AtomicU64,
+    /// Bumped by every reset; heap slots carry the generation they
+    /// were registered under, so stale slots identify themselves.
+    generation: AtomicU64,
     fired: AtomicBool,
     waker: Mutex<Option<Waker>>,
+    /// Optional fire-time gate (see [`crate::time::Sleep::gate`]): at
+    /// fire time, `None` means "wake through" and `Some(deadline_ns)`
+    /// means "still not ready — silently re-arm at that deadline
+    /// instead of waking". Lets a throttled stream's dry-bucket wait
+    /// re-check its bucket without paying a full task poll.
+    gate: Mutex<Option<GateFn>>,
+}
+
+/// A [`TimerEntry`] fire-time predicate: `None` wakes the task,
+/// `Some(deadline_ns)` silently re-arms at that deadline.
+type GateFn = Box<dyn Fn() -> Option<u64> + Send>;
+
+impl std::fmt::Debug for TimerEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimerEntry")
+            .field("deadline_ns", &self.deadline_ns)
+            .field("generation", &self.generation)
+            .field("fired", &self.fired)
+            .finish_non_exhaustive()
+    }
 }
 
 impl TimerEntry {
     /// Create and register an entry in the current runtime.
     pub(crate) fn register(deadline_ns: u64) -> Arc<TimerEntry> {
         let entry = Arc::new(TimerEntry {
-            deadline_ns,
+            deadline_ns: AtomicU64::new(deadline_ns),
+            generation: AtomicU64::new(0),
             fired: AtomicBool::new(false),
             waker: Mutex::new(None),
+            gate: Mutex::new(None),
         });
         current().register_timer(&entry);
         entry
+    }
+
+    /// Re-arm at a new deadline and re-register in the current
+    /// runtime. The previously registered heap slot becomes stale (its
+    /// generation no longer matches) and is lazily discarded.
+    pub(crate) fn reset(self: &Arc<Self>, deadline_ns: u64) {
+        self.generation.fetch_add(1, Ordering::Release);
+        self.deadline_ns.store(deadline_ns, Ordering::Release);
+        self.fired.store(false, Ordering::Release);
+        *self.waker.lock().unwrap() = None;
+        current().register_timer(self);
+    }
+
+    /// Install the fire-time gate (replacing any previous one).
+    pub(crate) fn set_gate(&self, gate: GateFn) {
+        *self.gate.lock().unwrap() = Some(gate);
+    }
+
+    pub(crate) fn deadline_ns(&self) -> u64 {
+        self.deadline_ns.load(Ordering::Acquire)
+    }
+
+    fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
     }
 
     pub(crate) fn is_fired(&self) -> bool {
@@ -271,10 +491,28 @@ impl TimerEntry {
     }
 
     pub(crate) fn set_waker(&self, waker: &Waker) {
-        *self.waker.lock().unwrap() = Some(waker.clone());
+        let mut slot = self.waker.lock().unwrap();
+        match &*slot {
+            Some(w) if w.will_wake(waker) => {}
+            _ => *slot = Some(waker.clone()),
+        }
     }
 
-    fn fire(&self) {
+    fn fire(self: &Arc<Self>) {
+        // Consult the gate first: a gated wait that is still not ready
+        // re-arms in place — keeping its waker, never waking the task.
+        // The gate runs the exact check the woken task would have run
+        // at this same virtual instant, so behavior is unchanged; only
+        // the wasted wake-poll-rearm round trip through the executor
+        // is skipped.
+        if let Some(gate) = &*self.gate.lock().unwrap() {
+            if let Some(deadline_ns) = gate() {
+                self.generation.fetch_add(1, Ordering::Release);
+                self.deadline_ns.store(deadline_ns, Ordering::Release);
+                current().register_timer(self);
+                return;
+            }
+        }
         self.fired.store(true, Ordering::Release);
         if let Some(waker) = self.waker.lock().unwrap().take() {
             waker.wake();
@@ -380,80 +618,323 @@ where
 }
 
 // ---------------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------------
+
+/// A reusable single-threaded runtime.
+///
+/// Equivalent to calling the free [`block_on`] except the runtime's
+/// heap state — ready queue, timer heap, task registry, virtual-net
+/// maps — survives across calls, so a worker that drives many
+/// short-lived futures (one simulated household each, say) allocates
+/// that machinery once. Deviations from real tokio's `Runtime`, both
+/// in the direction this runtime needs: `new` is infallible (there is
+/// no reactor to set up), `block_on` takes `&mut self` (the runtime is
+/// strictly single-threaded; exclusive borrow makes misuse a compile
+/// error), and [`reset`](Runtime::reset) exists.
+pub struct Runtime {
+    shared: Arc<Shared>,
+}
+
+impl Default for Runtime {
+    fn default() -> Runtime {
+        Runtime::new()
+    }
+}
+
+impl Runtime {
+    /// A fresh runtime with an empty task queue, timer heap and
+    /// virtual network.
+    pub fn new() -> Runtime {
+        Runtime { shared: Arc::new(Shared::new()) }
+    }
+
+    /// Run `future` to completion, driving every task it spawns — the
+    /// reusable-state equivalent of the free [`block_on`], with the
+    /// same teardown: any task still parked when the root future
+    /// finishes is cancelled (its future dropped) before this returns,
+    /// so parked accept loops and half-open pipes never outlive the
+    /// call.
+    pub fn block_on<F: Future>(&mut self, future: F) -> F::Output {
+        CURRENT.with(|c| {
+            assert!(
+                c.borrow().is_none(),
+                "vendored tokio runtime cannot be nested: block_on inside block_on"
+            );
+        });
+        let shared = Arc::clone(&self.shared);
+        shared.main_woken.store(true, Ordering::Release);
+        CURRENT.with(|c| *c.borrow_mut() = Some(Arc::clone(&shared)));
+        let _guard = ContextGuard { shared: Arc::clone(&shared) };
+
+        let mut future = std::pin::pin!(future);
+        let main_waker = Waker::from(Arc::new(MainWaker { shared: Arc::clone(&shared) }));
+        let mut cx = Context::from_waker(&main_waker);
+
+        // Polls the root future (returning on completion) and drains
+        // the ready queue until nothing is runnable.
+        macro_rules! drain_runnable {
+            () => {
+                loop {
+                    let mut any = false;
+                    if shared.main_woken.swap(false, Ordering::AcqRel) {
+                        if let Poll::Ready(output) = future.as_mut().poll(&mut cx) {
+                            return output;
+                        }
+                        any = true;
+                    }
+                    while let Some(task) = shared.pop_task() {
+                        task.run();
+                        any = true;
+                    }
+                    if !any {
+                        break;
+                    }
+                }
+            };
+        }
+
+        loop {
+            // Phase 1: run everything runnable. Virtual-socket progress
+            // happens in here: delivering bytes or datagrams wakes the
+            // consuming task directly, so no separate I/O phase exists.
+            drain_runnable!();
+
+            // Phase 2: quiescent — advance the virtual clock to the
+            // next timer deadline.
+            if shared.auto_advance() {
+                continue;
+            }
+
+            // Nothing runnable, no timer pending. Any socket operation
+            // still parked can never be woken — the bytes it awaits
+            // would have to come from a task, and no task can ever run
+            // again. Name the parked endpoints so the hung test points
+            // at the guilty socket instead of a bare count.
+            let parked = shared.net.parked_labels();
+            if parked.is_empty() {
+                panic!(
+                    "vendored tokio runtime deadlock: the root future is pending but no \
+                     task is runnable and no timer or socket operation is registered"
+                );
+            }
+            panic!(
+                "vendored tokio runtime deadlock: no task is runnable and no timer is \
+                 pending, but {} socket operation(s) are parked and can never be woken \
+                 (virtual sockets only receive from tasks in this runtime): {}",
+                parked.len(),
+                parked.join(", ")
+            );
+        }
+    }
+
+    /// Restore the runtime to an as-new state while keeping its
+    /// allocations, so the next [`block_on`](Runtime::block_on) is
+    /// indistinguishable from one on a fresh runtime:
+    ///
+    /// - every surviving task is cancelled and the ready queue, task
+    ///   registry and timer heap are emptied (normally already done by
+    ///   `block_on` teardown — repeated here so `reset` alone
+    ///   guarantees the contract);
+    /// - the timer sequence counter rewinds to 0, so same-deadline
+    ///   firing order replays exactly;
+    /// - the virtual network forgets every binding, parked-op label
+    ///   and ephemeral-port cursor, and zeroes [`crate::net::stats`];
+    /// - the virtual clock rewinds to the value a fresh runtime would
+    ///   start at.
+    ///
+    /// Everything observable from inside `block_on` is covered, which
+    /// is what makes per-worker runtime reuse digest-invariant for the
+    /// fleet: the clock base is the only thing that differs from a
+    /// fresh runtime, and all workspace timing arithmetic is relative,
+    /// so behavior is invariant under clock translation (the fourth
+    /// determinism invariant, DESIGN.md §11/§13).
+    pub fn reset(&mut self) {
+        // `cancel_all` drops futures; their Drop impls may consult the
+        // runtime, so run them with CURRENT set, like block_on teardown
+        // does. (Outside block_on, CURRENT is normally unset here.)
+        let entered = CURRENT.with(|c| {
+            let mut cur = c.borrow_mut();
+            if cur.is_none() {
+                *cur = Some(Arc::clone(&self.shared));
+                true
+            } else {
+                assert!(
+                    std::ptr::eq(&**cur.as_ref().unwrap(), &*self.shared),
+                    "Runtime::reset called while a different runtime is running on this thread"
+                );
+                false
+            }
+        });
+        self.shared.cancel_all();
+        if entered {
+            CURRENT.with(|c| c.borrow_mut().take());
+        }
+        self.shared.timers.with(&self.shared, |wheel| wheel.seq = 0);
+        self.shared.net.reset();
+        self.shared.clock_ns.store(epoch().elapsed().as_nanos() as u64, Ordering::Release);
+        self.shared.main_woken.store(true, Ordering::Release);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // block_on
 // ---------------------------------------------------------------------------
 
 /// Run `future` to completion on a fresh single-threaded runtime with
-/// a virtual clock, driving every task it spawns. This is the only
-/// entry point; `#[tokio::main]` and `#[tokio::test]` expand to it.
+/// a virtual clock, driving every task it spawns. `#[tokio::main]` and
+/// `#[tokio::test]` expand to this; code that runs many futures on one
+/// thread should hold a [`Runtime`] and reuse it instead.
 pub fn block_on<F: Future>(future: F) -> F::Output {
-    CURRENT.with(|c| {
-        assert!(
-            c.borrow().is_none(),
-            "vendored tokio runtime cannot be nested: block_on inside block_on"
-        );
-    });
-    let shared = Arc::new(Shared::new());
-    CURRENT.with(|c| *c.borrow_mut() = Some(Arc::clone(&shared)));
-    let _guard = ContextGuard { shared: Arc::clone(&shared) };
+    Runtime::new().block_on(future)
+}
 
-    let mut future = std::pin::pin!(future);
-    let main_waker = Waker::from(Arc::new(MainWaker { shared: Arc::clone(&shared) }));
-    let mut cx = Context::from_waker(&main_waker);
+#[cfg(test)]
+mod tests {
+    //! The timer-order oracle: the lazy-deletion heap must fire the
+    //! exact `(deadline, seq)` sequence a retained `BTreeMap` wheel
+    //! (the pre-heap implementation, kept here as the reference model)
+    //! would, including same-instant ties, cancelled entries (dropped
+    //! `Sleep`s whose slots are lazily discarded) and mid-flight
+    //! resets. Exercised as a property test over seeded random
+    //! register / cancel / reset / advance schedules.
 
-    // Polls the root future (returning on completion) and drains the
-    // ready queue until nothing is runnable.
-    macro_rules! drain_runnable {
-        () => {
-            loop {
-                let mut any = false;
-                if shared.main_woken.swap(false, Ordering::AcqRel) {
-                    if let Poll::Ready(output) = future.as_mut().poll(&mut cx) {
-                        return output;
-                    }
-                    any = true;
-                }
-                while let Some(task) = shared.pop_task() {
-                    task.run();
-                    any = true;
-                }
-                if !any {
-                    break;
-                }
-            }
-        };
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn entry(deadline_ns: u64) -> Arc<TimerEntry> {
+        Arc::new(TimerEntry {
+            deadline_ns: AtomicU64::new(deadline_ns),
+            generation: AtomicU64::new(0),
+            fired: AtomicBool::new(false),
+            waker: Mutex::new(None),
+            gate: Mutex::new(None),
+        })
     }
 
-    loop {
-        // Phase 1: run everything runnable. Virtual-socket progress
-        // happens in here: delivering bytes or datagrams wakes the
-        // consuming task directly, so no separate I/O phase exists.
-        drain_runnable!();
+    /// Deterministic splitmix-style generator so every CI run replays
+    /// the same schedules.
+    struct Lcg(u64);
 
-        // Phase 2: quiescent — advance the virtual clock to the next
-        // timer deadline.
-        if shared.auto_advance() {
-            continue;
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 >> 33
+        }
+    }
+
+    /// The reference wheel: the old `BTreeMap<(deadline, seq), Weak>`
+    /// with eager removal on reset (observably equivalent to the
+    /// heap's lazy discard) and `split_off`-based firing.
+    struct Reference {
+        map: BTreeMap<(u64, u64), (u64, std::sync::Weak<TimerEntry>)>,
+    }
+
+    impl Reference {
+        fn register(&mut self, seq: u64, e: &Arc<TimerEntry>) {
+            self.map.insert((e.deadline_ns(), seq), (e.generation(), Arc::downgrade(e)));
         }
 
-        // Nothing runnable, no timer pending. Any socket operation
-        // still parked can never be woken — the bytes it awaits would
-        // have to come from a task, and no task can ever run again.
-        // Name the parked endpoints so the hung test points at the
-        // guilty socket instead of a bare count.
-        let parked = shared.net.parked_labels();
-        if parked.is_empty() {
-            panic!(
-                "vendored tokio runtime deadlock: the root future is pending but no \
-                 task is runnable and no timer or socket operation is registered"
-            );
+        fn drop_stale_for(&mut self, e: &Arc<TimerEntry>) {
+            self.map.retain(|_, (generation, weak)| {
+                weak.upgrade()
+                    .is_none_or(|live| !Arc::ptr_eq(&live, e) || *generation == e.generation())
+            });
         }
-        panic!(
-            "vendored tokio runtime deadlock: no task is runnable and no timer is \
-             pending, but {} socket operation(s) are parked and can never be woken \
-             (virtual sockets only receive from tasks in this runtime): {}",
-            parked.len(),
-            parked.join(", ")
-        );
+
+        fn fire_due(&mut self, now: u64) -> Vec<Arc<TimerEntry>> {
+            let later = self.map.split_off(&(now + 1, 0));
+            let due = std::mem::replace(&mut self.map, later);
+            due.into_values()
+                .filter_map(|(generation, weak)| {
+                    weak.upgrade().filter(|e| e.generation() == generation)
+                })
+                .collect()
+        }
+    }
+
+    /// Identify a fired entry by its index in the creation registry
+    /// (pointer identity is unambiguous while the Arc is live).
+    fn id_of(registry: &[std::sync::Weak<TimerEntry>], e: &Arc<TimerEntry>) -> usize {
+        registry
+            .iter()
+            .position(|weak| weak.upgrade().is_some_and(|live| Arc::ptr_eq(&live, e)))
+            .expect("fired entry was never registered")
+    }
+
+    #[test]
+    fn heap_wheel_fires_in_btreemap_oracle_order() {
+        for case in 0u64..96 {
+            let mut rng = Lcg(0x9E37_79B9_7F4A_7C15 ^ (case.wrapping_mul(0x1234_5678_9ABC_DEF1)));
+            let mut wheel = TimerWheel::new();
+            let mut reference = Reference { map: BTreeMap::new() };
+            // Ownership: dropping from `live` is a cancel (the heap
+            // slot's Weak dies, like dropping a `Sleep`).
+            let mut live: Vec<Arc<TimerEntry>> = Vec::new();
+            let mut registry: Vec<std::sync::Weak<TimerEntry>> = Vec::new();
+            let mut now = 0u64;
+            let mut fired_wheel: Vec<(usize, u64)> = Vec::new();
+            let mut fired_ref: Vec<(usize, u64)> = Vec::new();
+
+            for _step in 0..240 {
+                match rng.next() % 10 {
+                    // Register a new timer; coarse deadlines force ties.
+                    0..=4 => {
+                        let e = entry(now + rng.next() % 8);
+                        let seq = wheel.seq;
+                        wheel.register(&e);
+                        reference.register(seq, &e);
+                        registry.push(Arc::downgrade(&e));
+                        live.push(e);
+                    }
+                    // Cancel: drop the owning Arc, leaving the heap
+                    // slot (and the reference's Weak) to go stale.
+                    5 => {
+                        if !live.is_empty() {
+                            let i = (rng.next() as usize) % live.len();
+                            live.swap_remove(i);
+                        }
+                    }
+                    // Reset a live timer mid-flight (what
+                    // `Sleep::reset` does, minus the `current()` hop).
+                    6 => {
+                        if !live.is_empty() {
+                            let i = (rng.next() as usize) % live.len();
+                            let e = Arc::clone(&live[i]);
+                            e.generation.fetch_add(1, Ordering::Release);
+                            e.deadline_ns.store(now + rng.next() % 8, Ordering::Release);
+                            e.fired.store(false, Ordering::Release);
+                            let seq = wheel.seq;
+                            wheel.register(&e);
+                            reference.drop_stale_for(&e);
+                            reference.register(seq, &e);
+                        }
+                    }
+                    // Advance time and fire everything due.
+                    _ => {
+                        now += rng.next() % 6;
+                        while let Some(e) = wheel.pop_due(now) {
+                            fired_wheel.push((id_of(&registry, &e), e.deadline_ns()));
+                        }
+                        for e in reference.fire_due(now) {
+                            fired_ref.push((id_of(&registry, &e), e.deadline_ns()));
+                        }
+                        assert_eq!(fired_wheel, fired_ref, "case {case} diverged at now={now}");
+                    }
+                }
+            }
+
+            // Drain both wheels completely (finite horizon: the
+            // reference's split_off key is `now + 1`).
+            let horizon = 1u64 << 40;
+            while let Some(e) = wheel.pop_due(horizon) {
+                fired_wheel.push((id_of(&registry, &e), e.deadline_ns()));
+            }
+            for e in reference.fire_due(horizon) {
+                fired_ref.push((id_of(&registry, &e), e.deadline_ns()));
+            }
+            assert_eq!(fired_wheel, fired_ref, "case {case} diverged on final drain");
+            assert!(wheel.next_live_deadline().is_none(), "case {case} left live slots");
+        }
     }
 }

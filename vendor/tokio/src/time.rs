@@ -108,12 +108,43 @@ pub struct Sleep {
 impl Sleep {
     /// The instant this sleep resolves at.
     pub fn deadline(&self) -> Instant {
-        Instant::from_epoch_ns(self.entry.deadline_ns)
+        Instant::from_epoch_ns(self.entry.deadline_ns())
     }
 
     /// Whether the deadline has been reached.
     pub fn is_elapsed(&self) -> bool {
-        self.entry.is_fired() || runtime::current().clock_ns() >= self.entry.deadline_ns
+        self.entry.is_fired() || runtime::current().clock_ns() >= self.entry.deadline_ns()
+    }
+
+    /// Re-arm this sleep at a new deadline, fired or not, without
+    /// allocating: the existing timer entry is re-registered in the
+    /// current runtime and the old registration is lazily discarded.
+    /// Hot loops (e.g. a throttle waiting once per quantum) keep one
+    /// `Sleep` and reset it instead of constructing a new one per
+    /// wait. Unlike real tokio's `Sleep::reset` this takes `&mut self`
+    /// rather than `Pin<&mut Self>` — the vendored `Sleep` is `Unpin`.
+    pub fn reset(&mut self, deadline: Instant) {
+        self.entry.reset(deadline.as_epoch_ns());
+    }
+
+    /// Install a fire-time gate (a vendored extension; real tokio has
+    /// no equivalent). When the deadline arrives the runtime calls
+    /// `gate` *instead of* waking the task: `None` lets the wake
+    /// through, `Some(at)` silently re-arms the sleep at `at` —
+    /// keeping the registered waker — and the task is not polled.
+    ///
+    /// This exists for condition-like waits whose readiness the waker
+    /// can check cheaply at fire time (the token-bucket throttle's
+    /// dry-bucket wait: "do I have my quantum yet?"). The gate must
+    /// return exactly what the woken task would have concluded at the
+    /// same virtual instant, or behavior diverges from the ungated
+    /// version. It runs on the runtime's driving thread during timer
+    /// dispatch; it must not poll, wake, or touch the timer wheel.
+    ///
+    /// The gate survives [`Sleep::reset`] — install once, re-arm
+    /// forever.
+    pub fn gate(&mut self, gate: impl Fn() -> Option<Instant> + Send + 'static) {
+        self.entry.set_gate(Box::new(move || gate().map(|at| at.as_epoch_ns())));
     }
 }
 
@@ -127,7 +158,7 @@ impl Future for Sleep {
     type Output = ();
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
-        if self.entry.is_fired() || runtime::current().clock_ns() >= self.entry.deadline_ns {
+        if self.entry.is_fired() || runtime::current().clock_ns() >= self.entry.deadline_ns() {
             Poll::Ready(())
         } else {
             self.entry.set_waker(cx.waker());

@@ -435,3 +435,137 @@ async fn join_handle_returns_task_output() {
     assert!(handle.is_finished());
     handle.await.unwrap();
 }
+
+// ---------------------------------------------------------------------------
+// Sleep reuse & runtime reuse
+// ---------------------------------------------------------------------------
+
+#[tokio::test]
+async fn reset_postpones_a_pending_sleep() {
+    let start = Instant::now();
+    let mut sleep = tokio::time::sleep(Duration::from_millis(100));
+    tokio::time::sleep(Duration::from_millis(50)).await;
+    sleep.reset(Instant::now() + Duration::from_millis(200));
+    (&mut sleep).await;
+    assert_eq!(start.elapsed(), Duration::from_millis(250));
+}
+
+#[tokio::test]
+async fn reset_rearms_an_elapsed_sleep_without_reallocating() {
+    let start = Instant::now();
+    let mut sleep = tokio::time::sleep(Duration::from_millis(10));
+    (&mut sleep).await;
+    for round in 1..=5u64 {
+        sleep.reset(Instant::now() + Duration::from_millis(10 * round));
+        (&mut sleep).await;
+    }
+    assert_eq!(start.elapsed(), Duration::from_millis(10 + 10 + 20 + 30 + 40 + 50));
+}
+
+#[tokio::test]
+async fn reset_moves_a_sleep_behind_its_same_deadline_peers() {
+    // a registers first, b second; resetting a to the *same* deadline
+    // re-registers it with a later seq, so b now fires first — the
+    // lazy-deletion wheel must order ties by registration, not
+    // creation.
+    let (tx, mut rx) = mpsc::unbounded_channel::<&'static str>();
+    let deadline = Instant::now() + Duration::from_millis(100);
+    let mut a = tokio::time::sleep_until(deadline);
+    let b = tokio::time::sleep_until(deadline);
+    a.reset(deadline);
+    let tx_a = tx.clone();
+    tokio::spawn(async move {
+        a.await;
+        tx_a.send("a").unwrap();
+    });
+    tokio::spawn(async move {
+        b.await;
+        tx.send("b").unwrap();
+    });
+    let mut order = Vec::new();
+    while let Some(label) = rx.recv().await {
+        order.push(label);
+    }
+    assert_eq!(order, vec!["b", "a"]);
+}
+
+#[test]
+fn runtime_reuse_rebinds_addresses_and_rezeroes_stats() {
+    let mut rt = tokio::runtime::Runtime::new();
+    for round in 0..3 {
+        let stats = rt.block_on(async {
+            let listener = TcpListener::bind("10.9.0.1:8080").await.unwrap();
+            let client = tokio::spawn(async {
+                let mut stream = TcpStream::connect("10.9.0.1:8080").await.unwrap();
+                stream.write_all(b"ping").await.unwrap();
+            });
+            let (mut sock, peer) = listener.accept().await.unwrap();
+            // Ephemeral ports must restart from the same base every
+            // round, or reused runtimes would drift from fresh ones.
+            assert_eq!(peer.port(), 49152, "round {round}");
+            let mut buf = [0u8; 4];
+            sock.read_exact(&mut buf).await.unwrap();
+            client.await.unwrap();
+            tokio::net::stats()
+        });
+        assert_eq!((stats.tcp_binds, stats.tcp_connects), (1, 1), "round {round}");
+        rt.reset();
+    }
+}
+
+#[test]
+fn runtime_reset_drops_parked_tasks_and_their_state() {
+    let marker = std::sync::Arc::new(());
+    let mut rt = tokio::runtime::Runtime::new();
+    rt.block_on(async {
+        let held = std::sync::Arc::clone(&marker);
+        tokio::spawn(async move {
+            // Parks forever; the task owns `held` until cancelled.
+            tokio::time::sleep(Duration::from_secs(1_000_000)).await;
+            drop(held);
+        });
+        tokio::task::yield_now().await;
+    });
+    // block_on teardown already cancels parked tasks; reset must also
+    // guarantee it on its own.
+    rt.reset();
+    assert_eq!(std::sync::Arc::strong_count(&marker), 1);
+}
+
+#[test]
+fn reused_runtime_replays_a_run_identically() {
+    // The same workload on a reused runtime must observe the same
+    // modeled durations and stats as on the fresh first run — timers,
+    // seq numbering and the net registry all rewind.
+    fn workload(rt: &mut tokio::runtime::Runtime) -> (Duration, u64) {
+        rt.block_on(async {
+            let start = Instant::now();
+            let listener = TcpListener::bind("10.9.1.1:80").await.unwrap();
+            let server = tokio::spawn(async move {
+                let (mut sock, _) = listener.accept().await.unwrap();
+                let mut total = 0u64;
+                let mut buf = [0u8; 1024];
+                loop {
+                    let n = sock.read(&mut buf).await.unwrap();
+                    if n == 0 {
+                        break;
+                    }
+                    total += n as u64;
+                }
+                total
+            });
+            let mut client = TcpStream::connect("10.9.1.1:80").await.unwrap();
+            for _ in 0..10 {
+                client.write_all(&[0xAB; 512]).await.unwrap();
+                tokio::time::sleep(Duration::from_millis(7)).await;
+            }
+            drop(client);
+            (start.elapsed(), server.await.unwrap())
+        })
+    }
+    let mut rt = tokio::runtime::Runtime::new();
+    let first = workload(&mut rt);
+    rt.reset();
+    let second = workload(&mut rt);
+    assert_eq!(first, second);
+}
