@@ -377,6 +377,48 @@ fn main() {
         });
     }
 
+    // The scenario-engine row: the same streamed households, but each
+    // running the trace-driven 7-day scenario (diurnal sessions, device
+    // churn, live allowance loop) instead of the fixed paper script —
+    // tracks the cost of a simulated week per home.
+    if want("live_fleet_scenario_week") {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let mut times = Vec::with_capacity(3);
+        let mut digest = None;
+        for _ in 0..3 {
+            let t = Instant::now();
+            let d = Pool::with(cores.min(200), |pool| {
+                fleet::run_scenario_fleet(
+                    200,
+                    7,
+                    threegol_traces::DEFAULT_SCENARIO_SEED,
+                    fleet::DEFAULT_CHUNK,
+                    pool,
+                )
+            });
+            times.push(t.elapsed().as_secs_f64() * 1e3);
+            digest = Some(d);
+        }
+        let digest = digest.expect("at least one run");
+        samples.push(Sample {
+            name: "live_fleet_scenario_week",
+            what: "200 live-prototype households each running the trace-driven 7-day scenario \
+                   (diurnal VoD/upload schedules, device churn, live 3GOLa(t) allowance loop), \
+                   median of 3 runs",
+            median_ms: median(times),
+            live_before_ms: None,
+            events: digest.net_events,
+            extra: Some(format!(
+                "\"runs\": 3,\n      \"sessions\": {},\n      \"device_days\": {},\n      \
+                 \"overrun_rate\": {:.4},\n      \"captured_fraction\": {:.4}",
+                digest.scenario.sessions,
+                digest.scenario.device_days,
+                digest.scenario.overrun_rate(),
+                digest.scenario.captured_fraction()
+            )),
+        });
+    }
+
     // The fleet-scale acceptance row: one million streamed homes, a
     // single run (it is minutes of wall-clock, and at this unit count
     // run-to-run variance is negligible). The row records homes/sec,

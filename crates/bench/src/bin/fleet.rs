@@ -10,7 +10,8 @@
 //! digest is byte-identical for any worker count or chunk size.
 //!
 //! ```text
-//! cargo run -p threegol-bench --release --bin fleet [homes] [workers] [chunk] [--cells N]
+//! cargo run -p threegol-bench --release --bin fleet \
+//!     [homes] [workers] [chunk] [--cells N] [--scenario week|DAYS] [--seed S]
 //! ```
 //!
 //! With `--cells N` the homes share `N` 3G cells through the
@@ -19,12 +20,22 @@
 //! pass's per-phone capacity shares, until the shares settle. The
 //! printed digest is the converged pass's — still byte-identical
 //! across worker counts and chunk sizes.
+//!
+//! With `--scenario week` (or `--scenario DAYS` for 1..=35 days) each
+//! home runs the trace-driven multi-day scenario engine instead of the
+//! fixed paper script: diurnal VoD/upload schedules, device churn, and
+//! the live §6 allowance loop debiting daily 3GOLa(t) grants. The
+//! digest grows per-day/per-hour onload rows and overrun counters, and
+//! stays byte-identical across worker counts, chunk sizes, and runtime
+//! modes. `--seed S` reseeds the whole street.
 
 use threegol_bench::fleet::{
-    peak_rss_bytes, run_cell_fleet, run_fleet, take_home_cost, CellFleetConfig, DEFAULT_CHUNK,
-    MAX_CELLS,
+    peak_rss_bytes, run_cell_fleet, run_fleet, run_scenario_fleet, take_home_cost, CellFleetConfig,
+    DEFAULT_CHUNK, MAX_CELLS,
 };
 use threegol_bench::{resolve_workers, Pool};
+use threegol_proxy::MAX_SCENARIO_DAYS;
+use threegol_traces::DEFAULT_SCENARIO_SEED;
 
 fn parse_positive(raw: &str, what: &str) -> usize {
     match raw.parse::<usize>() {
@@ -39,6 +50,8 @@ fn parse_positive(raw: &str, what: &str) -> usize {
 fn main() {
     let mut positional = Vec::new();
     let mut cells: Option<u32> = None;
+    let mut scenario_days: Option<u16> = None;
+    let mut seed = DEFAULT_SCENARIO_SEED;
     let mut args = std::env::args().skip(1);
     while let Some(raw) = args.next() {
         if raw == "--cells" {
@@ -52,9 +65,34 @@ fn main() {
                 std::process::exit(2);
             }
             cells = Some(n as u32);
+        } else if raw == "--scenario" {
+            let value = args.next().unwrap_or_else(|| {
+                eprintln!("--scenario needs a value: week, or a day count 1..={MAX_SCENARIO_DAYS}");
+                std::process::exit(2);
+            });
+            let days =
+                if value == "week" { 7 } else { parse_positive(&value, "scenario day count") };
+            if days > MAX_SCENARIO_DAYS {
+                eprintln!("invalid scenario length {days}: at most {MAX_SCENARIO_DAYS} days");
+                std::process::exit(2);
+            }
+            scenario_days = Some(days as u16);
+        } else if raw == "--seed" {
+            let value = args.next().unwrap_or_else(|| {
+                eprintln!("--seed needs a value");
+                std::process::exit(2);
+            });
+            seed = value.parse::<u64>().unwrap_or_else(|_| {
+                eprintln!("invalid seed {value:?}: expected a u64");
+                std::process::exit(2);
+            });
         } else {
             positional.push(raw);
         }
+    }
+    if scenario_days.is_some() && cells.is_some() {
+        eprintln!("--scenario and --cells are separate modes; pick one");
+        std::process::exit(2);
     }
     let mut positional = positional.into_iter();
     let homes = positional.next().map_or(100, |raw| parse_positive(&raw, "home count"));
@@ -63,13 +101,14 @@ fn main() {
     let workers = resolve_workers(workers_arg).min(homes);
 
     let start = std::time::Instant::now();
-    let (digest, cell_run) = Pool::with(workers, |pool| match cells {
-        Some(cells) => {
+    let (digest, cell_run) = Pool::with(workers, |pool| match (cells, scenario_days) {
+        (Some(cells), _) => {
             let config = CellFleetConfig { cells, ..CellFleetConfig::default() };
             let run = run_cell_fleet(homes, chunk, pool, &config);
             (run.digest, Some(run))
         }
-        None => (run_fleet(homes, chunk, pool), None),
+        (None, Some(days)) => (run_scenario_fleet(homes, days, seed, chunk, pool), None),
+        (None, None) => (run_fleet(homes, chunk, pool), None),
     });
     let wall = start.elapsed().as_secs_f64();
 

@@ -14,9 +14,15 @@
 //! order — so the output is byte-identical for any worker count.
 
 use threegol_bench::fleet::{
-    run_cell_fleet, run_fleet, CellFleetConfig, CellFleetRun, FleetDigest, DEFAULT_CHUNK,
+    run_cell_fleet, run_fleet, run_scenario_fleet, scenario_spec, CellFleetConfig, CellFleetRun,
+    FleetDigest, DEFAULT_CHUNK,
 };
 use threegol_bench::{registry, resolve_workers, DynExperiment, Pool, Report, Scale};
+use threegol_caps::{evaluate_estimator, AllowanceEstimator};
+use threegol_traces::{device_free_history, ScenarioConfig, DEFAULT_SCENARIO_SEED};
+
+/// Days the live traced-scenario fleet simulates in this report.
+const SCENARIO_DAYS: u16 = 7;
 
 /// Homes in the live fleet run at full scale. Small enough to add only
 /// seconds to the report, large enough that every ADSL tier × device
@@ -164,6 +170,98 @@ fn cells_section(run: &CellFleetRun) -> (String, bool) {
     (out, converged_ok && shape_ok && shed_ok)
 }
 
+/// Render the §6-live section: the traced multi-day fleet with the
+/// allowance loop closed, cross-checked against the offline
+/// `threegol-caps` backtest on the *same* generated free-capacity
+/// histories. Returns the Markdown and whether the checks passed.
+fn scenario_section(digest: &FleetDigest, homes: usize) -> (String, bool) {
+    let s = &digest.scenario;
+    let config = ScenarioConfig::paper(DEFAULT_SCENARIO_SEED);
+    let months = config.history_months + SCENARIO_DAYS as usize / 30 + 1;
+    let est = AllowanceEstimator::paper();
+    // The exact histories the live loop drew (prefix-stable per device),
+    // and the exact grants it must therefore have handed out: a 7-day
+    // run crosses no month boundary, so every device's daily grant is
+    // its seeded-window monthly allowance over 30 for all 7 days.
+    let mut histories: Vec<Vec<f64>> = Vec::new();
+    let mut expected_granted = 0.0f64;
+    for home in 0..homes as u32 {
+        let devices = scenario_spec(home, SCENARIO_DAYS, DEFAULT_SCENARIO_SEED).devices as usize;
+        for device in 0..devices {
+            let h = device_free_history(&config, home, device, months);
+            expected_granted +=
+                est.monthly_allowance(&h[..config.history_months]) / 30.0 * SCENARIO_DAYS as f64;
+            histories.push(h);
+        }
+    }
+    let offline = evaluate_estimator(&est, &histories);
+    let granted = s.granted_bytes();
+    let grants_ok = (granted - expected_granted).abs() <= expected_granted.max(1.0) * 1e-6;
+    // A handful of homes cannot pin down population fractions; the
+    // band checks need the full-scale street (200 homes).
+    let bands_applicable = homes >= 50;
+    let captured = s.captured_fraction();
+    let captured_ok = !bands_applicable || (0.30..0.85).contains(&captured);
+    let overrun = s.overrun_rate();
+    let overrun_ok = overrun < 0.5 && (overrun > 0.0 || !bands_applicable);
+    let backtest_ok = offline.mean_overrun_days < 1.0;
+    let mut out = String::new();
+    out.push_str("## scenario — §6 live: a simulated week with the allowance loop closed\n\n");
+    out.push_str(&format!(
+        "The paper evaluates `3GOLa(t) = F̄u(t) − α·σ̄u(t)` *offline*, replaying \
+         MNO billing records (est06 above). The reproduction also closes the \
+         loop live: each of the {homes} streamed households runs a trace-driven \
+         {SCENARIO_DAYS}-day scenario under virtual time — diurnal VoD/upload \
+         schedules, phones leaving and rejoining the home Wi-Fi mid-day — and \
+         each phone's daily grant is its own monthly 3GOLa(t) over 30, debited \
+         as bytes flow. A phone that exhausts its grant stops announcing and \
+         drops out of path discovery until the next simulated day; month \
+         boundaries refit the estimator on the lived window. The per-day and \
+         per-hour onload rows below fold exactly-associatively, so this digest \
+         too is byte-identical for any worker count, chunk size, or runtime \
+         mode.\n\n"
+    ));
+    out.push_str(&format!("```text\n{}digest {:016x}\n```\n", digest.render(), digest.digest()));
+    out.push_str(&format!(
+        "\nOffline backtest on the *same* generated histories ({} devices, \
+         {months} months each, prefix-stable so both readers see identical \
+         numbers): τ = 5, α = 4 uses {:.0}% of free capacity with {:.2} \
+         overrun days/month ({:.1}% of months).\n",
+        histories.len(),
+        offline.free_capacity_used * 100.0,
+        offline.mean_overrun_days,
+        offline.overrun_month_fraction * 100.0,
+    ));
+    out.push_str("\n| check | paper | measured | |\n|---|---|---|---|\n");
+    out.push_str(&format!(
+        "| live grants == offline estimator | §6: allowance computed from billing history | \
+         {:.1} vs {:.1} MB granted | {} |\n",
+        granted / 1e6,
+        expected_granted / 1e6,
+        if grants_ok { "✅" } else { "⚠️" }
+    ));
+    out.push_str(&format!(
+        "| live captured fraction | §6: a conservative guard leaves headroom (~65% usable) | \
+         {:.0}% of granted allowance consumed | {} |\n",
+        captured * 100.0,
+        if captured_ok { "✅" } else { "⚠️" }
+    ));
+    out.push_str(&format!(
+        "| live daily overruns | §6: overruns happen but stay the minority | \
+         {:.1}% of device-days | {} |\n",
+        overrun * 100.0,
+        if overrun_ok { "✅" } else { "⚠️" }
+    ));
+    out.push_str(&format!(
+        "| offline backtest | §6: expected overrun under 1 day per month | \
+         {:.2} days/month | {} |\n",
+        offline.mean_overrun_days,
+        if backtest_ok { "✅" } else { "⚠️" }
+    ));
+    out.push('\n');
+    (out, grants_ok && captured_ok && overrun_ok && backtest_ok)
+}
+
 fn main() {
     let scale = match std::env::args().nth(1) {
         None => Scale::FULL,
@@ -198,7 +296,7 @@ fn main() {
     // parallelism is the pool's worker count, not 22 + workers.
     let mut slots: Vec<Option<Report>> = (0..experiments.len()).map(|_| None).collect();
     let fleet_homes = ((FLEET_HOMES_FULL * scale.get()).round() as usize).max(1);
-    let (fleet_digest, cell_run) = Pool::with(workers, |pool| {
+    let (fleet_digest, cell_run, scenario_digest) = Pool::with(workers, |pool| {
         std::thread::scope(|scope| {
             for (experiment, slot) in experiments.iter().zip(slots.iter_mut()) {
                 scope.spawn(move || {
@@ -211,7 +309,15 @@ fn main() {
         let digest = run_fleet(fleet_homes, DEFAULT_CHUNK, pool);
         eprintln!("running cell-coupled fleet ({fleet_homes} homes, fixed point) …");
         let cells = run_cell_fleet(fleet_homes, DEFAULT_CHUNK, pool, &CellFleetConfig::default());
-        (digest, cells)
+        eprintln!("running traced-scenario fleet ({fleet_homes} homes, {SCENARIO_DAYS} days) …");
+        let scenario = run_scenario_fleet(
+            fleet_homes,
+            SCENARIO_DAYS,
+            DEFAULT_SCENARIO_SEED,
+            DEFAULT_CHUNK,
+            pool,
+        );
+        (digest, cells, scenario)
     });
     let reports: Vec<Report> =
         slots.into_iter().map(|r| r.expect("every experiment ran")).collect();
@@ -240,12 +346,19 @@ fn main() {
     eprint!("{}", cell_run.render());
     print!("{cells_md}");
     all_ok &= cells_ok;
+    let (scenario_md, scenario_ok) = scenario_section(&scenario_digest, fleet_homes);
+    eprint!("{}", scenario_digest.render());
+    print!("{scenario_md}");
+    all_ok &= scenario_ok;
     let mut failed: Vec<&str> = reports.iter().filter(|r| !r.all_ok()).map(|r| r.id).collect();
     if !fleet_ok {
         failed.push("fleet");
     }
     if !cells_ok {
         failed.push("fig11-cells");
+    }
+    if !scenario_ok {
+        failed.push("scenario-live");
     }
     if !all_ok {
         eprintln!("checks failed in: {failed:?}");

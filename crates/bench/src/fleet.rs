@@ -27,7 +27,10 @@ use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::OnceLock;
 
-use threegol_proxy::{CellProfile, Home, HomeReport, HomeSpec, Tier, NO_CELL};
+use threegol_proxy::{
+    CellProfile, Home, HomeReport, HomeSpec, Scenario, Tier, MAX_SCENARIO_DAYS, NO_CELL,
+    SCENARIO_FP_SCALE,
+};
 use threegol_radio::{CellLoad, CellMap};
 use tokio::runtime::Runtime;
 
@@ -40,6 +43,14 @@ use crate::exec::{fold, map, Pool};
 /// of the index.
 pub fn home_spec(index: u32) -> HomeSpec {
     HomeSpec::tier(Tier::of_index(index)).index(index).devices(1 + (index % 3) as usize)
+}
+
+/// The spec for home `index` of a traced-scenario fleet: the same
+/// heterogeneous street as [`home_spec`], driven by the multi-day
+/// scenario engine from local midnight (`hour(0)`, so every simulated
+/// day is complete) instead of the fixed paper script.
+pub fn scenario_spec(index: u32, days: u16, seed: u64) -> HomeSpec {
+    home_spec(index).hour(0).scenario(Scenario::Traced { days, seed })
 }
 
 /// Default homes per streamed unit: big enough that pool bookkeeping
@@ -215,6 +226,7 @@ impl MetricDigest {
 ///     vod_device_bytes: 1e5,
 ///     upload_device_bytes: 2e5,
 ///     upload_wasted_bytes: 1e4,
+///     ..HomeReport::empty(index)
 /// };
 ///
 /// // Sequential fold of four homes...
@@ -263,6 +275,10 @@ pub struct FleetDigest {
     /// Per-cell onloaded-byte accumulators for cell-coupled fleets
     /// (all zeros when every home runs isolated 3G).
     pub cells: CellDigest,
+    /// Per-day / per-hour onload and allowance-overrun accumulators
+    /// for traced-scenario fleets (all zeros when every home runs the
+    /// paper-default script).
+    pub scenario: ScenarioDigest,
     /// Exact totals, fixed-point.
     vod_bytes_fp: i128,
     upload_bytes_fp: i128,
@@ -301,6 +317,22 @@ fn fnv_report(r: &HomeReport) -> u64 {
         r.upload_wasted_bytes,
     ] {
         eat(&v.to_bits().to_le_bytes());
+    }
+    // Scenario fields are hashed only for traced runs: a paper-default
+    // report (`days == 0`, every field below zero) keeps the exact byte
+    // stream of the pre-scenario digest, so recorded baselines — the
+    // million-home run included — stay bit-for-bit reproducible.
+    if r.days > 0 {
+        eat(&r.days.to_le_bytes());
+        eat(&r.sessions.to_le_bytes());
+        eat(&r.adsl_only_sessions.to_le_bytes());
+        eat(&r.overrun_device_days.to_le_bytes());
+        eat(&r.device_days.to_le_bytes());
+        eat(&r.granted_allowance_fp.to_le_bytes());
+        eat(&r.used_allowance_fp.to_le_bytes());
+        for v in r.day_dl_fp.iter().chain(&r.day_ul_fp).chain(&r.hour_dl_fp).chain(&r.hour_ul_fp) {
+            eat(&v.to_le_bytes());
+        }
     }
     h
 }
@@ -410,6 +442,153 @@ impl CellDigest {
     }
 }
 
+/// Exactly-mergeable accumulators for traced-scenario fleets
+/// (DESIGN.md §14): per-day and per-hour onloaded bytes in `i64`
+/// fixed-point (the reports already carry them at
+/// [`SCENARIO_FP_SCALE`]), session counters, and the live allowance
+/// loop's overrun/grant tallies. All integers, so `merge` is
+/// element-wise addition — associative to the last bit, keeping the
+/// four-invariant determinism contract for scenario fleets.
+///
+/// Paper-default reports (`days == 0`) are not accumulated, so a mixed
+/// or classic fleet leaves this digest at the identity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioDigest {
+    /// Traced homes folded in.
+    pub homes: u64,
+    /// Total simulated device-days.
+    pub device_days: u64,
+    /// Device-days that exhausted a positive granted allowance.
+    pub overrun_device_days: u64,
+    /// VoD + upload sessions executed.
+    pub sessions: u64,
+    /// Sessions that ran ADSL-only (no admissible 3G path).
+    pub adsl_only_sessions: u64,
+    /// Daily allowance granted across device-days, fixed-point bytes.
+    granted_fp: i64,
+    /// Allowance consumed (`min(used, granted)` per device-day),
+    /// fixed-point bytes.
+    used_fp: i64,
+    /// Downlink onload per scenario day, fixed-point bytes.
+    day_dl_fp: [i64; MAX_SCENARIO_DAYS],
+    /// Uplink onload per scenario day, fixed-point bytes.
+    day_ul_fp: [i64; MAX_SCENARIO_DAYS],
+    /// Downlink onload per hour of day, fixed-point bytes.
+    hour_dl_fp: [i64; 24],
+    /// Uplink onload per hour of day, fixed-point bytes.
+    hour_ul_fp: [i64; 24],
+}
+
+impl ScenarioDigest {
+    /// The identity digest: no traced homes, no bytes.
+    pub fn empty() -> ScenarioDigest {
+        ScenarioDigest {
+            homes: 0,
+            device_days: 0,
+            overrun_device_days: 0,
+            sessions: 0,
+            adsl_only_sessions: 0,
+            granted_fp: 0,
+            used_fp: 0,
+            day_dl_fp: [0; MAX_SCENARIO_DAYS],
+            day_ul_fp: [0; MAX_SCENARIO_DAYS],
+            hour_dl_fp: [0; 24],
+            hour_ul_fp: [0; 24],
+        }
+    }
+
+    /// Fold one home's scenario block in. No-op for paper-default
+    /// reports.
+    pub fn observe(&mut self, report: &HomeReport) {
+        if report.days == 0 {
+            return;
+        }
+        self.homes += 1;
+        self.device_days += report.device_days as u64;
+        self.overrun_device_days += report.overrun_device_days as u64;
+        self.sessions += report.sessions as u64;
+        self.adsl_only_sessions += report.adsl_only_sessions as u64;
+        self.granted_fp += report.granted_allowance_fp;
+        self.used_fp += report.used_allowance_fp;
+        for (mine, theirs) in self.day_dl_fp.iter_mut().zip(report.day_dl_fp.iter()) {
+            *mine += *theirs;
+        }
+        for (mine, theirs) in self.day_ul_fp.iter_mut().zip(report.day_ul_fp.iter()) {
+            *mine += *theirs;
+        }
+        for (mine, theirs) in self.hour_dl_fp.iter_mut().zip(report.hour_dl_fp.iter()) {
+            *mine += *theirs;
+        }
+        for (mine, theirs) in self.hour_ul_fp.iter_mut().zip(report.hour_ul_fp.iter()) {
+            *mine += *theirs;
+        }
+    }
+
+    /// Fold another digest in: element-wise integer adds, exact and
+    /// associative.
+    pub fn merge(&mut self, other: &ScenarioDigest) {
+        self.homes += other.homes;
+        self.device_days += other.device_days;
+        self.overrun_device_days += other.overrun_device_days;
+        self.sessions += other.sessions;
+        self.adsl_only_sessions += other.adsl_only_sessions;
+        self.granted_fp += other.granted_fp;
+        self.used_fp += other.used_fp;
+        for (mine, theirs) in self.day_dl_fp.iter_mut().zip(other.day_dl_fp.iter()) {
+            *mine += *theirs;
+        }
+        for (mine, theirs) in self.day_ul_fp.iter_mut().zip(other.day_ul_fp.iter()) {
+            *mine += *theirs;
+        }
+        for (mine, theirs) in self.hour_dl_fp.iter_mut().zip(other.hour_dl_fp.iter()) {
+            *mine += *theirs;
+        }
+        for (mine, theirs) in self.hour_ul_fp.iter_mut().zip(other.hour_ul_fp.iter()) {
+            *mine += *theirs;
+        }
+    }
+
+    /// Onloaded bytes on scenario day `day`, `(down, up)`.
+    pub fn bytes_on_day(&self, day: usize) -> (f64, f64) {
+        (
+            self.day_dl_fp[day] as f64 / SCENARIO_FP_SCALE,
+            self.day_ul_fp[day] as f64 / SCENARIO_FP_SCALE,
+        )
+    }
+
+    /// Onloaded bytes at hour of day `hour`, `(down, up)`.
+    pub fn bytes_at_hour(&self, hour: usize) -> (f64, f64) {
+        (
+            self.hour_dl_fp[hour % 24] as f64 / SCENARIO_FP_SCALE,
+            self.hour_ul_fp[hour % 24] as f64 / SCENARIO_FP_SCALE,
+        )
+    }
+
+    /// Fraction of device-days with a positive allowance fully
+    /// exhausted — the live overrun rate the §6 estimator design
+    /// targets at "under one day per month" (≈ 0.033).
+    pub fn overrun_rate(&self) -> f64 {
+        if self.device_days == 0 {
+            return 0.0;
+        }
+        self.overrun_device_days as f64 / self.device_days as f64
+    }
+
+    /// Fraction of the granted allowance the workload actually
+    /// consumed (`Σ min(used, granted) / Σ granted`).
+    pub fn captured_fraction(&self) -> f64 {
+        if self.granted_fp == 0 {
+            return 0.0;
+        }
+        self.used_fp as f64 / self.granted_fp as f64
+    }
+
+    /// Total allowance granted across device-days, bytes.
+    pub fn granted_bytes(&self) -> f64 {
+        self.granted_fp as f64 / SCENARIO_FP_SCALE
+    }
+}
+
 impl FleetDigest {
     /// The identity digest: zero homes. Merging it in either direction
     /// is a no-op.
@@ -422,6 +601,7 @@ impl FleetDigest {
             upload_secs: MetricDigest::empty(),
             net_events: 0,
             cells: CellDigest::empty(),
+            scenario: ScenarioDigest::empty(),
             vod_bytes_fp: 0,
             upload_bytes_fp: 0,
             device_bytes_fp: 0,
@@ -439,6 +619,7 @@ impl FleetDigest {
         self.vod_secs.observe(report.vod_secs);
         self.upload_secs.observe(report.upload_secs);
         self.cells.observe(report);
+        self.scenario.observe(report);
         self.vod_bytes_fp += to_fp(report.vod_bytes);
         self.upload_bytes_fp += to_fp(report.upload_bytes);
         self.device_bytes_fp += to_fp(report.vod_device_bytes + report.upload_device_bytes);
@@ -463,6 +644,7 @@ impl FleetDigest {
         self.upload_secs.merge(&other.upload_secs);
         self.net_events += other.net_events;
         self.cells.merge(&other.cells);
+        self.scenario.merge(&other.scenario);
         self.vod_bytes_fp += other.vod_bytes_fp;
         self.upload_bytes_fp += other.upload_bytes_fp;
         self.device_bytes_fp += other.device_bytes_fp;
@@ -520,6 +702,33 @@ impl FleetDigest {
             self.wasted_bytes() / 1e6,
             self.net_events
         ));
+        if self.scenario.device_days > 0 {
+            let s = &self.scenario;
+            out.push_str(&format!(
+                "scenario: {} sessions over {} device-days ({} ADSL-only), \
+                 overrun {}/{} device-days ({:.1}%), allowance captured {:.0}%\n",
+                s.sessions,
+                s.device_days,
+                s.adsl_only_sessions,
+                s.overrun_device_days,
+                s.device_days,
+                s.overrun_rate() * 100.0,
+                s.captured_fraction() * 100.0,
+            ));
+            let peak_hour = (0..24)
+                .max_by(|&a, &b| {
+                    let (da, ua) = s.bytes_at_hour(a);
+                    let (db, ub) = s.bytes_at_hour(b);
+                    (da + ua).total_cmp(&(db + ub))
+                })
+                .unwrap_or(0);
+            let (pd, pu) = s.bytes_at_hour(peak_hour);
+            out.push_str(&format!(
+                "scenario onload peaks {:.2} MB at {peak_hour:02}:00 (of {:.2} MB granted)\n",
+                (pd + pu) / 1e6,
+                s.granted_bytes() / 1e6,
+            ));
+        }
         out
     }
 }
@@ -680,6 +889,21 @@ fn run_home_into(digest: &mut FleetDigest, spec: &HomeSpec, mode: RuntimeMode) {
 /// every failure is a bug, never weather.
 pub fn run_fleet(homes: usize, chunk: usize, pool: &Pool) -> FleetDigest {
     run_fleet_with(homes, chunk, pool, home_spec)
+}
+
+/// Run a traced-scenario fleet: [`run_fleet`]'s street of homes, each
+/// driven by the multi-day scenario engine for `days` simulated days
+/// at `seed` (see [`scenario_spec`]). Same streaming, same determinism
+/// contract — the digest, scenario accumulators included, is
+/// byte-identical for any worker count, chunk size, and runtime mode.
+pub fn run_scenario_fleet(
+    homes: usize,
+    days: u16,
+    seed: u64,
+    chunk: usize,
+    pool: &Pool,
+) -> FleetDigest {
+    run_fleet_with(homes, chunk, pool, move |index| scenario_spec(index, days, seed))
 }
 
 /// [`run_fleet`] with a caller-supplied spec function: home `index`
@@ -966,8 +1190,7 @@ mod tests {
         // Deterministic, heterogeneous, and full of awkward float
         // values so order-dependence would show.
         let x = (index as f64 * 0.7370915).sin().abs() + 0.01;
-        HomeReport {
-            index,
+        let mut r = HomeReport {
             cell: if index.is_multiple_of(5) { threegol_proxy::NO_CELL } else { index % 5 },
             hour: (index % 24) as u8,
             vod_bytes: 5e5 + index as f64,
@@ -979,7 +1202,25 @@ mod tests {
             vod_device_bytes: 2e5 * x,
             upload_device_bytes: 1e5 * x,
             upload_wasted_bytes: 1e4 * x,
+            ..HomeReport::empty(index)
+        };
+        // A third of the synthetic street ran traced scenarios, so the
+        // chunking/associativity sweeps below cover the scenario
+        // accumulators too.
+        if !index.is_multiple_of(3) {
+            r.days = 1 + (index % 7) as u16;
+            r.sessions = 2 + index % 9;
+            r.adsl_only_sessions = index % 3;
+            r.overrun_device_days = index % 4;
+            r.device_days = r.days as u32 * 2;
+            r.granted_allowance_fp = (index as i64 + 7) * 1_000_003;
+            r.used_allowance_fp = index as i64 * 999_983;
+            r.day_dl_fp[(index % 7) as usize] = index as i64 * 11;
+            r.day_ul_fp[(index % 5) as usize] = index as i64 * 13;
+            r.hour_dl_fp[(index % 24) as usize] = index as i64 * 17;
+            r.hour_ul_fp[(index % 23) as usize] = index as i64 * 19;
         }
+        r
     }
 
     /// Digest the chunked-by-`c` sequence `[0, n)`, merging chunk
@@ -1066,6 +1307,78 @@ mod tests {
         let mut d = FleetDigest::empty();
         d.observe(&rehoured);
         assert_ne!(a.digest(), d.digest());
+    }
+
+    #[test]
+    fn scenario_digest_accumulates_and_gates_on_days() {
+        let mut digest = FleetDigest::empty();
+        for i in 0..200u32 {
+            digest.observe(&synthetic_report(i));
+        }
+        // Totals match a direct sum over the traced reports.
+        let mut device_days = 0u64;
+        let mut overruns = 0u64;
+        let mut granted = 0i64;
+        let mut day3_dl = 0i64;
+        for i in 0..200u32 {
+            let r = synthetic_report(i);
+            device_days += u64::from(r.device_days);
+            overruns += u64::from(r.overrun_device_days);
+            granted += r.granted_allowance_fp;
+            day3_dl += r.day_dl_fp[3];
+        }
+        assert_eq!(digest.scenario.device_days, device_days);
+        assert_eq!(digest.scenario.overrun_device_days, overruns);
+        assert!(
+            (digest.scenario.granted_bytes() - granted as f64 / SCENARIO_FP_SCALE).abs() < 1e-9
+        );
+        assert!(
+            (digest.scenario.bytes_on_day(3).0 - day3_dl as f64 / SCENARIO_FP_SCALE).abs() < 1e-9
+        );
+        let rate = digest.scenario.overrun_rate();
+        assert!((0.0..=1.0).contains(&rate));
+        assert!((rate - overruns as f64 / device_days as f64).abs() < 1e-12);
+        // The render names the scenario once device-days exist.
+        assert!(digest.render().contains("scenario:"));
+
+        // Every scenario field reaches the hash…
+        let traced = synthetic_report(4); // 4 % 3 != 0 → traced
+        assert!(traced.days > 0);
+        let base = {
+            let mut d = FleetDigest::empty();
+            d.observe(&traced);
+            d.digest()
+        };
+        for tweak in 0..4usize {
+            let mut t = traced;
+            match tweak {
+                0 => t.overrun_device_days += 1,
+                1 => t.granted_allowance_fp ^= 1,
+                2 => t.day_ul_fp[7] ^= 1,
+                _ => t.hour_dl_fp[21] ^= 1,
+            }
+            let mut d = FleetDigest::empty();
+            d.observe(&t);
+            assert_ne!(d.digest(), base, "scenario tweak {tweak} was invisible");
+        }
+
+        // …but only when days > 0: a paper-default report hashes and
+        // accumulates identically whatever its (unused) scenario fields
+        // hold, so pre-scenario recorded digests stay valid.
+        let paper = synthetic_report(3); // 3 % 3 == 0 → paper default
+        assert_eq!(paper.days, 0);
+        let mut junk = paper;
+        junk.sessions = 999;
+        junk.granted_allowance_fp = 123_456;
+        junk.hour_ul_fp[5] = 789;
+        let mut a = FleetDigest::empty();
+        a.observe(&paper);
+        let mut b = FleetDigest::empty();
+        b.observe(&junk);
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.scenario, b.scenario);
+        assert_eq!(a.scenario.device_days, 0);
+        assert!(!a.render().contains("scenario:"));
     }
 
     #[test]

@@ -5,10 +5,12 @@
 //! traffic never touches a kernel socket.
 
 use threegol_bench::fleet::{
-    collect_reports, home_spec, run_fleet, run_fleet_mode, FleetDigest, RuntimeMode, DEFAULT_CHUNK,
+    collect_reports, home_spec, run_fleet, run_fleet_mode, scenario_spec, FleetDigest, RuntimeMode,
+    DEFAULT_CHUNK,
 };
 use threegol_bench::Pool;
 use threegol_proxy::Home;
+use threegol_traces::DEFAULT_SCENARIO_SEED;
 
 /// Open kernel sockets of this process, per /proc. The virtual-net
 /// prototype must never add one.
@@ -70,6 +72,79 @@ fn two_hundred_home_fleet_is_deterministic_and_kernel_socket_free() {
     assert!(first.upload_gain.p50() > 1.5, "median upload gain {}", first.upload_gain.p50());
     assert!(first.vod_gain.p50() > 1.0, "median vod gain {}", first.vod_gain.p50());
     assert!(first.net_events > 200 * 10, "implausibly few net events: {}", first.net_events);
+
+    // The recorded pre-scenario baseline: adding the scenario engine
+    // (new `HomeReport` fields, `Scenario` on the spec) must leave the
+    // paper-default street's digest bit-for-bit where it was.
+    assert_eq!(
+        format!("{:016x}", first.digest()),
+        "8cf467045efaa947",
+        "paper-default 200-home digest drifted from the recorded baseline"
+    );
+}
+
+#[test]
+fn traced_scenario_fleet_is_deterministic_across_workers_chunks_and_modes() {
+    // The four-invariant contract extended to the scenario engine: a
+    // multi-day traced fleet — churn, quota withdrawal, live allowance
+    // refits and all — folds to one digest whatever the worker count,
+    // chunk size, or runtime mode. The default config churns (devices
+    // leave mid-day with p=0.35), so this is also the fleet-level churn
+    // determinism proof.
+    let (homes, days) = (24usize, 3u16);
+    let mut runs = Vec::new();
+    for (workers, chunk) in [(1, DEFAULT_CHUNK), (4, 23), (7, 23)] {
+        for mode in [RuntimeMode::Reuse, RuntimeMode::Fresh] {
+            let digest = Pool::with(workers, |pool| {
+                run_fleet_mode(
+                    homes,
+                    chunk,
+                    pool,
+                    move |i| scenario_spec(i, days, DEFAULT_SCENARIO_SEED),
+                    mode,
+                )
+            });
+            runs.push((workers, chunk, mode, digest));
+        }
+    }
+    let (_, _, _, reference) = &runs[0];
+    for (workers, chunk, mode, digest) in &runs[1..] {
+        assert_eq!(
+            digest, reference,
+            "{workers} worker(s) / chunk {chunk} / {mode:?} diverged on the traced fleet"
+        );
+    }
+
+    // The scenario accumulators are populated and self-consistent.
+    let s = &reference.scenario;
+    assert_eq!(reference.homes, homes as u64);
+    assert_eq!(s.homes, homes as u64);
+    assert!(s.sessions > 0, "no sessions over {days} days");
+    assert!(
+        s.device_days >= (homes * days as usize) as u64,
+        "every home has >= 1 device for {days} days: {} device-days",
+        s.device_days
+    );
+    assert!(s.overrun_device_days <= s.device_days);
+    let day_dl: f64 = (0..days as usize).map(|d| s.bytes_on_day(d).0).sum();
+    let hour_dl: f64 = (0..24).map(|h| s.bytes_at_hour(h).0).sum();
+    assert!((day_dl - hour_dl).abs() < 1.0, "day sum {day_dl} != hour sum {hour_dl}");
+    let day_ul: f64 = (0..days as usize).map(|d| s.bytes_on_day(d).1).sum();
+    assert!(day_dl > 0.0 && day_ul > 0.0, "traced street onloaded nothing");
+    assert!((0.0..=1.0).contains(&s.captured_fraction()));
+    assert!(reference.render().contains("scenario:"), "render omits the scenario lines");
+
+    // A different seed is a different street.
+    let reseeded = Pool::with(4, |pool| {
+        run_fleet_mode(
+            homes,
+            DEFAULT_CHUNK,
+            pool,
+            move |i| scenario_spec(i, days, DEFAULT_SCENARIO_SEED ^ 0xdead),
+            RuntimeMode::Reuse,
+        )
+    });
+    assert_ne!(reseeded.digest(), reference.digest(), "seed did not reach the scenario");
 }
 
 #[test]

@@ -186,6 +186,48 @@ pub fn evaluate_estimator<E: FreeCapacityEstimator + WindowTau>(
     }
 }
 
+/// The allowance estimator run *live*: one device's rolling
+/// free-capacity history plus the paper rule, advanced month by month
+/// as simulated time passes inside the scenario engine (DESIGN.md §14).
+/// The offline [`evaluate_estimator`] replays the same rule over
+/// recorded histories; `LiveAllowance` is the closed loop — each month
+/// boundary pushes the month's observed free capacity and the next
+/// month's daily allowance comes from the refit window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveAllowance {
+    estimator: AllowanceEstimator,
+    history: Vec<f64>,
+}
+
+impl LiveAllowance {
+    /// Start with an initial history (most recent month last).
+    pub fn new(estimator: AllowanceEstimator, initial_history: Vec<f64>) -> LiveAllowance {
+        LiveAllowance { estimator, history: initial_history }
+    }
+
+    /// The monthly allowance the current window supports.
+    pub fn monthly_allowance(&self) -> f64 {
+        self.estimator.monthly_allowance(&self.history)
+    }
+
+    /// The daily allowance (monthly spread over 30 days) — what the
+    /// scenario engine grants each device at every day boundary.
+    pub fn daily_allowance(&self) -> f64 {
+        self.estimator.daily_allowance(&self.history)
+    }
+
+    /// Close a month: record its observed free capacity; subsequent
+    /// allowances come from the slid window.
+    pub fn finish_month(&mut self, free_bytes: f64) {
+        self.history.push(free_bytes);
+    }
+
+    /// The accrued history (most recent month last).
+    pub fn history(&self) -> &[f64] {
+        &self.history
+    }
+}
+
 /// Exposes the history-window length an estimator warms up over.
 pub trait WindowTau {
     /// Months of history needed before the estimator is trusted.
@@ -279,6 +321,25 @@ mod tests {
         assert_eq!(ev.months, 1);
         assert!(ev.mean_overrun_days > 29.0);
         assert_eq!(ev.overrun_month_fraction, 1.0);
+    }
+
+    #[test]
+    fn live_allowance_slides_its_window() {
+        let mut live = LiveAllowance::new(AllowanceEstimator::new(2, 0.0), vec![100.0, 200.0]);
+        assert_eq!(live.monthly_allowance(), 150.0);
+        assert_eq!(live.daily_allowance(), 5.0);
+        live.finish_month(400.0);
+        // Window is the last 2 months: (200 + 400) / 2.
+        assert_eq!(live.monthly_allowance(), 300.0);
+        assert_eq!(live.history(), &[100.0, 200.0, 400.0]);
+        // The live loop matches the offline replay at every step.
+        let est = AllowanceEstimator::paper();
+        let series: Vec<f64> = (0..10).map(|m| (300.0 + 17.0 * (m % 4) as f64) * MB).collect();
+        let mut live = LiveAllowance::new(est, series[..5].to_vec());
+        for t in 5..series.len() {
+            assert_eq!(live.monthly_allowance(), est.monthly_allowance(&series[..t]));
+            live.finish_month(series[t]);
+        }
     }
 
     #[test]

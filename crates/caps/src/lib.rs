@@ -22,6 +22,6 @@ pub mod quota;
 
 pub use allowance::{
     evaluate_estimator, AllowanceEstimator, EstimatorEvaluation, FreeCapacityEstimator,
-    QuantileEstimator, WindowTau,
+    LiveAllowance, QuantileEstimator, WindowTau,
 };
 pub use quota::{AdmissibleSet, MonthlyUsage, QuotaTracker};

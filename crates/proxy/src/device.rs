@@ -26,8 +26,11 @@ pub struct DeviceProxy {
     /// Device name (used in discovery).
     pub name: String,
     upstream: SocketAddr,
-    g3_down: RateLimit,
-    g3_up: RateLimit,
+    /// Current 3G (down, up) rates. Behind a lock so the scenario
+    /// engine can retune them as the simulated hour advances (cell
+    /// shares vary diurnally); each new upstream connection snapshots
+    /// the rates at connect time, like a phone renegotiating its bearer.
+    rates: Mutex<(RateLimit, RateLimit)>,
     quota: Mutex<QuotaTracker>,
 }
 
@@ -44,10 +47,14 @@ impl DeviceProxy {
         DeviceProxy {
             name: name.into(),
             upstream,
-            g3_down,
-            g3_up,
+            rates: Mutex::new((g3_down, g3_up)),
             quota: Mutex::new(QuotaTracker::new(allowance_bytes)),
         }
+    }
+
+    /// Retune the 3G bearer (applies to connections opened afterwards).
+    pub fn set_rates(&self, g3_down: RateLimit, g3_up: RateLimit) {
+        *self.rates.lock() = (g3_down, g3_up);
     }
 
     /// Remaining quota, bytes.
@@ -55,9 +62,22 @@ impl DeviceProxy {
         self.quota.lock().available_bytes()
     }
 
+    /// Bytes consumed against the current allowance (may exceed it:
+    /// an in-flight transfer completes even when it overruns).
+    pub fn used_bytes(&self) -> f64 {
+        self.quota.lock().used_bytes()
+    }
+
     /// Whether the device should currently advertise itself.
     pub fn should_advertise(&self) -> bool {
         self.quota.lock().should_advertise()
+    }
+
+    /// Day boundary: grant a fresh daily allowance and forget the old
+    /// day's usage. An exhausted device becomes advertisable again —
+    /// the §6 loop's "stops announcing until the next day".
+    pub fn roll_over(&self, allowance_bytes: f64) {
+        self.quota.lock().roll_over(allowance_bytes);
     }
 
     /// Listen on `lan_addr` (port 0 for ephemeral) and serve LAN
@@ -96,8 +116,8 @@ impl DeviceProxy {
         lan.set_nodelay(true).ok();
         let upstream_tcp = TcpStream::connect(self.upstream).await?;
         upstream_tcp.set_nodelay(true).ok();
-        let mut upstream =
-            HttpStream::new(ThrottledStream::new(upstream_tcp, self.g3_down, self.g3_up));
+        let (g3_down, g3_up) = *self.rates.lock();
+        let mut upstream = HttpStream::new(ThrottledStream::new(upstream_tcp, g3_down, g3_up));
         let mut lan = HttpStream::new(lan);
         while let Some((head, body)) = lan.read_request_head().await? {
             let up_bytes = match body {

@@ -102,6 +102,40 @@ impl HomeNet {
 /// valid cell.
 pub const NO_CELL: u32 = u32::MAX;
 
+/// Longest scenario a [`HomeReport`] can account per-day: five weeks,
+/// enough to cross one 30-day billing-month boundary with margin. The
+/// per-day accumulator arrays are this long so the report stays a
+/// fixed-size `Copy` record.
+pub const MAX_SCENARIO_DAYS: usize = 35;
+
+/// Fixed-point scale of the scenario byte accumulators in
+/// [`HomeReport`] (and the fleet digest that merges them): 2^10 units
+/// per byte, giving sub-byte precision with ~2^53 bytes of headroom in
+/// an `i64` slot — integer adds merge exactly associatively.
+pub const SCENARIO_FP_SCALE: f64 = 1024.0;
+
+/// How a home's workload is driven (DESIGN.md §14).
+///
+/// `PaperDefault` is the original fixed script — one VoD prebuffer
+/// racing one photo-upload batch at [`HomeSpec::hour`] — preserved
+/// operation-for-operation, so a fleet of `PaperDefault` homes
+/// reproduces the pre-scenario digest bit for bit. `Traced` drives the
+/// home from the per-home trace stream in `threegol-traces::scenario`
+/// over simulated days of virtual time, with device churn and the §6
+/// allowance loop run live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// The fixed single-shot script (the pre-scenario prototype).
+    PaperDefault,
+    /// Trace-driven multi-day scenario.
+    Traced {
+        /// Simulated days, `1..=MAX_SCENARIO_DAYS`.
+        days: u16,
+        /// Scenario seed (mixed with the home index per draw).
+        seed: u64,
+    },
+}
+
 /// An ADSL service tier: the four paper-flavoured line speeds a street
 /// of homes cycles through. The tier — together with the cell
 /// assignment and the index — is the single source of truth a
@@ -182,9 +216,12 @@ pub struct HomeSpec {
     /// Where the phones' 3G capacity comes from: private rates or a
     /// per-phone share of a shared cell (see [`G3Source`]).
     pub g3: G3Source,
-    /// Hour of day `[0, 24)` the workload runs at — samples the cell
-    /// share when `g3` is a [`CellProfile`], and buckets the home's
-    /// onloaded bytes in the fleet digest.
+    /// Hour of day `[0, 24)` the run *starts* at. The paper-default
+    /// script runs entirely at this hour (it samples the cell share
+    /// here and buckets the home's onloaded bytes in the fleet digest);
+    /// a [`Scenario::Traced`] run treats it as the start-of-run offset
+    /// and advances the hour from the virtual clock as simulated days
+    /// pass.
     pub hour: u8,
     /// The Wi-Fi medium, bits/s — one shared bucket every connection
     /// in the home crosses, both directions.
@@ -201,6 +238,9 @@ pub struct HomeSpec {
     pub photos: usize,
     /// Bytes per photo.
     pub photo_bytes: usize,
+    /// How the workload is driven: the fixed paper script or a traced
+    /// multi-day scenario.
+    pub scenario: Scenario,
 }
 
 impl HomeSpec {
@@ -225,6 +265,7 @@ impl HomeSpec {
             segment_secs: 2.0,
             photos: 3,
             photo_bytes: 100_000,
+            scenario: Scenario::PaperDefault,
         }
     }
 
@@ -258,11 +299,29 @@ impl HomeSpec {
         self
     }
 
-    /// Set the hour of day `[0, 24)` the workload runs at.
+    /// Set the hour of day `[0, 24)` the run starts at (the whole run
+    /// for the paper script; the day-0 offset for a traced scenario).
     pub fn hour(mut self, hour: u8) -> HomeSpec {
         assert!(hour < 24, "hour of day must be in [0, 24), got {hour}");
         self.hour = hour;
         self
+    }
+
+    /// Choose how the workload is driven.
+    pub fn scenario(mut self, scenario: Scenario) -> HomeSpec {
+        if let Scenario::Traced { days, .. } = scenario {
+            assert!(
+                (1..=MAX_SCENARIO_DAYS as u16).contains(&days),
+                "traced scenario must run 1..={MAX_SCENARIO_DAYS} days, got {days}"
+            );
+        }
+        self.scenario = scenario;
+        self
+    }
+
+    /// Shorthand for a [`Scenario::Traced`] run of `days` days.
+    pub fn traced(self, days: u16, seed: u64) -> HomeSpec {
+        self.scenario(Scenario::Traced { days, seed })
     }
 }
 
@@ -300,6 +359,69 @@ pub struct HomeReport {
     pub upload_device_bytes: f64,
     /// Upload bytes moved by aborted duplicates.
     pub upload_wasted_bytes: f64,
+    /// Simulated days a [`Scenario::Traced`] run covered; 0 for the
+    /// paper-default script (every field below is then zero too, and
+    /// the fleet digest skips them so paper-default digests are
+    /// byte-identical to the pre-scenario prototype's).
+    pub days: u16,
+    /// VoD + upload sessions the scenario executed.
+    pub sessions: u32,
+    /// Sessions that ran ADSL-only (no admissible 3G path at session
+    /// start: every phone away, exhausted, or the home has none).
+    pub adsl_only_sessions: u32,
+    /// Device-days that ended with a positive granted allowance fully
+    /// exhausted — the live-estimator overrun counter.
+    pub overrun_device_days: u32,
+    /// Device-days simulated (`devices × days`).
+    pub device_days: u32,
+    /// Daily allowance granted, summed over device-days, fixed-point
+    /// bytes at [`SCENARIO_FP_SCALE`].
+    pub granted_allowance_fp: i64,
+    /// Allowance actually consumed (`min(used, granted)` per
+    /// device-day), fixed-point bytes — captured-fraction numerator.
+    pub used_allowance_fp: i64,
+    /// Downlink onload (3G path bytes toward the home) per scenario
+    /// day, fixed-point bytes.
+    pub day_dl_fp: [i64; MAX_SCENARIO_DAYS],
+    /// Uplink onload per scenario day, fixed-point bytes.
+    pub day_ul_fp: [i64; MAX_SCENARIO_DAYS],
+    /// Downlink onload per hour of day (all days folded), fixed-point.
+    pub hour_dl_fp: [i64; 24],
+    /// Uplink onload per hour of day, fixed-point.
+    pub hour_ul_fp: [i64; 24],
+}
+
+impl HomeReport {
+    /// An all-zero report for home `index` (cell [`NO_CELL`]): the base
+    /// the paper script and the scenario engine both fill in, and a
+    /// convenient struct-update base for tests.
+    pub fn empty(index: u32) -> HomeReport {
+        HomeReport {
+            index,
+            cell: NO_CELL,
+            hour: 0,
+            vod_bytes: 0.0,
+            vod_secs: 0.0,
+            vod_gain: 0.0,
+            upload_bytes: 0.0,
+            upload_secs: 0.0,
+            upload_gain: 0.0,
+            vod_device_bytes: 0.0,
+            upload_device_bytes: 0.0,
+            upload_wasted_bytes: 0.0,
+            days: 0,
+            sessions: 0,
+            adsl_only_sessions: 0,
+            overrun_device_days: 0,
+            device_days: 0,
+            granted_allowance_fp: 0,
+            used_allowance_fp: 0,
+            day_dl_fp: [0; MAX_SCENARIO_DAYS],
+            day_ul_fp: [0; MAX_SCENARIO_DAYS],
+            hour_dl_fp: [0; 24],
+            hour_ul_fp: [0; 24],
+        }
+    }
 }
 
 /// One home, ready to run its workload. See [`Home::run`].
@@ -315,6 +437,14 @@ impl Home {
     /// in the same runtime (distinct [`HomeNet`] namespaces) or in
     /// separate runtimes on separate threads.
     pub async fn run(spec: &HomeSpec) -> Result<HomeReport, HttpError> {
+        match spec.scenario {
+            Scenario::PaperDefault => Home::run_paper(spec).await,
+            Scenario::Traced { days, seed } => crate::scenario::run_traced(spec, days, seed).await,
+        }
+    }
+
+    /// The original fixed script (see [`Scenario::PaperDefault`]).
+    async fn run_paper(spec: &HomeSpec) -> Result<HomeReport, HttpError> {
         let net = HomeNet::new((spec.index % (1 << 16)) as u16);
 
         // Origin, behind the home's view of the WAN.
@@ -409,7 +539,6 @@ impl Home {
         let vod_baseline = vod_bytes * 8.0 / spec.adsl_down_bps;
         let upload_baseline = upload_bytes * 8.0 / spec.adsl_up_bps;
         Ok(HomeReport {
-            index: spec.index,
             cell: spec.g3.cell().unwrap_or(NO_CELL),
             hour: spec.hour,
             vod_bytes,
@@ -421,6 +550,7 @@ impl Home {
             vod_device_bytes: hls.device_bytes(),
             upload_device_bytes: upload_report.bytes_per_path.iter().skip(1).sum(),
             upload_wasted_bytes: upload_report.wasted_bytes,
+            ..HomeReport::empty(spec.index)
         })
     }
 }
@@ -434,7 +564,7 @@ impl Home {
 /// instead of re-filling `photo_bytes` per photo per home (the upload
 /// path never mutates its payload — multipart encoding copies it into
 /// the request body).
-fn photo_body(i: usize, photo_bytes: usize) -> Bytes {
+pub(crate) fn photo_body(i: usize, photo_bytes: usize) -> Bytes {
     use std::collections::HashMap;
     use std::sync::{Mutex, OnceLock};
     static CACHE: OnceLock<Mutex<HashMap<(usize, usize), Bytes>>> = OnceLock::new();

@@ -39,8 +39,11 @@
 //!   multipath and served from cache, transparently;
 //! * [`home::Home`] — a household as a first-class unit: its own
 //!   address namespace ([`home::HomeNet`]), discovery domain, shared
-//!   ADSL/Wi-Fi media, and a concurrent VoD + photo-upload workload
-//!   reporting the per-home gain over ADSL alone.
+//!   ADSL/Wi-Fi media, and a workload reporting the per-home gain over
+//!   ADSL alone — either the fixed VoD + photo-upload script
+//!   ([`home::Scenario::PaperDefault`]) or a trace-driven multi-day
+//!   scenario with device churn and the live §6 allowance loop
+//!   ([`home::Scenario::Traced`], run by [`scenario`]).
 
 #![warn(missing_docs)]
 
@@ -51,6 +54,7 @@ pub mod discovery;
 pub mod hlsproxy;
 pub mod home;
 pub mod origin;
+pub mod scenario;
 pub mod throttle;
 
 pub use capacity::{CapacitySource, CellProfile, G3Source, Isolated};
@@ -58,6 +62,9 @@ pub use client::{PathTarget, ThreegolClient, TransferReport};
 pub use device::DeviceProxy;
 pub use discovery::{Advertisement, Discovery};
 pub use hlsproxy::HlsProxy;
-pub use home::{Home, HomeNet, HomeReport, HomeSpec, Tier, NO_CELL};
+pub use home::{
+    Home, HomeNet, HomeReport, HomeSpec, Scenario, Tier, MAX_SCENARIO_DAYS, NO_CELL,
+    SCENARIO_FP_SCALE,
+};
 pub use origin::OriginServer;
 pub use throttle::{RateLimit, SharedRateLimit, ThrottledStream};

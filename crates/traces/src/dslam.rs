@@ -74,38 +74,104 @@ pub struct DslamTrace {
     pub config: DslamTraceConfig,
 }
 
+/// Draw an hour of day from 24 normalized weights: one uniform draw,
+/// cumulative subtraction — the exact scheme [`DslamTrace::generate`]
+/// has always used, shared so the scenario generator's diurnal draws
+/// match the DSLAM trace's bit for bit.
+pub(crate) fn diurnal_hour(rng: &mut SimRng, weights: &[f64; 24]) -> usize {
+    let mut pick = rng.uniform();
+    let mut hour = 23usize;
+    for (h, w) in weights.iter().enumerate() {
+        if pick <= *w {
+            hour = h;
+            break;
+        }
+        pick -= *w;
+    }
+    hour
+}
+
+/// A lazily generated per-user request stream: the same draws, in the
+/// same order, as the user's slice of [`DslamTrace::generate`] —
+/// without materializing anyone else's requests. Seeded purely from
+/// `(config.seed, user)`, so a home can stream its own subscriber's
+/// day in O(own requests) while the fleet-wide batch stays a thin
+/// wrapper that concatenates and sorts these streams.
+#[derive(Debug, Clone)]
+pub struct UserStream {
+    rng: SimRng,
+    user: u32,
+    remaining: usize,
+    hour_weights: [f64; 24],
+    size_mean: f64,
+    size_sd: f64,
+}
+
+impl UserStream {
+    /// Start the request stream of one subscriber. A non-video user
+    /// (the `1 − video_user_fraction` complement) yields nothing.
+    pub fn new(config: &DslamTraceConfig, user: u32) -> UserStream {
+        let mut rng = SimRng::seed_from_u64(mix_seed(config.seed, user as u64));
+        // Daily video count: lognormal(ln median, sigma), rounded up
+        // so every video user has >= 1 video.
+        let remaining = if rng.chance(config.video_user_fraction) {
+            rng.lognormal(config.videos_median.ln(), config.videos_sigma).round().max(1.0) as usize
+        } else {
+            0
+        };
+        UserStream {
+            rng,
+            user,
+            remaining,
+            hour_weights: *wired_diurnal_load().normalized_sum().weights(),
+            size_mean: config.video_size_mean_bytes,
+            size_sd: config.video_size_sd_bytes,
+        }
+    }
+
+    /// The subscriber id this stream belongs to.
+    pub fn user(&self) -> u32 {
+        self.user
+    }
+}
+
+impl Iterator for UserStream {
+    type Item = VideoRequest;
+
+    fn next(&mut self) -> Option<VideoRequest> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        // Hour by the wired diurnal distribution, uniform within.
+        let hour = diurnal_hour(&mut self.rng, &self.hour_weights);
+        let time_secs = (hour as f64 + self.rng.uniform()) * 3600.0;
+        let size_bytes = self.rng.lognormal_mean_sd(self.size_mean, self.size_sd).max(100e3);
+        Some(VideoRequest { user_id: self.user, time_secs, size_bytes })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for UserStream {}
+
 impl DslamTrace {
-    /// Generate a trace.
+    /// Stream one subscriber's requests without materializing the
+    /// fleet-wide trace: `user_stream(&config, uid)` yields exactly the
+    /// requests `generate(config)` would attribute to `uid`, in draw
+    /// order (unsorted; `generate` sorts globally by time).
+    pub fn user_stream(config: &DslamTraceConfig, user: u32) -> UserStream {
+        UserStream::new(config, user)
+    }
+
+    /// Generate a trace — a thin wrapper concatenating every user's
+    /// [`UserStream`] and sorting by request time.
     pub fn generate(config: DslamTraceConfig) -> DslamTrace {
-        let hour_weights = wired_diurnal_load().normalized_sum();
         let mut requests = Vec::new();
         for uid in 0..config.n_users as u32 {
-            let mut rng = SimRng::seed_from_u64(mix_seed(config.seed, uid as u64));
-            if !rng.chance(config.video_user_fraction) {
-                continue;
-            }
-            // Daily video count: lognormal(ln median, sigma), rounded up
-            // so every video user has >= 1 video.
-            let count =
-                rng.lognormal(config.videos_median.ln(), config.videos_sigma).round().max(1.0)
-                    as usize;
-            for _ in 0..count {
-                // Hour by the wired diurnal distribution, uniform within.
-                let mut pick = rng.uniform();
-                let mut hour = 23usize;
-                for (h, w) in hour_weights.weights().iter().enumerate() {
-                    if pick <= *w {
-                        hour = h;
-                        break;
-                    }
-                    pick -= *w;
-                }
-                let time_secs = (hour as f64 + rng.uniform()) * 3600.0;
-                let size_bytes = rng
-                    .lognormal_mean_sd(config.video_size_mean_bytes, config.video_size_sd_bytes)
-                    .max(100e3);
-                requests.push(VideoRequest { user_id: uid, time_secs, size_bytes });
-            }
+            requests.extend(DslamTrace::user_stream(&config, uid));
         }
         requests.sort_by(|a, b| a.time_secs.total_cmp(&b.time_secs));
         DslamTrace { requests, config }
@@ -227,6 +293,45 @@ mod tests {
             assert!(reqs.iter().all(|r| r.user_id == *uid));
             assert!(reqs.windows(2).all(|w| w[0].time_secs <= w[1].time_secs));
         }
+    }
+
+    #[test]
+    fn user_stream_matches_generate_bitwise() {
+        let config = DslamTraceConfig { n_users: 512, ..DslamTraceConfig::default() };
+        let t = DslamTrace::generate(config.clone());
+        let grouped = t.by_user();
+        let mut streamed_users = 0usize;
+        let mut streamed_total = 0usize;
+        for uid in 0..config.n_users as u32 {
+            let mut reqs: Vec<VideoRequest> = DslamTrace::user_stream(&config, uid).collect();
+            if reqs.is_empty() {
+                continue;
+            }
+            streamed_users += 1;
+            streamed_total += reqs.len();
+            reqs.sort_by(|a, b| a.time_secs.total_cmp(&b.time_secs));
+            let (guid, greqs) =
+                grouped.iter().find(|(u, _)| *u == uid).expect("user present in batch trace");
+            assert_eq!(*guid, uid);
+            // Bitwise equality: the stream replays the exact draws of
+            // the batch generator, f64 bit patterns included.
+            assert_eq!(reqs.len(), greqs.len(), "user {uid}");
+            for (a, b) in reqs.iter().zip(greqs.iter()) {
+                assert_eq!(a.time_secs.to_bits(), b.time_secs.to_bits(), "user {uid}");
+                assert_eq!(a.size_bytes.to_bits(), b.size_bytes.to_bits(), "user {uid}");
+            }
+        }
+        assert_eq!(streamed_users, grouped.len());
+        assert_eq!(streamed_total, t.requests.len());
+    }
+
+    #[test]
+    fn user_stream_reports_exact_size() {
+        let config = DslamTraceConfig::default();
+        let s = DslamTrace::user_stream(&config, 7);
+        let n = s.len();
+        assert_eq!(s.count(), n);
+        assert_eq!(DslamTrace::user_stream(&config, 7).user(), 7);
     }
 
     #[test]

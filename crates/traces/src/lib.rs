@@ -19,7 +19,11 @@ pub mod analysis;
 pub mod diurnal;
 pub mod dslam;
 pub mod mno;
+pub mod scenario;
 
 pub use diurnal::{mobile_diurnal_load, wired_diurnal_load};
-pub use dslam::{DslamTrace, DslamTraceConfig, VideoRequest};
+pub use dslam::{DslamTrace, DslamTraceConfig, UserStream, VideoRequest};
 pub use mno::{MnoConfig, MnoTrace, UserBilling};
+pub use scenario::{
+    device_free_history, home_day, HomeEvent, ScenarioConfig, ScheduledEvent, DEFAULT_SCENARIO_SEED,
+};

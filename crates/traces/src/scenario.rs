@@ -1,0 +1,300 @@
+//! Per-home multi-day scenario streams — the trace layer of the
+//! scenario engine (ROADMAP "scenario engine" item, DESIGN.md §14).
+//!
+//! A scenario is a deterministic schedule of VoD sessions, photo-upload
+//! batches and device churn for ONE home over simulated days, generated
+//! lazily from `(seed, home, day)` — no fleet-wide trace is ever
+//! materialized, so a million-home fleet streams these at O(own events)
+//! per home exactly like [`crate::dslam::UserStream`] does for DSLAM
+//! subscribers. Session times follow the wired diurnal curve of Fig 1
+//! (the same hour-draw scheme as the DSLAM generator); churn windows
+//! model phones leaving the home Wi-Fi during the working day.
+//!
+//! [`device_free_history`] is the companion series for the live
+//! §6 allowance loop: the month-by-month free cellular capacity of one
+//! device, prefix-stable in length so the live estimator can extend the
+//! window at each simulated month boundary while the offline
+//! `threegol-caps` backtest replays the identical numbers.
+
+use threegol_simnet::dist::mix_seed;
+use threegol_simnet::SimRng;
+
+use crate::diurnal::wired_diurnal_load;
+use crate::dslam::diurnal_hour;
+
+/// Default seed of the traced scenario (`fleet --scenario week`).
+pub const DEFAULT_SCENARIO_SEED: u64 = 0x3601;
+
+/// Knobs of the per-home scenario generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioConfig {
+    /// Fleet-level seed; every draw mixes it with home/day/device.
+    pub seed: u64,
+    /// Median daily VoD sessions per home (lognormal, like the DSLAM
+    /// per-user counts but at household granularity).
+    pub sessions_median: f64,
+    /// Lognormal sigma of the daily session count.
+    pub sessions_sigma: f64,
+    /// Hard cap on sessions per day (bounds the lognormal tail so one
+    /// pathological home cannot dominate a fleet chunk's wall clock).
+    pub max_daily_sessions: usize,
+    /// Chance a day has a photo-upload batch.
+    pub upload_chance: f64,
+    /// Max photos per upload batch (drawn uniformly in `1..=max`).
+    pub max_photos: usize,
+    /// Chance a given device spends a window of the day away from the
+    /// home Wi-Fi (churn: leave in the morning, rejoin hours later).
+    pub leave_chance: f64,
+    /// Months of free-capacity history the allowance estimator is
+    /// seeded with before day 0.
+    pub history_months: usize,
+    /// Mean monthly free cellular capacity per device, bytes.
+    pub free_mean_bytes: f64,
+    /// Relative spread of the per-device mean (device heterogeneity).
+    pub free_spread: f64,
+    /// Relative month-to-month wobble around a device's own mean.
+    pub free_wobble: f64,
+}
+
+impl ScenarioConfig {
+    /// The paper-flavored default: §6 magnitudes (τ-month histories,
+    /// tens of MB of monthly free capacity) scaled to the prototype's
+    /// session sizes so daily allowances and daily onload are the same
+    /// order — quota exhaustion happens, but not every day.
+    pub fn paper(seed: u64) -> ScenarioConfig {
+        ScenarioConfig {
+            seed,
+            sessions_median: 3.0,
+            sessions_sigma: 0.8,
+            max_daily_sessions: 10,
+            upload_chance: 0.7,
+            max_photos: 6,
+            leave_chance: 0.35,
+            history_months: 6,
+            free_mean_bytes: 45e6,
+            free_spread: 0.35,
+            free_wobble: 0.12,
+        }
+    }
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig::paper(DEFAULT_SCENARIO_SEED)
+    }
+}
+
+/// What happens at a scheduled point of a home's day.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HomeEvent {
+    /// A VoD viewing session (HLS prebuffer through the splitting proxy).
+    Vod,
+    /// A photo-upload batch of `photos` photos.
+    Upload {
+        /// Photos in the batch.
+        photos: usize,
+    },
+    /// Device `device` leaves the home Wi-Fi (withdraws its 3G path).
+    Leave {
+        /// Home-local device index.
+        device: usize,
+    },
+    /// Device `device` rejoins the home Wi-Fi.
+    Join {
+        /// Home-local device index.
+        device: usize,
+    },
+}
+
+/// An event with its time of day.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledEvent {
+    /// Seconds since the day's local midnight, in `[0, 86400)`.
+    pub time_secs: f64,
+    /// The event.
+    pub event: HomeEvent,
+}
+
+/// Generate one home's schedule for one day: VoD sessions and an
+/// optional upload batch on the wired diurnal curve, plus per-device
+/// leave/rejoin churn windows. Sorted by time (stably, so the draw
+/// order breaks ties deterministically). Pure in `(config, home,
+/// devices, day)`.
+pub fn home_day(
+    config: &ScenarioConfig,
+    home: u32,
+    devices: usize,
+    day: u32,
+) -> Vec<ScheduledEvent> {
+    let mut rng = SimRng::seed_from_u64(mix_seed(mix_seed(config.seed, home as u64), day as u64));
+    let weights = *wired_diurnal_load().normalized_sum().weights();
+    let mut events = Vec::new();
+    // VoD sessions: lognormal count (a home can have quiet days), each
+    // at a diurnal hour, uniform within the hour.
+    let sessions = (rng.lognormal(config.sessions_median.ln(), config.sessions_sigma).round()
+        as usize)
+        .min(config.max_daily_sessions);
+    for _ in 0..sessions {
+        let hour = diurnal_hour(&mut rng, &weights);
+        let time_secs = (hour as f64 + rng.uniform()) * 3600.0;
+        events.push(ScheduledEvent { time_secs, event: HomeEvent::Vod });
+    }
+    // At most one upload batch per day, also diurnally placed.
+    if rng.chance(config.upload_chance) {
+        let photos = 1 + rng.index(config.max_photos);
+        let hour = diurnal_hour(&mut rng, &weights);
+        let time_secs = (hour as f64 + rng.uniform()) * 3600.0;
+        events.push(ScheduledEvent { time_secs, event: HomeEvent::Upload { photos } });
+    }
+    // Churn: each device may spend a working-day window off the home
+    // Wi-Fi (leave 08:00–17:00, return 1–6 h later, capped before
+    // midnight so every day starts with the full device set).
+    for device in 0..devices {
+        if rng.chance(config.leave_chance) {
+            let leave_h = 8.0 + rng.uniform() * 9.0;
+            let span_h = 1.0 + rng.uniform() * 6.0;
+            let join_h = (leave_h + span_h).min(23.9);
+            events.push(ScheduledEvent {
+                time_secs: leave_h * 3600.0,
+                event: HomeEvent::Leave { device },
+            });
+            events.push(ScheduledEvent {
+                time_secs: join_h * 3600.0,
+                event: HomeEvent::Join { device },
+            });
+        }
+    }
+    events.sort_by(|a, b| a.time_secs.total_cmp(&b.time_secs));
+    events
+}
+
+/// Month-by-month free cellular capacity of one device, bytes: a
+/// per-device lognormal mean (device heterogeneity) with normal
+/// month-to-month wobble, clamped non-negative. Prefix-stable: asking
+/// for more months extends the same sequence, so the live allowance
+/// loop (which slides its τ-window across month boundaries) and the
+/// offline backtest read identical numbers.
+pub fn device_free_history(
+    config: &ScenarioConfig,
+    home: u32,
+    device: usize,
+    months: usize,
+) -> Vec<f64> {
+    // A distinct salt stream from `home_day`: device indices are small
+    // like day indices, so fold in a tag to keep the streams disjoint.
+    if config.free_mean_bytes <= 0.0 {
+        // A population with no free capacity at all (starvation tests):
+        // the lognormal fit is undefined, the answer is plainly zero.
+        return vec![0.0; months];
+    }
+    let mut rng = SimRng::seed_from_u64(mix_seed(
+        mix_seed(config.seed, 0xF9EE_CAB5 ^ home as u64),
+        device as u64,
+    ));
+    let mean =
+        rng.lognormal_mean_sd(config.free_mean_bytes, config.free_spread * config.free_mean_bytes);
+    (0..months).map(|_| (mean * (1.0 + rng.normal(0.0, config.free_wobble))).max(0.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn home_day_is_deterministic_and_sorted() {
+        let config = ScenarioConfig::default();
+        for home in [0u32, 7, 199] {
+            for day in 0..4u32 {
+                let a = home_day(&config, home, 3, day);
+                let b = home_day(&config, home, 3, day);
+                assert_eq!(a, b);
+                assert!(a.windows(2).all(|w| w[0].time_secs <= w[1].time_secs));
+                assert!(a.iter().all(|e| (0.0..86_400.0).contains(&e.time_secs)));
+            }
+        }
+    }
+
+    #[test]
+    fn days_and_homes_differ() {
+        let config = ScenarioConfig::default();
+        let a = home_day(&config, 3, 2, 0);
+        let b = home_day(&config, 3, 2, 1);
+        let c = home_day(&config, 4, 2, 0);
+        assert!(a != b || a != c, "distinct (home, day) should draw distinct schedules");
+    }
+
+    #[test]
+    fn churn_windows_pair_up_in_order() {
+        let config = ScenarioConfig { leave_chance: 1.0, ..ScenarioConfig::default() };
+        let events = home_day(&config, 11, 4, 2);
+        for device in 0..4 {
+            let leave = events
+                .iter()
+                .position(|e| e.event == HomeEvent::Leave { device })
+                .expect("leave scheduled");
+            let join = events
+                .iter()
+                .position(|e| e.event == HomeEvent::Join { device })
+                .expect("join scheduled");
+            assert!(leave < join, "device {device} rejoins after leaving");
+            assert!(events[join].time_secs < 86_400.0);
+        }
+    }
+
+    #[test]
+    fn sessions_follow_the_evening_peak() {
+        let config = ScenarioConfig::default();
+        let mut evening = 0usize;
+        let mut night = 0usize;
+        for home in 0..300u32 {
+            for day in 0..3u32 {
+                for e in home_day(&config, home, 2, day) {
+                    if matches!(e.event, HomeEvent::Vod | HomeEvent::Upload { .. }) {
+                        let h = e.time_secs / 3600.0;
+                        if (19.0..23.0).contains(&h) {
+                            evening += 1;
+                        } else if (2.0..6.0).contains(&h) {
+                            night += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(evening > night * 3, "evening {evening} night {night}");
+    }
+
+    #[test]
+    fn free_history_is_prefix_stable_and_nonnegative() {
+        let config = ScenarioConfig::default();
+        let short = device_free_history(&config, 42, 1, 6);
+        let long = device_free_history(&config, 42, 1, 10);
+        assert_eq!(short.len(), 6);
+        assert_eq!(long.len(), 10);
+        for (a, b) in short.iter().zip(long.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "longer history must extend the same series");
+        }
+        assert!(long.iter().all(|&f| f >= 0.0));
+    }
+
+    #[test]
+    fn free_histories_have_paper_magnitudes() {
+        let config = ScenarioConfig::default();
+        let mut means = Vec::new();
+        for home in 0..200u32 {
+            for device in 0..2 {
+                let h = device_free_history(&config, home, device, 6);
+                means.push(h.iter().sum::<f64>() / h.len() as f64);
+            }
+        }
+        let grand = means.iter().sum::<f64>() / means.len() as f64;
+        assert!(
+            (grand / config.free_mean_bytes - 1.0).abs() < 0.25,
+            "grand mean {grand:.0} vs configured {:.0}",
+            config.free_mean_bytes
+        );
+        // Device heterogeneity: spread across devices is real.
+        let lo = means.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = means.iter().cloned().fold(0.0f64, f64::max);
+        assert!(hi > 2.0 * lo, "device means should spread ({lo:.0}..{hi:.0})");
+    }
+}
